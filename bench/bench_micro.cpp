@@ -1,0 +1,157 @@
+// google-benchmark microbenchmarks for the substrate and toolchain hot
+// paths: PM store/flush/fence, transaction commit, hash-table ops with and
+// without dynamic-checker hooks, parsing, DSA, and whole-module checking.
+#include <benchmark/benchmark.h>
+
+#include "apps/kvstores.h"
+#include "core/static_checker.h"
+#include "corpus/corpus.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "pmem/pool.h"
+
+using namespace deepmc;
+
+// --- substrate ---------------------------------------------------------------
+
+static void BM_PmStore(benchmark::State& state) {
+  pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+  const uint64_t off = pool.alloc(64);
+  uint64_t v = 0;
+  for (auto _ : state) pool.store_val<uint64_t>(off, ++v);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmStore);
+
+static void BM_PmPersist(benchmark::State& state) {
+  pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+  const uint64_t off = pool.alloc(64);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    pool.store_val<uint64_t>(off, ++v);
+    pool.persist(off, 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmPersist);
+
+static void BM_PmCrashRecover(benchmark::State& state) {
+  for (auto _ : state) {
+    pmem::PmPool pool(1 << 16, pmem::LatencyModel::zero());
+    const uint64_t off = pool.alloc(64);
+    pool.store_val<uint64_t>(off, 1);
+    pool.persist(off, 8);
+    pool.crash();
+    benchmark::DoNotOptimize(pool.load_val<uint64_t>(off));
+  }
+}
+BENCHMARK(BM_PmCrashRecover);
+
+// --- transactions -------------------------------------------------------------
+
+static void BM_PmdkTxCommit(benchmark::State& state) {
+  pmem::PmPool pool(1 << 22, pmem::LatencyModel::zero());
+  pmdk::ObjPool obj(pool);
+  const uint64_t a = obj.alloc(64);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    pmdk::Tx tx(obj);
+    tx.add(a, 8);
+    tx.write_val<uint64_t>(a, ++v);
+    tx.commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmdkTxCommit);
+
+static void BM_MnemosyneTxCommit(benchmark::State& state) {
+  pmem::PmPool pool(1 << 22, pmem::LatencyModel::zero());
+  mnemosyne::Mnemosyne m(pool);
+  const uint64_t a = m.pmalloc(64);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    mnemosyne::DurableTx tx(m);
+    tx.write_word(a, ++v);
+    tx.commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MnemosyneTxCommit);
+
+// --- apps with and without the dynamic checker (Figure 12 in miniature) ----
+
+static void BM_KvSet(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  pmem::PmPool pool(1 << 24, pmem::LatencyModel::zero());
+  rt::RuntimeChecker rt(core::PersistencyModel::kEpoch);
+  apps::MemcachedMini mc(pool, 1 << 12, {}, instrumented ? &rt : nullptr);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    ++k;
+    mc.set(k % 1000, k);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(instrumented ? "instrumented" : "baseline");
+}
+BENCHMARK(BM_KvSet)->Arg(0)->Arg(1);
+
+static void BM_KvGet(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  pmem::PmPool pool(1 << 24, pmem::LatencyModel::zero());
+  rt::RuntimeChecker rt(core::PersistencyModel::kEpoch);
+  apps::MemcachedMini mc(pool, 1 << 12, {}, instrumented ? &rt : nullptr);
+  for (uint64_t k = 0; k < 1000; ++k) mc.set(k, k);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    ++k;
+    benchmark::DoNotOptimize(mc.get(k % 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(instrumented ? "instrumented" : "baseline");
+}
+BENCHMARK(BM_KvGet)->Arg(0)->Arg(1);
+
+// --- toolchain ------------------------------------------------------------------
+
+static void BM_ParseCorpusModule(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cm = corpus::build_module("pmdk/btree_map");
+    benchmark::DoNotOptimize(cm.module.get());
+  }
+}
+BENCHMARK(BM_ParseCorpusModule);
+
+static void BM_DsaOnCorpusModule(benchmark::State& state) {
+  auto cm = corpus::build_module("pmdk/hash_map");
+  for (auto _ : state) {
+    analysis::DSA dsa(*cm.module);
+    dsa.run();
+    benchmark::DoNotOptimize(dsa.persistent_node_count());
+  }
+}
+BENCHMARK(BM_DsaOnCorpusModule);
+
+static void BM_CheckCorpusModule(benchmark::State& state) {
+  auto cm = corpus::build_module("pmdk/pminvaders");
+  for (auto _ : state) {
+    auto result = core::check_module(*cm.module,
+                                     core::PersistencyModel::kStrict);
+    benchmark::DoNotOptimize(result.count());
+  }
+}
+BENCHMARK(BM_CheckCorpusModule);
+
+static void BM_CheckWholeCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    size_t warnings = 0;
+    for (corpus::CorpusModule& cm : corpus::build_corpus()) {
+      warnings += core::check_module(*cm.module,
+                                     corpus::framework_model(cm.framework))
+                      .count();
+    }
+    if (warnings != 44) state.SkipWithError("corpus drifted");
+  }
+}
+BENCHMARK(BM_CheckWholeCorpus);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Strand-persistency extension bench (the paper's §2.2 motivation,
+// quantified): how much persist latency does each persistency model leave
+// on the table for a batch of independent updates?
+//
+//   strict — every update's flush is individually fenced: full serial cost
+//   epoch  — updates batched per epoch, one barrier per update group
+//   strand — independent updates drain concurrently: critical-path cost
+//
+// The strand engine verifies independence at runtime with the DeepMC
+// dynamic checker (Table 4's strand rule); a batch with dependencies is
+// not allowed the concurrent cost. The device times come from the
+// substrate's Optane-like latency model.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "frameworks/strand_engine.h"
+#include "support/str.h"
+
+using namespace deepmc;
+
+namespace {
+
+// A batch of `n` independent object updates: each strand writes 4 fields
+// of its own object and flushes them.
+strand::BatchResult run_independent_batch(size_t n,
+                                          rt::RuntimeChecker* rt,
+                                          pmem::PmPool& pool,
+                                          const std::vector<uint64_t>& objs) {
+  std::vector<strand::CtxStrandFn> strands;
+  strands.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t base = objs[i];
+    strands.push_back([base](strand::StrandCtx& ctx) {
+      for (int f = 0; f < 4; ++f) ctx.write_u64(base + 8 * f, f + 1);
+      ctx.flush(base, 32);
+    });
+  }
+  return strand::run_strands(pool, rt, strands);
+}
+
+uint64_t strict_cost(size_t n, pmem::PmPool& pool,
+                     const std::vector<uint64_t>& objs) {
+  const uint64_t before = pool.stats().sim_ns;
+  for (size_t i = 0; i < n; ++i) {
+    for (int f = 0; f < 4; ++f) {
+      pool.store_val<uint64_t>(objs[i] + 8 * f, f + 1);
+      pool.persist(objs[i] + 8 * f, 8);  // strict: barrier per persist
+    }
+  }
+  return pool.stats().sim_ns - before;
+}
+
+uint64_t epoch_cost(size_t n, pmem::PmPool& pool,
+                    const std::vector<uint64_t>& objs) {
+  const uint64_t before = pool.stats().sim_ns;
+  for (size_t i = 0; i < n; ++i) {  // one epoch per update
+    for (int f = 0; f < 4; ++f)
+      pool.store_val<uint64_t>(objs[i] + 8 * f, f + 1);
+    pool.flush(objs[i], 32);
+    pool.fence();
+  }
+  return pool.stats().sim_ns - before;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_system_config(
+      "bench_strand_model: strand-persistency extension (§2.2)");
+
+  bench::Table table({"Batch size", "strict (sim us)", "epoch (sim us)",
+                      "strand (sim us)", "strand vs epoch", "independent"});
+  bool shape_ok = true;
+  for (size_t n : {4, 16, 64, 256}) {
+    pmem::PmPool pool(1 << 24);
+    std::vector<uint64_t> objs;
+    for (size_t i = 0; i < n; ++i) objs.push_back(pool.alloc(64));
+
+    const uint64_t strict_ns = strict_cost(n, pool, objs);
+    const uint64_t epoch_ns = epoch_cost(n, pool, objs);
+    rt::RuntimeChecker rt(core::PersistencyModel::kStrand);
+    auto batch = run_independent_batch(n, &rt, pool, objs);
+
+    table.add_row({std::to_string(n), strformat("%.1f", strict_ns / 1e3),
+                   strformat("%.1f", epoch_ns / 1e3),
+                   strformat("%.1f", batch.effective_ns() / 1e3),
+                   strformat("%.1fx", static_cast<double>(epoch_ns) /
+                                          static_cast<double>(
+                                              batch.effective_ns())),
+                   batch.independent() ? "yes" : "NO"});
+    // Expected ordering: strict >= epoch > strand, widening with batch
+    // size (strand cost is the critical path, constant in n here).
+    if (!(strict_ns >= epoch_ns && epoch_ns > batch.effective_ns()))
+      shape_ok = false;
+    if (!batch.independent()) shape_ok = false;
+  }
+  table.print();
+
+  // Dependent strands must NOT get the concurrent cost.
+  {
+    pmem::PmPool pool(1 << 20);
+    const uint64_t shared = pool.alloc(64);
+    rt::RuntimeChecker rt(core::PersistencyModel::kStrand);
+    std::vector<strand::CtxStrandFn> strands = {
+        [shared](strand::StrandCtx& ctx) {
+          ctx.write_u64(shared, 1);
+          ctx.flush(shared, 8);
+        },
+        [shared](strand::StrandCtx& ctx) {
+          ctx.write_u64(shared, 2);  // WAW with strand 1
+          ctx.flush(shared, 8);
+        },
+    };
+    auto batch = strand::run_strands(pool, &rt, strands);
+    std::printf("dependent batch: %zu WAW/RAW dependence(s) detected; "
+                "effective cost falls back to serialized (%llu ns)\n",
+                batch.races,
+                static_cast<unsigned long long>(batch.effective_ns()));
+    if (batch.independent()) shape_ok = false;
+    if (batch.effective_ns() != batch.serialized_ns) shape_ok = false;
+  }
+
+  std::printf("\nStrand persistency removes the false inter-update ordering "
+              "epochs impose;\nDeepMC's dynamic checker supplies the safety "
+              "side: batches with real\ndependencies are detected and must "
+              "serialize (Table 4, last row).\n");
+  std::printf("\n[%s] strand-model extension\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

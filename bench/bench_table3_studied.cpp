@@ -1,0 +1,81 @@
+// Tables 2 + 3 reproduction: the 19 studied persistency bugs.
+//
+// Prints the studied-bug inventory (Table 2 counts per framework, Table 3
+// per-bug rows with file:line, LIB/EP and class) and verifies that DeepMC
+// re-detects every one at the cited location (the §5.3 completeness claim).
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "core/static_checker.h"
+#include "corpus/corpus.h"
+#include "support/str.h"
+
+using namespace deepmc;
+using corpus::BugSite;
+
+int main() {
+  bench::print_system_config("bench_table3_studied: Tables 2 & 3 + §5.3");
+
+  // Run the static checker over every module once; collect hit locations.
+  std::set<std::string> reported;
+  for (corpus::CorpusModule& cm : corpus::build_corpus()) {
+    auto result =
+        core::check_module(*cm.module, corpus::framework_model(cm.framework));
+    for (const core::Warning& w : result.warnings())
+      reported.insert(w.loc.str());
+  }
+
+  // --- Table 2 -------------------------------------------------------------
+  std::map<corpus::Framework, std::pair<size_t, size_t>> t2;  // (viol, perf)
+  for (const BugSite* s : corpus::sites_of(corpus::Provenance::kStudied)) {
+    auto& [v, p] = t2[s->framework];
+    if (core::category_class(s->category) == core::BugClass::kModelViolation)
+      ++v;
+    else
+      ++p;
+  }
+  bench::Table table2(
+      {"Framework/Library", "Model Violation Bugs", "Performance Bugs",
+       "Total"});
+  size_t tv = 0, tp = 0;
+  for (auto fw : {corpus::Framework::kPmdk, corpus::Framework::kPmfs,
+                  corpus::Framework::kNvmDirect}) {
+    auto [v, p] = t2[fw];
+    table2.add_row({corpus::framework_name(fw), std::to_string(v),
+                    std::to_string(p), std::to_string(v + p)});
+    tv += v;
+    tp += p;
+  }
+  table2.add_row({"Total", std::to_string(tv), std::to_string(tp),
+                  std::to_string(tv + tp)});
+  std::printf("Table 2 — studied persistency bugs (paper: 9 + 10 = 19*):\n");
+  table2.print();
+  std::printf("* Our per-class split follows the Table 3 row labels; see\n"
+              "  EXPERIMENTS.md for the Table 2 vs Table 3 reconciliation.\n\n");
+
+  // --- Table 3 ----------------------------------------------------------------
+  bench::Table table3({"NVM Library", "File", "Line", "Loc", "Class",
+                       "Bug Description", "Re-detected"});
+  size_t found = 0;
+  for (const BugSite* s : corpus::sites_of(corpus::Provenance::kStudied)) {
+    const bool hit = reported.count(s->loc_str()) != 0;
+    if (hit) ++found;
+    table3.add_row(
+        {corpus::framework_name(s->framework), s->file,
+         std::to_string(s->line),
+         s->location == corpus::BugLocation::kLib ? "LIB" : "EP",
+         core::category_class(s->category) == core::BugClass::kModelViolation
+             ? "[V]"
+             : "[P]",
+         s->description, hit ? "yes" : "NO"});
+  }
+  std::printf("Table 3 — the studied bugs, re-detected at the cited lines:\n");
+  table3.print();
+
+  std::printf("Completeness (§5.3): %zu/19 studied bugs detected\n", found);
+  const bool ok = found == 19;
+  std::printf("\n[%s] Tables 2 & 3 reproduction\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,219 @@
+// Tables 4 & 5 reproduction: the checking rules.
+//
+// The rules are executable code in this reproduction, so this bench prints
+// the rule inventory per persistency model and then runs a minimal witness
+// program for every rule, demonstrating that each fires exactly where the
+// table says it should.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/static_checker.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+using namespace deepmc;
+using core::PersistencyModel;
+
+namespace {
+
+struct RuleWitness {
+  const char* table;
+  const char* model;
+  const char* rule;
+  const char* statement;
+  PersistencyModel check_model;
+  const char* program;
+};
+
+const std::vector<RuleWitness>& witnesses() {
+  static const std::vector<RuleWitness> w = {
+      {"Table 4", "strict", "strict.unflushed-write",
+       "a write to A1 must be followed by a flush F with A1 = A2",
+       PersistencyModel::kStrict,
+       R"(struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  store i64 1, %a !loc("w.c", 1)
+  pm.fence
+  ret
+})"},
+      {"Table 4", "strict", "strict.multiple-writes",
+       "a persist barrier must be preceded by only one write",
+       PersistencyModel::kStrict,
+       R"(struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %q = pm.alloc %o
+  %a = gep %p, 0
+  %b = gep %q, 0
+  store i64 1, %a
+  store i64 2, %b
+  pm.flush %a, 8
+  pm.flush %b, 8
+  pm.fence !loc("w.c", 2)
+  ret
+})"},
+      {"Table 4", "strict", "strict.missing-barrier",
+       "a flush needs a barrier before the next transaction",
+       PersistencyModel::kStrict,
+       R"(struct %o { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %q = pm.alloc %o
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.flush %a, 8 !loc("w.c", 3)
+  tx.begin
+  tx.add %q, 16
+  %b = gep %q, 0
+  store i64 2, %b
+  pm.fence
+  tx.end
+  ret
+})"},
+      {"Table 4", "epoch", "epoch.missing-barrier",
+       "consecutive epochs E1, E2 need a barrier at the end of E1",
+       PersistencyModel::kEpoch,
+       R"(struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %q = pm.alloc %o
+  epoch.begin
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.flush %a, 8
+  epoch.end
+  epoch.begin !loc("w.c", 4)
+  %b = gep %q, 0
+  store i64 2, %b
+  pm.flush %b, 8
+  pm.fence
+  epoch.end
+  ret
+})"},
+      {"Table 4", "epoch", "epoch.missing-barrier-nested",
+       "an inner epoch E1 inside E2 needs a barrier at the end of E1",
+       PersistencyModel::kEpoch,
+       R"(struct %o { i64 }
+define void @inner(%o* %p) {
+entry:
+  tx.begin
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.flush %a, 8 !loc("w.c", 5)
+  tx.end
+  ret
+}
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  tx.begin
+  call @inner(%p)
+  pm.fence
+  tx.end
+  ret
+})"},
+      {"Table 4", "epoch", "epoch.unflushed-write",
+       "a write to A1 needs a covering flush (A1 within A2) by epoch end",
+       PersistencyModel::kEpoch,
+       R"(struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  epoch.begin
+  %a = gep %p, 0
+  store i64 1, %a !loc("w.c", 6)
+  epoch.end
+  ret
+})"},
+      {"Table 4", "epoch", "model.semantic-mismatch",
+       "consecutive epochs must write different objects (O1 != O2)",
+       PersistencyModel::kEpoch,
+       R"(struct %o { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  epoch.begin
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.persist %a, 8
+  epoch.end
+  epoch.begin
+  %b = gep %p, 1
+  store i64 2, %b !loc("w.c", 7)
+  pm.persist %b, 8
+  epoch.end
+  ret
+})"},
+      {"Table 5", "any", "perf.flush-unmodified",
+       "a flush of A1 needs a preceding write to A2 with A1 = A2",
+       PersistencyModel::kStrict,
+       R"(struct %o { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  pm.flush %p, 16 !loc("w.c", 8)
+  pm.fence
+  ret
+})"},
+      {"Table 5", "any", "perf.redundant-flush",
+       "two flushes in a transaction must not overlap (A1 n A2 = empty)",
+       PersistencyModel::kStrict,
+       R"(struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.flush %a, 8
+  pm.flush %a, 8 !loc("w.c", 9)
+  pm.fence
+  ret
+})"},
+      {"Table 5", "any", "perf.empty-durable-tx",
+       "every durable transaction must contain a persistent write",
+       PersistencyModel::kStrict,
+       R"(struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  tx.begin
+  pm.persist %p, 8 !loc("w.c", 10)
+  tx.end
+  ret
+})"},
+  };
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_system_config("bench_table4_rules: Tables 4 & 5");
+
+  bench::Table table(
+      {"Table", "Model", "Rule id", "Specification", "Witness fires"});
+  bool all_ok = true;
+  for (const RuleWitness& w : witnesses()) {
+    auto m = ir::parse_module(w.program);
+    ir::verify_or_throw(*m);
+    auto result = core::check_module(*m, w.check_model);
+    const bool fired = !result.by_rule(w.rule).empty();
+    all_ok = all_ok && fired;
+    table.add_row({w.table, w.model, w.rule, w.statement,
+                   fired ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf("Strand-persistency rule (Table 4 last row) is enforced by the\n"
+              "dynamic checker (WAW/RAW happens-before detection); see\n"
+              "bench_table8_newbugs and tests/interp_test.cpp.\n");
+  std::printf("\n[%s] Tables 4 & 5 rule witnesses\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Table 8 reproduction: the 24 new persistency bugs DeepMC finds.
+//
+// Runs both detectors and prints the Table 8 inventory: file, lines, bug
+// description, LIB/EP, consequence class, bug age — plus the §5.1 claims
+// (18 found statically / 6 dynamically; mean age ~5.4 years).
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "core/static_checker.h"
+#include "corpus/corpus.h"
+#include "interp/instrumenter.h"
+#include "interp/interp.h"
+#include "support/str.h"
+
+using namespace deepmc;
+using corpus::BugSite;
+
+int main() {
+  bench::print_system_config("bench_table8_newbugs: Table 8 + §5.1");
+
+  std::set<std::string> reported_static, reported_dynamic;
+  for (corpus::CorpusModule& cm : corpus::build_corpus()) {
+    auto result =
+        core::check_module(*cm.module, corpus::framework_model(cm.framework));
+    for (const core::Warning& w : result.warnings())
+      reported_static.insert(w.loc.str());
+  }
+  for (const char* name : {"pmdk/hashmap_atomic", "pmdk/obj_pmemlog_simple"}) {
+    corpus::CorpusModule cm = corpus::build_module(name);
+    analysis::DSA dsa(*cm.module);
+    dsa.run();
+    interp::instrument_module(*cm.module, dsa);
+    pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+    rt::RuntimeChecker rt(corpus::framework_model(cm.framework));
+    interp::Interpreter interp(*cm.module, pool, &rt);
+    interp.run_main();
+    for (const auto& m : rt.epoch_mismatches()) {
+      reported_dynamic.insert(m.first_loc.str());
+      reported_dynamic.insert(m.second_loc.str());
+    }
+    for (const auto& r : rt.redundant_flushes())
+      reported_dynamic.insert(r.loc.str());
+    for (const auto& b : rt.barrier_violations())
+      reported_dynamic.insert(b.loc.str());
+  }
+
+  bench::Table table({"Library", "File", "Line", "Bug Description", "Loc",
+                      "Consequences", "Years", "Detector", "Found"});
+  size_t found = 0, static_found = 0, dynamic_found = 0, violations = 0;
+  double years_sum = 0;
+  for (const BugSite* s : corpus::sites_of(corpus::Provenance::kNewlyFound)) {
+    const bool is_dynamic = s->detector == corpus::Detector::kDynamic;
+    const bool hit = is_dynamic ? reported_dynamic.count(s->loc_str()) != 0
+                                : reported_static.count(s->loc_str()) != 0;
+    if (hit) {
+      ++found;
+      (is_dynamic ? dynamic_found : static_found) += 1;
+    }
+    const bool viol =
+        core::category_class(s->category) == core::BugClass::kModelViolation;
+    if (viol) ++violations;
+    years_sum += s->years;
+    table.add_row(
+        {corpus::framework_name(s->framework), s->file,
+         std::to_string(s->line), s->description,
+         s->location == corpus::BugLocation::kLib ? "LIB" : "EP",
+         viol ? "Model Violation" : "Perf. Overhead",
+         strformat("%.1f", s->years), is_dynamic ? "dynamic" : "static",
+         hit ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf("New bugs re-detected:   %zu/24 (paper: 24)\n", found);
+  std::printf("  found statically:     %zu   (paper: 18)\n", static_found);
+  std::printf("  found dynamically:    %zu   (paper: 6)\n", dynamic_found);
+  std::printf("Model violations:       %zu   (paper Table 8 text: 8; our "
+              "registry follows the Table 1 matrix — see EXPERIMENTS.md)\n",
+              violations);
+  std::printf("Mean bug age:           %.1f years (paper: 5.4)\n",
+              years_sum / 24.0);
+
+  const bool ok = found == 24 && dynamic_found == 6;
+  std::printf("\n[%s] Table 8 reproduction\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

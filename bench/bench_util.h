@@ -1,0 +1,89 @@
+// Shared helpers for the reproduction benchmarks: host configuration
+// banner (the Table 7 analog) and fixed-width table printing.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace deepmc::bench {
+
+inline std::string cpu_model() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      auto pos = line.find(':');
+      if (pos != std::string::npos) return line.substr(pos + 2);
+    }
+  }
+  return "unknown";
+}
+
+inline uint64_t total_memory_mb() {
+  std::ifstream f("/proc/meminfo");
+  std::string key;
+  uint64_t kb = 0;
+  while (f >> key >> kb) {
+    if (key == "MemTotal:") return kb / 1024;
+    std::string rest;
+    std::getline(f, rest);
+  }
+  return 0;
+}
+
+/// Print the system configuration the experiments ran on (Table 7 analog:
+/// the paper used a Xeon 3.3GHz / 16GB / Ubuntu 18.04 / Clang 7 box).
+inline void print_system_config(const char* bench_name) {
+  std::printf("=== %s ===\n", bench_name);
+  std::printf("System configuration (Table 7 analog):\n");
+  std::printf("  Processor : %s (%u hardware threads)\n", cpu_model().c_str(),
+              std::thread::hardware_concurrency());
+  std::printf("  Memory    : %llu MB\n",
+              static_cast<unsigned long long>(total_memory_mb()));
+  std::printf("  Substrate : emulated PM (64B cachelines, Optane-like latency model)\n");
+  std::printf("  Compiler  : " __VERSION__ "\n\n");
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      for (size_t i = 0; i < width[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepmc::bench

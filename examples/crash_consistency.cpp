@@ -1,0 +1,109 @@
+// crash_consistency: the PM substrate and mini frameworks as a user would
+// adopt them — build a durable application, power-fail it at the worst
+// moments, and verify recovery. This is the experiment that turns the
+// static checker's "model violation" warnings into observable data loss.
+#include <cstdio>
+#include <string>
+
+#include "frameworks/pmdk_mini.h"
+#include "frameworks/pmfs_mini.h"
+
+using namespace deepmc;
+
+int main() {
+  std::printf("=== 1. PMDK-style undo-log transactions ===\n");
+  {
+    pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+    pmdk::ObjPool obj(pool);
+    const uint64_t account = obj.alloc(16);
+    obj.write_val<uint64_t>(account, 1000);      // balance
+    obj.write_val<uint64_t>(account + 8, 0);     // audit counter
+    obj.persist(account, 16);
+
+    // A committed transfer survives power failure.
+    {
+      pmdk::Tx tx(obj);
+      tx.add(account, 16);
+      tx.write_val<uint64_t>(account, 900);
+      tx.write_val<uint64_t>(account + 8, 1);
+      tx.commit();
+    }
+    pool.crash();
+    pmdk::recover(obj);
+    std::printf("committed transfer after crash: balance=%llu audit=%llu\n",
+                static_cast<unsigned long long>(
+                    pool.load_val<uint64_t>(account)),
+                static_cast<unsigned long long>(
+                    pool.load_val<uint64_t>(account + 8)));
+
+    // An interrupted transfer rolls back even if its stores leaked to the
+    // media through cache evictions.
+    {
+      pmdk::Tx tx(obj);
+      tx.add(account, 16);
+      tx.write_val<uint64_t>(account, 0);  // half-done transfer
+      pmem::CrashOptions worst;
+      worst.dirty_evicted = 1.0;
+      Rng rng(1);
+      pool.crash(worst, &rng);
+      tx.abandon();
+    }
+    const uint64_t rolled_back = pmdk::recover(obj);
+    std::printf("interrupted transfer: %llu undo entr%s replayed, "
+                "balance=%llu (restored)\n\n",
+                static_cast<unsigned long long>(rolled_back),
+                rolled_back == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(
+                    pool.load_val<uint64_t>(account)));
+  }
+
+  std::printf("=== 2. PMFS-style journaled filesystem ===\n");
+  {
+    pmem::PmPool pool(1 << 22, pmem::LatencyModel::zero());
+    {
+      auto fs = pmfs::Pmfs::mkfs(pool, pmfs::Geometry::small());
+      const uint32_t ino = fs.create("report.txt");
+      const std::string body(1500, 'R');
+      fs.write_file(ino, body.data(), body.size());
+      fs.symlink("report.txt", "latest");
+      // Sabotage the primary superblock, then lose power.
+      fs.corrupt_superblock();
+    }
+    pool.crash();
+    auto fs = pmfs::Pmfs::mount(pool);  // repairs + journal recovery
+    const uint32_t ino = fs.lookup("report.txt");
+    std::printf("after crash + superblock repair: report.txt=%u bytes, "
+                "symlink target='%s', files=%u\n",
+                static_cast<unsigned>(fs.file_size(ino)),
+                [&] {
+                  auto t = fs.read_file(fs.lookup("latest"));
+                  static std::string s;
+                  s.assign(t.begin(), t.end());
+                  return s.c_str();
+                }(),
+                fs.file_count());
+  }
+
+  std::printf("\n=== 3. What the checker's warnings mean physically ===\n");
+  {
+    // The Figure 9 bug, acted out: new_level written but never flushed.
+    // The field lives on its own cacheline (as in the real nvm_lkrec
+    // struct) — data sharing the state's line would ride along with its
+    // flush, which is exactly why same-line bugs are so timing-dependent.
+    pmem::PmPool pool(1 << 16, pmem::LatencyModel::zero());
+    const uint64_t lk = pool.alloc(128);
+    const uint64_t new_level = lk + 64;
+    pool.store_val<uint64_t>(lk, 1);  // state
+    pool.persist(lk, 8);
+    pool.store_val<uint64_t>(new_level, 5);  // new_level — never flushed!
+    pool.store_val<uint64_t>(lk, 2);         // state = held
+    pool.persist(lk, 8);
+    pool.crash();
+    std::printf("lock record after crash: state=%llu new_level=%llu "
+                "(the level update vanished — strict.unflushed-write)\n",
+                static_cast<unsigned long long>(pool.load_val<uint64_t>(lk)),
+                static_cast<unsigned long long>(
+                    pool.load_val<uint64_t>(new_level)));
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: check an NVM program for deep persistency bugs.
+//
+//   $ ./quickstart                 # analyze the built-in demo under -strict
+//   $ ./quickstart -epoch file.mir # analyze your own MIR file under -epoch
+//
+// This is the end-to-end DeepMC workflow of Figure 8: parse the program
+// IR, build CFG/CG/DSG, collect traces, apply the persistency-model rules,
+// print warnings with file:line metadata.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/static_checker.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace {
+
+// A little program with two classic bugs: Figure 2's unlogged
+// transactional write, and Figure 5's whole-object flush.
+constexpr const char* kDemo = R"(
+module "quickstart-demo"
+struct %account { i64, i64, i64 }
+
+define void @deposit(%account* %acc) {
+entry:
+  %balance = gep %acc, 0
+  store i64 100, %balance !loc("bank.c", 17)
+  ret
+}
+
+define void @open_account() {
+entry:
+  %acc = pm.alloc %account
+  tx.begin !loc("bank.c", 30)
+  call @deposit(%acc)
+  pm.fence
+  tx.end
+  %owner = gep %acc, 1
+  store i64 42, %owner !loc("bank.c", 38)
+  pm.persist %acc, 24 !loc("bank.c", 39)
+  ret
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deepmc;
+
+  core::PersistencyModel model = core::PersistencyModel::kStrict;
+  std::string source = kDemo;
+  std::string source_name = "<built-in demo>";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto m = core::parse_model_flag(arg)) {
+      model = *m;
+    } else {
+      std::ifstream f(arg);
+      if (!f) {
+        std::cerr << "cannot open " << arg << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      source = buf.str();
+      source_name = arg;
+    }
+  }
+
+  std::printf("DeepMC quickstart — checking %s under the %s persistency "
+              "model\n\n",
+              source_name.c_str(), core::model_name(model));
+
+  auto module = ir::parse_module(source);
+  ir::verify_or_throw(*module);
+
+  auto result = core::check_module(*module, model);
+  if (result.empty()) {
+    std::printf("no persistency bugs found\n");
+    return 0;
+  }
+  for (const core::Warning& w : result.warnings())
+    std::printf("%s\n", w.str().c_str());
+  std::printf("\n%zu warning(s). Violations break crash consistency; "
+              "performance warnings waste PM bandwidth.\n",
+              result.count());
+  return 0;
+}

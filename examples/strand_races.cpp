@@ -1,0 +1,101 @@
+// strand_races: the dynamic half of DeepMC end to end (paper §4.4).
+//
+// A program annotated with strand-persistency regions is instrumented at
+// the IR level (runtime-library calls injected only for persistent
+// accesses inside annotated regions), executed on the PM substrate, and
+// the runtime's happens-before checker reports WAW/RAW dependencies
+// between concurrent strands — the Table 4 strand rule.
+#include <cstdio>
+
+#include "analysis/dsa.h"
+#include "interp/instrumenter.h"
+#include "interp/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+using namespace deepmc;
+
+namespace {
+
+// Two strands race on a shared counter; two other strands touch disjoint
+// slots and are a correct use of strand concurrency.
+constexpr const char* kProgram = R"(
+module "strand-demo"
+struct %stats { i64, i64, i64 }
+
+define void @main() {
+entry:
+  %s = pm.alloc %stats
+  %hits = gep %s, 0
+  %a = gep %s, 1
+  %b = gep %s, 2
+
+  strand.begin
+  store i64 1, %hits !loc("stats.c", 12)
+  pm.flush %hits, 8
+  strand.end
+
+  strand.begin
+  store i64 2, %hits !loc("stats.c", 21)
+  pm.flush %hits, 8
+  strand.end
+
+  pm.fence
+
+  strand.begin
+  store i64 10, %a !loc("stats.c", 30)
+  pm.flush %a, 8
+  strand.end
+
+  strand.begin
+  store i64 20, %b !loc("stats.c", 36)
+  pm.flush %b, 8
+  strand.end
+
+  pm.fence
+  ret
+}
+)";
+
+}  // namespace
+
+int main() {
+  auto module = ir::parse_module(kProgram);
+  ir::verify_or_throw(*module);
+
+  // Step 1 (offline): DSA so the instrumenter can skip non-persistent data.
+  analysis::DSA dsa(*module);
+  dsa.run();
+
+  // Step 2: inject the runtime-library calls.
+  auto stats = interp::instrument_module(*module, dsa);
+  std::printf("instrumented: %zu writes, %zu reads, %zu allocations "
+              "(%zu accesses skipped as non-persistent)\n\n",
+              stats.writes_instrumented, stats.reads_instrumented,
+              stats.allocs_instrumented,
+              stats.accesses_skipped_not_persistent);
+
+  // Step 3: execute under the dynamic checker.
+  pmem::PmPool pool(1 << 16, pmem::LatencyModel::zero());
+  rt::RuntimeChecker rt(core::PersistencyModel::kStrand);
+  interp::Interpreter interp(*module, pool, &rt);
+  interp.run_main();
+
+  // Step 4: report.
+  if (rt.races().empty()) {
+    std::printf("no strand dependencies detected\n");
+  } else {
+    std::printf("strand-persistency violations (Table 4 rule: concurrent "
+                "strands must access disjoint addresses):\n");
+    for (const auto& race : rt.races())
+      std::printf("  %s\n", race.str().c_str());
+  }
+  std::printf("\nstrands opened: %llu, persistent writes tracked: %llu, "
+              "shadow words: %zu\n",
+              static_cast<unsigned long long>(rt.stats().strands_opened),
+              static_cast<unsigned long long>(rt.stats().writes_tracked),
+              rt.tracked_words());
+  // The two disjoint strands after the barrier must NOT be reported.
+  return rt.races().size() == 1 ? 0 : 1;
+}

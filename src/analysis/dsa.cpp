@@ -1,0 +1,387 @@
+#include "analysis/dsa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace deepmc::analysis {
+
+using namespace ir;
+
+DSA::DSA(const Module& module, Options opts)
+    : module_(module), opts_(opts), cg_(std::make_unique<CallGraph>(module)) {}
+
+DSA::~DSA() = default;
+
+DSNode* DSA::make_node(std::string name, const Type* type, uint32_t flags,
+                       SourceLoc loc) {
+  auto n = std::make_unique<DSNode>();
+  n->name_ = std::move(name);
+  n->type_ = type;
+  n->size_ = type ? type->size() : 0;
+  n->flags_ = flags;
+  n->alloc_loc_ = std::move(loc);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().get();
+}
+
+DSNode* DSA::resolve(DSNode* n) const {
+  while (n && n->forward_) n = n->forward_;
+  return n;
+}
+
+DSCell DSA::resolve(DSCell c) const {
+  c.node = resolve(c.node);
+  return c;
+}
+
+void DSA::collapse(DSNode* n) {
+  n = resolve(n);
+  if (n->has(DSNode::kCollapsed)) return;
+  n->add_flags(DSNode::kCollapsed);
+  // Fold all out-edges into a single offset-0 edge.
+  if (!n->edges_.empty()) {
+    std::map<uint64_t, DSCell> edges = std::move(n->edges_);
+    n->edges_.clear();
+    DSCell first;
+    for (auto& [off, cell] : edges) {
+      if (first.null()) {
+        first = cell;
+        n->edges_[0] = cell;
+      } else {
+        unify(first, cell);
+      }
+    }
+  }
+}
+
+void DSA::merge_nodes(DSNode* into, DSNode* from, int64_t offset_delta) {
+  into = resolve(into);
+  from = resolve(from);
+  if (into == from) return;
+  // Field structure is only preserved for aligned merges; casts that shift
+  // offsets collapse the merged node (conservative, like DSA's collapsing).
+  if (offset_delta != 0) {
+    collapse(into);
+    collapse(from);
+    into = resolve(into);
+    from = resolve(from);
+    if (into == from) return;
+  }
+
+  from->forward_ = into;
+  into->flags_ |= from->flags_ & ~DSNode::kCollapsed;
+  if (from->has(DSNode::kCollapsed)) collapse(into);
+  if (!into->type_ && from->type_) into->type_ = from->type_;
+  else if (into->type_ && from->type_ && into->type_ != from->type_) {
+    // Conflicting views of the object: keep the larger, drop field trust.
+    if (from->type_->size() > into->type_->size()) into->type_ = from->type_;
+  }
+  into->size_ = std::max(into->size_, from->size_);
+  if (into->name_.empty()) into->name_ = from->name_;
+  if (!into->alloc_loc_.valid()) into->alloc_loc_ = from->alloc_loc_;
+
+  const bool collapsed = into->has(DSNode::kCollapsed);
+  for (uint64_t off : from->modified_)
+    into->modified_.insert(collapsed ? 0 : off);
+  for (uint64_t off : from->read_) into->read_.insert(collapsed ? 0 : off);
+
+  std::map<uint64_t, DSCell> pending = std::move(from->edges_);
+  from->edges_.clear();
+  for (auto& [off, cell] : pending) {
+    const uint64_t at = collapsed ? 0 : off;
+    auto it = into->edges_.find(at);
+    if (it == into->edges_.end()) {
+      into->edges_[at] = cell;
+    } else {
+      unify(it->second, cell);
+    }
+  }
+}
+
+void DSA::unify(DSCell a, DSCell b) {
+  a = resolve(a);
+  b = resolve(b);
+  if (a.null() || b.null()) return;
+  if (a.node == b.node) {
+    if (a.exact && b.exact && a.offset != b.offset) collapse(a.node);
+    return;
+  }
+  if (!a.exact || !b.exact) {
+    collapse(a.node);
+    collapse(b.node);
+    merge_nodes(a.node, b.node, 0);
+    return;
+  }
+  merge_nodes(a.node, b.node,
+              static_cast<int64_t>(a.offset) - static_cast<int64_t>(b.offset));
+}
+
+void DSA::mark_mod(DSCell c, uint64_t size) {
+  c = resolve(c);
+  if (c.null()) return;
+  (void)size;
+  c.node->add_flags(DSNode::kModified);
+  c.node->modified_.insert(c.exact && !c.node->collapsed() ? c.offset : 0);
+}
+
+void DSA::mark_read(DSCell c, uint64_t size) {
+  c = resolve(c);
+  if (c.null()) return;
+  (void)size;
+  c.node->add_flags(DSNode::kRead);
+  c.node->read_.insert(c.exact && !c.node->collapsed() ? c.offset : 0);
+}
+
+DSCell DSA::cell_for_impl(const Value* v) {
+  auto it = scalars_.find(v);
+  if (it != scalars_.end()) return resolve(it->second);
+  if (!v->type()->is_pointer()) return {};
+  // Pointer with unknown provenance (argument before Top-Down, external
+  // call result): materialize an incomplete node.
+  uint32_t flags = DSNode::kUnknown | DSNode::kIncomplete;
+  DSNode* n = make_node("unknown:" + v->name(), nullptr, flags, {});
+  DSCell c{n, 0, true};
+  scalars_[v] = c;
+  return c;
+}
+
+void DSA::local_phase(const Function& f) {
+  for (const auto& bb : f.blocks()) {
+    for (const auto& ip : bb->instructions()) {
+      Instruction* inst = ip.get();
+      switch (inst->opcode()) {
+        case Opcode::kAlloca: {
+          auto* a = static_cast<AllocaInst*>(inst);
+          DSNode* n = make_node(f.name() + ":%" + a->name(),
+                                a->allocated_type(), DSNode::kStack,
+                                a->loc());
+          scalars_[inst] = {n, 0, true};
+          break;
+        }
+        case Opcode::kPmAlloc: {
+          auto* a = static_cast<PmAllocInst*>(inst);
+          DSNode* n = make_node(f.name() + ":%" + a->name(),
+                                a->allocated_type(), DSNode::kPersistent,
+                                a->loc());
+          scalars_[inst] = {n, 0, true};
+          break;
+        }
+        case Opcode::kGep: {
+          auto* g = static_cast<GepInst*>(inst);
+          DSCell base = cell_for_impl(g->base());
+          if (base.null()) break;
+          DSCell out = base;
+          const int64_t idx = g->const_index();
+          const auto* pt =
+              dynamic_cast<const PointerType*>(g->base()->type());
+          const Type* pointee = pt && !pt->is_opaque() ? pt->pointee() : nullptr;
+          if (!opts_.field_sensitive) {
+            out.exact = false;
+          } else if (idx < 0 || base.node->collapsed() || !base.exact) {
+            out.exact = false;  // dynamic index: somewhere in the object
+          } else if (const auto* st =
+                         dynamic_cast<const StructType*>(pointee)) {
+            if (static_cast<size_t>(idx) < st->field_count())
+              out.offset += st->field_offset(static_cast<size_t>(idx));
+            else
+              out.exact = false;
+          } else if (const auto* at = dynamic_cast<const ArrayType*>(pointee)) {
+            out.offset += static_cast<uint64_t>(idx) * at->element()->size();
+          } else if (pointee) {
+            out.offset += static_cast<uint64_t>(idx) * pointee->size();
+          } else {
+            out.exact = false;
+          }
+          scalars_[inst] = out;
+          break;
+        }
+        case Opcode::kCast: {
+          auto* c = static_cast<CastInst*>(inst);
+          DSCell src = cell_for_impl(c->source());
+          if (!src.null()) scalars_[inst] = src;
+          break;
+        }
+        case Opcode::kLoad: {
+          auto* l = static_cast<LoadInst*>(inst);
+          DSCell p = cell_for_impl(l->pointer());
+          if (p.null()) break;
+          mark_read(p, l->type()->size());
+          if (l->type()->is_pointer()) {
+            DSCell rp = resolve(p);
+            const uint64_t at =
+                rp.exact && !rp.node->collapsed() ? rp.offset : 0;
+            auto it = rp.node->edges_.find(at);
+            if (it == rp.node->edges_.end()) {
+              DSNode* tgt = make_node("pointee:" + l->name(), nullptr,
+                                      DSNode::kUnknown | DSNode::kIncomplete,
+                                      l->loc());
+              rp.node->edges_[at] = {tgt, 0, true};
+              it = rp.node->edges_.find(at);
+            }
+            scalars_[inst] = resolve(it->second);
+          }
+          break;
+        }
+        case Opcode::kStore: {
+          auto* s = static_cast<StoreInst*>(inst);
+          DSCell p = cell_for_impl(s->pointer());
+          if (p.null()) break;
+          mark_mod(p, s->value()->type()->size());
+          if (s->value()->type()->is_pointer() &&
+              !s->value()->is_constant()) {
+            DSCell v = cell_for_impl(s->value());
+            if (!v.null()) {
+              DSCell rp = resolve(p);
+              const uint64_t at =
+                  rp.exact && !rp.node->collapsed() ? rp.offset : 0;
+              auto it = rp.node->edges_.find(at);
+              if (it == rp.node->edges_.end())
+                rp.node->edges_[at] = v;
+              else
+                unify(it->second, v);
+            }
+          }
+          break;
+        }
+        case Opcode::kMemSet: {
+          auto* m = static_cast<MemSetInst*>(inst);
+          mark_mod(cell_for_impl(m->pointer()), 0);
+          break;
+        }
+        case Opcode::kMemCpy: {
+          auto* m = static_cast<MemCpyInst*>(inst);
+          mark_mod(cell_for_impl(m->dest()), 0);
+          mark_read(cell_for_impl(m->source()), 0);
+          break;
+        }
+        case Opcode::kFlush:
+        case Opcode::kPersist: {
+          auto* fl = static_cast<FlushInst*>(inst);
+          DSCell p = resolve(cell_for_impl(fl->pointer()));
+          if (!p.null()) p.node->add_flags(DSNode::kFlushed);
+          break;
+        }
+        case Opcode::kTxAdd: {
+          auto* t = static_cast<TxAddInst*>(inst);
+          DSCell p = resolve(cell_for_impl(t->pointer()));
+          if (!p.null()) p.node->add_flags(DSNode::kFlushed);
+          break;
+        }
+        case Opcode::kCall: {
+          auto* c = static_cast<CallInst*>(inst);
+          if (c->type()->is_pointer()) {
+            // Result node; unified with the callee's return in Bottom-Up.
+            DSNode* n = make_node(
+                "ret:" + c->callee(), nullptr,
+                DSNode::kUnknown | DSNode::kIncomplete, c->loc());
+            scalars_[inst] = {n, 0, true};
+          }
+          break;
+        }
+        case Opcode::kRet: {
+          auto* r = static_cast<RetInst*>(inst);
+          if (r->value() && r->value()->type()->is_pointer() &&
+              !r->value()->is_constant()) {
+            DSCell v = cell_for_impl(r->value());
+            auto it = returns_.find(&f);
+            if (it == returns_.end())
+              returns_[&f] = v;
+            else
+              unify(it->second, v);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+void DSA::process_call(const CallInst* call) {
+  const Function* callee = module_.find_function(call->callee());
+  if (!callee || callee->is_declaration()) return;
+  const size_t n = std::min(callee->arg_count(), call->args().size());
+  for (size_t i = 0; i < n; ++i) {
+    Value* actual = call->args()[i];
+    const Argument* formal = callee->arg(i);
+    if (!actual->type()->is_pointer() && !formal->type()->is_pointer())
+      continue;
+    if (actual->is_constant()) continue;
+    DSCell ac = cell_for_impl(actual);
+    DSCell fc = cell_for_impl(formal);
+    if (!ac.null() && !fc.null()) unify(ac, fc);
+  }
+  if (call->type()->is_pointer()) {
+    auto rit = returns_.find(callee);
+    if (rit != returns_.end()) {
+      DSCell cc = cell_for_impl(call);
+      unify(cc, rit->second);
+    }
+  }
+}
+
+void DSA::bottom_up_phase() {
+  // Post-order (callees first); iterate to a fixpoint to absorb recursion
+  // and late unifications. With a shared node space this converges fast.
+  for (int round = 0; round < 3; ++round) {
+    for (const Function* f : cg_->post_order()) {
+      for (const CallInst* call : cg_->call_sites(f)) process_call(call);
+    }
+  }
+}
+
+void DSA::top_down_phase() {
+  // Arguments that got unified with concrete allocations are no longer
+  // unknown; clear the provenance flags so clients can trust Persistent.
+  for (auto& np : nodes_) {
+    DSNode* n = np.get();
+    if (n->forward_) continue;
+    if (n->has(DSNode::kPersistent) || n->has(DSNode::kStack))
+      n->flags_ &= ~(DSNode::kUnknown | DSNode::kIncomplete);
+  }
+}
+
+void DSA::run() {
+  if (ran_) return;
+  ran_ = true;
+  for (const auto& f : module_.functions())
+    if (!f->is_declaration()) local_phase(*f);
+  bottom_up_phase();
+  top_down_phase();
+}
+
+DSCell DSA::cell_for(const Value* v) const {
+  auto it = scalars_.find(v);
+  if (it == scalars_.end()) return {};
+  return resolve(it->second);
+}
+
+bool DSA::points_to_persistent(const Value* ptr) const {
+  DSCell c = cell_for(ptr);
+  return !c.null() && c.node->persistent();
+}
+
+MemRegion DSA::region_for(const Value* ptr, uint64_t size) const {
+  DSCell c = cell_for(ptr);
+  if (c.null()) return {};
+  return MemRegion{c.node, c.exact ? c.offset : 0, size,
+                   c.exact && !c.node->collapsed()};
+}
+
+std::vector<const DSNode*> DSA::nodes() const {
+  std::vector<const DSNode*> out;
+  for (const auto& n : nodes_)
+    if (!n->forward_) out.push_back(n.get());
+  return out;
+}
+
+size_t DSA::persistent_node_count() const {
+  size_t c = 0;
+  for (const DSNode* n : nodes())
+    if (n->persistent()) ++c;
+  return c;
+}
+
+}  // namespace deepmc::analysis

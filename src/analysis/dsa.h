@@ -1,0 +1,190 @@
+// Data Structure Analysis (DSA) and the Data Structure Graph (DSG).
+//
+// Re-implementation of the analysis DeepMC builds on (paper §4.2; Lattner,
+// Lenharth & Adve, PLDI'07) over MIR. The DSG abstracts every memory object
+// with a DSNode; nodes are unified (union-find) when values must alias.
+// The analysis is field-sensitive — each node tracks per-byte-offset
+// points-to edges and per-field mod/ref/flush facts — and it distinguishes
+// persistent objects: pm.alloc sites set the Persistent flag, and the
+// Top-Down phase propagates persistence into callees' formal arguments
+// (which is how, in the paper's Figure 10 example, `mutex` inside nvm_lock
+// is known to be persistent even though it arrives as an argument).
+//
+// The three phases mirror the paper:
+//   1. Local     — per-function graph from the instruction stream,
+//   2. Bottom-Up — call-graph post-order; callee effects (mod/ref,
+//                  persistence, points-to) are merged into callers by
+//                  unifying formal-argument cells with actual-argument
+//                  cells and return cells with call results,
+//   3. Top-Down  — caller argument facts pushed down into callees.
+//
+// Simplification vs. the original: we use one shared node space with
+// unification instead of per-function graph cloning (no heap cloning), so
+// context sensitivity is approximated; DeepMC recovers per-context
+// precision by inlining callee traces at call sites during trace
+// collection (§4.3), which is the client that actually applies the rules.
+// This trade-off is documented in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "ir/module.h"
+
+namespace deepmc::analysis {
+
+class DSNode;
+
+/// A byte offset into a DSNode. `exact == false` means "somewhere in this
+/// node" (dynamic array index or collapsed node).
+struct DSCell {
+  DSNode* node = nullptr;
+  uint64_t offset = 0;
+  bool exact = true;
+
+  [[nodiscard]] bool null() const { return node == nullptr; }
+};
+
+class DSNode {
+ public:
+  enum Flag : uint32_t {
+    kHeap = 1u << 0,        ///< volatile heap / stack allocation
+    kStack = 1u << 1,
+    kPersistent = 1u << 2,  ///< allocated from persistent memory
+    kModified = 1u << 3,    ///< some field written
+    kRead = 1u << 4,
+    kFlushed = 1u << 5,     ///< some field written back
+    kUnknown = 1u << 6,     ///< provenance unknown (e.g. external)
+    kIncomplete = 1u << 7,  ///< may have unseen callers/callees
+    kCollapsed = 1u << 8,   ///< field structure lost (dynamic indexing)
+  };
+
+  [[nodiscard]] uint32_t flags() const { return flags_; }
+  void add_flags(uint32_t f) { flags_ |= f; }
+  [[nodiscard]] bool has(Flag f) const { return (flags_ & f) != 0; }
+  [[nodiscard]] bool persistent() const { return has(kPersistent); }
+  [[nodiscard]] bool collapsed() const { return has(kCollapsed); }
+
+  /// Declared type of the allocation, when one dominates (may be null).
+  [[nodiscard]] const ir::Type* type() const { return type_; }
+  /// Size in bytes (0 if unknown).
+  [[nodiscard]] uint64_t size() const { return size_; }
+
+  [[nodiscard]] const std::string& debug_name() const { return name_; }
+  [[nodiscard]] const SourceLoc& alloc_loc() const { return alloc_loc_; }
+
+  /// Per-offset facts (offsets are byte offsets into the object).
+  [[nodiscard]] const std::set<uint64_t>& modified_offsets() const {
+    return modified_;
+  }
+  [[nodiscard]] const std::set<uint64_t>& read_offsets() const {
+    return read_;
+  }
+  [[nodiscard]] const std::map<uint64_t, DSCell>& out_edges() const {
+    return edges_;
+  }
+
+ private:
+  friend class DSA;
+  uint32_t flags_ = 0;
+  const ir::Type* type_ = nullptr;
+  uint64_t size_ = 0;
+  std::string name_;
+  SourceLoc alloc_loc_;
+  std::set<uint64_t> modified_;
+  std::set<uint64_t> read_;
+  std::map<uint64_t, DSCell> edges_;  ///< field offset -> pointee
+  DSNode* forward_ = nullptr;         ///< union-find forwarding
+};
+
+/// A concrete memory region for rule checking: (object, byte range).
+struct MemRegion {
+  const DSNode* node = nullptr;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  bool exact = true;  ///< offset is known precisely
+
+  [[nodiscard]] bool valid() const { return node != nullptr; }
+  /// Same abstract object?
+  [[nodiscard]] bool same_object(const MemRegion& o) const {
+    return valid() && node == o.node;
+  }
+  /// May the two regions overlap? Conservative when offsets are inexact.
+  [[nodiscard]] bool overlaps(const MemRegion& o) const {
+    if (!same_object(o)) return false;
+    if (!exact || !o.exact) return true;
+    return offset < o.offset + o.size && o.offset < offset + size;
+  }
+  /// Does this region cover all of `o`? (A1 ∩ A2 = A1 in the paper's
+  /// epoch unflushed-write rule means the flush A2 covers the write A1.)
+  [[nodiscard]] bool covers(const MemRegion& o) const {
+    if (!same_object(o)) return false;
+    if (!exact || !o.exact) return true;  // conservative
+    return offset <= o.offset && o.offset + o.size <= offset + size;
+  }
+};
+
+class DSA {
+ public:
+  struct Options {
+    bool field_sensitive = true;  ///< ablation knob (DESIGN.md §5)
+  };
+
+  explicit DSA(const ir::Module& module) : DSA(module, Options{}) {}
+  DSA(const ir::Module& module, Options opts);
+  ~DSA();
+
+  /// Run Local, Bottom-Up and Top-Down phases.
+  void run();
+
+  /// Resolved cell for a pointer value (null cell if not a pointer).
+  [[nodiscard]] DSCell cell_for(const ir::Value* v) const;
+
+  /// True if `ptr` may point into persistent memory.
+  [[nodiscard]] bool points_to_persistent(const ir::Value* ptr) const;
+
+  /// Memory region accessed through `ptr` with byte size `size`.
+  [[nodiscard]] MemRegion region_for(const ir::Value* ptr,
+                                     uint64_t size) const;
+
+  /// All nodes (post-unification representatives only).
+  [[nodiscard]] std::vector<const DSNode*> nodes() const;
+
+  /// Number of representative nodes flagged persistent.
+  [[nodiscard]] size_t persistent_node_count() const;
+
+  [[nodiscard]] const ir::Module& module() const { return module_; }
+  [[nodiscard]] const CallGraph& callgraph() const { return *cg_; }
+
+ private:
+  DSNode* make_node(std::string name, const ir::Type* type, uint32_t flags,
+                    SourceLoc loc);
+  DSNode* resolve(DSNode* n) const;
+  DSCell resolve(DSCell c) const;
+  void unify(DSCell a, DSCell b);
+  void merge_nodes(DSNode* into, DSNode* from, int64_t offset_delta);
+  void collapse(DSNode* n);
+
+  DSCell cell_for_impl(const ir::Value* v);
+  void local_phase(const ir::Function& f);
+  void bottom_up_phase();
+  void top_down_phase();
+  void process_call(const ir::CallInst* call);
+  void mark_mod(DSCell c, uint64_t size);
+  void mark_read(DSCell c, uint64_t size);
+
+  const ir::Module& module_;
+  Options opts_;
+  std::unique_ptr<CallGraph> cg_;
+  std::vector<std::unique_ptr<DSNode>> nodes_;
+  std::map<const ir::Value*, DSCell> scalars_;
+  std::map<const ir::Function*, DSCell> returns_;
+  bool ran_ = false;
+};
+
+}  // namespace deepmc::analysis

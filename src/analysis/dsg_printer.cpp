@@ -1,0 +1,96 @@
+#include "analysis/dsg_printer.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/str.h"
+
+namespace deepmc::analysis {
+
+namespace {
+
+std::string flags_str(const DSNode* n) {
+  std::string out;
+  auto add = [&](bool cond, const char* name) {
+    if (!cond) return;
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  add(n->has(DSNode::kPersistent), "persistent");
+  add(n->has(DSNode::kStack), "stack");
+  add(n->has(DSNode::kHeap), "heap");
+  add(n->has(DSNode::kModified), "modified");
+  add(n->has(DSNode::kRead), "read");
+  add(n->has(DSNode::kFlushed), "flushed");
+  add(n->has(DSNode::kUnknown), "unknown");
+  add(n->has(DSNode::kIncomplete), "incomplete");
+  add(n->has(DSNode::kCollapsed), "collapsed");
+  return out.empty() ? "-" : out;
+}
+
+std::string offsets_str(const std::set<uint64_t>& offs) {
+  std::string out = "{";
+  bool first = true;
+  for (uint64_t o : offs) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(o);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string dsg_node_str(const DSNode* node) {
+  std::string out = "node " + node->debug_name();
+  if (node->type()) out += "  type=" + node->type()->str();
+  if (node->size()) out += strformat("  size=%llu",
+                                     static_cast<unsigned long long>(
+                                         node->size()));
+  out += "  [" + flags_str(node) + "]";
+  if (!node->modified_offsets().empty())
+    out += "  mod=" + offsets_str(node->modified_offsets());
+  if (!node->read_offsets().empty())
+    out += "  ref=" + offsets_str(node->read_offsets());
+  if (!node->out_edges().empty()) {
+    out += "  edges={";
+    bool first = true;
+    for (const auto& [off, cell] : node->out_edges()) {
+      if (!first) out += ", ";
+      first = false;
+      out += strformat("%llu -> ", static_cast<unsigned long long>(off));
+      out += cell.node ? cell.node->debug_name() : std::string("<null>");
+      if (cell.offset)
+        out += strformat("+%llu",
+                         static_cast<unsigned long long>(cell.offset));
+    }
+    out += "}";
+  }
+  return out;
+}
+
+void print_dsg(const DSA& dsa, std::ostream& os, bool persistent_only) {
+  std::vector<const DSNode*> nodes = dsa.nodes();
+  std::sort(nodes.begin(), nodes.end(),
+            [](const DSNode* a, const DSNode* b) {
+              return a->debug_name() < b->debug_name();
+            });
+  size_t shown = 0;
+  for (const DSNode* n : nodes) {
+    if (persistent_only && !n->persistent()) continue;
+    os << "  " << dsg_node_str(n) << "\n";
+    ++shown;
+  }
+  os << "  (" << shown << " node(s)"
+     << (persistent_only ? ", persistent only" : "") << ")\n";
+}
+
+std::string dsg_to_string(const DSA& dsa, bool persistent_only) {
+  std::ostringstream os;
+  print_dsg(dsa, os, persistent_only);
+  return os.str();
+}
+
+}  // namespace deepmc::analysis

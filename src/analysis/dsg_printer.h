@@ -1,0 +1,26 @@
+// Human-readable Data Structure Graph dumps (the paper's Figure 10).
+//
+// Used by the `deepmc --dump-dsg` CLI mode and by tests; renders each
+// representative node with its flags, type, per-field mod/ref facts, and
+// points-to edges.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/dsa.h"
+
+namespace deepmc::analysis {
+
+/// Render one node as a single line, e.g.
+///   node@caller:%mx  type=%mutex  size=16  [persistent,modified]
+///   mod={0,8} ref={0}  edges={8 -> node@f:%lk+0}
+std::string dsg_node_str(const DSNode* node);
+
+/// Dump every representative node of the analysis (persistent-only when
+/// `persistent_only`), sorted by debug name for stable output.
+void print_dsg(const DSA& dsa, std::ostream& os, bool persistent_only = true);
+
+std::string dsg_to_string(const DSA& dsa, bool persistent_only = true);
+
+}  // namespace deepmc::analysis

@@ -1,0 +1,223 @@
+#include "analysis/trace.h"
+
+namespace deepmc::analysis {
+
+using namespace ir;
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kStore: return "store";
+    case EventKind::kLoad: return "load";
+    case EventKind::kFlush: return "flush";
+    case EventKind::kFence: return "fence";
+    case EventKind::kTxAdd: return "tx.add";
+    case EventKind::kTxBegin: return "tx.begin";
+    case EventKind::kTxEnd: return "tx.end";
+    case EventKind::kPmAlloc: return "pm.alloc";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t const_or(const Value* v, uint64_t fallback) {
+  if (const auto* c = dynamic_cast<const Constant*>(v))
+    return static_cast<uint64_t>(c->value());
+  return fallback;
+}
+
+}  // namespace
+
+struct TraceCollector::Walker {
+  const ir::Module& module;
+  const DSA& dsa;
+  const TraceOptions& opts;
+  std::vector<std::vector<TraceEvent>> out;
+  std::vector<TraceEvent> events;
+  // Per-path block visit counts (loop bound) — indexed by block pointer.
+  std::map<const BasicBlock*, int> visits;
+
+  Walker(const ir::Module& m, const DSA& d, const TraceOptions& o)
+      : module(m), dsa(d), opts(o) {}
+
+  [[nodiscard]] bool budget_left() const { return out.size() < opts.max_paths; }
+
+  void emit_mem(EventKind kind, const Instruction* inst, const Value* ptr,
+                uint64_t size) {
+    TraceEvent e;
+    e.kind = kind;
+    e.inst = inst;
+    e.region = dsa.region_for(ptr, size);
+    e.persistent = e.region.valid() && e.region.node->persistent();
+    events.push_back(e);
+  }
+
+  void emit_marker(EventKind kind, const Instruction* inst, RegionKind rk) {
+    TraceEvent e;
+    e.kind = kind;
+    e.inst = inst;
+    e.region_kind = rk;
+    e.persistent = true;  // region markers always matter to the checker
+    events.push_back(e);
+  }
+
+  /// Execute the instructions of `bb` starting at `idx`; recurse into
+  /// successors / callee variants. `depth` is the call-inlining depth.
+  void exec_block(const BasicBlock* bb, size_t idx, int depth) {
+    if (!budget_left()) return;
+    const auto& insts = bb->instructions();
+    for (size_t i = idx; i < insts.size(); ++i) {
+      const Instruction* inst = insts[i].get();
+      switch (inst->opcode()) {
+        case Opcode::kStore: {
+          const auto* s = static_cast<const StoreInst*>(inst);
+          emit_mem(EventKind::kStore, inst, s->pointer(),
+                   s->value()->type()->size());
+          break;
+        }
+        case Opcode::kLoad: {
+          const auto* l = static_cast<const LoadInst*>(inst);
+          emit_mem(EventKind::kLoad, inst, l->pointer(), l->type()->size());
+          break;
+        }
+        case Opcode::kMemSet: {
+          const auto* m = static_cast<const MemSetInst*>(inst);
+          emit_mem(EventKind::kStore, inst, m->pointer(),
+                   const_or(m->size(), 0));
+          break;
+        }
+        case Opcode::kMemCpy: {
+          const auto* m = static_cast<const MemCpyInst*>(inst);
+          emit_mem(EventKind::kLoad, inst, m->source(),
+                   const_or(m->size(), 0));
+          emit_mem(EventKind::kStore, inst, m->dest(), const_or(m->size(), 0));
+          break;
+        }
+        case Opcode::kFlush:
+        case Opcode::kPersist: {
+          const auto* f = static_cast<const FlushInst*>(inst);
+          emit_mem(EventKind::kFlush, inst, f->pointer(),
+                   const_or(f->size(), 8));
+          if (f->includes_fence()) {
+            TraceEvent e;
+            e.kind = EventKind::kFence;
+            e.inst = inst;
+            e.persistent = true;
+            events.push_back(e);
+          }
+          break;
+        }
+        case Opcode::kFence: {
+          TraceEvent e;
+          e.kind = EventKind::kFence;
+          e.inst = inst;
+          e.persistent = true;
+          events.push_back(e);
+          break;
+        }
+        case Opcode::kTxAdd: {
+          const auto* t = static_cast<const TxAddInst*>(inst);
+          emit_mem(EventKind::kTxAdd, inst, t->pointer(),
+                   const_or(t->size(), 8));
+          break;
+        }
+        case Opcode::kTxBegin:
+          emit_marker(EventKind::kTxBegin, inst,
+                      static_cast<const TxBeginInst*>(inst)->region_kind());
+          break;
+        case Opcode::kTxEnd:
+          emit_marker(EventKind::kTxEnd, inst,
+                      static_cast<const TxEndInst*>(inst)->region_kind());
+          break;
+        case Opcode::kPmAlloc:
+          emit_mem(EventKind::kPmAlloc, inst, inst,
+                   static_cast<const PmAllocInst*>(inst)
+                       ->allocated_type()
+                       ->size());
+          break;
+        case Opcode::kCall: {
+          const auto* c = static_cast<const CallInst*>(inst);
+          const Function* callee = module.find_function(c->callee());
+          if (callee && !callee->is_declaration() &&
+              depth < opts.max_recursion) {
+            // Splice each callee variant, then continue with the rest of
+            // this block after each.
+            Walker sub(module, dsa, opts);
+            sub.walk_function(*callee, depth + 1);
+            size_t variants = 0;
+            const size_t checkpoint = events.size();
+            for (auto& callee_events : sub.out) {
+              if (variants++ >= opts.max_callee_paths) break;
+              events.insert(events.end(), callee_events.begin(),
+                            callee_events.end());
+              exec_block(bb, i + 1, depth);
+              events.resize(checkpoint);
+              if (!budget_left()) return;
+            }
+            if (variants > 0) return;  // continuations handled above
+          }
+          break;
+        }
+        case Opcode::kRet:
+          out.push_back(events);
+          return;
+        case Opcode::kBr: {
+          const auto* br = static_cast<const BrInst*>(inst);
+          if (!br->is_conditional()) {
+            enter_block(br->true_target(), depth);
+          } else {
+            enter_block(br->true_target(), depth);
+            if (budget_left()) enter_block(br->false_target(), depth);
+          }
+          return;
+        }
+        default:
+          break;  // arithmetic, casts, geps, allocas: no events
+      }
+    }
+    // Block without terminator (verifier would flag it): end the path.
+    out.push_back(events);
+  }
+
+  void enter_block(const BasicBlock* bb, int depth) {
+    int& count = visits[bb];
+    if (count >= opts.max_loop_visits) return;  // loop bound: prune
+    ++count;
+    const size_t checkpoint = events.size();
+    exec_block(bb, 0, depth);
+    events.resize(checkpoint);
+    --count;
+  }
+
+  void walk_function(const Function& f, int depth) {
+    if (const BasicBlock* entry = f.entry()) enter_block(entry, depth);
+  }
+};
+
+TraceCollector::TraceCollector(const ir::Module& module, const DSA& dsa,
+                               TraceOptions opts)
+    : module_(module), dsa_(dsa), opts_(opts) {}
+
+std::vector<Trace> TraceCollector::collect(const Function& f) const {
+  Walker w(module_, dsa_, opts_);
+  w.walk_function(f, 0);
+  std::vector<Trace> traces;
+  traces.reserve(w.out.size());
+  for (auto& ev : w.out) {
+    Trace t;
+    t.root = &f;
+    t.events = std::move(ev);
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+std::map<const Function*, std::vector<Trace>> TraceCollector::collect_all()
+    const {
+  std::map<const Function*, std::vector<Trace>> all;
+  for (const auto& f : module_.functions())
+    if (!f->is_declaration()) all[f.get()] = collect(*f);
+  return all;
+}
+
+}  // namespace deepmc::analysis

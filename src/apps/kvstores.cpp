@@ -1,0 +1,323 @@
+#include "apps/kvstores.h"
+
+#include <stdexcept>
+
+namespace deepmc::apps {
+
+namespace {
+uint64_t hash_key(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  return k;
+}
+}  // namespace
+
+// ===========================================================================
+// MemcachedMini
+// ===========================================================================
+
+MemcachedMini::MemcachedMini(pmem::PmPool& pool, uint64_t capacity,
+                             mnemosyne::PerfBugConfig bugs,
+                             rt::RuntimeChecker* rt)
+    : m_(pool, bugs, rt), capacity_(capacity) {
+  table_ = m_.pmalloc(capacity_ * kSlotBytes);
+  // Fresh table: zero state words (one epoch).
+  for (uint64_t i = 0; i < capacity_; ++i)
+    pool.store_val<uint64_t>(slot_off(i), 0);
+  pool.flush(table_, capacity_ * kSlotBytes);
+  pool.fence();
+}
+
+std::optional<uint64_t> MemcachedMini::find_slot(uint64_t key) const {
+  const uint64_t start = hash_key(key) % capacity_;
+  for (uint64_t probe = 0; probe < capacity_; ++probe) {
+    const uint64_t idx = (start + probe) % capacity_;
+    const uint64_t state = m_.read_word(slot_off(idx));
+    if (state == 0) return std::nullopt;  // empty: not present
+    if (state == 1 && m_.read_word(slot_off(idx) + 8) == key) return idx;
+  }
+  return std::nullopt;
+}
+
+void MemcachedMini::set(uint64_t key, uint64_t value) {
+  // Find the target slot: existing key, else first free/tombstone.
+  const uint64_t start = hash_key(key) % capacity_;
+  uint64_t target = capacity_;
+  for (uint64_t probe = 0; probe < capacity_; ++probe) {
+    const uint64_t idx = (start + probe) % capacity_;
+    const uint64_t state = m_.read_word(slot_off(idx));
+    if (state == 1 && m_.read_word(slot_off(idx) + 8) == key) {
+      target = idx;
+      break;
+    }
+    if (state != 1) {
+      if (target == capacity_) target = idx;
+      if (state == 0) break;  // no further probes can hold the key
+    }
+  }
+  if (target == capacity_) throw std::runtime_error("memcached_mini: full");
+
+  mnemosyne::DurableTx tx(m_);
+  tx.write_word(slot_off(target) + 8, key);
+  tx.write_word(slot_off(target) + 16, value);
+  tx.write_word(slot_off(target), 1);
+  tx.commit();
+}
+
+std::optional<uint64_t> MemcachedMini::get(uint64_t key) const {
+  auto idx = find_slot(key);
+  if (!idx) return std::nullopt;
+  return m_.read_word(slot_off(*idx) + 16);
+}
+
+bool MemcachedMini::erase(uint64_t key) {
+  auto idx = find_slot(key);
+  if (!idx) return false;
+  mnemosyne::DurableTx tx(m_);
+  tx.write_word(slot_off(*idx), 2);  // tombstone
+  tx.commit();
+  return true;
+}
+
+uint64_t MemcachedMini::rmw(uint64_t key, uint64_t delta) {
+  const uint64_t old = get(key).value_or(0);
+  set(key, old + delta);
+  return old + delta;
+}
+
+uint64_t MemcachedMini::size() const {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < capacity_; ++i)
+    if (m_.read_word(slot_off(i)) == 1) ++n;
+  return n;
+}
+
+bool MemcachedMini::execute(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kGet:
+      (void)get(op.key);
+      return true;
+    case OpKind::kSet:
+    case OpKind::kInsert:
+      set(op.key % capacity_, op.value);
+      return true;
+    case OpKind::kDelete:
+      erase(op.key);
+      return true;
+    case OpKind::kRmw:
+      rmw(op.key % capacity_, 1);
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ===========================================================================
+// RedisMini
+// ===========================================================================
+
+RedisMini::RedisMini(pmem::PmPool& pool, uint64_t capacity,
+                     pmdk::PerfBugConfig bugs, rt::RuntimeChecker* rt)
+    : obj_(pool, bugs, rt), capacity_(capacity) {
+  dict_ = obj_.alloc(capacity_ * kEntryBytes);
+  obj_.memset_persist(dict_, 0, capacity_ * kEntryBytes);
+  list_ = obj_.alloc(16 + kListCap * 8);
+  obj_.memset_persist(list_, 0, 16 + kListCap * 8);
+}
+
+std::optional<uint64_t> RedisMini::find_entry(uint64_t key) const {
+  const uint64_t start = hash_key(key) % capacity_;
+  for (uint64_t probe = 0; probe < capacity_; ++probe) {
+    const uint64_t idx = (start + probe) % capacity_;
+    const uint64_t used = obj_.read_val<uint64_t>(entry_off(idx));
+    if (used == 0) return std::nullopt;
+    if (obj_.read_val<uint64_t>(entry_off(idx) + 8) == key) return idx;
+  }
+  return std::nullopt;
+}
+
+void RedisMini::set(uint64_t key, uint64_t value) {
+  const uint64_t start = hash_key(key) % capacity_;
+  uint64_t target = capacity_;
+  for (uint64_t probe = 0; probe < capacity_; ++probe) {
+    const uint64_t idx = (start + probe) % capacity_;
+    const uint64_t used = obj_.read_val<uint64_t>(entry_off(idx));
+    if (used == 0) {
+      target = idx;
+      break;
+    }
+    if (obj_.read_val<uint64_t>(entry_off(idx) + 8) == key) {
+      target = idx;
+      break;
+    }
+  }
+  if (target == capacity_) throw std::runtime_error("redis_mini: full");
+
+  pmdk::Tx tx(obj_);
+  tx.add(entry_off(target), kEntryBytes);
+  tx.write_val<uint64_t>(entry_off(target) + 8, key);
+  tx.write_val<uint64_t>(entry_off(target) + 16, value);
+  tx.write_val<uint64_t>(entry_off(target), 1);
+  tx.commit();
+}
+
+std::optional<uint64_t> RedisMini::get(uint64_t key) const {
+  auto idx = find_entry(key);
+  if (!idx) return std::nullopt;
+  return obj_.read_val<uint64_t>(entry_off(*idx) + 16);
+}
+
+uint64_t RedisMini::incr(uint64_t key) {
+  const uint64_t next = get(key).value_or(0) + 1;
+  set(key, next);
+  return next;
+}
+
+void RedisMini::lpush(uint64_t value) {
+  const uint64_t count = obj_.read_val<uint64_t>(list_ + 8);
+  if (count >= kListCap) return;  // drop like a capped list
+  const uint64_t head = obj_.read_val<uint64_t>(list_);
+  const uint64_t slot = (head + count) % kListCap;
+  pmdk::Tx tx(obj_);
+  tx.add(list_, 16);
+  tx.add(list_ + 16 + slot * 8, 8);
+  tx.write_val<uint64_t>(list_ + 16 + slot * 8, value);
+  tx.write_val<uint64_t>(list_ + 8, count + 1);
+  tx.commit();
+}
+
+std::optional<uint64_t> RedisMini::lpop() {
+  const uint64_t count = obj_.read_val<uint64_t>(list_ + 8);
+  if (count == 0) return std::nullopt;
+  const uint64_t head = obj_.read_val<uint64_t>(list_);
+  const uint64_t value = obj_.read_val<uint64_t>(list_ + 16 + head * 8);
+  pmdk::Tx tx(obj_);
+  tx.add(list_, 16);
+  tx.write_val<uint64_t>(list_, (head + 1) % kListCap);
+  tx.write_val<uint64_t>(list_ + 8, count - 1);
+  tx.commit();
+  return value;
+}
+
+uint64_t RedisMini::list_length() const {
+  return obj_.read_val<uint64_t>(list_ + 8);
+}
+
+uint64_t RedisMini::size() const {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < capacity_; ++i)
+    if (obj_.read_val<uint64_t>(entry_off(i)) == 1) ++n;
+  return n;
+}
+
+bool RedisMini::execute(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kGet:
+      (void)get(op.key);
+      return true;
+    case OpKind::kSet:
+    case OpKind::kInsert:
+      set(op.key % capacity_, op.value);
+      return true;
+    case OpKind::kIncr:
+      incr(op.key % capacity_);
+      return true;
+    case OpKind::kPush:
+      lpush(op.value);
+      return true;
+    case OpKind::kPop:
+      (void)lpop();
+      return true;
+    case OpKind::kRmw:
+      incr(op.key % capacity_);
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ===========================================================================
+// NstoreMini
+// ===========================================================================
+
+NstoreMini::NstoreMini(pmem::PmPool& pool, uint64_t capacity,
+                       rt::RuntimeChecker* rt)
+    : pool_(&pool), rt_(rt), capacity_(capacity) {
+  table_ = pool.alloc(capacity_ * kTupleBytes);
+  if (rt_) rt_->on_alloc(table_, capacity_ * kTupleBytes);
+  pool.memset_persist(table_, 0, capacity_ * kTupleBytes);
+}
+
+void NstoreMini::insert(uint64_t key, uint64_t value) {
+  // Direct-mapped slot; strict persistency, field by field (NStore's
+  // low-level persistence idiom).
+  const uint64_t t = tuple_off(key % capacity_);
+  pool_->store_val<uint64_t>(t + 8, key);
+  if (rt_) rt_->on_write(0, t + 8, 8, {});
+  pool_->persist(t + 8, 8);
+  for (int f = 0; f < 4; ++f) {
+    pool_->store_val<uint64_t>(t + 16 + f * 8, value + static_cast<uint64_t>(f));
+    if (rt_) rt_->on_write(0, t + 16 + f * 8, 8, {});
+    pool_->persist(t + 16 + f * 8, 8);
+  }
+  pool_->store_val<uint64_t>(t, 1);
+  if (rt_) rt_->on_write(0, t, 8, {});
+  pool_->persist(t, 8);
+}
+
+void NstoreMini::update(uint64_t key, uint64_t value) {
+  const uint64_t t = tuple_off(key % capacity_);
+  pool_->store_val<uint64_t>(t + 16, value);
+  if (rt_) rt_->on_write(0, t + 16, 8, {});
+  pool_->persist(t + 16, 8);
+}
+
+std::optional<uint64_t> NstoreMini::read(uint64_t key) const {
+  const uint64_t t = tuple_off(key % capacity_);
+  if (rt_) rt_->on_read(0, t, kTupleBytes, {});
+  if (pool_->load_val<uint64_t>(t) != 1) return std::nullopt;
+  return pool_->load_val<uint64_t>(t + 16);
+}
+
+uint64_t NstoreMini::scan(uint64_t key, uint32_t len) const {
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < len; ++i) {
+    auto v = read(key + i);
+    if (v) sum += *v;
+  }
+  return sum;
+}
+
+uint64_t NstoreMini::size() const {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < capacity_; ++i)
+    if (pool_->load_val<uint64_t>(tuple_off(i)) == 1) ++n;
+  return n;
+}
+
+bool NstoreMini::execute(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kGet:
+      (void)read(op.key);
+      return true;
+    case OpKind::kSet:
+      update(op.key, op.value);
+      return true;
+    case OpKind::kInsert:
+      insert(op.key, op.value);
+      return true;
+    case OpKind::kRmw: {
+      const uint64_t old = read(op.key).value_or(0);
+      update(op.key, old + 1);
+      return true;
+    }
+    case OpKind::kScan:
+      (void)scan(op.key, op.scan_len);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace deepmc::apps

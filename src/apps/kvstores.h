@@ -1,0 +1,132 @@
+// The three NVM applications of Table 6, re-implemented on the mini
+// frameworks:
+//
+//   MemcachedMini — persistent hash table on mnemosyne_mini durable
+//                   transactions (the paper's persistent Memcached port
+//                   uses Mnemosyne)
+//   RedisMini     — keyspace + counters + a list on pmdk_mini undo-log
+//                   transactions (the paper's Redis port uses PMDK)
+//   NstoreMini    — tuple store with hand-rolled flush/fence persistence
+//                   ("Low-level implts" in Table 6)
+//
+// All three implement KvApp so the Figure 12 harness can drive them with
+// any workload, with or without an attached RuntimeChecker (DeepMC's
+// dynamic instrumentation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "apps/workloads.h"
+#include "frameworks/mnemosyne_mini.h"
+#include "frameworks/nvmdirect_mini.h"
+#include "frameworks/pmdk_mini.h"
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::apps {
+
+/// Uniform driver interface over the three applications.
+class KvApp {
+ public:
+  virtual ~KvApp() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Execute one workload operation. Returns false for unsupported kinds.
+  virtual bool execute(const Op& op) = 0;
+  [[nodiscard]] virtual uint64_t size() const = 0;
+};
+
+/// Persistent open-addressing hash table, Mnemosyne durable transactions.
+class MemcachedMini final : public KvApp {
+ public:
+  MemcachedMini(pmem::PmPool& pool, uint64_t capacity,
+                mnemosyne::PerfBugConfig bugs = {},
+                rt::RuntimeChecker* rt = nullptr);
+
+  [[nodiscard]] const char* name() const override { return "memcached_mini"; }
+  bool execute(const Op& op) override;
+  [[nodiscard]] uint64_t size() const override;
+
+  void set(uint64_t key, uint64_t value);
+  [[nodiscard]] std::optional<uint64_t> get(uint64_t key) const;
+  bool erase(uint64_t key);
+  /// Atomic read-modify-write (memslap's RMW mode).
+  uint64_t rmw(uint64_t key, uint64_t delta);
+
+ private:
+  // Slot layout: 0 state (0 empty / 1 used / 2 tombstone), 8 key, 16 value.
+  static constexpr uint64_t kSlotBytes = 24;
+  [[nodiscard]] uint64_t slot_off(uint64_t idx) const {
+    return table_ + idx * kSlotBytes;
+  }
+  [[nodiscard]] std::optional<uint64_t> find_slot(uint64_t key) const;
+
+  mnemosyne::Mnemosyne m_;
+  uint64_t capacity_;
+  uint64_t table_;
+};
+
+/// Keyspace + counters + one list, PMDK-style transactions.
+class RedisMini final : public KvApp {
+ public:
+  RedisMini(pmem::PmPool& pool, uint64_t capacity,
+            pmdk::PerfBugConfig bugs = {}, rt::RuntimeChecker* rt = nullptr);
+
+  [[nodiscard]] const char* name() const override { return "redis_mini"; }
+  bool execute(const Op& op) override;
+  [[nodiscard]] uint64_t size() const override;
+
+  void set(uint64_t key, uint64_t value);
+  [[nodiscard]] std::optional<uint64_t> get(uint64_t key) const;
+  uint64_t incr(uint64_t key);
+  void lpush(uint64_t value);
+  std::optional<uint64_t> lpop();
+  [[nodiscard]] uint64_t list_length() const;
+
+ private:
+  // Entry layout: 0 used flag, 8 key, 16 value. List: ring of u64 with
+  // head/count header.
+  static constexpr uint64_t kEntryBytes = 24;
+  static constexpr uint64_t kListCap = 1024;
+  [[nodiscard]] uint64_t entry_off(uint64_t idx) const {
+    return dict_ + idx * kEntryBytes;
+  }
+  [[nodiscard]] std::optional<uint64_t> find_entry(uint64_t key) const;
+
+  pmdk::ObjPool obj_;
+  uint64_t capacity_;
+  uint64_t dict_;
+  uint64_t list_;  ///< header: 0 head, 8 count; then kListCap u64 slots
+};
+
+/// Fixed-slot tuple store with hand-rolled strict persistence.
+class NstoreMini final : public KvApp {
+ public:
+  NstoreMini(pmem::PmPool& pool, uint64_t capacity,
+             rt::RuntimeChecker* rt = nullptr);
+
+  [[nodiscard]] const char* name() const override { return "nstore_mini"; }
+  bool execute(const Op& op) override;
+  [[nodiscard]] uint64_t size() const override;
+
+  void insert(uint64_t key, uint64_t value);
+  void update(uint64_t key, uint64_t value);
+  [[nodiscard]] std::optional<uint64_t> read(uint64_t key) const;
+  /// YCSB E: read up to `len` consecutive keys starting at `key`.
+  uint64_t scan(uint64_t key, uint32_t len) const;
+
+ private:
+  // Tuple layout: 0 valid, 8 key, 16 fields[4].
+  static constexpr uint64_t kTupleBytes = 48;
+  [[nodiscard]] uint64_t tuple_off(uint64_t idx) const {
+    return table_ + idx * kTupleBytes;
+  }
+
+  pmem::PmPool* pool_;
+  rt::RuntimeChecker* rt_;
+  uint64_t capacity_;
+  uint64_t table_;
+};
+
+}  // namespace deepmc::apps

@@ -1,0 +1,35 @@
+// Workload execution harness shared by the Figure 12 / ablation benches,
+// tests, and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/kvstores.h"
+#include "apps/workloads.h"
+#include "support/stats.h"
+
+namespace deepmc::apps {
+
+struct RunResult {
+  std::string app;
+  std::string workload;
+  size_t ops = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;  ///< process CPU time (robust on shared machines)
+  uint64_t sim_ns = 0;     ///< simulated PM device time consumed
+
+  [[nodiscard]] double tps() const {
+    return wall_seconds > 0 ? static_cast<double>(ops) / wall_seconds : 0;
+  }
+  [[nodiscard]] double cpu_tps() const {
+    return cpu_seconds > 0 ? static_cast<double>(ops) / cpu_seconds : 0;
+  }
+};
+
+/// Preload `keys` entries so reads hit, then run `count` generated ops.
+RunResult run_workload(KvApp& app, pmem::PmPool& pool,
+                       const WorkloadSpec& spec, size_t count, uint64_t keys,
+                       uint64_t seed);
+
+}  // namespace deepmc::apps

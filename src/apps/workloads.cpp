@@ -1,0 +1,81 @@
+#include "apps/workloads.h"
+
+#include <stdexcept>
+
+namespace deepmc::apps {
+
+std::vector<WorkloadSpec> memcached_workloads() {
+  // §5.2: "(1) 50% update, 50% read; (2) 5% update, 95% read; (3) 100%
+  // read; (4) 5% insert, 95% read; (5) 50% read-modify-write, 50% read."
+  return {
+      {"memslap-50u-50r", 50, 50, 0, 0, 0, 0, 0, 0},
+      {"memslap-5u-95r", 95, 5, 0, 0, 0, 0, 0, 0},
+      {"memslap-100r", 100, 0, 0, 0, 0, 0, 0, 0},
+      {"memslap-5i-95r", 95, 0, 5, 0, 0, 0, 0, 0},
+      {"memslap-50rmw-50r", 50, 0, 0, 50, 0, 0, 0, 0},
+  };
+}
+
+std::vector<WorkloadSpec> redis_workloads() {
+  // redis-benchmark's default suite exercises SET/GET/INCR/LPUSH/LPOP;
+  // one spec per command family plus the mixed default.
+  return {
+      {"redis-set", 0, 100, 0, 0, 0, 0, 0, 0},
+      {"redis-get", 100, 0, 0, 0, 0, 0, 0, 0},
+      {"redis-incr", 0, 0, 0, 0, 100, 0, 0, 0},
+      {"redis-lpush", 0, 0, 0, 0, 0, 100, 0, 0},
+      {"redis-lpop", 0, 0, 0, 0, 0, 0, 100, 0},
+      {"redis-mixed", 40, 30, 0, 0, 10, 10, 10, 0},
+  };
+}
+
+std::vector<WorkloadSpec> ycsb_workloads() {
+  return {
+      {"ycsb-a", 50, 50, 0, 0, 0, 0, 0, 0},   // update heavy
+      {"ycsb-b", 95, 5, 0, 0, 0, 0, 0, 0},    // read mostly
+      {"ycsb-c", 100, 0, 0, 0, 0, 0, 0, 0},   // read only
+      {"ycsb-d", 95, 0, 5, 0, 0, 0, 0, 0},    // read latest
+      {"ycsb-e", 0, 0, 5, 0, 0, 0, 0, 95},    // short scans
+      {"ycsb-f", 50, 0, 0, 50, 0, 0, 0, 0},   // read-modify-write
+  };
+}
+
+std::vector<Op> generate(const WorkloadSpec& spec, size_t count,
+                         uint64_t keys, uint64_t seed) {
+  if (spec.total() != 100)
+    throw std::invalid_argument("workload mix must sum to 100: " + spec.name);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Rng rng(seed);
+  uint64_t next_insert_key = keys;  // inserts use fresh keys
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t roll = rng.below(100);
+    Op op;
+    op.key = rng.skewed(keys);
+    op.value = rng.next();
+    uint32_t acc = spec.get_pct;
+    if (roll < acc) {
+      op.kind = OpKind::kGet;
+    } else if (roll < (acc += spec.set_pct)) {
+      op.kind = OpKind::kSet;
+    } else if (roll < (acc += spec.insert_pct)) {
+      op.kind = OpKind::kInsert;
+      op.key = next_insert_key++;
+    } else if (roll < (acc += spec.rmw_pct)) {
+      op.kind = OpKind::kRmw;
+    } else if (roll < (acc += spec.incr_pct)) {
+      op.kind = OpKind::kIncr;
+    } else if (roll < (acc += spec.push_pct)) {
+      op.kind = OpKind::kPush;
+    } else if (roll < (acc += spec.pop_pct)) {
+      op.kind = OpKind::kPop;
+    } else {
+      op.kind = OpKind::kScan;
+      op.scan_len = 1 + static_cast<uint32_t>(rng.below(16));
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace deepmc::apps

@@ -1,0 +1,68 @@
+// Workload generators for the paper's Table 6 benchmarks.
+//
+//   Memcached + memslap   — the five §5.2 mixes (update/read/insert/RMW)
+//   Redis + redis-bench   — the default redis-benchmark command mix
+//   NStore + YCSB         — YCSB A–F
+//
+// Operation streams are generated deterministically from a seed so every
+// bench run is reproducible; key popularity uses a hot-set skew like YCSB's
+// zipfian default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace deepmc::apps {
+
+enum class OpKind : uint8_t {
+  kGet,
+  kSet,
+  kInsert,  ///< set of a previously-unused key
+  kDelete,
+  kRmw,     ///< read-modify-write (memslap mode / YCSB F)
+  kIncr,    ///< redis INCR
+  kPush,    ///< redis LPUSH
+  kPop,     ///< redis LPOP
+  kScan,    ///< YCSB E short range scan
+};
+
+struct Op {
+  OpKind kind;
+  uint64_t key;
+  uint64_t value;
+  uint32_t scan_len = 0;
+};
+
+/// A named operation mix; percentages must sum to 100.
+struct WorkloadSpec {
+  std::string name;
+  uint32_t get_pct = 0;
+  uint32_t set_pct = 0;
+  uint32_t insert_pct = 0;
+  uint32_t rmw_pct = 0;
+  uint32_t incr_pct = 0;
+  uint32_t push_pct = 0;
+  uint32_t pop_pct = 0;
+  uint32_t scan_pct = 0;
+
+  [[nodiscard]] uint32_t total() const {
+    return get_pct + set_pct + insert_pct + rmw_pct + incr_pct + push_pct +
+           pop_pct + scan_pct;
+  }
+};
+
+/// The five Memcached mixes of §5.2 / Figure 12.
+std::vector<WorkloadSpec> memcached_workloads();
+/// The redis-benchmark default command mix, condensed to our op kinds.
+std::vector<WorkloadSpec> redis_workloads();
+/// YCSB A–F.
+std::vector<WorkloadSpec> ycsb_workloads();
+
+/// Generate `count` operations over a key space of `keys` keys.
+std::vector<Op> generate(const WorkloadSpec& spec, size_t count,
+                         uint64_t keys, uint64_t seed);
+
+}  // namespace deepmc::apps

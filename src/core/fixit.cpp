@@ -1,0 +1,57 @@
+#include "core/fixit.h"
+
+namespace deepmc::core {
+
+std::string suggest_fix(const Warning& w) {
+  if (w.rule == "strict.unflushed-write" || w.rule == "epoch.unflushed-write") {
+    if (w.model == PersistencyModel::kStrict)
+      return "register the object with tx.add before modifying it (inside a "
+             "transaction), or follow the store with pm.persist of the "
+             "modified range";
+    return "add pm.flush of the modified range before the epoch ends (the "
+           "epoch's closing barrier will order it)";
+  }
+  if (w.rule == "strict.multiple-writes")
+    return "give each persistent write its own flush + barrier (strict "
+           "persistency orders persists individually); if batching is "
+           "intended, switch the declared model to -epoch";
+  if (w.rule == "strict.missing-barrier")
+    return "insert pm.fence after the flush, before the next transaction "
+           "begins or the function returns";
+  if (w.rule == "epoch.missing-barrier")
+    return "insert pm.fence at the end of the first epoch so the epochs are "
+           "ordered";
+  if (w.rule == "epoch.missing-barrier-nested")
+    return "insert pm.fence before the inner transaction ends; inner "
+           "transactions must persist before control returns to the outer "
+           "one";
+  if (w.rule == "model.semantic-mismatch")
+    return "merge the consecutive transactions/epochs that update this "
+           "object into one, so the object's updates become durable "
+           "atomically";
+  if (w.rule == "perf.flush-unmodified")
+    return "flush only the modified fields (or drop the flush if nothing "
+           "was written); flushing clean lines still pays a device round "
+           "trip";
+  if (w.rule == "perf.log-unmodified")
+    return "remove the tx.add — the object is never modified in this "
+           "transaction, so the snapshot and its commit-time flush are pure "
+           "overhead";
+  if (w.rule == "perf.redundant-flush")
+    return "remove this flush: the range was already written back and has "
+           "not been modified since";
+  if (w.rule == "perf.persist-same-object")
+    return "batch the object's updates and persist once at commit instead "
+           "of after every update";
+  if (w.rule == "perf.empty-durable-tx")
+    return "move the persist inside the branch that performs the write, or "
+           "drop the transaction when no update happens on this path";
+  return "review the reported operation against the " +
+         std::string(model_name(w.model)) + " persistency model";
+}
+
+std::string warning_with_fix(const Warning& w) {
+  return w.str() + "\n    fix: " + suggest_fix(w);
+}
+
+}  // namespace deepmc::core

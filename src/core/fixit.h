@@ -1,0 +1,23 @@
+// Fix suggestions — the future work §4.3 names ("Automated bug fixing is
+// out of the scope of this work, but we wish to explore it as future
+// work"). This module does the advisory half: for every warning the
+// checker can state the concrete repair a developer would apply, in terms
+// of the program's own operations.
+//
+// Suggestions are textual and conservative — they describe the canonical
+// repair for the bug pattern, they do not rewrite IR.
+#pragma once
+
+#include <string>
+
+#include "core/report.h"
+
+namespace deepmc::core {
+
+/// The canonical repair for the warning's bug pattern.
+std::string suggest_fix(const Warning& w);
+
+/// Warning text plus the suggestion, for `deepmc --suggest`-style output.
+std::string warning_with_fix(const Warning& w);
+
+}  // namespace deepmc::core

@@ -1,0 +1,67 @@
+#include "core/model.h"
+
+namespace deepmc::core {
+
+const char* model_name(PersistencyModel m) {
+  switch (m) {
+    case PersistencyModel::kStrict: return "strict";
+    case PersistencyModel::kEpoch: return "epoch";
+    case PersistencyModel::kStrand: return "strand";
+  }
+  return "?";
+}
+
+std::optional<PersistencyModel> parse_model_flag(const std::string& flag) {
+  std::string f = flag;
+  while (!f.empty() && f.front() == '-') f.erase(f.begin());
+  if (f == "strict") return PersistencyModel::kStrict;
+  if (f == "epoch") return PersistencyModel::kEpoch;
+  if (f == "strand") return PersistencyModel::kStrand;
+  return std::nullopt;
+}
+
+const char* category_name(BugCategory c) {
+  switch (c) {
+    case BugCategory::kMultipleWritesAtOnce:
+      return "Multiple writes made durable at once";
+    case BugCategory::kUnflushedWrite:
+      return "Unflushed write";
+    case BugCategory::kMissingBarrier:
+      return "Missing persist barriers";
+    case BugCategory::kMissingBarrierNested:
+      return "Missing persist barriers in nested transactions";
+    case BugCategory::kSemanticMismatch:
+      return "Mismatch between program semantics and model";
+    case BugCategory::kStrandDataDependence:
+      return "Data dependencies between strands";
+    case BugCategory::kMultipleFlushes:
+      return "Multiple flushes to a persistent object";
+    case BugCategory::kFlushUnmodified:
+      return "Flush an unmodified object";
+    case BugCategory::kPersistSameObjectInTx:
+      return "Persist the same object multiple times in a transaction";
+    case BugCategory::kEmptyDurableTx:
+      return "Durable transaction without persistent writes";
+  }
+  return "?";
+}
+
+const char* bug_class_name(BugClass c) {
+  return c == BugClass::kModelViolation ? "Model Violation" : "Perf. Overhead";
+}
+
+BugClass category_class(BugCategory c) {
+  switch (c) {
+    case BugCategory::kMultipleWritesAtOnce:
+    case BugCategory::kUnflushedWrite:
+    case BugCategory::kMissingBarrier:
+    case BugCategory::kMissingBarrierNested:
+    case BugCategory::kSemanticMismatch:
+    case BugCategory::kStrandDataDependence:
+      return BugClass::kModelViolation;
+    default:
+      return BugClass::kPerformance;
+  }
+}
+
+}  // namespace deepmc::core

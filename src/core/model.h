@@ -1,0 +1,56 @@
+// Persistency models and the deep-persistency-bug taxonomy.
+//
+// The models are the three of Pelley et al. (ISCA'14) that the paper targets
+// (§2.2): strict, epoch, and strand persistency. Users of DeepMC select the
+// model their program intends to implement — the paper's compile-time
+// -strict / -epoch / -strand flag — and the checker applies the matching
+// rule set from Tables 4 and 5.
+//
+// BugCategory mirrors the row labels of Table 1 (plus the strand
+// data-dependence row of Table 4, which only the dynamic checker reports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace deepmc::core {
+
+enum class PersistencyModel : uint8_t {
+  kStrict,  ///< every persist ordered by program order (PMDK, NVM-Direct)
+  kEpoch,   ///< persists ordered across epoch boundaries (PMFS, Mnemosyne)
+  kStrand,  ///< independent strands persist concurrently
+};
+
+const char* model_name(PersistencyModel m);
+
+/// Parse "-strict" / "-epoch" / "-strand" (leading dash optional).
+std::optional<PersistencyModel> parse_model_flag(const std::string& flag);
+
+/// Table 1 row labels.
+enum class BugCategory : uint8_t {
+  // --- persistency model violations (Table 4) ---
+  kMultipleWritesAtOnce,   ///< multiple writes made durable at once
+  kUnflushedWrite,         ///< unflushed / unlogged write
+  kMissingBarrier,         ///< missing persist barrier
+  kMissingBarrierNested,   ///< missing persist barrier in nested transactions
+  kSemanticMismatch,       ///< mismatch between program semantics and model
+  kStrandDataDependence,   ///< data dependence between concurrent strands
+  // --- performance bugs (Table 5) ---
+  kMultipleFlushes,        ///< redundant write-backs of modified data
+  kFlushUnmodified,        ///< writing back unmodified data
+  kPersistSameObjectInTx,  ///< persist the same object multiple times in a tx
+  kEmptyDurableTx,         ///< durable transaction without persistent writes
+};
+
+const char* category_name(BugCategory c);
+
+enum class BugClass : uint8_t { kModelViolation, kPerformance };
+
+const char* bug_class_name(BugClass c);
+
+/// Which class a category belongs to (the Table 1 "Model Viol." / "Perf."
+/// grouping).
+BugClass category_class(BugCategory c);
+
+}  // namespace deepmc::core

@@ -1,0 +1,87 @@
+#include "core/report.h"
+
+#include <ostream>
+#include <tuple>
+
+namespace deepmc::core {
+
+std::string Warning::str() const {
+  return loc.str() + ": warning [" + rule + "] (" +
+         bug_class_name(bug_class()) + ") " + message + "  [in @" + function +
+         ", model=" + model_name(model) + "]";
+}
+
+void CheckResult::add(Warning w) {
+  for (const Warning& e : warnings_) {
+    if (e.rule == w.rule && e.loc == w.loc) return;  // dedup
+  }
+  warnings_.push_back(std::move(w));
+}
+
+void CheckResult::merge(const CheckResult& other) {
+  for (const Warning& w : other.warnings_) add(w);
+  traces_checked += other.traces_checked;
+  functions_checked += other.functions_checked;
+}
+
+std::vector<const Warning*> CheckResult::by_category(BugCategory c) const {
+  std::vector<const Warning*> out;
+  for (const Warning& w : warnings_)
+    if (w.category == c) out.push_back(&w);
+  return out;
+}
+
+std::vector<const Warning*> CheckResult::by_rule(std::string_view r) const {
+  std::vector<const Warning*> out;
+  for (const Warning& w : warnings_)
+    if (w.rule == r) out.push_back(&w);
+  return out;
+}
+
+std::vector<const Warning*> CheckResult::at(std::string_view file,
+                                            uint32_t line) const {
+  std::vector<const Warning*> out;
+  for (const Warning& w : warnings_)
+    if (w.loc.file == file && w.loc.line == line) out.push_back(&w);
+  return out;
+}
+
+size_t CheckResult::count_class(BugClass c) const {
+  size_t n = 0;
+  for (const Warning& w : warnings_)
+    if (w.bug_class() == c) ++n;
+  return n;
+}
+
+void CheckResult::sort() {
+  std::sort(warnings_.begin(), warnings_.end(),
+            [](const Warning& a, const Warning& b) {
+              return std::tie(a.loc.file, a.loc.line, a.rule) <
+                     std::tie(b.loc.file, b.loc.line, b.rule);
+            });
+}
+
+void CheckResult::fold_empty_tx_shadows() {
+  std::vector<SourceLoc> empty_tx_locs;
+  for (const Warning& w : warnings_)
+    if (w.rule == "perf.empty-durable-tx") empty_tx_locs.push_back(w.loc);
+  if (empty_tx_locs.empty()) return;
+  auto shadowed = [&](const Warning& w) {
+    if (w.rule != "perf.flush-unmodified" && w.rule != "perf.redundant-flush" &&
+        w.rule != "perf.persist-same-object")
+      return false;
+    for (const SourceLoc& loc : empty_tx_locs)
+      if (loc == w.loc) return true;
+    return false;
+  };
+  warnings_.erase(std::remove_if(warnings_.begin(), warnings_.end(), shadowed),
+                  warnings_.end());
+}
+
+void CheckResult::print(std::ostream& os) const {
+  for (const Warning& w : warnings_) os << w.str() << "\n";
+  os << warnings_.size() << " warning(s), " << traces_checked
+     << " trace(s) checked across " << functions_checked << " function(s)\n";
+}
+
+}  // namespace deepmc::core

@@ -1,0 +1,90 @@
+// DeepMC static checker (paper §4.3).
+//
+// Applies the persistency-model checking rules of Table 4 and the
+// performance-bug rules of Table 5 to the traces collected over a module.
+// The intended model is selected exactly the way the paper describes —
+// a single compile-time-style flag (-strict / -epoch / -strand).
+//
+// Rule inventory (rule ids as reported in warnings):
+//
+//  Model violations (Table 4):
+//   strict.unflushed-write        a persistent write never flushed/logged
+//                                 before the next barrier / region end / end
+//   strict.multiple-writes        a barrier preceded by more than one
+//                                 unlogged persistent write
+//   strict.missing-barrier        a flush with no following barrier before
+//                                 the next transaction or the end of trace
+//   epoch.missing-barrier         no barrier between two consecutive
+//                                 epochs/transactions
+//   epoch.missing-barrier-nested  an inner (nested) region ends with
+//                                 unfenced flushes
+//   model.semantic-mismatch       two consecutive regions write to the same
+//                                 persistent object (the program means them
+//                                 to be atomic, the model splits them)
+//
+//  Performance bugs (Table 5, model-independent):
+//   perf.flush-unmodified         flush with no preceding overlapping write,
+//                                 or flushing a whole object when only a
+//                                 strict subset of its fields was written
+//                                 (requires DSA field sensitivity)
+//   perf.log-unmodified           tx.add of an object never modified in the
+//                                 transaction (PMDK "log unmodified fields")
+//   perf.redundant-flush          overlapping flush with no intervening
+//                                 store (redundant write-back)
+//   perf.persist-same-object      the same object persisted repeatedly
+//                                 within one transaction
+//   perf.empty-durable-tx         durable transaction without any
+//                                 persistent write
+#pragma once
+
+#include <memory>
+
+#include "analysis/dsa.h"
+#include "analysis/trace.h"
+#include "core/report.h"
+
+namespace deepmc::core {
+
+class StaticChecker {
+ public:
+  struct Options {
+    analysis::TraceOptions trace;
+    bool field_sensitive = true;  ///< DSA field sensitivity (ablation knob)
+  };
+
+  StaticChecker(const ir::Module& module, PersistencyModel model)
+      : StaticChecker(module, model, Options{}) {}
+  StaticChecker(const ir::Module& module, PersistencyModel model,
+                Options opts);
+  ~StaticChecker();
+
+  /// Check the whole module. Only call-graph roots are used as trace roots
+  /// (callees are checked in their callers' context via trace inlining);
+  /// warnings are deduplicated by (rule, file, line).
+  CheckResult run();
+
+  /// Check a single function as a trace root.
+  CheckResult check_function(const ir::Function& f);
+
+  [[nodiscard]] const analysis::DSA& dsa() const { return *dsa_; }
+  [[nodiscard]] PersistencyModel model() const { return model_; }
+
+ private:
+  struct TraceScanner;
+
+  void ensure_analysis();
+  void check_traces(const ir::Function& f, CheckResult& result);
+
+  const ir::Module& module_;
+  PersistencyModel model_;
+  Options opts_;
+  std::unique_ptr<analysis::DSA> dsa_;
+  std::unique_ptr<analysis::TraceCollector> collector_;
+};
+
+/// One-call convenience used by tests, benches and examples: run the static
+/// checker over `module` under `model`.
+CheckResult check_module(const ir::Module& module, PersistencyModel model,
+                         StaticChecker::Options opts = {});
+
+}  // namespace deepmc::core

@@ -1,0 +1,99 @@
+#include "core/suppressions.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/str.h"
+
+namespace deepmc::core {
+
+std::string Suppression::str() const {
+  std::string out = rule + " " + file + " " +
+                    (line == 0 ? "*" : std::to_string(line));
+  if (!reason.empty()) out += "   # " + reason;
+  return out;
+}
+
+SuppressionDb SuppressionDb::parse(std::string_view text) {
+  SuppressionDb db;
+  size_t lineno = 0;
+  for (std::string_view raw : split(text, '\n', /*keep_empty=*/true)) {
+    ++lineno;
+    std::string_view line = raw;
+    std::string reason;
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      reason = std::string(trim(line.substr(hash + 1)));
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    auto fields = split(line, ' ');
+    // Tabs as separators too.
+    if (fields.size() == 1) fields = split(line, '\t');
+    if (fields.size() != 3)
+      throw std::invalid_argument(
+          strformat("suppressions line %zu: expected 3 fields, got %zu",
+                    lineno, fields.size()));
+    Suppression s;
+    s.rule = std::string(fields[0]);
+    s.file = std::string(fields[1]);
+    if (fields[2] == "*") {
+      s.line = 0;
+    } else {
+      try {
+        s.line = static_cast<uint32_t>(std::stoul(std::string(fields[2])));
+      } catch (...) {
+        throw std::invalid_argument(
+            strformat("suppressions line %zu: bad line number '%.*s'",
+                      lineno, static_cast<int>(fields[2].size()),
+                      fields[2].data()));
+      }
+      if (s.line == 0)
+        throw std::invalid_argument(
+            strformat("suppressions line %zu: line 0 is invalid (use '*')",
+                      lineno));
+    }
+    s.reason = std::move(reason);
+    db.add(std::move(s));
+  }
+  return db;
+}
+
+SuppressionDb::ApplyStats SuppressionDb::apply(CheckResult& result) const {
+  ApplyStats stats;
+  std::vector<bool> fired(entries_.size(), false);
+
+  CheckResult kept;
+  kept.traces_checked = result.traces_checked;
+  kept.functions_checked = result.functions_checked;
+  for (const Warning& w : result.warnings()) {
+    bool suppressed = false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].matches(w)) {
+        suppressed = true;
+        fired[i] = true;
+      }
+    }
+    if (suppressed)
+      ++stats.suppressed;
+    else
+      kept.add(w);
+  }
+  result = std::move(kept);
+
+  for (size_t i = 0; i < entries_.size(); ++i)
+    (fired[i] ? stats.used : stats.stale).push_back(i);
+  return stats;
+}
+
+std::string SuppressionDb::propose(const CheckResult& result) {
+  std::string out;
+  for (const Warning& w : result.warnings()) {
+    out += w.rule + " " + (w.loc.file.empty() ? "*" : w.loc.file) + " " +
+           (w.loc.line ? std::to_string(w.loc.line) : std::string("*")) +
+           "   # TODO(triage): " + w.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace deepmc::core

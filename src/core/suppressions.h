@@ -1,0 +1,73 @@
+// Warning-suppression database — the future work §5.4 sketches:
+// "we could maintain a database of user-specified rules to filter out some
+// warnings. The database can be updated with the learned experiences of
+// previously validated false positives."
+//
+// Format (one entry per line, '#' comments):
+//
+//   <rule-or-*> <file> <line-or-*>   [# reason]
+//
+//   perf.flush-unmodified inode.c 150   # filled by external_fill()
+//   model.semantic-mismatch hash_map.c *
+//   * bbuild.c 210
+//
+// Entries match a warning when every field matches (with '*' wildcards).
+// apply() removes matching warnings and records which entries fired, so
+// stale entries (that no longer match anything) can be reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/report.h"
+
+namespace deepmc::core {
+
+struct Suppression {
+  std::string rule;  ///< rule id or "*"
+  std::string file;  ///< file name or "*"
+  uint32_t line = 0;  ///< 0 = any line
+  std::string reason;
+
+  [[nodiscard]] bool matches(const Warning& w) const {
+    if (rule != "*" && rule != w.rule) return false;
+    if (file != "*" && file != w.loc.file) return false;
+    if (line != 0 && line != w.loc.line) return false;
+    return true;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+class SuppressionDb {
+ public:
+  /// Parse the database text. Throws std::invalid_argument with a line
+  /// number on malformed entries.
+  static SuppressionDb parse(std::string_view text);
+
+  void add(Suppression s) { entries_.push_back(std::move(s)); }
+  [[nodiscard]] const std::vector<Suppression>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  struct ApplyStats {
+    size_t suppressed = 0;           ///< warnings removed
+    std::vector<size_t> used;        ///< indices of entries that fired
+    std::vector<size_t> stale;       ///< indices of entries that never fired
+  };
+
+  /// Remove matching warnings from `result`; returns what happened.
+  ApplyStats apply(CheckResult& result) const;
+
+  /// Render a database entry for every warning in `result` — the "record
+  /// validated false positives" workflow: triage, then paste the lines you
+  /// confirmed into the database file.
+  [[nodiscard]] static std::string propose(const CheckResult& result);
+
+ private:
+  std::vector<Suppression> entries_;
+};
+
+}  // namespace deepmc::core

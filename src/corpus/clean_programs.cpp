@@ -1,0 +1,326 @@
+// Clean NVM programs — the rest of the "16 NVM programs" the paper
+// analyzes. These are correct, idiomatic uses of each framework's
+// persistence discipline: the static checker must report nothing on them
+// (precision guard), they execute to completion under the interpreter,
+// and their data survives worst-case crashes (correctness guard).
+#include "corpus/clean_programs.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace deepmc::corpus {
+
+namespace {
+
+// PMDK-style persistent queue (ring buffer), every update logged.
+constexpr const char* kPmdkQueue = R"(
+module "clean/pmdk_queue"
+struct %queue { i64, i64, [8 x i64] }
+
+define void @queue_push(%queue* %q, i64 %v) {
+entry:
+  %countp = gep %q, 1
+  %count = load %countp
+  %c = lt %count, 8
+  br %c, label %do, label %skip
+do:
+  tx.begin
+  tx.add %q, 80
+  %headp = gep %q, 0
+  %head = load %headp
+  %slot_idx = add %head, %count
+  %arr = gep %q, 2
+  %slot = gep %arr, %slot_idx
+  store %v, %slot
+  %count2 = add %count, 1
+  store %count2, %countp
+  pm.fence
+  tx.end
+  br label %skip
+skip:
+  ret
+}
+
+define i64 @queue_pop(%queue* %q) {
+entry:
+  %countp = gep %q, 1
+  %count = load %countp
+  %c = eq %count, 0
+  br %c, label %empty, label %do
+do:
+  tx.begin
+  tx.add %q, 80
+  %headp = gep %q, 0
+  %head = load %headp
+  %arr = gep %q, 2
+  %slot = gep %arr, %head
+  %v = load %slot
+  %head2 = add %head, 1
+  store %head2, %headp
+  %count2 = sub %count, 1
+  store %count2, %countp
+  pm.fence
+  tx.end
+  ret %v
+empty:
+  ret 0
+}
+
+define i64 @main() {
+entry:
+  %q = pm.alloc %queue
+  tx.begin
+  tx.add %q, 80
+  %h = gep %q, 0
+  store i64 0, %h
+  %n = gep %q, 1
+  store i64 0, %n
+  pm.fence
+  tx.end
+  call @queue_push(%q, i64 10)
+  call @queue_push(%q, i64 20)
+  call @queue_push(%q, i64 30)
+  %a = call @queue_pop(%q)
+  %b = call @queue_pop(%q)
+  %s = add %a, %b
+  ret %s
+}
+)";
+
+// PMDK-style stack with per-push persist discipline (strict model without
+// transactions: one write, one persist).
+constexpr const char* kPmdkStack = R"(
+module "clean/pmdk_stack"
+struct %stack { i64, [8 x i64] }
+
+define void @stack_push(%stack* %s, i64 %v) {
+entry:
+  %topp = gep %s, 0
+  %top = load %topp
+  %c = lt %top, 8
+  br %c, label %do, label %skip
+do:
+  %arr = gep %s, 1
+  %slot = gep %arr, %top
+  store %v, %slot
+  pm.persist %slot, 8
+  %top2 = add %top, 1
+  store %top2, %topp
+  pm.persist %topp, 8
+  br label %skip
+skip:
+  ret
+}
+
+define i64 @main() {
+entry:
+  %s = pm.alloc %stack
+  %topp = gep %s, 0
+  store i64 0, %topp
+  pm.persist %topp, 8
+  call @stack_push(%s, i64 5)
+  call @stack_push(%s, i64 7)
+  %top = load %topp
+  ret %top
+}
+)";
+
+// Mnemosyne-style append-only log: epoch per append, flush then barrier.
+constexpr const char* kMnemosyneLog = R"(
+module "clean/mnemosyne_log"
+struct %wal { i64, [16 x i64] }
+
+define void @wal_append(%wal* %w, i64 %v) {
+entry:
+  epoch.begin
+  %lenp = gep %w, 0
+  %len = load %lenp
+  %c = lt %len, 16
+  br %c, label %do, label %skip
+do:
+  %arr = gep %w, 1
+  %slot = gep %arr, %len
+  store %v, %slot
+  pm.flush %slot, 8
+  %len2 = add %len, 1
+  store %len2, %lenp
+  pm.flush %lenp, 8
+  pm.fence
+  br label %skip
+skip:
+  epoch.end
+  ret
+}
+
+define i64 @main() {
+entry:
+  %w = pm.alloc %wal
+  epoch.begin
+  %lenp = gep %w, 0
+  store i64 0, %lenp
+  pm.flush %lenp, 8
+  pm.fence
+  epoch.end
+  call @wal_append(%w, i64 11)
+  call @wal_append(%w, i64 22)
+  call @wal_append(%w, i64 33)
+  %len = load %lenp
+  ret %len
+}
+)";
+
+// PMFS-style block writer: data epoch, then metadata epoch, barrier each.
+constexpr const char* kPmfsWriter = R"(
+module "clean/pmfs_writer"
+struct %fblock { [8 x i64] }
+struct %finode { i64, i64 }
+
+define void @file_write(%finode* %ino, %fblock* %blk, i64 %v, i64 %size) {
+entry:
+  epoch.begin
+  %arr = gep %blk, 0
+  %b0 = gep %arr, 0
+  store %v, %b0
+  pm.flush %blk, 64
+  pm.fence
+  epoch.end
+  epoch.begin
+  %sizep = gep %ino, 0
+  store %size, %sizep
+  pm.flush %sizep, 8
+  pm.fence
+  epoch.end
+  ret
+}
+
+define i64 @main() {
+entry:
+  %ino = pm.alloc %finode
+  %blk = pm.alloc %fblock
+  epoch.begin
+  %sizep = gep %ino, 0
+  store i64 0, %sizep
+  pm.flush %sizep, 8
+  pm.fence
+  epoch.end
+  call @file_write(%ino, %blk, i64 99, i64 8)
+  %size = load %sizep
+  ret %size
+}
+)";
+
+// NVM-Direct-style counter: strict persist-per-update, distinct objects
+// across transactions.
+constexpr const char* kNvmCounter = R"(
+module "clean/nvm_counter"
+struct %counter { i64, i64 }
+
+define void @bump(%counter* %c) {
+entry:
+  %vp = gep %c, 0
+  %v = load %vp
+  %v2 = add %v, 1
+  store %v2, %vp
+  pm.persist %vp, 8
+  %gp = gep %c, 1
+  %g = load %gp
+  %g2 = add %g, 2
+  store %g2, %gp
+  pm.persist %gp, 8
+  ret
+}
+
+define i64 @main() {
+entry:
+  %c = pm.alloc %counter
+  %vp = gep %c, 0
+  store i64 0, %vp
+  pm.persist %vp, 8
+  %gp = gep %c, 1
+  store i64 0, %gp
+  pm.persist %gp, 8
+  call @bump(%c)
+  call @bump(%c)
+  call @bump(%c)
+  %v = load %vp
+  ret %v
+}
+)";
+
+// Strand-model batch: disjoint slots updated in concurrent strands, sealed
+// with one barrier — correct strand persistency.
+constexpr const char* kStrandBatch = R"(
+module "clean/strand_batch"
+struct %shards { i64, i64, i64, i64 }
+
+define i64 @main() {
+entry:
+  %s = pm.alloc %shards
+  strand.begin
+  %a = gep %s, 0
+  store i64 1, %a
+  pm.flush %a, 8
+  strand.end
+  strand.begin
+  %b = gep %s, 1
+  store i64 2, %b
+  pm.flush %b, 8
+  strand.end
+  strand.begin
+  %c = gep %s, 2
+  store i64 3, %c
+  pm.flush %c, 8
+  strand.end
+  pm.fence
+  %v = load %a
+  ret %v
+}
+)";
+
+const std::map<std::string, const char*>& clean_specs() {
+  static const std::map<std::string, const char*> s = {
+      {"clean/pmdk_queue", kPmdkQueue},
+      {"clean/pmdk_stack", kPmdkStack},
+      {"clean/mnemosyne_log", kMnemosyneLog},
+      {"clean/pmfs_writer", kPmfsWriter},
+      {"clean/nvm_counter", kNvmCounter},
+      {"clean/strand_batch", kStrandBatch},
+  };
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> clean_program_names() {
+  std::vector<std::string> out;
+  for (const auto& [name, text] : clean_specs()) out.push_back(name);
+  return out;
+}
+
+CleanProgram build_clean_program(const std::string& name) {
+  auto it = clean_specs().find(name);
+  if (it == clean_specs().end())
+    throw std::invalid_argument("unknown clean program: " + name);
+  CleanProgram p;
+  p.name = name;
+  p.model = name == "clean/pmdk_queue" || name == "clean/pmdk_stack" ||
+                    name == "clean/nvm_counter"
+                ? core::PersistencyModel::kStrict
+            : name == "clean/strand_batch" ? core::PersistencyModel::kStrand
+                                           : core::PersistencyModel::kEpoch;
+  p.module = ir::parse_module(it->second);
+  ir::verify_or_throw(*p.module);
+  return p;
+}
+
+std::vector<CleanProgram> build_clean_programs() {
+  std::vector<CleanProgram> out;
+  for (const std::string& name : clean_program_names())
+    out.push_back(build_clean_program(name));
+  return out;
+}
+
+}  // namespace deepmc::corpus

@@ -1,0 +1,25 @@
+// Clean (bug-free) NVM programs rounding out the "16 NVM programs" the
+// paper analyzes. Precision guard for the checker (no findings allowed)
+// and correctness guard for the substrate (executable, crash-consistent).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "ir/module.h"
+
+namespace deepmc::corpus {
+
+struct CleanProgram {
+  std::string name;  ///< e.g. "clean/pmdk_queue"
+  core::PersistencyModel model;
+  std::unique_ptr<ir::Module> module;  ///< has @main; executable
+};
+
+std::vector<std::string> clean_program_names();
+CleanProgram build_clean_program(const std::string& name);
+std::vector<CleanProgram> build_clean_programs();
+
+}  // namespace deepmc::corpus

@@ -1,0 +1,46 @@
+// Corpus construction: one MIR module per paper source file, carrying the
+// seeded bugs of registry.h at the paper-cited locations.
+//
+// Modules mirror the structure of the original code: a "library" or
+// "example program" layer (the functions named after the paper's
+// functions) plus driver roots standing in for the 16 NVM programs the
+// paper analyzes. Two PMDK modules (hashmap_atomic, obj_pmemlog_simple)
+// are *executable* — they carry @main and their bugs are only observable
+// dynamically (runtime-resolved addresses), reproducing the paper's 6
+// dynamically-discovered bugs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/registry.h"
+#include "ir/module.h"
+
+namespace deepmc::corpus {
+
+struct CorpusModule {
+  std::string name;  ///< e.g. "pmdk/btree_map"
+  Framework framework;
+  std::unique_ptr<ir::Module> module;
+  bool executable = false;  ///< has @main; run under the dynamic checker
+};
+
+/// Build every corpus module (parsed and verified).
+std::vector<CorpusModule> build_corpus();
+
+/// Build one module by name; throws std::invalid_argument for unknown names.
+CorpusModule build_module(const std::string& name);
+
+/// All module names, in registry order.
+std::vector<std::string> module_names();
+
+/// A bug-free ("fixed") variant of the named module, used to validate that
+/// the checker reports nothing once the seeded bugs are repaired. Provided
+/// for every non-executable module.
+std::unique_ptr<ir::Module> build_fixed_module(const std::string& name);
+
+/// Names of modules that have fixed variants.
+std::vector<std::string> fixed_module_names();
+
+}  // namespace deepmc::corpus

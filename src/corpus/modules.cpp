@@ -1,0 +1,1463 @@
+// The corpus programs. Each MIR text mirrors the paper-cited source file;
+// !loc metadata pins every seeded bug to the paper's file:line so checker
+// reports can be matched against Tables 3 and 8 row by row.
+#include "corpus/corpus.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace deepmc::corpus {
+
+namespace {
+
+struct ModuleSpec {
+  Framework framework;
+  bool executable;
+  const char* text;
+  const char* fixed_text;  ///< bug-free variant (null for executable mods)
+};
+
+// ===========================================================================
+// PMDK (strict persistency)
+// ===========================================================================
+
+// btree_map.c — Figure 2's unlogged write (201), a repeated persist (365),
+// a redundant flush (465), and the unflushed-write false positive (290)
+// where the flush happens inside an external helper.
+constexpr const char* kBtreeMap = R"(
+module "pmdk/btree_map"
+struct %tree_node { i64, i64, [4 x i64] }
+declare void @pmem_flush_helper(%tree_node*)
+
+define void @btree_map_create_split_node(%tree_node* %node) {
+entry:
+  %items = gep %node, 2
+  %slot = gep %items, 3
+  store i64 0, %slot !loc("btree_map.c", 201)
+  ret
+}
+
+define void @btree_map_insert_demo() {
+entry:
+  %parent = pm.alloc %tree_node
+  %child = pm.alloc %tree_node
+  tx.begin !loc("btree_map.c", 180)
+  tx.add %parent, 48
+  %n = gep %parent, 0
+  store i64 5, %n !loc("btree_map.c", 190)
+  call @btree_map_create_split_node(%child)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @btree_map_insert_item_demo() {
+entry:
+  %node = pm.alloc %tree_node
+  tx.begin !loc("btree_map.c", 355)
+  tx.add %node, 48
+  %n = gep %node, 0
+  store i64 1, %n !loc("btree_map.c", 358)
+  pm.persist %n, 8 !loc("btree_map.c", 360)
+  store i64 2, %n !loc("btree_map.c", 363)
+  pm.persist %n, 8 !loc("btree_map.c", 365)
+  tx.end
+  ret
+}
+
+define void @btree_map_remove_demo() {
+entry:
+  %node = pm.alloc %tree_node
+  tx.begin !loc("btree_map.c", 455)
+  tx.add %node, 48
+  %n = gep %node, 0
+  store i64 0, %n !loc("btree_map.c", 460)
+  pm.flush %n, 8 !loc("btree_map.c", 462)
+  pm.flush %n, 8 !loc("btree_map.c", 465)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @btree_map_clear_demo() {
+entry:
+  %node = pm.alloc %tree_node
+  %n = gep %node, 0
+  store i64 0, %n !loc("btree_map.c", 290)
+  call @pmem_flush_helper(%node)
+  ret
+}
+)";
+
+constexpr const char* kBtreeMapFixed = R"(
+module "pmdk/btree_map.fixed"
+struct %tree_node { i64, i64, [4 x i64] }
+
+define void @btree_map_create_split_node(%tree_node* %node) {
+entry:
+  tx.add %node, 48
+  %items = gep %node, 2
+  %slot = gep %items, 3
+  store i64 0, %slot
+  ret
+}
+
+define void @btree_map_insert_demo() {
+entry:
+  %parent = pm.alloc %tree_node
+  %child = pm.alloc %tree_node
+  tx.begin
+  tx.add %parent, 48
+  %n = gep %parent, 0
+  store i64 5, %n
+  call @btree_map_create_split_node(%child)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @btree_map_insert_item_demo() {
+entry:
+  %node = pm.alloc %tree_node
+  tx.begin
+  tx.add %node, 48
+  %n = gep %node, 0
+  store i64 1, %n
+  store i64 2, %n
+  pm.persist %n, 8
+  tx.end
+  ret
+}
+
+define void @btree_map_remove_demo() {
+entry:
+  %node = pm.alloc %tree_node
+  tx.begin
+  tx.add %node, 48
+  %n = gep %node, 0
+  store i64 0, %n
+  pm.flush %n, 8
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @btree_map_clear_demo() {
+entry:
+  %node = pm.alloc %tree_node
+  %n = gep %node, 0
+  store i64 0, %n
+  pm.persist %n, 8
+  ret
+}
+)";
+
+// rbtree_map.c — logging unmodified nodes (197, 231), an object flushed but
+// never fenced (379), and a repeated persist in a transaction (259).
+constexpr const char* kRbtreeMap = R"(
+module "pmdk/rbtree_map"
+struct %rbnode { i64, i64 }
+
+define void @rbtree_map_rotate_demo() {
+entry:
+  %a = pm.alloc %rbnode
+  %b = pm.alloc %rbnode
+  tx.begin !loc("rbtree_map.c", 190)
+  tx.add %a, 16 !loc("rbtree_map.c", 197)
+  tx.add %b, 16 !loc("rbtree_map.c", 199)
+  %bf = gep %b, 0
+  store i64 1, %bf !loc("rbtree_map.c", 203)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @rbtree_map_recolor_demo() {
+entry:
+  %c = pm.alloc %rbnode
+  %d = pm.alloc %rbnode
+  tx.begin !loc("rbtree_map.c", 225)
+  tx.add %c, 16 !loc("rbtree_map.c", 231)
+  tx.add %d, 16 !loc("rbtree_map.c", 233)
+  %df = gep %d, 0
+  store i64 1, %df !loc("rbtree_map.c", 236)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @rbtree_map_insert_demo() {
+entry:
+  %n = pm.alloc %rbnode
+  tx.begin !loc("rbtree_map.c", 250)
+  tx.add %n, 16
+  %f = gep %n, 0
+  store i64 1, %f !loc("rbtree_map.c", 255)
+  pm.persist %f, 8 !loc("rbtree_map.c", 257)
+  store i64 2, %f !loc("rbtree_map.c", 258)
+  pm.persist %f, 8 !loc("rbtree_map.c", 259)
+  tx.end
+  ret
+}
+
+define void @rbtree_map_remove_fix_demo() {
+entry:
+  %n = pm.alloc %rbnode
+  %f = gep %n, 0
+  store i64 9, %f !loc("rbtree_map.c", 379)
+  pm.flush %f, 8 !loc("rbtree_map.c", 381)
+  ret
+}
+)";
+
+constexpr const char* kRbtreeMapFixed = R"(
+module "pmdk/rbtree_map.fixed"
+struct %rbnode { i64, i64 }
+
+define void @rbtree_map_rotate_demo() {
+entry:
+  %a = pm.alloc %rbnode
+  %b = pm.alloc %rbnode
+  tx.begin
+  tx.add %b, 16
+  %bf = gep %b, 0
+  store i64 1, %bf
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @rbtree_map_recolor_demo() {
+entry:
+  %c = pm.alloc %rbnode
+  %d = pm.alloc %rbnode
+  tx.begin
+  tx.add %d, 16
+  %df = gep %d, 0
+  store i64 1, %df
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @rbtree_map_insert_demo() {
+entry:
+  %n = pm.alloc %rbnode
+  tx.begin
+  tx.add %n, 16
+  %f = gep %n, 0
+  store i64 1, %f
+  store i64 2, %f
+  pm.persist %f, 8
+  tx.end
+  ret
+}
+
+define void @rbtree_map_remove_fix_demo() {
+entry:
+  %n = pm.alloc %rbnode
+  %f = gep %n, 0
+  store i64 9, %f
+  pm.flush %f, 8
+  pm.fence
+  ret
+}
+)";
+
+// pminvaders.c — Figure 7's durable transactions without persistent writes
+// (256, 301, 249, 266, 351), flushing unmodified fields (246), and
+// persisting the timer object repeatedly (143).
+constexpr const char* kPminvaders = R"(
+module "pmdk/pminvaders"
+struct %alien { i64, i64 }
+
+define void @timer_update_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin !loc("pminvaders.c", 136)
+  tx.add %a, 16
+  %t = gep %a, 0
+  store i64 100, %t !loc("pminvaders.c", 140)
+  pm.persist %t, 8 !loc("pminvaders.c", 141)
+  store i64 99, %t !loc("pminvaders.c", 142)
+  pm.persist %t, 8 !loc("pminvaders.c", 143)
+  tx.end
+  ret
+}
+
+define void @draw_alien_demo() {
+entry:
+  %a = pm.alloc %alien
+  %t = gep %a, 0
+  store i64 1, %t !loc("pminvaders.c", 243)
+  pm.persist %a, 16 !loc("pminvaders.c", 246)
+  ret
+}
+
+define void @process_aliens_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin !loc("pminvaders.c", 252)
+  %c = eq 1, 0
+  br %c, label %update, label %skip
+update:
+  %t = gep %a, 0
+  store i64 100, %t !loc("pminvaders.c", 254)
+  br label %skip
+skip:
+  pm.persist %a, 16 !loc("pminvaders.c", 256)
+  tx.end
+  ret
+}
+
+define void @process_bullets_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin !loc("pminvaders.c", 297)
+  %c = eq 1, 0
+  br %c, label %update, label %skip
+update:
+  %t = gep %a, 0
+  store i64 7, %t !loc("pminvaders.c", 299)
+  br label %skip
+skip:
+  pm.persist %a, 16 !loc("pminvaders.c", 301)
+  tx.end
+  ret
+}
+
+define void @process_player_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin !loc("pminvaders.c", 245)
+  %c = eq 1, 0
+  br %c, label %update, label %skip
+update:
+  %t = gep %a, 1
+  store i64 3, %t !loc("pminvaders.c", 247)
+  br label %skip
+skip:
+  pm.persist %a, 16 !loc("pminvaders.c", 249)
+  tx.end
+  ret
+}
+
+define void @update_score_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin !loc("pminvaders.c", 262)
+  %c = eq 1, 0
+  br %c, label %update, label %skip
+update:
+  %t = gep %a, 0
+  store i64 5, %t !loc("pminvaders.c", 264)
+  br label %skip
+skip:
+  pm.persist %a, 16 !loc("pminvaders.c", 266)
+  tx.end
+  ret
+}
+
+define void @new_game_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin !loc("pminvaders.c", 347)
+  %c = eq 1, 0
+  br %c, label %update, label %skip
+update:
+  %t = gep %a, 1
+  store i64 1, %t !loc("pminvaders.c", 349)
+  br label %skip
+skip:
+  pm.persist %a, 16 !loc("pminvaders.c", 351)
+  tx.end
+  ret
+}
+)";
+
+constexpr const char* kPminvadersFixed = R"(
+module "pmdk/pminvaders.fixed"
+struct %alien { i64, i64 }
+
+define void @timer_update_demo() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin
+  tx.add %a, 16
+  %t = gep %a, 0
+  store i64 100, %t
+  store i64 99, %t
+  pm.persist %t, 8
+  tx.end
+  ret
+}
+
+define void @draw_alien_demo() {
+entry:
+  %a = pm.alloc %alien
+  %t = gep %a, 0
+  store i64 1, %t
+  pm.persist %t, 8
+  ret
+}
+
+define void @process_aliens_demo() {
+entry:
+  %a = pm.alloc %alien
+  %c = eq 1, 0
+  br %c, label %update, label %skip
+update:
+  tx.begin
+  tx.add %a, 16
+  %t = gep %a, 0
+  store i64 100, %t
+  pm.persist %t, 8
+  tx.end
+  br label %skip
+skip:
+  ret
+}
+)";
+
+// obj_pmemlog.c — the log header updated across two transactions (91) and
+// the dynamically-indexed chunk flush false positive (130).
+constexpr const char* kObjPmemlog = R"(
+module "pmdk/obj_pmemlog"
+struct %loghdr { i64, i64 }
+struct %chunks { [8 x i64], i64 }
+
+define void @pmemlog_append_demo() {
+entry:
+  %hdr = pm.alloc %loghdr
+  tx.begin !loc("obj_pmemlog.c", 80)
+  tx.add %hdr, 16
+  %off = gep %hdr, 0
+  store i64 64, %off !loc("obj_pmemlog.c", 84)
+  pm.fence
+  tx.end
+  tx.begin !loc("obj_pmemlog.c", 88)
+  tx.add %hdr, 16
+  %len = gep %hdr, 1
+  store i64 8, %len !loc("obj_pmemlog.c", 91)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @pmemlog_append_chunks_demo() {
+entry:
+  %c = pm.alloc %chunks
+  %nfield = gep %c, 1
+  %arr = gep %c, 0
+  %i = load %nfield
+  %e1 = gep %arr, %i
+  store i64 1, %e1 !loc("obj_pmemlog.c", 124)
+  pm.flush %e1, 8 !loc("obj_pmemlog.c", 126)
+  %j = load %nfield
+  %e2 = gep %arr, %j
+  pm.flush %e2, 8 !loc("obj_pmemlog.c", 130)
+  pm.fence
+  ret
+}
+)";
+
+constexpr const char* kObjPmemlogFixed = R"(
+module "pmdk/obj_pmemlog.fixed"
+struct %loghdr { i64, i64 }
+struct %chunks { [8 x i64], i64 }
+
+define void @pmemlog_append_demo() {
+entry:
+  %hdr = pm.alloc %loghdr
+  tx.begin
+  tx.add %hdr, 16
+  %off = gep %hdr, 0
+  store i64 64, %off
+  %len = gep %hdr, 1
+  store i64 8, %len
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @pmemlog_append_chunks_demo() {
+entry:
+  %c = pm.alloc %chunks
+  %nfield = gep %c, 1
+  %arr = gep %c, 0
+  %i = load %nfield
+  %e1 = gep %arr, %i
+  store i64 1, %e1
+  pm.flush %e1, 8
+  pm.fence
+  ret
+}
+)";
+
+// hash_map.c — Figure 1's split initialization (120, 264) plus the
+// context-insensitivity false positive (310): @hm_set is summarized once
+// for two distinct buckets.
+constexpr const char* kHashMap = R"(
+module "pmdk/hash_map"
+struct %hmap { i64, i64, i64 }
+struct %bucket { i64, i64 }
+
+define void @create_hashmap_demo() {
+entry:
+  %h = pm.alloc %hmap
+  tx.begin !loc("hash_map.c", 110)
+  tx.add %h, 24
+  %nbuckets = gep %h, 0
+  store i64 16, %nbuckets !loc("hash_map.c", 114)
+  pm.fence
+  tx.end
+  tx.begin !loc("hash_map.c", 118)
+  tx.add %h, 24
+  %buckets = gep %h, 1
+  store i64 1, %buckets !loc("hash_map.c", 120)
+  pm.fence
+  tx.end
+  tx.begin !loc("hash_map.c", 260)
+  tx.add %h, 24
+  %seed = gep %h, 2
+  store i64 7, %seed !loc("hash_map.c", 264)
+  pm.fence
+  tx.end
+  ret
+}
+
+define i64 @hm_checksum(%bucket* %b) {
+entry:
+  %f = gep %b, 0
+  %v = load %f
+  ret %v
+}
+
+define void @hm_set_key(%bucket* %b) {
+entry:
+  %f = gep %b, 0
+  store i64 1, %f !loc("hash_map.c", 305)
+  pm.persist %f, 8 !loc("hash_map.c", 306)
+  ret
+}
+
+define void @hm_set_val(%bucket* %b) {
+entry:
+  %f = gep %b, 1
+  store i64 2, %f !loc("hash_map.c", 310)
+  pm.persist %f, 8 !loc("hash_map.c", 312)
+  ret
+}
+
+define void @rebuild_buckets_demo() {
+entry:
+  %a = pm.alloc %bucket
+  %b = pm.alloc %bucket
+  tx.begin !loc("hash_map.c", 330)
+  tx.add %a, 16
+  call @hm_set_key(%a)
+  pm.fence
+  tx.end
+  tx.begin !loc("hash_map.c", 336)
+  tx.add %b, 16
+  call @hm_set_val(%b)
+  pm.fence
+  tx.end
+  %c1 = call @hm_checksum(%a)
+  %c2 = call @hm_checksum(%b)
+  ret
+}
+)";
+
+constexpr const char* kHashMapFixed = R"(
+module "pmdk/hash_map.fixed"
+struct %hmap { i64, i64, i64 }
+struct %bucket { i64, i64 }
+
+define void @create_hashmap_demo() {
+entry:
+  %h = pm.alloc %hmap
+  tx.begin
+  tx.add %h, 24
+  %nbuckets = gep %h, 0
+  store i64 16, %nbuckets
+  %buckets = gep %h, 1
+  store i64 1, %buckets
+  %seed = gep %h, 2
+  store i64 7, %seed
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @rebuild_buckets_demo() {
+entry:
+  %a = pm.alloc %bucket
+  %b = pm.alloc %bucket
+  tx.begin
+  tx.add %a, 16
+  %af = gep %a, 0
+  store i64 1, %af
+  pm.persist %af, 8
+  pm.fence
+  tx.end
+  ret
+}
+)";
+
+// hashmap_atomic.c — EXECUTABLE. The bucket directory stores a packed
+// (integer-laundered) pointer, so static analysis cannot resolve which
+// object the atomic update steps touch; the dynamic checker observes at
+// runtime that consecutive steps update the same object (120, 264), that a
+// bucket flush writes back no new data (285), and that an update step
+// begins while flushes are unfenced (496).
+constexpr const char* kHashmapAtomic = R"(
+module "pmdk/hashmap_atomic"
+struct %hmap { i64, i64, i64 }
+struct %dir { i64 }
+
+define i64 @hm_atomic_lookup(%dir* %d) {
+entry:
+  %slot = gep %d, 0
+  %v = load %slot
+  ret %v
+}
+
+define void @main() {
+entry:
+  %h = pm.alloc %hmap
+  %d = pm.alloc %dir
+  %slot = gep %d, 0
+  %packed = add 0, %h
+  store %packed, %slot !loc("hashmap_atomic.c", 95)
+  pm.persist %slot, 8 !loc("hashmap_atomic.c", 96)
+  epoch.begin !loc("hashmap_atomic.c", 115)
+  %b1i = call @hm_atomic_lookup(%d)
+  %b1 = cast %b1i to %hmap*
+  %f0 = gep %b1, 0
+  store i64 16, %f0 !loc("hashmap_atomic.c", 120)
+  pm.persist %f0, 8 !loc("hashmap_atomic.c", 122)
+  epoch.end
+  epoch.begin !loc("hashmap_atomic.c", 260)
+  %b2i = call @hm_atomic_lookup(%d)
+  %b2 = cast %b2i to %hmap*
+  %f1 = gep %b2, 1
+  store i64 1, %f1 !loc("hashmap_atomic.c", 264)
+  pm.persist %f1, 8 !loc("hashmap_atomic.c", 266)
+  epoch.end
+  epoch.begin !loc("hashmap_atomic.c", 280)
+  %b3i = call @hm_atomic_lookup(%d)
+  %b3 = cast %b3i to %hmap*
+  %f0b = gep %b3, 0
+  pm.flush %f0b, 8 !loc("hashmap_atomic.c", 285)
+  pm.fence
+  epoch.end
+  %b4i = call @hm_atomic_lookup(%d)
+  %b4 = cast %b4i to %hmap*
+  %f2 = gep %b4, 2
+  store i64 7, %f2 !loc("hashmap_atomic.c", 490)
+  pm.flush %f2, 8 !loc("hashmap_atomic.c", 492)
+  epoch.begin !loc("hashmap_atomic.c", 496)
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+// obj_pmemlog_simple.c — EXECUTABLE. Same laundering pattern: the log
+// header address is recomputed at runtime; two update steps write it (207)
+// and a later step re-flushes clean header data (252).
+constexpr const char* kObjPmemlogSimple = R"(
+module "pmdk/obj_pmemlog_simple"
+struct %loghdr { i64, i64 }
+struct %dir { i64 }
+
+define i64 @log_hdr_lookup(%dir* %d) {
+entry:
+  %slot = gep %d, 0
+  %v = load %slot
+  ret %v
+}
+
+define void @main() {
+entry:
+  %hdr = pm.alloc %loghdr
+  %d = pm.alloc %dir
+  %slot = gep %d, 0
+  %packed = add 0, %hdr
+  store %packed, %slot !loc("obj_pmemlog_simple.c", 60)
+  pm.persist %slot, 8 !loc("obj_pmemlog_simple.c", 61)
+  epoch.begin !loc("obj_pmemlog_simple.c", 200)
+  %h1i = call @log_hdr_lookup(%d)
+  %h1 = cast %h1i to %loghdr*
+  %off = gep %h1, 0
+  store i64 64, %off !loc("obj_pmemlog_simple.c", 205)
+  pm.persist %off, 8 !loc("obj_pmemlog_simple.c", 206)
+  epoch.end
+  epoch.begin !loc("obj_pmemlog_simple.c", 203)
+  %h2i = call @log_hdr_lookup(%d)
+  %h2 = cast %h2i to %loghdr*
+  %len = gep %h2, 1
+  store i64 8, %len !loc("obj_pmemlog_simple.c", 207)
+  pm.persist %len, 8 !loc("obj_pmemlog_simple.c", 209)
+  epoch.end
+  epoch.begin !loc("obj_pmemlog_simple.c", 248)
+  %h3i = call @log_hdr_lookup(%d)
+  %h3 = cast %h3i to %loghdr*
+  %off2 = gep %h3, 0
+  pm.flush %off2, 8 !loc("obj_pmemlog_simple.c", 252)
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+// ===========================================================================
+// PMFS (epoch persistency)
+// ===========================================================================
+
+constexpr const char* kJournal = R"(
+module "pmfs/journal"
+struct %jentry { i64, i64 }
+
+define void @pmfs_commit_transaction_demo() {
+entry:
+  %je = pm.alloc %jentry
+  epoch.begin !loc("journal.c", 620)
+  %f = gep %je, 0
+  store i64 1, %f !loc("journal.c", 625)
+  pm.flush %f, 8 !loc("journal.c", 628)
+  pm.flush %f, 8 !loc("journal.c", 632)
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kJournalFixed = R"(
+module "pmfs/journal.fixed"
+struct %jentry { i64, i64 }
+
+define void @pmfs_commit_transaction_demo() {
+entry:
+  %je = pm.alloc %jentry
+  epoch.begin
+  %f = gep %je, 0
+  store i64 1, %f
+  pm.flush %f, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+// symlink.c — Figure 4: pmfs_block_symlink's inner transaction ends with
+// unfenced flushes.
+constexpr const char* kSymlink = R"(
+module "pmfs/symlink"
+struct %symbuf { [8 x i64] }
+
+define void @pmfs_block_symlink(%symbuf* %b) {
+entry:
+  tx.begin !loc("symlink.c", 30)
+  %e0 = gep %b, 0
+  store i64 42, %e0 !loc("symlink.c", 35)
+  pm.flush %e0, 64 !loc("symlink.c", 38)
+  tx.end
+  ret
+}
+
+define void @pmfs_symlink_demo() {
+entry:
+  %b = pm.alloc %symbuf
+  tx.begin !loc("namei.c", 100)
+  call @pmfs_block_symlink(%b)
+  pm.fence
+  tx.end
+  ret
+}
+)";
+
+constexpr const char* kSymlinkFixed = R"(
+module "pmfs/symlink.fixed"
+struct %symbuf { [8 x i64] }
+
+define void @pmfs_block_symlink(%symbuf* %b) {
+entry:
+  tx.begin
+  %e0 = gep %b, 0
+  store i64 42, %e0
+  pm.flush %e0, 64
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @pmfs_symlink_demo() {
+entry:
+  %b = pm.alloc %symbuf
+  tx.begin
+  call @pmfs_block_symlink(%b)
+  pm.fence
+  tx.end
+  ret
+}
+)";
+
+constexpr const char* kXips = R"(
+module "pmfs/xips"
+struct %xipbuf { [8 x i64] }
+
+define void @pmfs_xip_file_write_demo() {
+entry:
+  %b = pm.alloc %xipbuf
+  epoch.begin !loc("xips.c", 195)
+  %e0 = gep %b, 0
+  store i64 3, %e0 !loc("xips.c", 200)
+  pm.flush %e0, 64 !loc("xips.c", 203)
+  pm.flush %e0, 64 !loc("xips.c", 207)
+  pm.flush %e0, 64 !loc("xips.c", 262)
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kXipsFixed = R"(
+module "pmfs/xips.fixed"
+struct %xipbuf { [8 x i64] }
+
+define void @pmfs_xip_file_write_demo() {
+entry:
+  %b = pm.alloc %xipbuf
+  epoch.begin
+  %e0 = gep %b, 0
+  store i64 3, %e0
+  pm.flush %e0, 64
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kFiles = R"(
+module "pmfs/files"
+struct %pmfs_inode { i64, i64 }
+
+define void @pmfs_update_inode_demo() {
+entry:
+  %ino = pm.alloc %pmfs_inode
+  pm.flush %ino, 16 !loc("files.c", 232)
+  pm.fence
+  ret
+}
+)";
+
+constexpr const char* kFilesFixed = R"(
+module "pmfs/files.fixed"
+struct %pmfs_inode { i64, i64 }
+
+define void @pmfs_update_inode_demo() {
+entry:
+  %ino = pm.alloc %pmfs_inode
+  %f = gep %ino, 0
+  store i64 1, %f
+  pm.flush %f, 8
+  pm.fence
+  ret
+}
+)";
+
+// super.c — superblock recovery flushes three never-written fields
+// (542/543/579) and makes both superblock copies durable with one barrier
+// (584).
+constexpr const char* kSuper = R"(
+module "pmfs/super"
+struct %super { i64, i64, i64 }
+struct %scopy { i64, i64 }
+
+define void @pmfs_recover_super_demo() {
+entry:
+  %s = pm.alloc %super
+  %copy = pm.alloc %scopy
+  %sa = gep %s, 0
+  pm.flush %sa, 8 !loc("super.c", 542)
+  %sb = gep %s, 1
+  pm.flush %sb, 8 !loc("super.c", 543)
+  %cc = gep %copy, 0
+  pm.flush %cc, 8 !loc("super.c", 579)
+  %sx = gep %s, 2
+  store i64 11, %sx !loc("super.c", 581)
+  %cy = gep %copy, 1
+  store i64 11, %cy !loc("super.c", 582)
+  pm.flush %sx, 8 !loc("super.c", 583)
+  pm.flush %cy, 8 !loc("super.c", 583)
+  pm.fence !loc("super.c", 584)
+  ret
+}
+)";
+
+constexpr const char* kSuperFixed = R"(
+module "pmfs/super.fixed"
+struct %super { i64, i64, i64 }
+struct %scopy { i64, i64 }
+
+define void @pmfs_recover_super_demo() {
+entry:
+  %s = pm.alloc %super
+  %copy = pm.alloc %scopy
+  %sx = gep %s, 2
+  store i64 11, %sx
+  pm.flush %sx, 8
+  pm.fence
+  %cy = gep %copy, 1
+  store i64 11, %cy
+  pm.flush %cy, 8
+  pm.fence
+  ret
+}
+)";
+
+// bbuild.c — FALSE POSITIVE: the two stores form one version-guarded
+// logical update; making them durable together is intentional.
+constexpr const char* kBbuild = R"(
+module "pmfs/bbuild"
+struct %binode { i64, i64 }
+
+define void @pmfs_rebuild_demo() {
+entry:
+  %ino = pm.alloc %binode
+  %f0 = gep %ino, 0
+  store i64 1, %f0 !loc("bbuild.c", 205)
+  %f1 = gep %ino, 1
+  store i64 2, %f1 !loc("bbuild.c", 207)
+  pm.flush %f0, 8 !loc("bbuild.c", 208)
+  pm.flush %f1, 8 !loc("bbuild.c", 209)
+  pm.fence !loc("bbuild.c", 210)
+  ret
+}
+)";
+
+constexpr const char* kBbuildFixed = R"(
+module "pmfs/bbuild.fixed"
+struct %binode { i64, i64 }
+
+define void @pmfs_rebuild_demo() {
+entry:
+  %ino = pm.alloc %binode
+  %f0 = gep %ino, 0
+  store i64 1, %f0
+  pm.flush %f0, 8
+  pm.fence
+  %f1 = gep %ino, 1
+  store i64 2, %f1
+  pm.flush %f1, 8
+  pm.fence
+  ret
+}
+)";
+
+// inode.c — FALSE POSITIVE: the inode is filled by an external function the
+// analysis cannot see into.
+constexpr const char* kInode = R"(
+module "pmfs/inode"
+struct %pmfs_inode { i64, i64 }
+declare void @external_fill(%pmfs_inode*)
+
+define void @pmfs_write_inode_demo() {
+entry:
+  %ino = pm.alloc %pmfs_inode
+  call @external_fill(%ino)
+  pm.flush %ino, 16 !loc("inode.c", 150)
+  pm.fence
+  ret
+}
+)";
+
+constexpr const char* kInodeFixed = R"(
+module "pmfs/inode.fixed"
+struct %pmfs_inode { i64, i64 }
+
+define void @pmfs_write_inode_demo() {
+entry:
+  %ino = pm.alloc %pmfs_inode
+  %f0 = gep %ino, 0
+  store i64 1, %f0
+  pm.persist %f0, 8
+  %f1 = gep %ino, 1
+  store i64 2, %f1
+  pm.persist %f1, 8
+  ret
+}
+)";
+
+// ===========================================================================
+// NVM-Direct (strict persistency)
+// ===========================================================================
+
+// nvm_region.c — Figure 3 at two sites (614, 933) and the external-init
+// false positive (700).
+constexpr const char* kNvmRegion = R"(
+module "nvmdirect/nvm_region"
+struct %region { i64, i64 }
+declare void @external_init_region(%region*)
+
+define void @nvm_create_region_demo() {
+entry:
+  %r = pm.alloc %region
+  %other = pm.alloc %region
+  %f0 = gep %r, 0
+  store i64 7, %f0 !loc("nvm_region.c", 610)
+  pm.flush %f0, 8 !loc("nvm_region.c", 614)
+  tx.begin !loc("nvm_region.c", 620)
+  tx.add %other, 16
+  %g0 = gep %other, 0
+  store i64 1, %g0 !loc("nvm_region.c", 623)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @nvm_destroy_region_demo() {
+entry:
+  %r = pm.alloc %region
+  %other = pm.alloc %region
+  %f0 = gep %r, 0
+  store i64 0, %f0 !loc("nvm_region.c", 929)
+  pm.flush %f0, 8 !loc("nvm_region.c", 933)
+  tx.begin !loc("nvm_region.c", 938)
+  tx.add %other, 16
+  %g0 = gep %other, 1
+  store i64 2, %g0 !loc("nvm_region.c", 941)
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @nvm_attach_region_demo() {
+entry:
+  %r = pm.alloc %region
+  call @external_init_region(%r)
+  pm.flush %r, 16 !loc("nvm_region.c", 700)
+  pm.fence
+  ret
+}
+)";
+
+constexpr const char* kNvmRegionFixed = R"(
+module "nvmdirect/nvm_region.fixed"
+struct %region { i64, i64 }
+
+define void @nvm_create_region_demo() {
+entry:
+  %r = pm.alloc %region
+  %other = pm.alloc %region
+  %f0 = gep %r, 0
+  store i64 7, %f0
+  pm.flush %f0, 8
+  pm.fence
+  tx.begin
+  tx.add %other, 16
+  %g0 = gep %other, 0
+  store i64 1, %g0
+  pm.fence
+  tx.end
+  ret
+}
+
+define void @nvm_attach_region_demo() {
+entry:
+  %r = pm.alloc %region
+  %f0 = gep %r, 0
+  store i64 1, %f0
+  pm.persist %f0, 8
+  %f1 = gep %r, 1
+  store i64 2, %f1
+  pm.persist %f1, 8
+  ret
+}
+)";
+
+// nvm_heap.c — Figure 6's double flush (1965) and a whole-object flush
+// with one field written (1675).
+constexpr const char* kNvmHeap = R"(
+module "nvmdirect/nvm_heap"
+struct %blk { i64, i64 }
+struct %heap { i64, i64, i64 }
+
+define void @nvm_free_blk(%blk* %b) {
+entry:
+  %f0 = gep %b, 0
+  store i64 0, %f0 !loc("nvm_heap.c", 1950)
+  pm.flush %f0, 8 !loc("nvm_heap.c", 1955)
+  ret
+}
+
+define void @nvm_free_callback_demo() {
+entry:
+  %b = pm.alloc %blk
+  call @nvm_free_blk(%b)
+  %f0 = gep %b, 0
+  pm.flush %f0, 8 !loc("nvm_heap.c", 1965)
+  pm.fence
+  ret
+}
+
+define void @nvm_heap_init_demo() {
+entry:
+  %h = pm.alloc %heap
+  %f0 = gep %h, 0
+  store i64 1, %f0 !loc("nvm_heap.c", 1670)
+  pm.persist %h, 24 !loc("nvm_heap.c", 1675)
+  ret
+}
+)";
+
+constexpr const char* kNvmHeapFixed = R"(
+module "nvmdirect/nvm_heap.fixed"
+struct %blk { i64, i64 }
+struct %heap { i64, i64, i64 }
+
+define void @nvm_free_blk(%blk* %b) {
+entry:
+  %f0 = gep %b, 0
+  store i64 0, %f0
+  pm.flush %f0, 8
+  ret
+}
+
+define void @nvm_free_callback_demo() {
+entry:
+  %b = pm.alloc %blk
+  call @nvm_free_blk(%b)
+  pm.fence
+  ret
+}
+
+define void @nvm_heap_init_demo() {
+entry:
+  %h = pm.alloc %heap
+  %f0 = gep %h, 0
+  store i64 1, %f0
+  pm.persist %f0, 8
+  ret
+}
+)";
+
+// nvm_locks.c — Figure 9's unflushed new_level (932), a whole-lock persist
+// with one field written (1411), and an empty durable transaction (905).
+constexpr const char* kNvmLocks = R"(
+module "nvmdirect/nvm_locks"
+struct %nvm_lk { i64, i64, i64 }
+struct %nvm_amutex { i64, i64 }
+
+define void @nvm_lock_demo() {
+entry:
+  %lk = pm.alloc %nvm_lk
+  %state = gep %lk, 0
+  store i64 1, %state !loc("nvm_locks.c", 925)
+  pm.persist %state, 8 !loc("nvm_locks.c", 926)
+  %c = eq 1, 1
+  br %c, label %raise, label %acquire
+raise:
+  %level = gep %lk, 2
+  store i64 5, %level !loc("nvm_locks.c", 932)
+  br label %acquire
+acquire:
+  store i64 2, %state !loc("nvm_locks.c", 936)
+  pm.persist %state, 8 !loc("nvm_locks.c", 937)
+  ret
+}
+
+define void @nvm_unlock_demo() {
+entry:
+  %lk = pm.alloc %nvm_lk
+  %state = gep %lk, 0
+  store i64 0, %state !loc("nvm_locks.c", 1405)
+  pm.persist %lk, 24 !loc("nvm_locks.c", 1411)
+  ret
+}
+
+define void @nvm_lock_cleanup_demo() {
+entry:
+  %m = pm.alloc %nvm_amutex
+  tx.begin !loc("nvm_locks.c", 900)
+  pm.persist %m, 16 !loc("nvm_locks.c", 905)
+  tx.end
+  ret
+}
+)";
+
+constexpr const char* kNvmLocksFixed = R"(
+module "nvmdirect/nvm_locks.fixed"
+struct %nvm_lk { i64, i64, i64 }
+struct %nvm_amutex { i64, i64 }
+
+define void @nvm_lock_demo() {
+entry:
+  %lk = pm.alloc %nvm_lk
+  %state = gep %lk, 0
+  store i64 1, %state
+  pm.persist %state, 8
+  %c = eq 1, 1
+  br %c, label %raise, label %acquire
+raise:
+  %level = gep %lk, 2
+  store i64 5, %level
+  pm.persist %level, 8
+  br label %acquire
+acquire:
+  store i64 2, %state
+  pm.persist %state, 8
+  ret
+}
+
+define void @nvm_unlock_demo() {
+entry:
+  %lk = pm.alloc %nvm_lk
+  %state = gep %lk, 0
+  store i64 0, %state
+  pm.persist %state, 8
+  ret
+}
+
+define void @nvm_lock_cleanup_demo() {
+entry:
+  %m = pm.alloc %nvm_amutex
+  tx.begin
+  tx.add %m, 16
+  %f0 = gep %m, 0
+  store i64 0, %f0
+  pm.persist %f0, 8
+  tx.end
+  ret
+}
+)";
+
+// nvm_tx.c — FALSE POSITIVE: the undo records are applied by an external
+// function, so the transaction is not actually empty.
+constexpr const char* kNvmTx = R"(
+module "nvmdirect/nvm_tx"
+struct %undo { i64, i64 }
+declare void @external_apply_undo(%undo*)
+
+define void @nvm_txend_demo() {
+entry:
+  %u = pm.alloc %undo
+  tx.begin !loc("nvm_tx.c", 445)
+  call @external_apply_undo(%u)
+  pm.persist %u, 16 !loc("nvm_tx.c", 450)
+  tx.end
+  ret
+}
+)";
+
+constexpr const char* kNvmTxFixed = R"(
+module "nvmdirect/nvm_tx.fixed"
+struct %undo { i64, i64 }
+
+define void @nvm_txend_demo() {
+entry:
+  %u = pm.alloc %undo
+  tx.begin
+  tx.add %u, 16
+  %f0 = gep %u, 0
+  store i64 1, %f0
+  pm.persist %f0, 8
+  tx.end
+  ret
+}
+)";
+
+// ===========================================================================
+// Mnemosyne (epoch persistency)
+// ===========================================================================
+
+constexpr const char* kPhlogBase = R"(
+module "mnemosyne/phlog_base"
+struct %phlog { i64, i64 }
+
+define void @phlog_append_demo() {
+entry:
+  %log = pm.alloc %phlog
+  epoch.begin !loc("phlog_base.c", 125)
+  %word = gep %log, 1
+  store i64 77, %word !loc("phlog_base.c", 132)
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kPhlogBaseFixed = R"(
+module "mnemosyne/phlog_base.fixed"
+struct %phlog { i64, i64 }
+
+define void @phlog_append_demo() {
+entry:
+  %log = pm.alloc %phlog
+  epoch.begin
+  %word = gep %log, 1
+  store i64 77, %word
+  pm.flush %word, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kChhash = R"(
+module "mnemosyne/chhash"
+struct %hentry { i64, i64 }
+
+define void @chhash_insert_demo() {
+entry:
+  %e = pm.alloc %hentry
+  epoch.begin !loc("chhash.c", 175)
+  %f = gep %e, 0
+  store i64 1, %f !loc("chhash.c", 180)
+  pm.persist %f, 8 !loc("chhash.c", 182)
+  store i64 2, %f !loc("chhash.c", 184)
+  pm.persist %f, 8 !loc("chhash.c", 185)
+  store i64 3, %f !loc("chhash.c", 268)
+  pm.persist %f, 8 !loc("chhash.c", 270)
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kChhashFixed = R"(
+module "mnemosyne/chhash.fixed"
+struct %hentry { i64, i64 }
+
+define void @chhash_insert_demo() {
+entry:
+  %e = pm.alloc %hentry
+  epoch.begin
+  %f = gep %e, 0
+  store i64 1, %f
+  store i64 2, %f
+  store i64 3, %f
+  pm.persist %f, 8
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kCHash = R"(
+module "mnemosyne/CHash"
+struct %cbucket { i64, i64 }
+
+define void @chash_rehash_demo() {
+entry:
+  %b = pm.alloc %cbucket
+  epoch.begin !loc("CHash.c", 140)
+  %f = gep %b, 0
+  store i64 5, %f !loc("CHash.c", 145)
+  pm.flush %f, 8 !loc("CHash.c", 147)
+  pm.flush %f, 8 !loc("CHash.c", 150)
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+constexpr const char* kCHashFixed = R"(
+module "mnemosyne/CHash.fixed"
+struct %cbucket { i64, i64 }
+
+define void @chash_rehash_demo() {
+entry:
+  %b = pm.alloc %cbucket
+  epoch.begin
+  %f = gep %b, 0
+  store i64 5, %f
+  pm.flush %f, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+
+const std::map<std::string, ModuleSpec>& specs() {
+  static const std::map<std::string, ModuleSpec> s = {
+      {"pmdk/btree_map", {Framework::kPmdk, false, kBtreeMap, kBtreeMapFixed}},
+      {"pmdk/rbtree_map",
+       {Framework::kPmdk, false, kRbtreeMap, kRbtreeMapFixed}},
+      {"pmdk/pminvaders",
+       {Framework::kPmdk, false, kPminvaders, kPminvadersFixed}},
+      {"pmdk/obj_pmemlog",
+       {Framework::kPmdk, false, kObjPmemlog, kObjPmemlogFixed}},
+      {"pmdk/hash_map", {Framework::kPmdk, false, kHashMap, kHashMapFixed}},
+      {"pmdk/hashmap_atomic",
+       {Framework::kPmdk, true, kHashmapAtomic, nullptr}},
+      {"pmdk/obj_pmemlog_simple",
+       {Framework::kPmdk, true, kObjPmemlogSimple, nullptr}},
+      {"pmfs/journal", {Framework::kPmfs, false, kJournal, kJournalFixed}},
+      {"pmfs/symlink", {Framework::kPmfs, false, kSymlink, kSymlinkFixed}},
+      {"pmfs/xips", {Framework::kPmfs, false, kXips, kXipsFixed}},
+      {"pmfs/files", {Framework::kPmfs, false, kFiles, kFilesFixed}},
+      {"pmfs/super", {Framework::kPmfs, false, kSuper, kSuperFixed}},
+      {"pmfs/bbuild", {Framework::kPmfs, false, kBbuild, kBbuildFixed}},
+      {"pmfs/inode", {Framework::kPmfs, false, kInode, kInodeFixed}},
+      {"nvmdirect/nvm_region",
+       {Framework::kNvmDirect, false, kNvmRegion, kNvmRegionFixed}},
+      {"nvmdirect/nvm_heap",
+       {Framework::kNvmDirect, false, kNvmHeap, kNvmHeapFixed}},
+      {"nvmdirect/nvm_locks",
+       {Framework::kNvmDirect, false, kNvmLocks, kNvmLocksFixed}},
+      {"nvmdirect/nvm_tx", {Framework::kNvmDirect, false, kNvmTx, kNvmTxFixed}},
+      {"mnemosyne/phlog_base",
+       {Framework::kMnemosyne, false, kPhlogBase, kPhlogBaseFixed}},
+      {"mnemosyne/chhash", {Framework::kMnemosyne, false, kChhash, kChhashFixed}},
+      {"mnemosyne/CHash", {Framework::kMnemosyne, false, kCHash, kCHashFixed}},
+  };
+  return s;
+}
+
+}  // namespace
+
+CorpusModule build_module(const std::string& name) {
+  auto it = specs().find(name);
+  if (it == specs().end())
+    throw std::invalid_argument("unknown corpus module: " + name);
+  CorpusModule cm;
+  cm.name = name;
+  cm.framework = it->second.framework;
+  cm.executable = it->second.executable;
+  cm.module = ir::parse_module(it->second.text);
+  ir::verify_or_throw(*cm.module);
+  return cm;
+}
+
+std::vector<std::string> module_names() {
+  std::vector<std::string> out;
+  for (const auto& [name, spec] : specs()) out.push_back(name);
+  return out;
+}
+
+std::vector<CorpusModule> build_corpus() {
+  std::vector<CorpusModule> out;
+  for (const auto& [name, spec] : specs()) out.push_back(build_module(name));
+  return out;
+}
+
+std::unique_ptr<ir::Module> build_fixed_module(const std::string& name) {
+  auto it = specs().find(name);
+  if (it == specs().end() || !it->second.fixed_text)
+    throw std::invalid_argument("no fixed variant for: " + name);
+  auto m = ir::parse_module(it->second.fixed_text);
+  ir::verify_or_throw(*m);
+  return m;
+}
+
+std::vector<std::string> fixed_module_names() {
+  std::vector<std::string> out;
+  for (const auto& [name, spec] : specs())
+    if (spec.fixed_text) out.push_back(name);
+  return out;
+}
+
+}  // namespace deepmc::corpus

@@ -1,0 +1,138 @@
+#include "frameworks/mnemosyne_mini.h"
+
+#include <stdexcept>
+
+namespace deepmc::mnemosyne {
+
+namespace {
+// Pool-header slot holding the redo log base (pmdk_mini uses slot 16; the
+// two frameworks are not used on the same pool, but keep slots distinct
+// anyway).
+constexpr uint64_t kRedoLogSlot = 24;
+constexpr uint64_t kRedoLogBytes = 64 * 1024;
+// Redo log layout: [0] committed flag (u64: number of valid records, 0 if
+// none), [8] record count being built, [16+] records of {off, value}.
+constexpr uint64_t kCommittedOff = 0;
+constexpr uint64_t kRecordsOff = 16;
+
+uint64_t ensure_redo_log(pmem::PmPool& pm) {
+  uint64_t log = pm.load_val<uint64_t>(kRedoLogSlot);
+  if (log != pmem::PmPool::kNullOff) return log;
+  log = pm.alloc(kRedoLogBytes);
+  pm.store_val<uint64_t>(log + kCommittedOff, 0);
+  pm.persist(log + kCommittedOff, 8);
+  pm.store_val<uint64_t>(kRedoLogSlot, log);
+  pm.persist(kRedoLogSlot, 8);
+  return log;
+}
+
+}  // namespace
+
+Mnemosyne::Mnemosyne(pmem::PmPool& pool, PerfBugConfig bugs,
+                     rt::RuntimeChecker* rt)
+    : pool_(&pool), bugs_(bugs), rt_(rt) {
+  ensure_redo_log(*pool_);
+}
+
+uint64_t Mnemosyne::pmalloc(uint64_t size) {
+  const uint64_t off = pool_->alloc(size);
+  if (rt_) rt_->on_alloc(off, size);
+  return off;
+}
+
+void Mnemosyne::pfree(uint64_t off) {
+  pool_->free(off);
+  if (rt_) rt_->on_free(off);
+}
+
+uint64_t Mnemosyne::read_word(uint64_t off) const {
+  if (rt_) rt_->on_read(0, off, 8, {});
+  return pool_->load_val<uint64_t>(off);
+}
+
+void Mnemosyne::read(uint64_t off, void* dst, uint64_t size) const {
+  if (rt_) rt_->on_read(0, off, size, {});
+  pool_->load(off, dst, size);
+}
+
+uint64_t Mnemosyne::recover() {
+  pmem::PmPool& pm = *pool_;
+  const uint64_t log = pm.load_val<uint64_t>(kRedoLogSlot);
+  if (log == pmem::PmPool::kNullOff) return 0;
+  const uint64_t committed = pm.load_val<uint64_t>(log + kCommittedOff);
+  if (committed == 0) return 0;
+  for (uint64_t i = 0; i < committed; ++i) {
+    const uint64_t rec = log + kRecordsOff + i * 16;
+    const uint64_t home = pm.load_val<uint64_t>(rec);
+    const uint64_t value = pm.load_val<uint64_t>(rec + 8);
+    pm.store_val<uint64_t>(home, value);
+    pm.flush(home, 8);
+  }
+  pm.fence();
+  pm.store_val<uint64_t>(log + kCommittedOff, 0);
+  pm.persist(log + kCommittedOff, 8);
+  return committed;
+}
+
+DurableTx::DurableTx(Mnemosyne& m) : m_(m) {
+  if (m_.runtime()) m_.runtime()->epoch_begin();
+}
+
+DurableTx::~DurableTx() {
+  if (open_) {
+    open_ = false;  // discard buffered words: atomicity by omission
+    if (m_.runtime()) m_.runtime()->epoch_end();
+  }
+}
+
+void DurableTx::write_word(uint64_t off, uint64_t value) {
+  if (!open_) throw std::logic_error("write_word on closed transaction");
+  words_.push_back({off, value});
+  if (m_.runtime()) m_.runtime()->on_write(0, off, 8, {});
+  if (m_.bugs().persist_per_write) {
+    // chhash.c pattern: each word write is persisted home immediately,
+    // defeating the epoch batching (and the redo log's atomicity budget).
+    m_.pm().store_val<uint64_t>(off, value);
+    m_.pm().persist(off, 8);
+  }
+}
+
+void DurableTx::commit() {
+  if (!open_) throw std::logic_error("commit on closed transaction");
+  open_ = false;
+  pmem::PmPool& pm = m_.pm();
+  const uint64_t log = ensure_redo_log(pm);
+  if (words_.size() * 16 + kRecordsOff > kRedoLogBytes)
+    throw std::runtime_error("redo log full");
+
+  // Epoch 1: append all redo records (persist order within the epoch is
+  // free), then one barrier.
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t rec = log + kRecordsOff + i * 16;
+    pm.store_val<uint64_t>(rec, words_[i].off);
+    pm.store_val<uint64_t>(rec + 8, words_[i].value);
+    pm.flush(rec, 16);
+    if (m_.bugs().double_flush_log) pm.flush(rec, 16);  // CHash.c pattern
+  }
+  pm.fence();
+
+  // Commit marker.
+  pm.store_val<uint64_t>(log + kCommittedOff, words_.size());
+  pm.persist(log + kCommittedOff, 8);
+
+  // Epoch 2: apply home, one barrier, then truncate.
+  for (const WordWrite& w : words_) {
+    pm.store_val<uint64_t>(w.off, w.value);
+    pm.flush(w.off, 8);
+  }
+  pm.fence();
+  pm.store_val<uint64_t>(log + kCommittedOff, 0);
+  pm.persist(log + kCommittedOff, 8);
+
+  if (m_.runtime()) {
+    m_.runtime()->on_fence(0);
+    m_.runtime()->epoch_end();
+  }
+}
+
+}  // namespace deepmc::mnemosyne

@@ -1,0 +1,83 @@
+// mnemosyne_mini — miniature Mnemosyne (Volos et al., ASPLOS'11): durable
+// transactions over word-granularity redo logging, epoch persistency.
+//
+// A DurableTx buffers word writes in volatile memory; commit appends
+// (addr, value) records plus a commit marker to a persistent redo log
+// (one epoch: log writes may persist in any order, one barrier seals the
+// epoch), then applies the words home and truncates. A crash before the
+// commit marker leaves the pool untouched; after it, recovery replays the
+// log — either way every transaction is atomic.
+//
+// PerfBugConfig seeds the Mnemosyne-side performance bugs of Table 8
+// (chhash.c / CHash.c): persisting each word as it is written instead of
+// once at commit, and double-flushing the log tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::mnemosyne {
+
+struct PerfBugConfig {
+  bool persist_per_write = false;  ///< chhash.c: persist on every word write
+  bool double_flush_log = false;   ///< CHash.c: flush the log tail twice
+
+  static PerfBugConfig clean() { return {}; }
+  static PerfBugConfig buggy() { return {true, true}; }
+};
+
+class Mnemosyne {
+ public:
+  explicit Mnemosyne(pmem::PmPool& pool, PerfBugConfig bugs = {},
+                     rt::RuntimeChecker* rt = nullptr);
+
+  [[nodiscard]] pmem::PmPool& pm() { return *pool_; }
+  [[nodiscard]] const PerfBugConfig& bugs() const { return bugs_; }
+  [[nodiscard]] rt::RuntimeChecker* runtime() const { return rt_; }
+
+  uint64_t pmalloc(uint64_t size);
+  void pfree(uint64_t off);
+
+  /// Non-transactional persistent read.
+  [[nodiscard]] uint64_t read_word(uint64_t off) const;
+  void read(uint64_t off, void* dst, uint64_t size) const;
+
+  /// Post-crash recovery: replay any committed-but-unapplied redo records.
+  /// Returns the number of words replayed.
+  uint64_t recover();
+
+ private:
+  friend class DurableTx;
+  pmem::PmPool* pool_;
+  PerfBugConfig bugs_;
+  rt::RuntimeChecker* rt_;
+};
+
+/// Durable transaction (Mnemosyne's "atomic" block).
+class DurableTx {
+ public:
+  explicit DurableTx(Mnemosyne& m);
+  ~DurableTx();  ///< discards buffered writes if not committed
+  DurableTx(const DurableTx&) = delete;
+  DurableTx& operator=(const DurableTx&) = delete;
+
+  /// Buffer a word write. Visible through read_word() only after commit.
+  void write_word(uint64_t off, uint64_t value);
+
+  void commit();
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] size_t pending_words() const { return words_.size(); }
+
+ private:
+  struct WordWrite {
+    uint64_t off, value;
+  };
+  Mnemosyne& m_;
+  std::vector<WordWrite> words_;
+  bool open_ = true;
+};
+
+}  // namespace deepmc::mnemosyne

@@ -1,0 +1,157 @@
+#include "frameworks/nvmdirect_mini.h"
+
+#include <stdexcept>
+
+namespace deepmc::nvmdirect {
+
+namespace {
+constexpr uint64_t kRegionMagic = 0x4e564d44ull;  // "NVMD"
+// Region header: 0 magic, 8 free-list head (offset of first free chunk),
+// 16 attach count. Free chunks: 0 next, 8 size.
+constexpr uint64_t kHeaderBytes = 64;
+// Mutex record: 0 state (0 free / 1 acquiring / 2 held), 8 owners,
+// 16 level.
+constexpr uint64_t kMutexBytes = 24;
+}  // namespace
+
+NvmRegion NvmRegion::create(pmem::PmPool& pool, PerfBugConfig bugs,
+                            rt::RuntimeChecker* rt) {
+  NvmRegion r(pool, bugs, rt);
+  r.header_ = pool.alloc(kHeaderBytes);
+  pool.store_val<uint64_t>(r.header_, kRegionMagic);
+  pool.store_val<uint64_t>(r.header_ + 8, pmem::PmPool::kNullOff);
+  pool.store_val<uint64_t>(r.header_ + 16, 1);
+  // Strict model: region initialization is flushed and fenced before any
+  // transaction may begin (the fence Figure 3's code forgot).
+  pool.persist(r.header_, kHeaderBytes);
+  pool.set_root(r.header_);
+  return r;
+}
+
+NvmRegion NvmRegion::attach(pmem::PmPool& pool, PerfBugConfig bugs,
+                            rt::RuntimeChecker* rt) {
+  NvmRegion r(pool, bugs, rt);
+  r.header_ = pool.root();
+  if (r.header_ == pmem::PmPool::kNullOff ||
+      pool.load_val<uint64_t>(r.header_) != kRegionMagic)
+    throw std::runtime_error("nvmdirect: no region on this pool");
+  const uint64_t count = pool.load_val<uint64_t>(r.header_ + 16);
+  r.write_persist1(r.header_ + 16, count + 1);
+  return r;
+}
+
+void NvmRegion::persist1(uint64_t off, uint64_t size) {
+  pool_->persist(off, size);
+  if (rt_) rt_->on_fence(0);
+}
+
+void NvmRegion::write_persist1(uint64_t off, uint64_t value) {
+  pool_->store_val<uint64_t>(off, value);
+  if (rt_) rt_->on_write(0, off, 8, {});
+  persist1(off, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+// ---------------------------------------------------------------------------
+
+uint64_t NvmRegion::heap_alloc(uint64_t size) {
+  // First-fit over the on-media free list, else fresh pool allocation.
+  pmem::PmPool& pm = *pool_;
+  uint64_t prev = pmem::PmPool::kNullOff;
+  uint64_t cur = pm.load_val<uint64_t>(header_ + 8);
+  while (cur != pmem::PmPool::kNullOff) {
+    const uint64_t next = pm.load_val<uint64_t>(cur);
+    const uint64_t csize = pm.load_val<uint64_t>(cur + 8);
+    if (csize >= size) {
+      // Unlink, strict persistency: each pointer update persisted.
+      if (prev == pmem::PmPool::kNullOff)
+        write_persist1(header_ + 8, next);
+      else
+        write_persist1(prev, next);
+      return cur;
+    }
+    prev = cur;
+    cur = next;
+  }
+  const uint64_t off = pm.alloc(std::max<uint64_t>(size, 16));
+  if (rt_) rt_->on_alloc(off, std::max<uint64_t>(size, 16));
+  return off;
+}
+
+void NvmRegion::heap_free(uint64_t off, uint64_t size) {
+  pmem::PmPool& pm = *pool_;
+  // nvm_free_blk: scrub and flush the block...
+  pm.store_val<uint64_t>(off, pm.load_val<uint64_t>(header_ + 8));  // next
+  pm.store_val<uint64_t>(off + 8, std::max<uint64_t>(size, 16));
+  if (rt_) rt_->on_write(0, off, 16, {});
+  pm.flush(off, 16);
+  // ...Figure 6: the caller (nvm_free_callback) flushes the same block
+  // again before fencing.
+  if (bugs_.redundant_free_flush) pm.flush(off, 16);
+  pm.fence();
+  if (rt_) rt_->on_fence(0);
+  write_persist1(header_ + 8, off);
+}
+
+uint64_t NvmRegion::free_list_length() const {
+  uint64_t n = 0;
+  uint64_t cur = pool_->load_val<uint64_t>(header_ + 8);
+  while (cur != pmem::PmPool::kNullOff) {
+    ++n;
+    cur = pool_->load_val<uint64_t>(cur);
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Mutexes
+// ---------------------------------------------------------------------------
+
+uint64_t NvmRegion::mutex_create() {
+  const uint64_t m = pool_->alloc(kMutexBytes);
+  if (rt_) rt_->on_alloc(m, kMutexBytes);
+  pool_->memset_persist(m, 0, kMutexBytes);
+  return m;
+}
+
+void NvmRegion::mutex_lock(uint64_t m) {
+  // Figure 9 structure, done correctly: every step is persisted before the
+  // next (strict persistency), including new_level.
+  write_persist1(m, 1);                                        // acquiring
+  const uint64_t owners = pool_->load_val<uint64_t>(m + 8);
+  write_persist1(m + 8, owners + 1);                           // owners++
+  const uint64_t level = pool_->load_val<uint64_t>(m + 16);
+  write_persist1(m + 16, level + 1);                           // new_level
+  write_persist1(m, 2);                                        // held
+}
+
+void NvmRegion::mutex_unlock(uint64_t m) {
+  if (bugs_.empty_unlock_tx) {
+    // nvm_locks.c:905: a durable-transaction epilogue that persists the
+    // record although nothing below modifies it on this path.
+    pool_->flush(m, kMutexBytes);
+    pool_->fence();
+    if (rt_) rt_->on_fence(0);
+  }
+  const uint64_t owners = pool_->load_val<uint64_t>(m + 8);
+  if (owners == 0) throw std::logic_error("nvmdirect: unlock of free mutex");
+  if (bugs_.flush_whole_lock) {
+    // nvm_locks.c:1411: one field changes, the whole record is persisted.
+    pool_->store_val<uint64_t>(m + 8, owners - 1);
+    if (rt_) rt_->on_write(0, m + 8, 8, {});
+    persist1(m, kMutexBytes);
+    pool_->store_val<uint64_t>(m, 0);
+    if (rt_) rt_->on_write(0, m, 8, {});
+    persist1(m, kMutexBytes);
+  } else {
+    write_persist1(m + 8, owners - 1);
+    write_persist1(m, 0);
+  }
+}
+
+bool NvmRegion::mutex_held(uint64_t m) const {
+  return pool_->load_val<uint64_t>(m) == 2;
+}
+
+}  // namespace deepmc::nvmdirect

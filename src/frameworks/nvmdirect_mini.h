@@ -1,0 +1,74 @@
+// nvmdirect_mini — miniature Oracle NVM-Direct: regions, a persistent heap
+// and NVM-aware mutexes, strict persistency (every persistent store is
+// individually flushed and fenced, nvm_persist1-style).
+//
+// The pieces the paper's NVM-Direct bugs live in:
+//   * NvmRegion  — region creation/attach (Figure 3's missing barrier site)
+//   * NvmHeap    — block allocator with an on-media free list (Figure 6's
+//                  double-flush site)
+//   * NvmMutex   — lock records persisted step by step (Figure 9's
+//                  unflushed new_level site)
+//
+// PerfBugConfig re-introduces those performance bugs for the ablation
+// benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::nvmdirect {
+
+struct PerfBugConfig {
+  bool redundant_free_flush = false;  ///< nvm_heap.c:1965 — flush freed block twice
+  bool flush_whole_lock = false;      ///< nvm_locks.c:1411 — persist whole record
+  bool empty_unlock_tx = false;       ///< nvm_locks.c:905 — persist with no write
+
+  static PerfBugConfig clean() { return {}; }
+  static PerfBugConfig buggy() { return {true, true, true}; }
+};
+
+/// A named persistent region with an embedded heap.
+class NvmRegion {
+ public:
+  /// Create and initialize a region covering the rest of the pool.
+  static NvmRegion create(pmem::PmPool& pool, PerfBugConfig bugs = {},
+                          rt::RuntimeChecker* rt = nullptr);
+  /// Attach to an existing region.
+  static NvmRegion attach(pmem::PmPool& pool, PerfBugConfig bugs = {},
+                          rt::RuntimeChecker* rt = nullptr);
+
+  [[nodiscard]] pmem::PmPool& pm() { return *pool_; }
+  [[nodiscard]] const PerfBugConfig& bugs() const { return bugs_; }
+  [[nodiscard]] rt::RuntimeChecker* runtime() const { return rt_; }
+
+  /// nvm_persist1: store + flush + fence for a single value.
+  void persist1(uint64_t off, uint64_t size);
+  void write_persist1(uint64_t off, uint64_t value);
+
+  // --- heap (nvm_heap.c) ---------------------------------------------------
+  uint64_t heap_alloc(uint64_t size);
+  void heap_free(uint64_t off, uint64_t size);
+  [[nodiscard]] uint64_t free_list_length() const;
+
+  // --- mutexes (nvm_locks.c) --------------------------------------------------
+  /// Allocate a persistent mutex; returns its offset.
+  uint64_t mutex_create();
+  /// nvm_lock: persist the lock-record state machine step by step.
+  void mutex_lock(uint64_t mutex_off);
+  void mutex_unlock(uint64_t mutex_off);
+  [[nodiscard]] bool mutex_held(uint64_t mutex_off) const;
+
+ private:
+  NvmRegion(pmem::PmPool& pool, PerfBugConfig bugs, rt::RuntimeChecker* rt)
+      : pool_(&pool), bugs_(bugs), rt_(rt) {}
+
+  pmem::PmPool* pool_;
+  PerfBugConfig bugs_;
+  rt::RuntimeChecker* rt_;
+  uint64_t header_ = 0;  ///< region header offset
+};
+
+}  // namespace deepmc::nvmdirect

@@ -1,0 +1,216 @@
+#include "frameworks/pmdk_mini.h"
+
+#include <stdexcept>
+
+namespace deepmc::pmdk {
+
+namespace {
+// Pool-header slot (after magic @0 and root @8) holding the undo log base.
+constexpr uint64_t kUndoLogSlot = 16;
+constexpr uint64_t kUndoLogBytes = 64 * 1024;
+constexpr uint64_t kCountOff = 0;     // within the log: entry byte size used
+constexpr uint64_t kEntriesOff = 8;
+
+uint64_t pad8(uint64_t n) { return (n + 7) / 8 * 8; }
+}  // namespace
+
+ObjPool::ObjPool(pmem::PmPool& pool, PerfBugConfig bugs,
+                 rt::RuntimeChecker* rt)
+    : pool_(&pool), bugs_(bugs), rt_(rt) {}
+
+uint64_t ObjPool::alloc(uint64_t size) {
+  const uint64_t off = pool_->alloc(size);
+  if (rt_) rt_->on_alloc(off, size);
+  return off;
+}
+
+void ObjPool::free(uint64_t off) {
+  pool_->free(off);
+  if (rt_) rt_->on_free(off);
+}
+
+void ObjPool::write(uint64_t off, const void* src, uint64_t size) {
+  pool_->store(off, src, size);
+  if (rt_) rt_->on_write(0, off, size, {});
+}
+
+void ObjPool::read(uint64_t off, void* dst, uint64_t size) const {
+  pool_->load(off, dst, size);
+  if (rt_) rt_->on_read(0, off, size, {});
+}
+
+void ObjPool::persist(uint64_t off, uint64_t size) {
+  if (bugs_.flush_whole_object) {
+    // Figure 5 pattern: flush the whole enclosing object, not just the
+    // modified range.
+    const uint64_t base = pool_->alloc_base(off);
+    if (base != pmem::PmPool::kNullOff) {
+      off = base;
+      size = pool_->alloc_size(base);
+    }
+  }
+  pool_->flush(off, size);
+  if (bugs_.redundant_flush) pool_->flush(off, size);  // Figure 6 pattern
+  pool_->fence();
+  if (rt_) rt_->on_fence(0);
+}
+
+void ObjPool::memset_persist(uint64_t off, uint8_t byte, uint64_t size) {
+  pool_->memset_persist(off, byte, size);
+  if (rt_) {
+    rt_->on_write(0, off, size, {});
+    rt_->on_fence(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Undo log
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t ensure_undo_log(pmem::PmPool& pm) {
+  uint64_t log = pm.load_val<uint64_t>(kUndoLogSlot);
+  if (log != pmem::PmPool::kNullOff) return log;
+  log = pm.alloc(kUndoLogBytes);
+  pm.store_val<uint64_t>(log + kCountOff, 0);
+  pm.persist(log + kCountOff, 8);
+  pm.store_val<uint64_t>(kUndoLogSlot, log);
+  pm.persist(kUndoLogSlot, 8);
+  return log;
+}
+
+}  // namespace
+
+uint64_t undo_log_offset(ObjPool& pool) { return ensure_undo_log(pool.pm()); }
+
+Tx::Tx(ObjPool& pool) : pool_(pool) { ensure_undo_log(pool_.pm()); }
+
+Tx::~Tx() {
+  if (open_) abort();
+}
+
+void Tx::add(uint64_t off, uint64_t size) {
+  if (!open_) throw std::logic_error("Tx::add on closed transaction");
+  pmem::PmPool& pm = pool_.pm();
+  const uint64_t log = ensure_undo_log(pm);
+  uint64_t used = pm.load_val<uint64_t>(log + kCountOff);
+  const uint64_t need = 16 + pad8(size);
+  if (kEntriesOff + used + need > kUndoLogBytes)
+    throw std::runtime_error("undo log full");
+
+  // Write the snapshot entry, persist it, then bump the used counter and
+  // persist that: the counter is the commit pivot, so the entry must be
+  // durable before it becomes visible (write-ahead logging).
+  const uint64_t entry = log + kEntriesOff + used;
+  pm.store_val<uint64_t>(entry, off);
+  pm.store_val<uint64_t>(entry + 8, size);
+  std::vector<uint8_t> snapshot(size);
+  pm.load(off, snapshot.data(), size);
+  pm.store(entry + 16, snapshot.data(), size);
+  pm.flush(entry, need);
+  pm.fence();
+
+  pm.store_val<uint64_t>(log + kCountOff, used + need);
+  pm.persist(log + kCountOff, 8);
+
+  ranges_.push_back({off, size, false});
+}
+
+void Tx::write(uint64_t off, const void* src, uint64_t size) {
+  if (!open_) throw std::logic_error("Tx::write on closed transaction");
+  for (Range& r : ranges_) {
+    if (off >= r.off && off + size <= r.off + r.size) {
+      pool_.pm().store(off, src, size);
+      if (pool_.runtime()) pool_.runtime()->on_write(0, off, size, {});
+      r.written = true;
+      return;
+    }
+  }
+  // Unlogged transactional write: the Figure 2 bug. Refuse rather than
+  // silently lose crash consistency.
+  throw std::logic_error("Tx::write to a range not registered with add()");
+}
+
+void Tx::commit() {
+  if (!open_) throw std::logic_error("Tx::commit on closed transaction");
+  open_ = false;
+  pmem::PmPool& pm = pool_.pm();
+  const uint64_t log = ensure_undo_log(pm);
+
+  if (ranges_.empty() && !pool_.bugs().empty_tx_persists) {
+    return;  // nothing to make durable
+  }
+
+  // Flush every object modified under the transaction, then fence.
+  for (const Range& r : ranges_) {
+    pm.flush(r.off, r.size);
+    if (pool_.bugs().redundant_flush) pm.flush(r.off, r.size);
+  }
+  pm.fence();
+  if (pool_.runtime()) pool_.runtime()->on_fence(0);
+
+  // Truncate the log: the transaction is now committed.
+  pm.store_val<uint64_t>(log + kCountOff, 0);
+  pm.persist(log + kCountOff, 8);
+}
+
+void Tx::abort() {
+  if (!open_) throw std::logic_error("Tx::abort on closed transaction");
+  open_ = false;
+  pmem::PmPool& pm = pool_.pm();
+  const uint64_t log = ensure_undo_log(pm);
+  // Restore snapshots in reverse order, persist the restores, then
+  // truncate.
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    // Find this range's snapshot by scanning the log from the start.
+    uint64_t used = pm.load_val<uint64_t>(log + kCountOff);
+    uint64_t pos = 0;
+    while (pos < used) {
+      const uint64_t entry = log + kEntriesOff + pos;
+      const uint64_t home = pm.load_val<uint64_t>(entry);
+      const uint64_t size = pm.load_val<uint64_t>(entry + 8);
+      if (home == it->off && size == it->size) {
+        std::vector<uint8_t> snapshot(size);
+        pm.load(entry + 16, snapshot.data(), size);
+        pm.store(home, snapshot.data(), size);
+        pm.persist(home, size);
+      }
+      pos += 16 + pad8(size);
+    }
+  }
+  pm.store_val<uint64_t>(log + kCountOff, 0);
+  pm.persist(log + kCountOff, 8);
+}
+
+uint64_t recover(ObjPool& pool) {
+  pmem::PmPool& pm = pool.pm();
+  const uint64_t log = pm.load_val<uint64_t>(kUndoLogSlot);
+  if (log == pmem::PmPool::kNullOff) return 0;
+  const uint64_t used = pm.load_val<uint64_t>(log + kCountOff);
+  // Collect entries, then restore newest-first so that when one range was
+  // snapshotted twice the oldest (pre-transaction) state wins.
+  std::vector<uint64_t> entries;
+  uint64_t pos = 0;
+  while (pos < used) {
+    const uint64_t entry = log + kEntriesOff + pos;
+    const uint64_t size = pm.load_val<uint64_t>(entry + 8);
+    if (size == 0 || pos + 16 + pad8(size) > used) break;  // torn tail
+    entries.push_back(entry);
+    pos += 16 + pad8(size);
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const uint64_t entry = *it;
+    const uint64_t home = pm.load_val<uint64_t>(entry);
+    const uint64_t size = pm.load_val<uint64_t>(entry + 8);
+    std::vector<uint8_t> snapshot(size);
+    pm.load(entry + 16, snapshot.data(), size);
+    pm.store(home, snapshot.data(), size);
+    pm.persist(home, size);
+  }
+  pm.store_val<uint64_t>(log + kCountOff, 0);
+  pm.persist(log + kCountOff, 8);
+  return entries.size();
+}
+
+}  // namespace deepmc::pmdk

@@ -1,0 +1,140 @@
+// pmdk_mini — a miniature re-implementation of the PMDK libpmemobj idioms
+// the paper studies, on top of the PM emulation substrate.
+//
+// Provides (strict persistency model, like PMDK):
+//   * ObjPool       — object pool over pmem::PmPool with a typed root
+//   * pmemobj_persist / pmemobj_memset_persist equivalents
+//   * Tx            — undo-log transactions: TX_BEGIN / TX_ADD / commit /
+//                     abort, crash-safe via a persistent undo log
+//   * recover()     — applies the undo log after a crash (uncommitted
+//                     transactions roll back)
+//
+// The optional PerfBugConfig re-introduces the performance-bug patterns of
+// §3.3 (redundant write-backs, whole-object flushes, persists without
+// writes, logging unmodified objects) so benchmarks can quantify the cost
+// the paper reports ("application performance improvement by up to 43%"
+// after fixing, §5.1).
+//
+// An optional rt::RuntimeChecker receives write/read events, mirroring the
+// instrumented builds used for Figure 12's overhead measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::pmdk {
+
+struct PerfBugConfig {
+  bool redundant_flush = false;     ///< flush committed ranges twice
+  bool flush_whole_object = false;  ///< flush the enclosing allocation
+  bool empty_tx_persists = false;   ///< commit machinery runs with no writes
+  bool log_unmodified = false;      ///< snapshot objects that stay untouched
+
+  static PerfBugConfig clean() { return {}; }
+  static PerfBugConfig buggy() { return {true, true, true, true}; }
+};
+
+/// Persistent-object pool, strict persistency.
+class ObjPool {
+ public:
+  explicit ObjPool(pmem::PmPool& pool, PerfBugConfig bugs = {},
+                   rt::RuntimeChecker* rt = nullptr);
+
+  [[nodiscard]] pmem::PmPool& pm() { return *pool_; }
+  [[nodiscard]] const PerfBugConfig& bugs() const { return bugs_; }
+
+  uint64_t alloc(uint64_t size);
+  void free(uint64_t off);
+
+  void set_root(uint64_t off) { pool_->set_root(off); }
+  [[nodiscard]] uint64_t root() const { return pool_->root(); }
+
+  // --- data path (strict persistency helpers) -----------------------------
+  void write(uint64_t off, const void* src, uint64_t size);
+  void read(uint64_t off, void* dst, uint64_t size) const;
+
+  template <typename T>
+  void write_val(uint64_t off, const T& v) {
+    write(off, &v, sizeof(T));
+  }
+  template <typename T>
+  [[nodiscard]] T read_val(uint64_t off) const {
+    T v;
+    read(off, &v, sizeof(T));
+    return v;
+  }
+
+  /// pmemobj_persist: flush + fence. Honors the seeded perf bugs.
+  void persist(uint64_t off, uint64_t size);
+  /// pmemobj_memset_persist.
+  void memset_persist(uint64_t off, uint8_t byte, uint64_t size);
+
+  [[nodiscard]] rt::RuntimeChecker* runtime() const { return rt_; }
+
+ private:
+  friend class Tx;
+  pmem::PmPool* pool_;
+  PerfBugConfig bugs_;
+  rt::RuntimeChecker* rt_;
+};
+
+/// Undo-log transaction (TX_BEGIN ... TX_ADD ... commit/abort).
+///
+/// Layout of the persistent undo log (allocated lazily, one per pool):
+///   [0]  entry count (u64)                       — the commit/abort pivot
+///   [8+] entries: {home_off u64, size u64, data[size] padded to 8}
+///
+/// Protocol: TX_ADD appends a snapshot entry and persists it *and* the new
+/// count before the caller may modify the object (undo logging). Commit
+/// flushes every logged range (PMDK flushes modified objects at commit),
+/// fences, then truncates the log (count=0, persist). A crash with a
+/// non-zero count means an interrupted transaction; recover() copies the
+/// snapshots back, restoring the pre-transaction state.
+class Tx {
+ public:
+  explicit Tx(ObjPool& pool);
+  ~Tx();  ///< aborts if neither commit() nor abort() was called
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  /// TX_ADD: snapshot [off, off+size) into the undo log.
+  void add(uint64_t off, uint64_t size);
+
+  /// Store through the transaction (range must have been add()ed —
+  /// enforced, because unlogged writes are exactly the Figure 2 bug).
+  void write(uint64_t off, const void* src, uint64_t size);
+  template <typename T>
+  void write_val(uint64_t off, const T& v) {
+    write(off, &v, sizeof(T));
+  }
+
+  void commit();
+  void abort();
+
+  /// Simulate process death: closes the handle without touching the pool,
+  /// leaving the undo log populated for recover(). Test/bench helper.
+  void abandon() { open_ = false; }
+
+  [[nodiscard]] bool open() const { return open_; }
+
+ private:
+  struct Range {
+    uint64_t off, size;
+    bool written = false;
+  };
+  ObjPool& pool_;
+  std::vector<Range> ranges_;
+  bool open_ = true;
+};
+
+/// Post-crash recovery: roll back any interrupted transaction recorded in
+/// the pool's undo log. Returns the number of entries rolled back.
+uint64_t recover(ObjPool& pool);
+
+/// Offset of the pool's undo log (exposed for tests).
+uint64_t undo_log_offset(ObjPool& pool);
+
+}  // namespace deepmc::pmdk

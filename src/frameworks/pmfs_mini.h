@@ -1,0 +1,133 @@
+// pmfs_mini — miniature PMFS (Dulloor et al., EuroSys'14): a persistent-
+// memory filesystem with a journaled metadata path, epoch persistency.
+//
+// On-media layout (all offsets within one pmem::PmPool):
+//   superblock        magic, geometry, root-dir entry count, copy offset
+//   superblock copy   redundant copy used by recovery (the super.c bugs)
+//   inode table       fixed array of {size, nblocks, block[kMaxBlocks]}
+//   directory table   flat root directory: {ino, name[kNameBytes]}
+//   block bitmap      one bit per data block
+//   journal           undo journal: metadata updates are logged, the epoch
+//                     is sealed with one barrier, then applied (Figure 4's
+//                     nested-transaction structure, done correctly)
+//   data blocks       kBlockBytes each; file data is flushed directly
+//
+// mount() recovers: an interrupted journal rolls back, and a corrupt
+// superblock is repaired from the redundant copy.
+//
+// PerfBugConfig seeds the PMFS performance bugs the paper reports: flushing
+// the superblock copy even when recovery succeeded (§5.1), double-flushing
+// written file data (xips.c), and flushing unmodified inodes (files.c).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::pmfs {
+
+struct PerfBugConfig {
+  bool flush_super_copy_always = false;  ///< super.c: flush clean copy
+  bool double_flush_data = false;        ///< xips.c: flush data twice
+  bool flush_unmodified_inode = false;   ///< files.c: flush untouched inode
+
+  static PerfBugConfig clean() { return {}; }
+  static PerfBugConfig buggy() { return {true, true, true}; }
+};
+
+struct Geometry {
+  uint32_t inodes = 128;
+  uint32_t blocks = 256;
+
+  static Geometry small() { return {32, 64}; }
+};
+
+class Pmfs {
+ public:
+  static constexpr uint64_t kBlockBytes = 1024;
+  static constexpr uint32_t kNameBytes = 24;
+  static constexpr uint32_t kMaxBlocks = 4;  ///< per file
+  static constexpr uint32_t kNoInode = UINT32_MAX;
+
+  /// Format a fresh filesystem onto the pool.
+  static Pmfs mkfs(pmem::PmPool& pool, Geometry geo = {},
+                   PerfBugConfig bugs = {}, rt::RuntimeChecker* rt = nullptr);
+
+  /// Mount an existing filesystem: run journal recovery and superblock
+  /// repair. Throws std::runtime_error if no filesystem is present.
+  static Pmfs mount(pmem::PmPool& pool, PerfBugConfig bugs = {},
+                    rt::RuntimeChecker* rt = nullptr);
+
+  // --- namespace operations ------------------------------------------------
+  /// Create an empty file; returns its inode number.
+  uint32_t create(std::string_view name);
+  /// Look up a name (kNoInode if absent).
+  [[nodiscard]] uint32_t lookup(std::string_view name) const;
+  void unlink(std::string_view name);
+  /// Create a symlink whose target string is stored as file data — the
+  /// pmfs_symlink path of Figure 4.
+  uint32_t symlink(std::string_view target, std::string_view name);
+
+  // --- data operations --------------------------------------------------------
+  /// Overwrite file contents (size <= kMaxBlocks * kBlockBytes).
+  void write_file(uint32_t ino, const void* data, uint64_t size);
+  [[nodiscard]] std::vector<uint8_t> read_file(uint32_t ino) const;
+  [[nodiscard]] uint64_t file_size(uint32_t ino) const;
+
+  // --- introspection -----------------------------------------------------------
+  [[nodiscard]] uint32_t file_count() const;
+  [[nodiscard]] uint32_t free_blocks() const;
+  [[nodiscard]] pmem::PmPool& pm() { return *pool_; }
+
+  /// Deliberately corrupt the primary superblock (tests/bench: exercises
+  /// the recovery path where the super.c perf bug lives).
+  void corrupt_superblock();
+
+  /// Number of journal entries rolled back by the last mount().
+  [[nodiscard]] uint64_t last_recovery_rollbacks() const {
+    return last_rollbacks_;
+  }
+
+ private:
+  Pmfs(pmem::PmPool& pool, PerfBugConfig bugs, rt::RuntimeChecker* rt);
+
+  // journaled metadata update helpers (epoch persistency: log -> barrier ->
+  // apply -> barrier)
+  class Journal;
+  void journal_begin();
+  void journal_log(uint64_t off, uint64_t size);
+  void journal_write(uint64_t off, const void* src, uint64_t size);
+  void journal_commit();
+  uint64_t journal_recover();
+
+  void repair_superblock();
+
+  // layout accessors
+  [[nodiscard]] uint64_t inode_off(uint32_t ino) const;
+  [[nodiscard]] uint64_t dirent_off(uint32_t slot) const;
+  [[nodiscard]] uint64_t bitmap_off() const;
+  [[nodiscard]] uint64_t block_off(uint32_t blk) const;
+
+  uint32_t alloc_block();
+  void free_block(uint32_t blk);
+  uint32_t find_dirent(std::string_view name) const;
+
+  pmem::PmPool* pool_;
+  PerfBugConfig bugs_;
+  rt::RuntimeChecker* rt_;
+  uint64_t super_ = 0;  ///< superblock offset (root of the pool)
+  Geometry geo_;
+  uint64_t last_rollbacks_ = 0;
+  struct {
+    uint64_t off = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> logged;
+    bool open = false;
+  } jrn_;
+};
+
+}  // namespace deepmc::pmfs

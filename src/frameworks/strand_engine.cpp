@@ -1,0 +1,56 @@
+#include "frameworks/strand_engine.h"
+
+#include <algorithm>
+
+namespace deepmc::strand {
+
+BatchResult StrandExecutor::run_batch() {
+  BatchResult result;
+  result.strands = strands_.size();
+  const size_t races_before = rt_ ? rt_->races().size() : 0;
+
+  for (StrandFn& fn : strands_) {
+    rt::StrandId id = rt_ ? rt_->strand_begin() : 0;
+    const uint64_t before = pool_->stats().sim_ns;
+    fn(*pool_);
+    const uint64_t cost = pool_->stats().sim_ns - before;
+    result.serialized_ns += cost;
+    result.makespan_ns = std::max(result.makespan_ns, cost);
+    if (rt_) rt_->strand_end(id);
+  }
+  strands_.clear();
+
+  // Seal the batch with a persist barrier: the next batch happens-after.
+  pool_->fence();
+  if (rt_) {
+    rt_->on_fence(0);
+    result.races = rt_->races().size() - races_before;
+  }
+  return result;
+}
+
+BatchResult run_strands(pmem::PmPool& pool, rt::RuntimeChecker* rt,
+                        const std::vector<CtxStrandFn>& strands) {
+  BatchResult result;
+  result.strands = strands.size();
+  const size_t races_before = rt ? rt->races().size() : 0;
+
+  for (const CtxStrandFn& fn : strands) {
+    rt::StrandId id = rt ? rt->strand_begin() : 0;
+    StrandCtx ctx(pool, rt, id);
+    const uint64_t before = pool.stats().sim_ns;
+    fn(ctx);
+    const uint64_t cost = pool.stats().sim_ns - before;
+    result.serialized_ns += cost;
+    result.makespan_ns = std::max(result.makespan_ns, cost);
+    if (rt) rt->strand_end(id);
+  }
+  pool.fence();
+  if (rt) {
+    rt->on_fence(0);
+    result.races = rt->races().size() - races_before;
+  }
+  return result;
+}
+
+}  // namespace deepmc::strand

@@ -1,0 +1,215 @@
+// IRBuilder: convenience API for constructing MIR.
+//
+// Corpus modules (src/corpus) and tests build programs through this class.
+// The builder keeps a "current source location" that is stamped onto every
+// created instruction; corpus code sets it to the paper-cited file:line.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace deepmc::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() { return module_; }
+  TypeContext& types() { return module_.types(); }
+
+  // --- function / block management ---------------------------------------
+  Function* begin_function(
+      std::string name, const Type* ret,
+      std::vector<std::pair<std::string, const Type*>> params) {
+    func_ = module_.create_function(std::move(name), ret, std::move(params));
+    block_ = func_->create_block("entry");
+    return func_;
+  }
+
+  BasicBlock* create_block(std::string name) {
+    assert(func_);
+    return func_->create_block(std::move(name));
+  }
+
+  void set_insert_point(BasicBlock* bb) {
+    block_ = bb;
+    func_ = bb->parent();
+  }
+  [[nodiscard]] BasicBlock* insert_block() const { return block_; }
+  [[nodiscard]] Function* current_function() const { return func_; }
+
+  // --- source locations ----------------------------------------------------
+  void set_loc(std::string file, uint32_t line) {
+    loc_ = SourceLoc(std::move(file), line);
+  }
+  void set_line(uint32_t line) { loc_.line = line; }
+  [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+  // --- values ---------------------------------------------------------------
+  Value* const_int(int64_t v, uint32_t bits = 64) {
+    assert(func_);
+    return func_->own(std::make_unique<Constant>(types().int_type(bits), v));
+  }
+
+  // --- memory ----------------------------------------------------------------
+  AllocaInst* alloca_(const Type* ty, std::string name) {
+    return append(std::make_unique<AllocaInst>(types().pointer_to(ty), ty,
+                                               std::move(name)));
+  }
+  PmAllocInst* pm_alloc(const Type* ty, std::string name) {
+    return append(std::make_unique<PmAllocInst>(types().pointer_to(ty), ty,
+                                                std::move(name)));
+  }
+  PmFreeInst* pm_free(Value* ptr) {
+    return append(std::make_unique<PmFreeInst>(types().void_type(), ptr));
+  }
+  LoadInst* load(Value* ptr, std::string name) {
+    return append(std::make_unique<LoadInst>(pointee_or_i64(ptr), ptr,
+                                             std::move(name)));
+  }
+  StoreInst* store(Value* val, Value* ptr) {
+    return append(std::make_unique<StoreInst>(types().void_type(), val, ptr));
+  }
+  StoreInst* store(int64_t val, Value* ptr) {
+    return store(const_int(val, value_bits(ptr)), ptr);
+  }
+  GepInst* gep(Value* base, int64_t index, std::string name) {
+    return gep_at(base, const_int(index), std::move(name));
+  }
+  /// gep with a dynamic (Value) index, e.g. array element addressing.
+  GepInst* gep_at(Value* base, Value* index, std::string name) {
+    return append(std::make_unique<GepInst>(gep_result_type(base, index),
+                                            base, index, std::move(name)));
+  }
+  MemSetInst* memset_(Value* ptr, Value* byte, Value* size) {
+    return append(
+        std::make_unique<MemSetInst>(types().void_type(), ptr, byte, size));
+  }
+  MemCpyInst* memcpy_(Value* dst, Value* src, Value* size) {
+    return append(
+        std::make_unique<MemCpyInst>(types().void_type(), dst, src, size));
+  }
+
+  // --- persistence -----------------------------------------------------------
+  FlushInst* flush(Value* ptr, uint64_t size = 0) {
+    return append(std::make_unique<FlushInst>(
+        Opcode::kFlush, types().void_type(), ptr, size_operand(ptr, size)));
+  }
+  FenceInst* fence() {
+    return append(std::make_unique<FenceInst>(types().void_type()));
+  }
+  FlushInst* persist(Value* ptr, uint64_t size = 0) {
+    return append(std::make_unique<FlushInst>(
+        Opcode::kPersist, types().void_type(), ptr, size_operand(ptr, size)));
+  }
+  TxAddInst* tx_add(Value* ptr, uint64_t size = 0) {
+    return append(std::make_unique<TxAddInst>(types().void_type(), ptr,
+                                              size_operand(ptr, size)));
+  }
+  TxBeginInst* tx_begin(RegionKind kind = RegionKind::kTx) {
+    return append(std::make_unique<TxBeginInst>(types().void_type(), kind));
+  }
+  TxEndInst* tx_end(RegionKind kind = RegionKind::kTx) {
+    return append(std::make_unique<TxEndInst>(types().void_type(), kind));
+  }
+  TxBeginInst* epoch_begin() { return tx_begin(RegionKind::kEpoch); }
+  TxEndInst* epoch_end() { return tx_end(RegionKind::kEpoch); }
+  TxBeginInst* strand_begin() { return tx_begin(RegionKind::kStrand); }
+  TxEndInst* strand_end() { return tx_end(RegionKind::kStrand); }
+
+  // --- calls / control flow ---------------------------------------------------
+  CallInst* call(Function* callee, std::vector<Value*> args,
+                 std::string name = {}) {
+    return append(std::make_unique<CallInst>(callee->return_type(),
+                                             callee->name(), std::move(args),
+                                             std::move(name)));
+  }
+  /// Call by name with an explicit result type (external / forward).
+  CallInst* call_ext(std::string callee, const Type* result,
+                     std::vector<Value*> args, std::string name = {}) {
+    return append(std::make_unique<CallInst>(result, std::move(callee),
+                                             std::move(args), std::move(name)));
+  }
+  RetInst* ret(Value* v = nullptr) {
+    return append(std::make_unique<RetInst>(types().void_type(), v));
+  }
+  BrInst* br(BasicBlock* target) {
+    return append(std::make_unique<BrInst>(types().void_type(), target));
+  }
+  BrInst* cond_br(Value* cond, BasicBlock* t, BasicBlock* f) {
+    return append(std::make_unique<BrInst>(types().void_type(), cond, t, f));
+  }
+  BinOpInst* binop(BinOpKind kind, Value* lhs, Value* rhs, std::string name) {
+    const Type* result = is_compare(kind)
+                             ? static_cast<const Type*>(types().i1())
+                             : lhs->type();
+    return append(std::make_unique<BinOpInst>(result, kind, lhs, rhs,
+                                              std::move(name)));
+  }
+  CastInst* cast(Value* src, const Type* to_pointee, std::string name) {
+    return append(std::make_unique<CastInst>(types().pointer_to(to_pointee),
+                                             src, std::move(name)));
+  }
+
+  static bool is_compare(BinOpKind k) {
+    return k == BinOpKind::kEq || k == BinOpKind::kNe || k == BinOpKind::kLt ||
+           k == BinOpKind::kLe;
+  }
+
+ private:
+  template <typename T>
+  T* append(std::unique_ptr<T> inst) {
+    assert(block_ && "no insert point");
+    inst->set_loc(loc_);
+    return static_cast<T*>(block_->append(std::move(inst)));
+  }
+
+  const Type* pointee_or_i64(Value* ptr) {
+    if (auto* pt = dynamic_cast<const PointerType*>(ptr->type());
+        pt && !pt->is_opaque())
+      return pt->pointee();
+    return types().i64();
+  }
+
+  uint32_t value_bits(Value* ptr) {
+    const Type* t = pointee_or_i64(ptr);
+    if (auto* it = dynamic_cast<const IntType*>(t)) return it->bits();
+    return 64;
+  }
+
+  const Type* gep_result_type(Value* base, Value* index) {
+    auto* pt = dynamic_cast<const PointerType*>(base->type());
+    if (!pt || pt->is_opaque()) return types().opaque_ptr();
+    const Type* pointee = pt->pointee();
+    if (auto* st = dynamic_cast<const StructType*>(pointee)) {
+      if (auto* c = dynamic_cast<Constant*>(index);
+          c && c->value() >= 0 &&
+          static_cast<size_t>(c->value()) < st->field_count())
+        return types().pointer_to(st->field(static_cast<size_t>(c->value())));
+      return types().opaque_ptr();
+    }
+    if (auto* at = dynamic_cast<const ArrayType*>(pointee))
+      return types().pointer_to(at->element());
+    // gep on a pointer-to-scalar: element addressing in a buffer.
+    return base->type();
+  }
+
+  Value* size_operand(Value* ptr, uint64_t size) {
+    if (size == 0) {
+      size = pointee_or_i64(ptr)->size();
+      if (size == 0) size = 8;
+    }
+    return const_int(static_cast<int64_t>(size));
+  }
+
+  Module& module_;
+  Function* func_ = nullptr;
+  BasicBlock* block_ = nullptr;
+  SourceLoc loc_;
+};
+
+}  // namespace deepmc::ir

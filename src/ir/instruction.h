@@ -1,0 +1,312 @@
+// MIR instructions.
+//
+// The set is exactly what DeepMC's analyses consume (paper §4): memory
+// operations (alloca / pm.alloc / load / store / gep / memset / memcpy),
+// persistence intrinsics (pm.flush / pm.fence / pm.persist / tx.add),
+// region markers (tx / epoch / strand begin-end), control flow (br / ret),
+// calls, integer arithmetic, and pointer casts.
+//
+// Every instruction carries an optional SourceLoc; corpus modules set it to
+// the paper-cited file:line so checker reports line up with Tables 3 and 8.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+#include "support/source_loc.h"
+
+namespace deepmc::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : uint8_t {
+  kAlloca,    // %p = alloca T           (volatile stack slot)
+  kPmAlloc,   // %p = pm.alloc T         (persistent allocation; malloc-like)
+  kPmFree,    // pm.free %p
+  kLoad,      // %v = load %p
+  kStore,     // store %v, %p
+  kGep,       // %q = gep %p, <field-or-index>
+  kMemSet,    // memset %p, byte, size
+  kMemCpy,    // memcpy %dst, %src, size
+  kFlush,     // pm.flush %p, size       (clwb)
+  kFence,     // pm.fence                (sfence / persist barrier)
+  kPersist,   // pm.persist %p, size     (flush + fence)
+  kTxAdd,     // tx.add %p, size         (undo-log an object; TX_ADD)
+  kTxBegin,   // tx.begin / epoch.begin / strand.begin
+  kTxEnd,     // tx.end / epoch.end / strand.end
+  kCall,      // [%v =] call @f(args...)
+  kRet,       // ret [%v]
+  kBr,        // br label %b | br %c, label %t, label %f
+  kBinOp,     // %v = add|sub|mul|div|eq|ne|lt|le %a, %b
+  kCast,      // %q = cast %p to T*
+};
+
+const char* opcode_name(Opcode op);
+
+/// Region kinds for TxBegin/TxEnd. `kTx` is a durable transaction
+/// (PMDK TX_BEGIN, nvm_txbegin); `kEpoch`/`kStrand` are persistency-model
+/// region annotations (§2.2).
+enum class RegionKind : uint8_t { kTx, kEpoch, kStrand };
+const char* region_kind_name(RegionKind k);
+
+enum class BinOpKind : uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe,
+};
+const char* binop_name(BinOpKind k);
+
+class Instruction : public Value {
+ public:
+  [[nodiscard]] Opcode opcode() const { return op_; }
+  [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+  void set_loc(SourceLoc loc) { loc_ = std::move(loc); }
+
+  [[nodiscard]] const std::vector<Value*>& operands() const { return ops_; }
+  [[nodiscard]] Value* operand(size_t i) const { return ops_.at(i); }
+  [[nodiscard]] size_t operand_count() const { return ops_.size(); }
+
+  [[nodiscard]] BasicBlock* parent() const { return parent_; }
+  void set_parent(BasicBlock* bb) { parent_ = bb; }
+
+  [[nodiscard]] bool is_terminator() const {
+    return op_ == Opcode::kRet || op_ == Opcode::kBr;
+  }
+
+  /// True for operations the checker treats as persist-relevant.
+  [[nodiscard]] bool is_persist_op() const {
+    switch (op_) {
+      case Opcode::kFlush:
+      case Opcode::kFence:
+      case Opcode::kPersist:
+      case Opcode::kTxAdd:
+      case Opcode::kTxBegin:
+      case Opcode::kTxEnd:
+      case Opcode::kPmAlloc:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+ protected:
+  Instruction(Opcode op, const Type* type, std::vector<Value*> ops,
+              std::string name = {})
+      : Value(ValueKind::kInstruction, type, std::move(name)),
+        op_(op),
+        ops_(std::move(ops)) {}
+
+ private:
+  Opcode op_;
+  std::vector<Value*> ops_;
+  BasicBlock* parent_ = nullptr;
+  SourceLoc loc_;
+};
+
+/// %p = alloca T  — result type is T*.
+class AllocaInst final : public Instruction {
+ public:
+  AllocaInst(const PointerType* result, const Type* allocated,
+             std::string name)
+      : Instruction(Opcode::kAlloca, result, {}, std::move(name)),
+        allocated_(allocated) {}
+  [[nodiscard]] const Type* allocated_type() const { return allocated_; }
+
+ private:
+  const Type* allocated_;
+};
+
+/// %p = pm.alloc T — persistent allocation (result T*).
+class PmAllocInst final : public Instruction {
+ public:
+  PmAllocInst(const PointerType* result, const Type* allocated,
+              std::string name)
+      : Instruction(Opcode::kPmAlloc, result, {}, std::move(name)),
+        allocated_(allocated) {}
+  [[nodiscard]] const Type* allocated_type() const { return allocated_; }
+
+ private:
+  const Type* allocated_;
+};
+
+class PmFreeInst final : public Instruction {
+ public:
+  explicit PmFreeInst(const Type* void_ty, Value* ptr)
+      : Instruction(Opcode::kPmFree, void_ty, {ptr}) {}
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+};
+
+class LoadInst final : public Instruction {
+ public:
+  LoadInst(const Type* result, Value* ptr, std::string name)
+      : Instruction(Opcode::kLoad, result, {ptr}, std::move(name)) {}
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+};
+
+class StoreInst final : public Instruction {
+ public:
+  StoreInst(const Type* void_ty, Value* value, Value* ptr)
+      : Instruction(Opcode::kStore, void_ty, {value, ptr}) {}
+  [[nodiscard]] Value* value() const { return operand(0); }
+  [[nodiscard]] Value* pointer() const { return operand(1); }
+};
+
+/// %q = gep %p, idx — address of field idx (struct) or element idx (array).
+/// A dynamic (non-constant) array index is allowed; field-sensitive analyses
+/// then fall back to "somewhere in the array".
+class GepInst final : public Instruction {
+ public:
+  GepInst(const Type* result, Value* base, Value* index, std::string name)
+      : Instruction(Opcode::kGep, result, {base, index}, std::move(name)) {}
+  [[nodiscard]] Value* base() const { return operand(0); }
+  [[nodiscard]] Value* index() const { return operand(1); }
+  /// Constant index, or -1 if dynamic.
+  [[nodiscard]] int64_t const_index() const {
+    if (auto* c = dynamic_cast<Constant*>(index())) return c->value();
+    return -1;
+  }
+};
+
+class MemSetInst final : public Instruction {
+ public:
+  MemSetInst(const Type* void_ty, Value* ptr, Value* byte, Value* size)
+      : Instruction(Opcode::kMemSet, void_ty, {ptr, byte, size}) {}
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+  [[nodiscard]] Value* byte() const { return operand(1); }
+  [[nodiscard]] Value* size() const { return operand(2); }
+};
+
+class MemCpyInst final : public Instruction {
+ public:
+  MemCpyInst(const Type* void_ty, Value* dst, Value* src, Value* size)
+      : Instruction(Opcode::kMemCpy, void_ty, {dst, src, size}) {}
+  [[nodiscard]] Value* dest() const { return operand(0); }
+  [[nodiscard]] Value* source() const { return operand(1); }
+  [[nodiscard]] Value* size() const { return operand(2); }
+};
+
+/// pm.flush %p, size and pm.persist %p, size.
+class FlushInst final : public Instruction {
+ public:
+  FlushInst(Opcode op, const Type* void_ty, Value* ptr, Value* size)
+      : Instruction(op, void_ty, {ptr, size}) {
+    assert(op == Opcode::kFlush || op == Opcode::kPersist);
+  }
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+  [[nodiscard]] Value* size() const { return operand(1); }
+  [[nodiscard]] bool includes_fence() const {
+    return opcode() == Opcode::kPersist;
+  }
+};
+
+class FenceInst final : public Instruction {
+ public:
+  explicit FenceInst(const Type* void_ty)
+      : Instruction(Opcode::kFence, void_ty, {}) {}
+};
+
+/// tx.add %p, size — register an object with the transaction undo log.
+class TxAddInst final : public Instruction {
+ public:
+  TxAddInst(const Type* void_ty, Value* ptr, Value* size)
+      : Instruction(Opcode::kTxAdd, void_ty, {ptr, size}) {}
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+  [[nodiscard]] Value* size() const { return operand(1); }
+};
+
+class TxBeginInst final : public Instruction {
+ public:
+  TxBeginInst(const Type* void_ty, RegionKind kind)
+      : Instruction(Opcode::kTxBegin, void_ty, {}), kind_(kind) {}
+  [[nodiscard]] RegionKind region_kind() const { return kind_; }
+
+ private:
+  RegionKind kind_;
+};
+
+class TxEndInst final : public Instruction {
+ public:
+  TxEndInst(const Type* void_ty, RegionKind kind)
+      : Instruction(Opcode::kTxEnd, void_ty, {}), kind_(kind) {}
+  [[nodiscard]] RegionKind region_kind() const { return kind_; }
+
+ private:
+  RegionKind kind_;
+};
+
+class CallInst final : public Instruction {
+ public:
+  CallInst(const Type* result, std::string callee, std::vector<Value*> args,
+           std::string name)
+      : Instruction(Opcode::kCall, result, std::move(args), std::move(name)),
+        callee_(std::move(callee)) {}
+  [[nodiscard]] const std::string& callee() const { return callee_; }
+  [[nodiscard]] const std::vector<Value*>& args() const { return operands(); }
+
+ private:
+  std::string callee_;
+};
+
+class RetInst final : public Instruction {
+ public:
+  RetInst(const Type* void_ty, Value* value /*nullable*/)
+      : Instruction(Opcode::kRet, void_ty,
+                    value ? std::vector<Value*>{value} : std::vector<Value*>{}) {
+  }
+  [[nodiscard]] Value* value() const {
+    return operand_count() ? operand(0) : nullptr;
+  }
+};
+
+class BrInst final : public Instruction {
+ public:
+  /// Unconditional.
+  BrInst(const Type* void_ty, BasicBlock* target)
+      : Instruction(Opcode::kBr, void_ty, {}), true_(target) {}
+  /// Conditional.
+  BrInst(const Type* void_ty, Value* cond, BasicBlock* t, BasicBlock* f)
+      : Instruction(Opcode::kBr, void_ty, {cond}), true_(t), false_(f) {}
+
+  [[nodiscard]] bool is_conditional() const { return operand_count() == 1; }
+  [[nodiscard]] Value* condition() const {
+    return is_conditional() ? operand(0) : nullptr;
+  }
+  [[nodiscard]] BasicBlock* true_target() const { return true_; }
+  [[nodiscard]] BasicBlock* false_target() const { return false_; }
+  void set_targets(BasicBlock* t, BasicBlock* f) {
+    true_ = t;
+    false_ = f;
+  }
+
+ private:
+  BasicBlock* true_ = nullptr;
+  BasicBlock* false_ = nullptr;
+};
+
+class BinOpInst final : public Instruction {
+ public:
+  BinOpInst(const Type* result, BinOpKind kind, Value* lhs, Value* rhs,
+            std::string name)
+      : Instruction(Opcode::kBinOp, result, {lhs, rhs}, std::move(name)),
+        kind_(kind) {}
+  [[nodiscard]] BinOpKind bin_kind() const { return kind_; }
+  [[nodiscard]] Value* lhs() const { return operand(0); }
+  [[nodiscard]] Value* rhs() const { return operand(1); }
+
+ private:
+  BinOpKind kind_;
+};
+
+/// %q = cast %p to T — pointer/int reinterpretation (e.g. the
+/// `(nvm_amutex*)omutex` cast in Figure 9).
+class CastInst final : public Instruction {
+ public:
+  CastInst(const Type* result, Value* src, std::string name)
+      : Instruction(Opcode::kCast, result, {src}, std::move(name)) {}
+  [[nodiscard]] Value* source() const { return operand(0); }
+};
+
+}  // namespace deepmc::ir

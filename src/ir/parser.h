@@ -1,0 +1,46 @@
+// Textual MIR parser.
+//
+// Grammar (line-oriented; ';' starts a comment):
+//
+//   module "name"
+//   struct %node { i64, %node*, [4 x i64] }
+//   declare i64 @ext(%node*, i64)
+//   define void @f(%node* %n) {
+//   entry:
+//     %p = gep %n, 0 !loc("btree_map.c", 201)
+//     store i64 5, %p
+//     pm.flush %p, 8
+//     pm.fence
+//     br label %exit
+//   exit:
+//     ret
+//   }
+//
+// Pointers to structs not yet defined parse as the untyped `ptr` (this is
+// how self-referential structs are expressed; a `cast` restores the type at
+// use sites). Parse errors throw ParseError with a line number.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ir/module.h"
+
+namespace deepmc::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] size_t line() const { return line_; }
+
+ private:
+  size_t line_;
+};
+
+/// Parse a full module from MIR text. Throws ParseError on malformed input.
+std::unique_ptr<Module> parse_module(std::string_view text);
+
+}  // namespace deepmc::ir

@@ -1,0 +1,195 @@
+#include "ir/printer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace deepmc::ir {
+
+namespace {
+
+std::string value_ref(const Value* v) {
+  if (const auto* c = dynamic_cast<const Constant*>(v))
+    return std::to_string(c->value());
+  return "%" + v->name();
+}
+
+std::string typed_value_ref(const Value* v) {
+  if (const auto* c = dynamic_cast<const Constant*>(v))
+    return c->type()->str() + " " + std::to_string(c->value());
+  return "%" + v->name();
+}
+
+void print_loc_suffix(const Instruction& inst, std::ostream& os) {
+  if (inst.loc().valid())
+    os << " !loc(\"" << inst.loc().file << "\", " << inst.loc().line << ")";
+}
+
+}  // namespace
+
+void print_instruction(const Instruction& inst, std::ostream& os) {
+  os << "  ";
+  if (!inst.name().empty()) os << "%" << inst.name() << " = ";
+  switch (inst.opcode()) {
+    case Opcode::kAlloca: {
+      const auto& a = static_cast<const AllocaInst&>(inst);
+      os << "alloca " << a.allocated_type()->str();
+      break;
+    }
+    case Opcode::kPmAlloc: {
+      const auto& a = static_cast<const PmAllocInst&>(inst);
+      os << "pm.alloc " << a.allocated_type()->str();
+      break;
+    }
+    case Opcode::kPmFree:
+      os << "pm.free " << value_ref(inst.operand(0));
+      break;
+    case Opcode::kLoad:
+      os << "load " << value_ref(inst.operand(0));
+      break;
+    case Opcode::kStore: {
+      const auto& s = static_cast<const StoreInst&>(inst);
+      os << "store " << typed_value_ref(s.value()) << ", "
+         << value_ref(s.pointer());
+      break;
+    }
+    case Opcode::kGep: {
+      const auto& g = static_cast<const GepInst&>(inst);
+      os << "gep " << value_ref(g.base()) << ", " << value_ref(g.index());
+      break;
+    }
+    case Opcode::kMemSet: {
+      const auto& m = static_cast<const MemSetInst&>(inst);
+      os << "memset " << value_ref(m.pointer()) << ", " << value_ref(m.byte())
+         << ", " << value_ref(m.size());
+      break;
+    }
+    case Opcode::kMemCpy: {
+      const auto& m = static_cast<const MemCpyInst&>(inst);
+      os << "memcpy " << value_ref(m.dest()) << ", " << value_ref(m.source())
+         << ", " << value_ref(m.size());
+      break;
+    }
+    case Opcode::kFlush:
+    case Opcode::kPersist: {
+      const auto& f = static_cast<const FlushInst&>(inst);
+      os << (inst.opcode() == Opcode::kFlush ? "pm.flush " : "pm.persist ")
+         << value_ref(f.pointer()) << ", " << value_ref(f.size());
+      break;
+    }
+    case Opcode::kFence:
+      os << "pm.fence";
+      break;
+    case Opcode::kTxAdd: {
+      const auto& t = static_cast<const TxAddInst&>(inst);
+      os << "tx.add " << value_ref(t.pointer()) << ", " << value_ref(t.size());
+      break;
+    }
+    case Opcode::kTxBegin:
+      os << region_kind_name(
+                static_cast<const TxBeginInst&>(inst).region_kind())
+         << ".begin";
+      break;
+    case Opcode::kTxEnd:
+      os << region_kind_name(static_cast<const TxEndInst&>(inst).region_kind())
+         << ".end";
+      break;
+    case Opcode::kCall: {
+      const auto& c = static_cast<const CallInst&>(inst);
+      os << "call ";
+      if (!c.type()->is_void()) os << c.type()->str() << " ";
+      os << "@" << c.callee() << "(";
+      for (size_t i = 0; i < c.args().size(); ++i) {
+        if (i) os << ", ";
+        os << typed_value_ref(c.args()[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::kRet: {
+      const auto& r = static_cast<const RetInst&>(inst);
+      os << "ret";
+      if (r.value()) os << " " << typed_value_ref(r.value());
+      break;
+    }
+    case Opcode::kBr: {
+      const auto& b = static_cast<const BrInst&>(inst);
+      if (b.is_conditional()) {
+        os << "br " << value_ref(b.condition()) << ", label %"
+           << b.true_target()->name() << ", label %"
+           << b.false_target()->name();
+      } else {
+        os << "br label %" << b.true_target()->name();
+      }
+      break;
+    }
+    case Opcode::kBinOp: {
+      const auto& b = static_cast<const BinOpInst&>(inst);
+      os << binop_name(b.bin_kind()) << " " << typed_value_ref(b.lhs()) << ", "
+         << typed_value_ref(b.rhs());
+      break;
+    }
+    case Opcode::kCast: {
+      const auto& c = static_cast<const CastInst&>(inst);
+      os << "cast " << value_ref(c.source()) << " to " << c.type()->str();
+      break;
+    }
+  }
+  print_loc_suffix(inst, os);
+}
+
+void print_function(const Function& f, std::ostream& os) {
+  os << (f.is_declaration() ? "declare " : "define ")
+     << f.return_type()->str() << " @" << f.name() << "(";
+  for (size_t i = 0; i < f.arg_count(); ++i) {
+    if (i) os << ", ";
+    os << f.arg(i)->type()->str() << " %" << f.arg(i)->name();
+  }
+  os << ")";
+  if (f.is_declaration()) {
+    os << "\n";
+    return;
+  }
+  os << " {\n";
+  for (const auto& bb : f.blocks()) {
+    os << bb->name() << ":\n";
+    for (const auto& inst : bb->instructions()) {
+      print_instruction(*inst, os);
+      os << "\n";
+    }
+  }
+  os << "}\n";
+}
+
+void print_module(const Module& m, std::ostream& os) {
+  os << "module \"" << m.name() << "\"\n\n";
+  for (const auto& [name, st] : m.types().structs()) {
+    os << "struct %" << name << " { ";
+    for (size_t i = 0; i < st->field_count(); ++i) {
+      if (i) os << ", ";
+      os << st->field(i)->str();
+    }
+    os << " }\n";
+  }
+  os << "\n";
+  for (const auto& f : m.functions()) {
+    print_function(*f, os);
+    os << "\n";
+  }
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  print_module(m, os);
+  return os.str();
+}
+
+std::string to_string(const Instruction& inst) {
+  std::ostringstream os;
+  print_instruction(inst, os);
+  std::string s = os.str();
+  // strip leading indent
+  if (s.size() >= 2 && s[0] == ' ') s = s.substr(2);
+  return s;
+}
+
+}  // namespace deepmc::ir

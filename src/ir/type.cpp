@@ -1,0 +1,70 @@
+#include "ir/type.h"
+
+#include <stdexcept>
+
+namespace deepmc::ir {
+
+StructType::StructType(std::string name, std::vector<const Type*> fields)
+    : Type(TypeKind::kStruct), name_(std::move(name)), fields_(std::move(fields)) {
+  uint64_t off = 0;
+  for (const Type* f : fields_) {
+    const uint64_t a = std::max<uint64_t>(f->alignment(), 1);
+    off = (off + a - 1) / a * a;
+    offsets_.push_back(off);
+    off += f->size();
+    align_ = std::max(align_, a);
+  }
+  size_ = (off + align_ - 1) / align_ * align_;
+  if (size_ == 0) size_ = align_;  // empty structs still occupy storage
+}
+
+size_t StructType::field_at_offset(uint64_t offset) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (offset >= offsets_[i] && offset < offsets_[i] + fields_[i]->size())
+      return i;
+  }
+  return npos;
+}
+
+TypeContext::TypeContext() = default;
+
+const IntType* TypeContext::int_type(uint32_t bits) {
+  auto it = ints_.find(bits);
+  if (it == ints_.end())
+    it = ints_.emplace(bits, std::make_unique<IntType>(bits)).first;
+  return it->second.get();
+}
+
+const PointerType* TypeContext::pointer_to(const Type* pointee) {
+  auto it = pointers_.find(pointee);
+  if (it == pointers_.end())
+    it = pointers_.emplace(pointee, std::make_unique<PointerType>(pointee))
+             .first;
+  return it->second.get();
+}
+
+const StructType* TypeContext::create_struct(std::string name,
+                                             std::vector<const Type*> fields) {
+  if (struct_by_name_.count(name))
+    throw std::invalid_argument("duplicate struct name: " + name);
+  auto st = std::make_unique<StructType>(name, std::move(fields));
+  const StructType* raw = st.get();
+  structs_.push_back(std::move(st));
+  struct_by_name_[raw->name()] = raw;
+  return raw;
+}
+
+const StructType* TypeContext::find_struct(const std::string& name) const {
+  auto it = struct_by_name_.find(name);
+  return it == struct_by_name_.end() ? nullptr : it->second;
+}
+
+const ArrayType* TypeContext::array_of(const Type* elem, uint64_t count) {
+  auto key = std::make_pair(elem, count);
+  auto it = arrays_.find(key);
+  if (it == arrays_.end())
+    it = arrays_.emplace(key, std::make_unique<ArrayType>(elem, count)).first;
+  return it->second.get();
+}
+
+}  // namespace deepmc::ir

@@ -1,0 +1,176 @@
+// MIR type system.
+//
+// MIR stands in for LLVM IR (see DESIGN.md §2). DeepMC's analyses are
+// field-sensitive, so the type system keeps what field sensitivity needs:
+// struct layouts with byte offsets, typed pointers, and sized arrays.
+// Types are interned in a TypeContext owned by the Module; Type pointers
+// are stable for the lifetime of the context and compared by identity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace deepmc::ir {
+
+class TypeContext;
+
+enum class TypeKind : uint8_t {
+  kVoid,
+  kInt,      // i1/i8/i16/i32/i64
+  kPointer,  // T* (pointee may be Unknown via void*)
+  kStruct,   // named struct with fields
+  kArray,    // [N x T]
+};
+
+class Type {
+ public:
+  virtual ~Type() = default;
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_void() const { return kind_ == TypeKind::kVoid; }
+  [[nodiscard]] bool is_int() const { return kind_ == TypeKind::kInt; }
+  [[nodiscard]] bool is_pointer() const { return kind_ == TypeKind::kPointer; }
+  [[nodiscard]] bool is_struct() const { return kind_ == TypeKind::kStruct; }
+  [[nodiscard]] bool is_array() const { return kind_ == TypeKind::kArray; }
+
+  /// Size in bytes under the MIR layout (natural alignment, like x86-64).
+  [[nodiscard]] virtual uint64_t size() const = 0;
+  [[nodiscard]] virtual uint64_t alignment() const { return size(); }
+  [[nodiscard]] virtual std::string str() const = 0;
+
+ protected:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+ private:
+  TypeKind kind_;
+};
+
+class VoidType final : public Type {
+ public:
+  VoidType() : Type(TypeKind::kVoid) {}
+  [[nodiscard]] uint64_t size() const override { return 0; }
+  [[nodiscard]] uint64_t alignment() const override { return 1; }
+  [[nodiscard]] std::string str() const override { return "void"; }
+};
+
+class IntType final : public Type {
+ public:
+  explicit IntType(uint32_t bits) : Type(TypeKind::kInt), bits_(bits) {}
+  [[nodiscard]] uint32_t bits() const { return bits_; }
+  [[nodiscard]] uint64_t size() const override { return (bits_ + 7) / 8; }
+  [[nodiscard]] std::string str() const override {
+    return "i" + std::to_string(bits_);
+  }
+
+ private:
+  uint32_t bits_;
+};
+
+class PointerType final : public Type {
+ public:
+  /// `pointee` may be null for an untyped pointer ("ptr").
+  explicit PointerType(const Type* pointee)
+      : Type(TypeKind::kPointer), pointee_(pointee) {}
+  [[nodiscard]] const Type* pointee() const { return pointee_; }
+  [[nodiscard]] bool is_opaque() const { return pointee_ == nullptr; }
+  [[nodiscard]] uint64_t size() const override { return 8; }
+  [[nodiscard]] std::string str() const override {
+    return pointee_ ? pointee_->str() + "*" : "ptr";
+  }
+
+ private:
+  const Type* pointee_;
+};
+
+class StructType final : public Type {
+ public:
+  StructType(std::string name, std::vector<const Type*> fields);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<const Type*>& fields() const {
+    return fields_;
+  }
+  [[nodiscard]] size_t field_count() const { return fields_.size(); }
+  [[nodiscard]] const Type* field(size_t i) const { return fields_.at(i); }
+  /// Byte offset of field `i` under natural alignment.
+  [[nodiscard]] uint64_t field_offset(size_t i) const { return offsets_.at(i); }
+  /// Field index containing byte `offset`, or npos.
+  [[nodiscard]] size_t field_at_offset(uint64_t offset) const;
+
+  [[nodiscard]] uint64_t size() const override { return size_; }
+  [[nodiscard]] uint64_t alignment() const override { return align_; }
+  [[nodiscard]] std::string str() const override { return "%" + name_; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  std::string name_;
+  std::vector<const Type*> fields_;
+  std::vector<uint64_t> offsets_;
+  uint64_t size_ = 0;
+  uint64_t align_ = 1;
+};
+
+class ArrayType final : public Type {
+ public:
+  ArrayType(const Type* elem, uint64_t count)
+      : Type(TypeKind::kArray), elem_(elem), count_(count) {}
+  [[nodiscard]] const Type* element() const { return elem_; }
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] uint64_t size() const override {
+    return elem_->size() * count_;
+  }
+  [[nodiscard]] uint64_t alignment() const override {
+    return elem_->alignment();
+  }
+  [[nodiscard]] std::string str() const override {
+    return "[" + std::to_string(count_) + " x " + elem_->str() + "]";
+  }
+
+ private:
+  const Type* elem_;
+  uint64_t count_;
+};
+
+/// Interns and owns all types for a Module.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  [[nodiscard]] const VoidType* void_type() const { return &void_; }
+  [[nodiscard]] const IntType* int_type(uint32_t bits);
+  [[nodiscard]] const IntType* i1() { return int_type(1); }
+  [[nodiscard]] const IntType* i8() { return int_type(8); }
+  [[nodiscard]] const IntType* i32() { return int_type(32); }
+  [[nodiscard]] const IntType* i64() { return int_type(64); }
+
+  [[nodiscard]] const PointerType* pointer_to(const Type* pointee);
+  [[nodiscard]] const PointerType* opaque_ptr() { return pointer_to(nullptr); }
+
+  /// Creates a named struct. Name must be unique in the context.
+  const StructType* create_struct(std::string name,
+                                  std::vector<const Type*> fields);
+  [[nodiscard]] const StructType* find_struct(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, const StructType*>& structs()
+      const {
+    return struct_by_name_;
+  }
+
+  [[nodiscard]] const ArrayType* array_of(const Type* elem, uint64_t count);
+
+ private:
+  VoidType void_;
+  std::map<uint32_t, std::unique_ptr<IntType>> ints_;
+  std::map<const Type*, std::unique_ptr<PointerType>> pointers_;
+  std::vector<std::unique_ptr<StructType>> structs_;
+  std::map<std::string, const StructType*> struct_by_name_;
+  std::map<std::pair<const Type*, uint64_t>, std::unique_ptr<ArrayType>>
+      arrays_;
+};
+
+}  // namespace deepmc::ir

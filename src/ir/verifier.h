@@ -1,0 +1,33 @@
+// MIR structural verifier.
+//
+// Run after building or parsing a module, before any analysis. Catches the
+// malformed-IR classes the analyses assume away: blocks without terminators,
+// terminators mid-block, stores through non-pointers, calls to unknown
+// functions with bodies expected, gep on non-aggregates with constant
+// indices out of range, and type mismatches on ret.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace deepmc::ir {
+
+struct VerifyIssue {
+  std::string function;
+  std::string block;
+  std::string message;
+
+  [[nodiscard]] std::string str() const {
+    return "@" + function + (block.empty() ? "" : "/" + block) + ": " + message;
+  }
+};
+
+/// Returns all issues (empty == valid module).
+std::vector<VerifyIssue> verify_module(const Module& m);
+
+/// Convenience: throws std::runtime_error listing issues if invalid.
+void verify_or_throw(const Module& m);
+
+}  // namespace deepmc::ir

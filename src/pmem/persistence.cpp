@@ -1,0 +1,107 @@
+#include "pmem/persistence.h"
+
+#include <algorithm>
+
+namespace deepmc::pmem {
+
+namespace {
+// Iterate the lines covering [addr, addr+size).
+template <typename Fn>
+void for_each_line(uint64_t addr, uint64_t size, Fn&& fn) {
+  if (size == 0) return;
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(addr + size - 1);
+  for (uint64_t l = first; l <= last; ++l) fn(l);
+}
+}  // namespace
+
+void PersistenceTracker::on_store(uint64_t addr, uint64_t size) {
+  ++stats_.stores;
+  stats_.bytes_stored += size;
+  stats_.sim_ns += latency_.store_ns;
+  for_each_line(addr, size, [&](uint64_t l) { lines_[l] = LineState::kDirty; });
+}
+
+void PersistenceTracker::on_load(uint64_t addr, uint64_t size) {
+  (void)addr;
+  (void)size;
+  ++stats_.loads;
+  stats_.sim_ns += latency_.load_ns;
+}
+
+void PersistenceTracker::on_flush(uint64_t addr, uint64_t size,
+                                  bool* was_redundant) {
+  ++stats_.flush_calls;
+  bool any_dirty = false;
+  for_each_line(addr, size, [&](uint64_t l) {
+    ++stats_.flushed_lines;
+    auto it = lines_.find(l);
+    const LineState st = it == lines_.end() ? LineState::kClean : it->second;
+    if (st == LineState::kDirty) {
+      any_dirty = true;
+      lines_[l] = LineState::kFlushPending;
+      ++stats_.media_writes;
+      stats_.sim_ns += latency_.flush_line_ns;
+    } else {
+      // Redundant writeback: the line carries no new data, but the clwb
+      // still costs a round-trip (paper §3.3, "redundant write-backs").
+      ++stats_.redundant_flushed_lines;
+      stats_.sim_ns += latency_.flush_clean_line_ns;
+    }
+  });
+  if (was_redundant) *was_redundant = !any_dirty;
+}
+
+void PersistenceTracker::on_fence() {
+  ++stats_.fences;
+  stats_.sim_ns += latency_.fence_base_ns;
+  uint64_t drained = 0;
+  for (auto it = lines_.begin(); it != lines_.end();) {
+    if (it->second == LineState::kFlushPending) {
+      ++drained;
+      it = lines_.erase(it);  // back to Clean
+    } else {
+      ++it;
+    }
+  }
+  stats_.sim_ns += drained * latency_.fence_per_line_ns;
+  if (drained == 0) ++stats_.empty_fences;
+}
+
+LineState PersistenceTracker::state_at(uint64_t addr) const {
+  auto it = lines_.find(line_of(addr));
+  return it == lines_.end() ? LineState::kClean : it->second;
+}
+
+bool PersistenceTracker::is_persisted(uint64_t addr, uint64_t size) const {
+  if (size == 0) return true;
+  bool ok = true;
+  for_each_line(addr, size, [&](uint64_t l) {
+    auto it = lines_.find(l);
+    if (it != lines_.end()) ok = false;  // Dirty or FlushPending
+  });
+  return ok;
+}
+
+std::vector<uint64_t> PersistenceTracker::dirty_lines() const {
+  std::vector<uint64_t> out;
+  for (const auto& [l, st] : lines_)
+    if (st == LineState::kDirty) out.push_back(l);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> PersistenceTracker::pending_lines() const {
+  std::vector<uint64_t> out;
+  for (const auto& [l, st] : lines_)
+    if (st == LineState::kFlushPending) out.push_back(l);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PersistenceTracker::reset() {
+  lines_.clear();
+  stats_.reset();
+}
+
+}  // namespace deepmc::pmem

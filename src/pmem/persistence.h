@@ -1,0 +1,92 @@
+// Cacheline-granularity persistence state machine.
+//
+// Models the x86-64 persistence path the paper reasons about (§2.1):
+// stores land in volatile cache (Dirty), clwb/clflushopt moves a line into
+// the write-pending queue (FlushPending), and sfence guarantees pending
+// flushes have reached the persistence domain (Persisted). A crash loses
+// Dirty lines, definitely keeps Persisted lines, and *may* keep
+// FlushPending lines (flushes can complete before the fence) as well as
+// Dirty lines evicted by the cache on its own — the unpredictable evictions
+// that make NVM programming hard.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pmem/latency.h"
+
+namespace deepmc::pmem {
+
+inline constexpr uint64_t kCachelineBytes = 64;
+
+inline uint64_t line_of(uint64_t addr) { return addr / kCachelineBytes; }
+
+enum class LineState : uint8_t {
+  kClean,         ///< persisted content == cached content
+  kDirty,         ///< modified in cache, not yet flushed
+  kFlushPending,  ///< flushed, fence not yet issued
+};
+
+/// Counters exposed to benches and to the performance-bug experiments.
+struct PersistenceStats {
+  uint64_t stores = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t loads = 0;
+  uint64_t flush_calls = 0;
+  uint64_t flushed_lines = 0;
+  uint64_t redundant_flushed_lines = 0;  ///< flush of a line with no new data
+  uint64_t fences = 0;
+  uint64_t empty_fences = 0;  ///< fence with no pending lines
+  uint64_t media_writes = 0;  ///< lines actually written to the PM media
+  uint64_t sim_ns = 0;        ///< accumulated simulated time
+
+  void reset() { *this = PersistenceStats{}; }
+};
+
+/// Tracks per-line persistence state over an address range [0, size).
+class PersistenceTracker {
+ public:
+  explicit PersistenceTracker(LatencyModel latency = LatencyModel::optane_like())
+      : latency_(latency) {}
+
+  /// Record a store of `size` bytes at `addr`. Marks covered lines Dirty.
+  void on_store(uint64_t addr, uint64_t size);
+
+  void on_load(uint64_t addr, uint64_t size);
+
+  /// Record a cacheline writeback (clwb) over [addr, addr+size). If
+  /// `was_redundant` is non-null it is set when every covered line was
+  /// already clean or pending (no new data written back).
+  void on_flush(uint64_t addr, uint64_t size, bool* was_redundant = nullptr);
+
+  /// Record a persist barrier (sfence). Drains all FlushPending lines.
+  void on_fence();
+
+  /// State of the line containing `addr`.
+  [[nodiscard]] LineState state_at(uint64_t addr) const;
+
+  /// True if every byte of [addr, addr+size) is in the persistence domain
+  /// (i.e. Clean — flushed *and* fenced since its last store).
+  [[nodiscard]] bool is_persisted(uint64_t addr, uint64_t size) const;
+
+  /// Lines currently Dirty (not flushed since last store).
+  [[nodiscard]] std::vector<uint64_t> dirty_lines() const;
+  /// Lines flushed but awaiting a fence.
+  [[nodiscard]] std::vector<uint64_t> pending_lines() const;
+
+  [[nodiscard]] const PersistenceStats& stats() const { return stats_; }
+  PersistenceStats& mutable_stats() { return stats_; }
+
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+
+  void reset();
+
+ private:
+  LatencyModel latency_;
+  PersistenceStats stats_;
+  // Sparse map: absent line == Clean.
+  std::unordered_map<uint64_t, LineState> lines_;
+};
+
+}  // namespace deepmc::pmem

@@ -1,0 +1,169 @@
+#include "pmem/pool.h"
+
+#include <new>
+
+namespace deepmc::pmem {
+
+namespace {
+constexpr uint64_t kMagic = 0xdeedc0dedeedc0deull;
+
+uint64_t round_up_line(uint64_t n) {
+  return (n + kCachelineBytes - 1) / kCachelineBytes * kCachelineBytes;
+}
+}  // namespace
+
+PmPool::PmPool(uint64_t size_bytes, LatencyModel latency)
+    : data_(round_up_line(std::max<uint64_t>(size_bytes, 2 * kHeaderBytes)), 0),
+      persisted_(data_.size(), 0),
+      tracker_(latency),
+      bump_(kHeaderBytes) {
+  // Header: magic at 0, root offset at 8. Persist it as pool creation does.
+  store_val<uint64_t>(0, kMagic);
+  store_val<uint64_t>(8, kNullOff);
+  persist(0, kHeaderBytes);
+  reset_stats();
+}
+
+uint64_t PmPool::alloc(uint64_t size) {
+  const uint64_t sz = round_up_line(std::max<uint64_t>(size, 1));
+  auto fl = free_lists_.find(sz);
+  if (fl != free_lists_.end() && !fl->second.empty()) {
+    const uint64_t off = fl->second.back();
+    fl->second.pop_back();
+    allocs_[off] = sz;
+    return off;
+  }
+  if (bump_ + sz > data_.size()) throw std::bad_alloc();
+  const uint64_t off = bump_;
+  bump_ += sz;
+  allocs_[off] = sz;
+  return off;
+}
+
+void PmPool::free(uint64_t off) {
+  auto it = allocs_.find(off);
+  if (it == allocs_.end())
+    throw std::invalid_argument("PmPool::free: not an allocation");
+  free_lists_[it->second].push_back(off);
+  allocs_.erase(it);
+}
+
+uint64_t PmPool::alloc_size(uint64_t off) const {
+  auto it = allocs_.find(off);
+  return it == allocs_.end() ? 0 : it->second;
+}
+
+uint64_t PmPool::alloc_base(uint64_t off) const {
+  auto it = allocs_.upper_bound(off);
+  if (it == allocs_.begin()) return kNullOff;
+  --it;
+  if (off < it->first + it->second) return it->first;
+  return kNullOff;
+}
+
+void PmPool::set_root(uint64_t off) {
+  store_val<uint64_t>(8, off);
+  persist(8, sizeof(uint64_t));
+}
+
+uint64_t PmPool::root() const { return load_val<uint64_t>(8); }
+
+void PmPool::check_range(uint64_t off, uint64_t size) const {
+  if (off + size > data_.size() || off + size < off)
+    throw std::out_of_range("PmPool: access beyond pool end");
+}
+
+void PmPool::fault_tick() {
+  ++event_count_;
+  if (!fault_armed_) return;
+  if (fault_countdown_ == 0 || --fault_countdown_ == 0) {
+    fault_armed_ = false;
+    throw PmFault();
+  }
+}
+
+void PmPool::store(uint64_t off, const void* src, uint64_t size) {
+  fault_tick();
+  check_range(off, size);
+  std::memcpy(data_.data() + off, src, size);
+  tracker_.on_store(off, size);
+}
+
+void PmPool::load(uint64_t off, void* dst, uint64_t size) const {
+  check_range(off, size);
+  std::memcpy(dst, data_.data() + off, size);
+  const_cast<PersistenceTracker&>(tracker_).on_load(off, size);
+}
+
+void PmPool::snapshot_pending_line(uint64_t line) {
+  const uint64_t base = line * kCachelineBytes;
+  auto& buf = staged_[line];
+  buf.assign(data_.begin() + static_cast<long>(base),
+             data_.begin() + static_cast<long>(base + kCachelineBytes));
+}
+
+bool PmPool::flush(uint64_t off, uint64_t size) {
+  fault_tick();
+  if (size == 0) {
+    tracker_.on_flush(off, 0);
+    return true;
+  }
+  check_range(off, size);
+  // Snapshot dirty lines before the tracker transitions them, so the staged
+  // content is what the clwb actually wrote back.
+  const uint64_t first = line_of(off), last = line_of(off + size - 1);
+  for (uint64_t l = first; l <= last; ++l)
+    if (tracker_.state_at(l * kCachelineBytes) == LineState::kDirty)
+      snapshot_pending_line(l);
+  bool redundant = false;
+  tracker_.on_flush(off, size, &redundant);
+  return redundant;
+}
+
+void PmPool::fence() {
+  fault_tick();
+  // Everything staged reaches the persistence domain.
+  for (auto& [line, bytes] : staged_) {
+    std::memcpy(persisted_.data() + line * kCachelineBytes, bytes.data(),
+                kCachelineBytes);
+  }
+  staged_.clear();
+  tracker_.on_fence();
+}
+
+void PmPool::memset_persist(uint64_t off, uint8_t byte, uint64_t size) {
+  check_range(off, size);
+  std::memset(data_.data() + off, byte, size);
+  tracker_.on_store(off, size);
+  persist(off, size);
+}
+
+void PmPool::crash(const CrashOptions& opts, Rng* rng) {
+  Rng local(42);
+  Rng& r = rng ? *rng : local;
+
+  // Flushed-but-unfenced lines may or may not have drained.
+  for (auto& [line, bytes] : staged_) {
+    if (r.chance(opts.pending_survives)) {
+      std::memcpy(persisted_.data() + line * kCachelineBytes, bytes.data(),
+                  kCachelineBytes);
+    }
+  }
+  // Dirty lines may have been evicted by the cache.
+  if (opts.dirty_evicted > 0.0) {
+    for (uint64_t l : tracker_.dirty_lines()) {
+      if (r.chance(opts.dirty_evicted)) {
+        std::memcpy(persisted_.data() + l * kCachelineBytes,
+                    data_.data() + l * kCachelineBytes, kCachelineBytes);
+      }
+    }
+  }
+  staged_.clear();
+  data_ = persisted_;  // the surviving image is what recovery sees
+  // All cache state is gone after power loss.
+  PersistenceStats saved = tracker_.stats();
+  tracker_.reset();
+  tracker_.mutable_stats() = saved;
+}
+
+}  // namespace deepmc::pmem

@@ -1,0 +1,162 @@
+// Emulated persistent-memory pool.
+//
+// This is the substrate every mini framework (pmdk_mini, pmfs_mini,
+// nvmdirect_mini, mnemosyne_mini) and the MIR interpreter run on. It gives:
+//
+//  * a flat persistent address space addressed by pool offsets,
+//  * a 64-byte-aligned allocator (malloc-like functions are where DSA
+//    learns that an object is persistent, paper §4.2),
+//  * store/load/flush/fence primitives wired into the cacheline
+//    persistence state machine (persistence.h),
+//  * crash simulation: the pool can "power-fail", after which only data
+//    that had reached the persistence domain survives — exactly the
+//    experiment that exposes model-violation bugs, and
+//  * statistics + a simulated-latency clock that expose performance bugs
+//    (redundant flushes, flushes of unmodified data).
+//
+// Offset 0 is the null offset; a 64-byte pool header holds a magic number
+// and the root-object offset, mimicking pmemobj pool layout.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "pmem/persistence.h"
+#include "support/rng.h"
+
+namespace deepmc::pmem {
+
+/// Thrown when fault injection triggers: the "process" dies at a
+/// persistence event. Callers catch it, call crash(), and run recovery —
+/// the crash-at-every-point sweep used by the protocol tests.
+class PmFault : public std::runtime_error {
+ public:
+  PmFault() : std::runtime_error("injected power failure") {}
+};
+
+/// What survives a simulated power failure.
+struct CrashOptions {
+  /// Probability that a flushed-but-not-fenced line made it to the media.
+  double pending_survives = 1.0;
+  /// Probability that a dirty (never flushed) line was evicted by the cache
+  /// on its own and therefore survives. The "unpredictable cache evictions"
+  /// of §1 — 0 by default so tests are deterministic.
+  double dirty_evicted = 0.0;
+};
+
+class PmPool {
+ public:
+  static constexpr uint64_t kNullOff = 0;
+  static constexpr uint64_t kHeaderBytes = kCachelineBytes;
+
+  explicit PmPool(uint64_t size_bytes,
+                  LatencyModel latency = LatencyModel::optane_like());
+
+  PmPool(const PmPool&) = delete;
+  PmPool& operator=(const PmPool&) = delete;
+
+  [[nodiscard]] uint64_t size() const { return data_.size(); }
+
+  // --- allocation -------------------------------------------------------
+  /// Allocate `size` bytes (rounded up to a cacheline). Throws
+  /// std::bad_alloc on exhaustion. The allocation itself is volatile state;
+  /// callers persist their own metadata.
+  uint64_t alloc(uint64_t size);
+  void free(uint64_t off);
+  /// Size of the allocation at `off` (0 if unknown).
+  [[nodiscard]] uint64_t alloc_size(uint64_t off) const;
+  /// Base offset of the live allocation containing `off` (kNullOff if none).
+  [[nodiscard]] uint64_t alloc_base(uint64_t off) const;
+  [[nodiscard]] uint64_t live_allocations() const { return allocs_.size(); }
+
+  // --- root object (as in pmemobj_root) ---------------------------------
+  void set_root(uint64_t off);
+  [[nodiscard]] uint64_t root() const;
+
+  // --- data path ---------------------------------------------------------
+  void store(uint64_t off, const void* src, uint64_t size);
+  void load(uint64_t off, void* dst, uint64_t size) const;
+
+  template <typename T>
+  void store_val(uint64_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    store(off, &v, sizeof(T));
+  }
+  template <typename T>
+  [[nodiscard]] T load_val(uint64_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    load(off, &v, sizeof(T));
+    return v;
+  }
+
+  /// clwb over [off, off+size). Returns true when the flush was redundant
+  /// (no covered line carried new data) — ground truth the dynamic checker
+  /// uses for runtime redundant-write-back reports.
+  bool flush(uint64_t off, uint64_t size);
+  /// sfence.
+  void fence();
+  /// flush + fence, as pmemobj_persist / nvm_persist1 do.
+  void persist(uint64_t off, uint64_t size) {
+    flush(off, size);
+    fence();
+  }
+  /// memset + persist, as pmemobj_memset_persist does.
+  void memset_persist(uint64_t off, uint8_t byte, uint64_t size);
+
+  // --- fault injection -----------------------------------------------------
+  /// Arm fault injection: the `n`-th subsequent persistence event (store,
+  /// flush, or fence) throws PmFault *before* taking effect. 0 disarms.
+  void inject_fault_after(uint64_t n) {
+    fault_countdown_ = n;
+    fault_armed_ = n > 0;
+  }
+  [[nodiscard]] bool fault_armed() const { return fault_armed_; }
+  /// Persistence events seen since construction (to size sweeps).
+  [[nodiscard]] uint64_t event_count() const { return event_count_; }
+
+  // --- crash simulation ---------------------------------------------------
+  /// Simulate a power failure: volatile cache contents are lost, the pool
+  /// image reverts to what had reached the persistence domain (modulated by
+  /// `opts`). Allocator metadata is preserved (it would be rebuilt by
+  /// recovery code in a real system; that is orthogonal to the bugs studied).
+  void crash(const CrashOptions& opts = {}, Rng* rng = nullptr);
+
+  /// True if [off, off+size) is fully persisted (would survive any crash).
+  [[nodiscard]] bool is_persisted(uint64_t off, uint64_t size) const {
+    return tracker_.is_persisted(off, size);
+  }
+
+  [[nodiscard]] const PersistenceStats& stats() const {
+    return tracker_.stats();
+  }
+  void reset_stats() { tracker_.mutable_stats().reset(); }
+
+  [[nodiscard]] const PersistenceTracker& tracker() const { return tracker_; }
+
+ private:
+  void check_range(uint64_t off, uint64_t size) const;
+  void snapshot_pending_line(uint64_t line);
+  void fault_tick();
+
+  std::vector<uint8_t> data_;       ///< "cache-visible" contents
+  std::vector<uint8_t> persisted_;  ///< contents in the persistence domain
+  /// Content of lines that were flushed but not yet fenced, snapshotted at
+  /// flush time (a later store must not retroactively change what the clwb
+  /// wrote back).
+  std::map<uint64_t, std::vector<uint8_t>> staged_;
+  PersistenceTracker tracker_;
+
+  bool fault_armed_ = false;
+  uint64_t fault_countdown_ = 0;
+  uint64_t event_count_ = 0;
+
+  uint64_t bump_;  ///< next free offset
+  std::map<uint64_t, uint64_t> allocs_;  ///< off -> size (live)
+  std::map<uint64_t, std::vector<uint64_t>> free_lists_;  ///< size -> offsets
+};
+
+}  // namespace deepmc::pmem

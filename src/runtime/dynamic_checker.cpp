@@ -1,0 +1,223 @@
+#include "runtime/dynamic_checker.h"
+
+#include "support/str.h"
+
+namespace deepmc::rt {
+
+std::string RaceReport::str() const {
+  return strformat(
+      "%s dependence between concurrent strands %u and %u at PM offset "
+      "0x%llx (first: %s, second: %s)",
+      kind == RaceKind::kWaw ? "WAW" : "RAW", first_strand, second_strand,
+      static_cast<unsigned long long>(addr), first_loc.str().c_str(),
+      second_loc.str().c_str());
+}
+
+std::string EpochMismatchReport::str() const {
+  return strformat(
+      "consecutive epochs write to the same persistent object at PM offset "
+      "0x%llx (first: %s, second: %s)",
+      static_cast<unsigned long long>(object_base), first_loc.str().c_str(),
+      second_loc.str().c_str());
+}
+
+std::string RuntimeFlushReport::str() const {
+  return strformat(
+      "runtime redundant write-back at %s: flush wrote back no new data "
+      "(PM offset 0x%llx)",
+      loc.str().c_str(), static_cast<unsigned long long>(addr));
+}
+
+std::string RuntimeBarrierReport::str() const {
+  return "transaction at " + loc.str() +
+         " begins while earlier flushes await a persist barrier";
+}
+
+void RuntimeChecker::report_redundant_flush(SourceLoc loc, uint64_t addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RuntimeFlushReport& r : redundant_flushes_)
+    if (r.loc == loc) return;
+  redundant_flushes_.push_back({std::move(loc), addr});
+}
+
+void RuntimeChecker::report_unfenced_tx_begin(SourceLoc loc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RuntimeBarrierReport& r : barrier_violations_)
+    if (r.loc == loc) return;
+  barrier_violations_.push_back({std::move(loc)});
+}
+
+void RuntimeChecker::on_alloc(uint64_t base, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[base] = size;
+}
+
+void RuntimeChecker::on_free(uint64_t base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.erase(base);
+}
+
+uint64_t RuntimeChecker::object_of(uint64_t addr) const {
+  auto it = objects_.upper_bound(addr);
+  if (it == objects_.begin()) return 0;
+  --it;
+  if (addr < it->first + it->second) return it->first;
+  return 0;
+}
+
+StrandId RuntimeChecker::strand_begin() {
+  active_strands_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const StrandId s = next_strand_++;
+  VectorClock vc = barrier_clock_;  // happens-after pre-barrier strands
+  vc.tick(s);
+  strand_clocks_[s] = std::move(vc);
+  ++stats_.strands_opened;
+  return s;
+}
+
+void RuntimeChecker::strand_end(StrandId s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = strand_clocks_.find(s);
+  if (it == strand_clocks_.end()) return;
+  ended_clock_.join(it->second);
+}
+
+void RuntimeChecker::epoch_begin() {
+  epoch_open_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  in_epoch_ = true;
+  current_epoch_ = EpochRecord{};
+  ++stats_.epochs_opened;
+}
+
+void RuntimeChecker::epoch_end() {
+  epoch_open_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!in_epoch_) return;
+  in_epoch_ = false;
+  if (have_previous_epoch_) {
+    for (const auto& [base, rec] : current_epoch_.objects_written) {
+      auto prev = previous_epoch_.objects_written.find(base);
+      if (prev == previous_epoch_.objects_written.end()) continue;
+      // Only disjoint word sets are the "different fields of one object"
+      // bug; overlapping sets are repeated updates of the same fields.
+      bool overlap = false;
+      for (uint64_t w : rec.words)
+        if (prev->second.words.count(w)) overlap = true;
+      if (overlap) continue;
+      bool dup = false;
+      for (const EpochMismatchReport& e : epoch_mismatches_)
+        if (e.object_base == base && e.second_loc == rec.first_loc) dup = true;
+      if (!dup) {
+        EpochMismatchReport r;
+        r.object_base = base;
+        r.first_loc = prev->second.first_loc;
+        r.second_loc = rec.first_loc;
+        epoch_mismatches_.push_back(std::move(r));
+      }
+    }
+  }
+  previous_epoch_ = std::move(current_epoch_);
+  have_previous_epoch_ = true;
+}
+
+void RuntimeChecker::record_race(RaceKind kind, uint64_t addr,
+                                 const ShadowCell::Access& prior, StrandId s,
+                                 const SourceLoc& loc) {
+  // Deduplicate by (kind, addr, strand pair).
+  for (const RaceReport& r : races_) {
+    if (r.kind == kind && r.addr == addr && r.first_strand == prior.strand &&
+        r.second_strand == s)
+      return;
+  }
+  RaceReport r;
+  r.kind = kind;
+  r.addr = addr;
+  r.first_strand = prior.strand;
+  r.second_strand = s;
+  r.first_loc = prior.loc;
+  r.second_loc = loc;
+  races_.push_back(std::move(r));
+}
+
+void RuntimeChecker::on_write(StrandId s, uint64_t addr, uint64_t size,
+                              SourceLoc loc) {
+  writes_seen_.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: with no live strand and no open epoch there is nothing the
+  // shadow segment or the epoch tracker could learn from this write.
+  if (active_strands_.load(std::memory_order_relaxed) == 0 &&
+      !epoch_open_.load(std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // The shadow segment feeds strand race detection; while no strand has
+  // ever been opened, epoch-object tracking below is all that is needed
+  // and shadow maintenance would be pure overhead (§5.2 scalability).
+  if (active_strands_.load(std::memory_order_relaxed) > 0 ||
+      !strand_clocks_.empty()) {
+    auto cit = strand_clocks_.find(s);
+    VectorClock* my = cit != strand_clocks_.end() ? &cit->second : nullptr;
+    shadow_.for_each_word(addr, size, [&](uint64_t word, ShadowCell& cell) {
+      // WAW: prior write by a different strand not ordered before us.
+      // Writes outside strands carry clock 0 and never race (sequential
+      // program order orders them with everything).
+      if (my && cell.written && cell.last_write.strand != s &&
+          my->get(cell.last_write.strand) < cell.last_write.clock) {
+        record_race(RaceKind::kWaw, word, cell.last_write, s, loc);
+      }
+      cell.written = true;
+      cell.last_write = {s, my ? my->get(s) : 0, loc};
+    });
+  }
+
+  if (in_epoch_) {
+    const uint64_t base = object_of(addr);
+    const uint64_t key = base ? base : addr;
+    auto [it, inserted] = current_epoch_.objects_written.try_emplace(key);
+    if (inserted) it->second.first_loc = loc;
+    for (uint64_t a = addr / 8 * 8; a < addr + size; a += 8)
+      it->second.words.insert(a);
+  }
+}
+
+void RuntimeChecker::on_read(StrandId s, uint64_t addr, uint64_t size,
+                             SourceLoc loc) {
+  reads_seen_.fetch_add(1, std::memory_order_relaxed);
+  // Reads feed RAW detection only; without live strands they are inert.
+  if (active_strands_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cit = strand_clocks_.find(s);
+  if (cit == strand_clocks_.end()) return;
+  VectorClock& my = cit->second;
+
+  shadow_.for_each_word(addr, size, [&](uint64_t word, ShadowCell& cell) {
+    // RAW: reading data written by a concurrent (unordered) strand.
+    if (cell.written && cell.last_write.strand != s &&
+        my.get(cell.last_write.strand) < cell.last_write.clock) {
+      record_race(RaceKind::kRaw, word, cell.last_write, s, loc);
+    }
+    cell.reads[s] = {s, my.get(s), loc};
+  });
+}
+
+void RuntimeChecker::on_flush(StrandId, uint64_t, uint64_t) {
+  // Flushes do not order strands by themselves; tracked for stats only.
+}
+
+void RuntimeChecker::on_fence(StrandId) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fences;
+  // Strands that ended before this barrier happen-before strands created
+  // after it.
+  barrier_clock_.join(ended_clock_);
+}
+
+void RuntimeChecker::clear_reports() {
+  std::lock_guard<std::mutex> lock(mu_);
+  races_.clear();
+  epoch_mismatches_.clear();
+  redundant_flushes_.clear();
+  barrier_violations_.clear();
+}
+
+}  // namespace deepmc::rt

@@ -1,0 +1,190 @@
+// DeepMC dynamic checker runtime library (paper §4.4).
+//
+// Instrumented NVM programs call into this library at persistent-memory
+// events. The checker:
+//
+//  * detects WAW and RAW dependencies between *concurrent strands* with
+//    happens-before (vector-clock) race detection over a shadow segment —
+//    the strand-persistency rule of Table 4 ("for any concurrent strands
+//    S1, S2 operating on addrs A1, A2: A1 ∩ A2 = ∅"), and
+//  * tracks which persistent objects consecutive epochs write, reporting
+//    the "multiple epochs write to different fields of an object" semantic
+//    mismatch at runtime — this is how the paper's 6 dynamically-discovered
+//    bugs (hashmap_atomic.c, obj_pmemlog_simple.c) are found.
+//
+// Happens-before model: strands opened after a persist barrier (fence)
+// happen-after every strand that *ended* before that barrier; strands whose
+// lifetimes are not separated by a barrier are concurrent — including
+// strands of the same thread, which is exactly the relaxation strand
+// persistency introduces.
+//
+// The runtime is thread-safe; instrumented multi-threaded apps (Figure 12
+// workloads) call it concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "runtime/shadow.h"
+#include "runtime/vector_clock.h"
+
+namespace deepmc::rt {
+
+enum class RaceKind : uint8_t { kWaw, kRaw };
+
+struct RaceReport {
+  RaceKind kind;
+  uint64_t addr = 0;
+  StrandId first_strand = 0;
+  StrandId second_strand = 0;
+  SourceLoc first_loc;
+  SourceLoc second_loc;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Runtime-observed redundant write-back: a flush covered no dirty line
+/// (the substrate's persistence tracker is the ground truth). This is how
+/// the dynamic checker finds redundant-flush bugs that static analysis
+/// cannot resolve (e.g. pointers recomputed at runtime).
+struct RuntimeFlushReport {
+  SourceLoc loc;
+  uint64_t addr = 0;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Runtime-observed missing barrier: a transaction began while flushed
+/// lines were still awaiting a fence.
+struct RuntimeBarrierReport {
+  SourceLoc loc;
+  [[nodiscard]] std::string str() const;
+};
+
+struct EpochMismatchReport {
+  uint64_t object_base = 0;
+  SourceLoc first_loc;   ///< write in the earlier epoch
+  SourceLoc second_loc;  ///< write in the later epoch
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct RuntimeStats {
+  uint64_t writes_tracked = 0;
+  uint64_t reads_tracked = 0;
+  uint64_t strands_opened = 0;
+  uint64_t epochs_opened = 0;
+  uint64_t fences = 0;
+};
+
+// Performance note (paper §4.4/§5.2): "DeepMC reduces the performance and
+// storage overhead by only tracking the writes modifying the same or
+// overlapped persistent memory regions." The hooks below therefore take
+// lock-free fast paths whenever the heavyweight machinery has nothing to
+// do: reads only feed RAW detection (needed only while strands are live),
+// and writes only feed the shadow segment / epoch-object tracking when a
+// strand or epoch is open.
+
+class RuntimeChecker {
+ public:
+  explicit RuntimeChecker(core::PersistencyModel model)
+      : model_(model) {}
+
+  // --- object registry (from pm.alloc instrumentation) --------------------
+  void on_alloc(uint64_t base, uint64_t size);
+  void on_free(uint64_t base);
+
+  // --- strand lifecycle -----------------------------------------------------
+  /// Opens a strand; returns its id. The strand happens-after everything
+  /// sequenced before the last persist barrier.
+  StrandId strand_begin();
+  void strand_end(StrandId s);
+
+  // --- epoch lifecycle --------------------------------------------------------
+  void epoch_begin();
+  void epoch_end();
+
+  // --- memory events ------------------------------------------------------------
+  void on_write(StrandId s, uint64_t addr, uint64_t size, SourceLoc loc);
+  void on_read(StrandId s, uint64_t addr, uint64_t size, SourceLoc loc);
+  void on_flush(StrandId s, uint64_t addr, uint64_t size);
+
+  /// Reported by the execution engine when the substrate observed a flush
+  /// that wrote back no new data (deduplicated by location).
+  void report_redundant_flush(SourceLoc loc, uint64_t addr);
+  /// Reported when a transaction begins with unfenced flushes pending.
+  void report_unfenced_tx_begin(SourceLoc loc);
+  /// Persist barrier: orders strand creation after it w.r.t. strands ended
+  /// before it.
+  void on_fence(StrandId s);
+
+  // --- results ----------------------------------------------------------------
+  [[nodiscard]] const std::vector<RaceReport>& races() const { return races_; }
+  [[nodiscard]] const std::vector<EpochMismatchReport>& epoch_mismatches()
+      const {
+    return epoch_mismatches_;
+  }
+  [[nodiscard]] const std::vector<RuntimeFlushReport>& redundant_flushes()
+      const {
+    return redundant_flushes_;
+  }
+  [[nodiscard]] const std::vector<RuntimeBarrierReport>& barrier_violations()
+      const {
+    return barrier_violations_;
+  }
+  [[nodiscard]] RuntimeStats stats() const {
+    RuntimeStats s = stats_;
+    s.writes_tracked = writes_seen_.load(std::memory_order_relaxed);
+    s.reads_tracked = reads_seen_.load(std::memory_order_relaxed);
+    return s;
+  }
+  [[nodiscard]] size_t tracked_words() const { return shadow_.tracked_words(); }
+  void clear_reports();
+
+ private:
+  /// Base offset of the registered object containing `addr` (0 if unknown).
+  uint64_t object_of(uint64_t addr) const;
+  void record_race(RaceKind kind, uint64_t addr, const ShadowCell::Access& a,
+                   StrandId s, const SourceLoc& loc);
+
+  core::PersistencyModel model_;
+  mutable std::mutex mu_;
+  ShadowSegment shadow_;
+  std::map<uint64_t, uint64_t> objects_;  ///< base -> size
+
+  StrandId next_strand_ = 1;
+  std::map<StrandId, VectorClock> strand_clocks_;
+  VectorClock barrier_clock_;  ///< joined clocks of strands ended pre-fence
+  VectorClock ended_clock_;    ///< strands ended since the last fence
+
+  // Epoch-mismatch tracking (per-process; epochs are sequential per run).
+  struct EpochObjectRecord {
+    std::set<uint64_t> words;  ///< written word addresses within the object
+    SourceLoc first_loc;
+  };
+  struct EpochRecord {
+    std::map<uint64_t, EpochObjectRecord> objects_written;  ///< by base
+  };
+  EpochRecord current_epoch_;
+  EpochRecord previous_epoch_;
+  bool in_epoch_ = false;
+  bool have_previous_epoch_ = false;
+
+  std::vector<RaceReport> races_;
+  std::vector<EpochMismatchReport> epoch_mismatches_;
+  std::vector<RuntimeFlushReport> redundant_flushes_;
+  std::vector<RuntimeBarrierReport> barrier_violations_;
+  RuntimeStats stats_;
+  // Lock-free fast-path state (see the performance note above).
+  std::atomic<uint64_t> writes_seen_{0};
+  std::atomic<uint64_t> reads_seen_{0};
+  std::atomic<uint32_t> active_strands_{0};
+  std::atomic<bool> epoch_open_{false};
+};
+
+}  // namespace deepmc::rt

@@ -1,0 +1,61 @@
+// Shadow segment over the persistent address space (paper §4.4).
+//
+// "DeepMC maps the NVM program's persistent address space to a shadow
+// segment. The shadow segment is responsible for tracking the history of
+// reads and writes issued by a set of strands to each persistent memory
+// address." Tracking is at 8-byte-word granularity, sparse: only addresses
+// actually touched by instrumented persistent accesses get shadow cells —
+// this is what makes the dynamic checker scale with the amount of
+// persistent memory actually used rather than total memory (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/vector_clock.h"
+#include "support/source_loc.h"
+
+namespace deepmc::rt {
+
+inline constexpr uint64_t kShadowWordBytes = 8;
+
+struct ShadowCell {
+  struct Access {
+    StrandId strand = 0;
+    uint64_t clock = 0;  ///< strand-local clock at access time
+    SourceLoc loc;
+  };
+  Access last_write;
+  bool written = false;
+  /// Last read per strand (sufficient for RAW detection).
+  std::unordered_map<StrandId, Access> reads;
+};
+
+class ShadowSegment {
+ public:
+  /// Shadow cell for the word containing `addr`, creating it on demand.
+  ShadowCell& cell(uint64_t addr) { return cells_[addr / kShadowWordBytes]; }
+  [[nodiscard]] const ShadowCell* find(uint64_t addr) const {
+    auto it = cells_.find(addr / kShadowWordBytes);
+    return it == cells_.end() ? nullptr : &it->second;
+  }
+
+  /// Iterate the words covering [addr, addr+size).
+  template <typename Fn>
+  void for_each_word(uint64_t addr, uint64_t size, Fn&& fn) {
+    if (size == 0) return;
+    const uint64_t first = addr / kShadowWordBytes;
+    const uint64_t last = (addr + size - 1) / kShadowWordBytes;
+    for (uint64_t w = first; w <= last; ++w)
+      fn(w * kShadowWordBytes, cells_[w]);
+  }
+
+  [[nodiscard]] size_t tracked_words() const { return cells_.size(); }
+  void clear() { cells_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, ShadowCell> cells_;
+};
+
+}  // namespace deepmc::rt

@@ -1,0 +1,51 @@
+// Vector clocks for happens-before race detection between strands.
+//
+// The dynamic checker (paper §4.4) detects WAW and RAW dependencies between
+// concurrent strands with happens-before tracking, in the style of
+// ThreadSanitizer (which the paper customizes). Clock indices are strand
+// ids; the representation is sparse because a run can open many short
+// strands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace deepmc::rt {
+
+using StrandId = uint32_t;
+
+class VectorClock {
+ public:
+  [[nodiscard]] uint64_t get(StrandId s) const {
+    auto it = c_.find(s);
+    return it == c_.end() ? 0 : it->second;
+  }
+
+  void set(StrandId s, uint64_t v) { c_[s] = v; }
+  void tick(StrandId s) { ++c_[s]; }
+
+  /// Pointwise maximum.
+  void join(const VectorClock& o) {
+    for (const auto& [s, v] : o.c_) {
+      auto it = c_.find(s);
+      if (it == c_.end() || it->second < v) c_[s] = v;
+    }
+  }
+
+  /// True if every component of *this is <= the corresponding one in `o`
+  /// (i.e. *this happens-before-or-equals o).
+  [[nodiscard]] bool leq(const VectorClock& o) const {
+    for (const auto& [s, v] : c_)
+      if (v > o.get(s)) return false;
+    return true;
+  }
+
+  [[nodiscard]] const std::map<StrandId, uint64_t>& components() const {
+    return c_;
+  }
+
+ private:
+  std::map<StrandId, uint64_t> c_;
+};
+
+}  // namespace deepmc::rt

@@ -1,0 +1,59 @@
+#include "support/diagnostics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace deepmc {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  return loc.str() + ": " + severity_name(severity) + " [" + rule + "] " +
+         message;
+}
+
+size_t DiagnosticEngine::warning_count() const {
+  return static_cast<size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kWarning;
+      }));
+}
+
+size_t DiagnosticEngine::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+std::vector<const Diagnostic*> DiagnosticEngine::by_rule(
+    std::string_view rule) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diags_)
+    if (d.rule == rule) out.push_back(&d);
+  return out;
+}
+
+std::vector<const Diagnostic*> DiagnosticEngine::at(std::string_view file,
+                                                    uint32_t line) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diags_)
+    if (d.loc.file == file && d.loc.line == line) out.push_back(&d);
+  return out;
+}
+
+void DiagnosticEngine::print(std::ostream& os) const {
+  for (const Diagnostic& d : diags_) os << d.str() << "\n";
+}
+
+}  // namespace deepmc

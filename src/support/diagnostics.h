@@ -1,0 +1,66 @@
+// Diagnostic engine: collects checker warnings/errors with locations.
+//
+// Both the static checker (§4.3) and the dynamic checker (§4.4) report
+// WARNINGs through this engine; benches and tests query the collected set.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace deepmc {
+
+enum class Severity : uint8_t { kNote, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  SourceLoc loc;
+  std::string rule;     ///< machine-readable rule id, e.g. "strict.unflushed-write"
+  std::string message;  ///< human-readable explanation
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Accumulates diagnostics. Not thread-safe; the dynamic runtime wraps it
+/// with its own lock.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string rule,
+              std::string message) {
+    diags_.push_back(
+        {sev, std::move(loc), std::move(rule), std::move(message)});
+  }
+
+  void warn(SourceLoc loc, std::string rule, std::string message) {
+    report(Severity::kWarning, std::move(loc), std::move(rule),
+           std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] size_t warning_count() const;
+  [[nodiscard]] size_t error_count() const;
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  void clear() { diags_.clear(); }
+
+  /// All diagnostics whose rule id matches `rule` exactly.
+  [[nodiscard]] std::vector<const Diagnostic*> by_rule(
+      std::string_view rule) const;
+
+  /// All diagnostics at a given file:line.
+  [[nodiscard]] std::vector<const Diagnostic*> at(std::string_view file,
+                                                  uint32_t line) const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace deepmc

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// Benchmarks must be reproducible run-to-run, so every workload generator
+// takes an explicit seed and uses this splitmix64/xoshiro-style generator
+// rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace deepmc {
+
+/// splitmix64: tiny, fast, and statistically solid for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Zipfian-ish skewed key pick in [0, n): 80/20 hot-set approximation,
+  /// good enough for YCSB-style key popularity without a full Zipf table.
+  uint64_t skewed(uint64_t n) {
+    if (n <= 1) return 0;
+    if (chance(0.8)) return below(n / 5 + 1);  // hot 20%
+    return below(n);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace deepmc

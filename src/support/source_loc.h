@@ -1,0 +1,36 @@
+// Source locations attached to MIR instructions and checker reports.
+//
+// DeepMC reports bugs with the file name and line number of the offending
+// operation (paper §4.3: "DeepMC maintains metadata associated with each
+// trace entry. It includes the line numbers of the operations in a trace").
+// Corpus modules set these to the file/line cited in the paper's Tables 3
+// and 8 so that reports can be matched against the paper row-by-row.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace deepmc {
+
+/// A (file, line) pair. `line == 0` means "unknown".
+struct SourceLoc {
+  std::string file;
+  uint32_t line = 0;
+
+  SourceLoc() = default;
+  SourceLoc(std::string file_, uint32_t line_)
+      : file(std::move(file_)), line(line_) {}
+
+  [[nodiscard]] bool valid() const { return line != 0 || !file.empty(); }
+
+  /// Render as "file:line" (or "<unknown>").
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<unknown>";
+    return file + ":" + std::to_string(line);
+  }
+
+  friend auto operator<=>(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace deepmc

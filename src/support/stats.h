@@ -1,0 +1,62 @@
+// Lightweight counters and timing helpers for benches and the PM substrate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace deepmc {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-CPU-time stopwatch: immune to scheduler noise on shared
+/// machines, which is what the throughput benches need.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() { reset(); }
+  void reset() { start_ = now(); }
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+/// Streaming mean/min/max accumulator.
+struct Accumulator {
+  uint64_t n = 0;
+  double sum = 0, min = 0, max = 0;
+
+  void add(double x) {
+    if (n == 0) {
+      min = max = x;
+    } else {
+      if (x < min) min = x;
+      if (x > max) max = x;
+    }
+    sum += x;
+    ++n;
+  }
+  [[nodiscard]] double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+};
+
+}  // namespace deepmc

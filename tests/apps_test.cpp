@@ -1,0 +1,206 @@
+// Tests for the application layer: workload generation determinism and
+// mixes, and functional correctness + crash behaviour of the three KV
+// applications used in the Figure 12 experiments.
+#include <gtest/gtest.h>
+
+#include "apps/runner.h"
+
+namespace deepmc::apps {
+namespace {
+
+pmem::LatencyModel zero() { return pmem::LatencyModel::zero(); }
+
+// --- workload generation -------------------------------------------------------
+
+TEST(Workloads, DeterministicForSameSeed) {
+  auto spec = memcached_workloads()[0];
+  auto a = generate(spec, 1000, 100, 42);
+  auto b = generate(spec, 1000, 100, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+}
+
+TEST(Workloads, MixRatiosApproximatelyHonored) {
+  WorkloadSpec spec{"half-half", 50, 50, 0, 0, 0, 0, 0, 0};
+  auto ops = generate(spec, 20000, 1000, 7);
+  size_t gets = 0;
+  for (const Op& op : ops)
+    if (op.kind == OpKind::kGet) ++gets;
+  EXPECT_NEAR(static_cast<double>(gets) / 20000.0, 0.5, 0.02);
+}
+
+TEST(Workloads, ReadOnlyMixHasOnlyGets) {
+  auto spec = memcached_workloads()[2];  // 100% read
+  for (const Op& op : generate(spec, 500, 100, 1))
+    EXPECT_EQ(op.kind, OpKind::kGet);
+}
+
+TEST(Workloads, InsertsUseFreshKeys) {
+  WorkloadSpec spec{"insert-only", 0, 0, 100, 0, 0, 0, 0, 0};
+  auto ops = generate(spec, 100, 50, 3);
+  for (const Op& op : ops) EXPECT_GE(op.key, 50u);
+}
+
+TEST(Workloads, BadMixRejected) {
+  WorkloadSpec spec{"bogus", 10, 10, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(generate(spec, 10, 10, 1), std::invalid_argument);
+}
+
+TEST(Workloads, PaperMixesPresent) {
+  EXPECT_EQ(memcached_workloads().size(), 5u);
+  EXPECT_EQ(redis_workloads().size(), 6u);
+  EXPECT_EQ(ycsb_workloads().size(), 6u);
+  for (const auto& w : ycsb_workloads()) EXPECT_EQ(w.total(), 100u);
+}
+
+// --- MemcachedMini ---------------------------------------------------------------
+
+TEST(MemcachedApp, SetGetEraseRoundTrip) {
+  pmem::PmPool pool(1 << 22, zero());
+  MemcachedMini mc(pool, 256);
+  mc.set(1, 100);
+  mc.set(2, 200);
+  EXPECT_EQ(mc.get(1), 100u);
+  EXPECT_EQ(mc.get(2), 200u);
+  EXPECT_EQ(mc.get(3), std::nullopt);
+  EXPECT_TRUE(mc.erase(1));
+  EXPECT_EQ(mc.get(1), std::nullopt);
+  EXPECT_FALSE(mc.erase(1));
+  EXPECT_EQ(mc.size(), 1u);
+}
+
+TEST(MemcachedApp, OverwriteKeepsSingleSlot) {
+  pmem::PmPool pool(1 << 22, zero());
+  MemcachedMini mc(pool, 64);
+  for (int i = 0; i < 10; ++i) mc.set(5, static_cast<uint64_t>(i));
+  EXPECT_EQ(mc.get(5), 9u);
+  EXPECT_EQ(mc.size(), 1u);
+}
+
+TEST(MemcachedApp, CollisionsProbeCorrectly) {
+  pmem::PmPool pool(1 << 22, zero());
+  MemcachedMini mc(pool, 16);
+  for (uint64_t k = 0; k < 12; ++k) mc.set(k, k * 10);
+  for (uint64_t k = 0; k < 12; ++k) EXPECT_EQ(mc.get(k), k * 10) << k;
+}
+
+TEST(MemcachedApp, CommittedSetsSurviveCrash) {
+  pmem::PmPool pool(1 << 22, zero());
+  mnemosyne::Mnemosyne recovery_handle(pool);  // shares the pool's redo log
+  MemcachedMini mc(pool, 64);
+  mc.set(7, 777);
+  pool.crash();
+  recovery_handle.recover();
+  // Rebuild a view over the same pool: the table offset is deterministic
+  // (first allocation), so a fresh handle sees the recovered data.
+  EXPECT_EQ(mc.get(7), 777u);
+}
+
+TEST(MemcachedApp, RmwAccumulates) {
+  pmem::PmPool pool(1 << 22, zero());
+  MemcachedMini mc(pool, 64);
+  mc.set(3, 10);
+  EXPECT_EQ(mc.rmw(3, 1), 11u);
+  EXPECT_EQ(mc.rmw(3, 1), 12u);
+}
+
+// --- RedisMini --------------------------------------------------------------------
+
+TEST(RedisApp, SetGetIncr) {
+  pmem::PmPool pool(1 << 22, zero());
+  RedisMini rd(pool, 256);
+  rd.set(1, 5);
+  EXPECT_EQ(rd.get(1), 5u);
+  EXPECT_EQ(rd.incr(1), 6u);
+  EXPECT_EQ(rd.incr(9), 1u);  // INCR on missing key starts at 0
+  EXPECT_EQ(rd.size(), 2u);
+}
+
+TEST(RedisApp, ListPushPopFifoOrder) {
+  pmem::PmPool pool(1 << 22, zero());
+  RedisMini rd(pool, 64);
+  rd.lpush(10);
+  rd.lpush(20);
+  rd.lpush(30);
+  EXPECT_EQ(rd.list_length(), 3u);
+  EXPECT_EQ(rd.lpop(), 10u);
+  EXPECT_EQ(rd.lpop(), 20u);
+  EXPECT_EQ(rd.lpop(), 30u);
+  EXPECT_EQ(rd.lpop(), std::nullopt);
+}
+
+TEST(RedisApp, SetsAreTransactionalAcrossCrash) {
+  pmem::PmPool pool(1 << 22, zero());
+  RedisMini rd(pool, 64);
+  rd.set(4, 44);
+  pool.crash();
+  // Committed data must read back; the undo log is empty (no rollback).
+  pmdk::ObjPool handle(pool);
+  EXPECT_EQ(pmdk::recover(handle), 0u);
+  EXPECT_EQ(rd.get(4), 44u);
+}
+
+// --- NstoreMini --------------------------------------------------------------------
+
+TEST(NstoreApp, InsertReadUpdateScan) {
+  pmem::PmPool pool(1 << 22, zero());
+  NstoreMini ns(pool, 128);
+  ns.insert(1, 10);
+  ns.insert(2, 20);
+  EXPECT_EQ(ns.read(1), 10u);
+  ns.update(1, 15);
+  EXPECT_EQ(ns.read(1), 15u);
+  EXPECT_EQ(ns.scan(1, 2), 15u + 20u);
+  EXPECT_EQ(ns.size(), 2u);
+}
+
+TEST(NstoreApp, StrictPersistenceNoDirtyLinesAfterOp) {
+  pmem::PmPool pool(1 << 22, zero());
+  NstoreMini ns(pool, 128);
+  ns.insert(5, 50);
+  EXPECT_TRUE(pool.tracker().dirty_lines().empty());
+  EXPECT_TRUE(pool.tracker().pending_lines().empty());
+  pool.crash();
+  EXPECT_EQ(ns.read(5), 50u);
+}
+
+// --- harness -----------------------------------------------------------------------
+
+TEST(Runner, ExecutesAllPaperWorkloads) {
+  for (const auto& spec : memcached_workloads()) {
+    pmem::PmPool pool(1 << 22, zero());
+    MemcachedMini mc(pool, 2048);
+    auto r = run_workload(mc, pool, spec, 500, 128, 42);
+    EXPECT_EQ(r.ops, 500u);
+    EXPECT_GT(r.tps(), 0.0);
+  }
+  for (const auto& spec : ycsb_workloads()) {
+    pmem::PmPool pool(1 << 22, zero());
+    NstoreMini ns(pool, 2048);
+    auto r = run_workload(ns, pool, spec, 500, 128, 42);
+    EXPECT_EQ(r.ops, 500u);
+  }
+  for (const auto& spec : redis_workloads()) {
+    pmem::PmPool pool(1 << 22, zero());
+    RedisMini rd(pool, 2048);
+    auto r = run_workload(rd, pool, spec, 500, 128, 42);
+    EXPECT_EQ(r.ops, 500u);
+  }
+}
+
+TEST(Runner, InstrumentationTracksPersistentTraffic) {
+  pmem::PmPool pool(1 << 22, zero());
+  rt::RuntimeChecker rt(core::PersistencyModel::kEpoch);
+  MemcachedMini mc(pool, 2048, mnemosyne::PerfBugConfig::clean(), &rt);
+  auto spec = memcached_workloads()[0];  // 50% update
+  run_workload(mc, pool, spec, 200, 64, 1);
+  EXPECT_GT(rt.stats().writes_tracked, 0u);
+  EXPECT_GT(rt.stats().reads_tracked, 0u);
+  EXPECT_GT(rt.stats().epochs_opened, 0u);
+}
+
+}  // namespace
+}  // namespace deepmc::apps

@@ -1,0 +1,332 @@
+// Edge-case tests for the static checker: unbalanced regions, loops,
+// deep nesting, strand-region statics, unknown callees, report-API
+// behaviour, and conservatism around inexact regions.
+#include <gtest/gtest.h>
+
+#include "core/static_checker.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace deepmc::core {
+namespace {
+
+using ir::parse_module;
+
+CheckResult check(const char* text,
+                  PersistencyModel model = PersistencyModel::kStrict) {
+  auto m = parse_module(text);
+  ir::verify_or_throw(*m);
+  return check_module(*m, model);
+}
+
+// --- degenerate inputs --------------------------------------------------------
+
+TEST(CheckerEdge, EmptyModuleIsClean) {
+  auto m = parse_module("module \"empty\"\n");
+  EXPECT_TRUE(check_module(*m, PersistencyModel::kStrict).empty());
+}
+
+TEST(CheckerEdge, DeclarationOnlyModuleIsClean) {
+  auto r = check(R"(
+declare void @ext1()
+declare i64 @ext2(i64)
+define void @f() {
+entry:
+  call @ext1()
+  %v = call @ext2(i64 1)
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(CheckerEdge, UnbalancedEndIgnored) {
+  auto r = check(R"(
+struct %o { i64 }
+define void @f() {
+entry:
+  tx.end
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.persist %a, 8
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+TEST(CheckerEdge, UnclosedRegionCheckedAtTraceEnd) {
+  // A tx.begin with no tx.end: region-scoped checks never run, but the
+  // trace-end write check must not crash and the open-region writes are
+  // not double-reported.
+  auto r = check(R"(
+struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  tx.begin
+  tx.add %p, 8
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.fence
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+// --- loops -----------------------------------------------------------------------
+
+TEST(CheckerEdge, CleanLoopBodyStaysClean) {
+  auto r = check(R"(
+struct %o { i64 }
+define void @f(i64 %n) {
+entry:
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  br label %loop
+loop:
+  store i64 1, %a
+  pm.persist %a, 8
+  %c = eq %n, 0
+  br %c, label %exit, label %loop
+exit:
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+TEST(CheckerEdge, BuggyLoopBodyReportedOnce) {
+  auto r = check(R"(
+struct %o { i64 }
+define void @f(i64 %n) {
+entry:
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  br label %loop
+loop:
+  store i64 1, %a !loc("loop.c", 5)
+  pm.fence
+  %c = eq %n, 0
+  br %c, label %exit, label %loop
+exit:
+  ret
+}
+)");
+  // Same site across unrolled iterations and paths: one report.
+  EXPECT_EQ(r.by_rule("strict.unflushed-write").size(), 1u);
+}
+
+// --- deep nesting -------------------------------------------------------------------
+
+TEST(CheckerEdge, TripleNestedRegionsEachChecked) {
+  auto r = check(R"(
+struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  tx.begin !loc("n.c", 1)
+  tx.begin !loc("n.c", 2)
+  tx.begin !loc("n.c", 3)
+  store i64 1, %a !loc("n.c", 4)
+  pm.flush %a, 8 !loc("n.c", 5)
+  tx.end
+  tx.end
+  pm.fence
+  tx.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  // Innermost region ends with an unfenced flush -> nested-barrier rule.
+  EXPECT_EQ(r.by_rule("epoch.missing-barrier-nested").size(), 1u);
+}
+
+// --- strand regions statically -----------------------------------------------------
+
+TEST(CheckerEdge, StrandRegionsExemptFromMismatchRule) {
+  // Strand concurrency is checked dynamically; consecutive strands writing
+  // the same object must NOT trigger the static mismatch rule (that is
+  // the dynamic checker's job, with real dependence information).
+  auto r = check(R"(
+struct %o { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  strand.begin
+  %a = gep %p, 0
+  store i64 1, %a
+  pm.persist %a, 8
+  strand.end
+  strand.begin
+  %b = gep %p, 1
+  store i64 2, %b
+  pm.persist %b, 8
+  strand.end
+  ret
+}
+)",
+                 PersistencyModel::kStrand);
+  EXPECT_EQ(r.by_rule("model.semantic-mismatch").size(), 0u);
+}
+
+TEST(CheckerEdge, UnflushedWriteInStrandStillReported) {
+  auto r = check(R"(
+struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  strand.begin
+  %a = gep %p, 0
+  store i64 1, %a !loc("s.c", 3)
+  strand.end
+  ret
+}
+)",
+                 PersistencyModel::kStrand);
+  EXPECT_EQ(r.by_rule("epoch.unflushed-write").size(), 1u);
+}
+
+// --- conservatism --------------------------------------------------------------------
+
+TEST(CheckerEdge, InexactFlushCoversConservatively) {
+  // Flushing through a dynamic index conservatively covers any write to
+  // the same object — no unflushed-write false alarm.
+  auto r = check(R"(
+struct %o { [8 x i64], i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %idxp = gep %p, 1
+  %arr = gep %p, 0
+  %i = load %idxp
+  %e = gep %arr, %i
+  store i64 1, %e
+  pm.flush %e, 8
+  pm.fence
+  ret
+}
+)");
+  EXPECT_EQ(r.by_rule("strict.unflushed-write").size(), 0u);
+}
+
+TEST(CheckerEdge, MemcpyCountsAsStore) {
+  auto r = check(R"(
+struct %o { [8 x i64] }
+define void @f() {
+entry:
+  %src = pm.alloc %o
+  %dst = pm.alloc %o
+  memcpy %dst, %src, 64 !loc("m.c", 4)
+  ret
+}
+)");
+  // Destination modified, never flushed.
+  EXPECT_EQ(r.by_rule("strict.unflushed-write").size(), 1u);
+}
+
+TEST(CheckerEdge, MemsetThenPersistClean) {
+  auto r = check(R"(
+struct %o { [8 x i64] }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  memset %p, 0, 64
+  pm.persist %p, 64
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+// --- report API -----------------------------------------------------------------------
+
+TEST(CheckerEdge, ResultApiFiltersAndCounts) {
+  auto r = check(R"(
+struct %o { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %q = pm.alloc %o
+  %a = gep %p, 0
+  store i64 1, %a !loc("api.c", 1)
+  %b = gep %q, 0
+  pm.flush %b, 8 !loc("api.c", 2)
+  pm.fence
+  ret
+}
+)");
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_EQ(r.count_class(BugClass::kModelViolation), 1u);
+  EXPECT_EQ(r.count_class(BugClass::kPerformance), 1u);
+  EXPECT_TRUE(r.has_warning_at("api.c", 1));
+  EXPECT_TRUE(r.has_warning_at("api.c", 2));
+  EXPECT_FALSE(r.has_warning_at("api.c", 3));
+  EXPECT_EQ(r.by_category(BugCategory::kFlushUnmodified).size(), 1u);
+}
+
+TEST(CheckerEdge, MergeDeduplicates) {
+  CheckResult a, b;
+  Warning w;
+  w.rule = "r";
+  w.loc = SourceLoc("x.c", 1);
+  w.category = BugCategory::kUnflushedWrite;
+  w.model = PersistencyModel::kStrict;
+  a.add(w);
+  b.add(w);
+  Warning w2 = w;
+  w2.loc = SourceLoc("x.c", 2);
+  b.add(w2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+// --- cross-model sanity: same program, different verdicts ---------------------------
+
+TEST(CheckerEdge, EpochModelAcceptsWhatStrictRejects) {
+  // Two writes in one epoch, flushed together, single barrier at the
+  // boundary: legal under epoch persistency, a multiple-writes violation
+  // under strict (outside a transaction).
+  const char* program = R"(
+struct %o { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  epoch.begin
+  %a = gep %p, 0
+  %b = gep %p, 1
+  store i64 1, %a
+  store i64 2, %b
+  pm.flush %a, 8
+  pm.flush %b, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)";
+  EXPECT_TRUE(check(program, PersistencyModel::kEpoch).empty());
+
+  const char* strict_program = R"(
+struct %o { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %o
+  %a = gep %p, 0
+  %b = gep %p, 1
+  store i64 1, %a
+  store i64 2, %b
+  pm.flush %a, 8
+  pm.flush %b, 8
+  pm.fence !loc("strictly.c", 9)
+  ret
+}
+)";
+  auto r = check(strict_program, PersistencyModel::kStrict);
+  EXPECT_EQ(r.by_rule("strict.multiple-writes").size(), 1u);
+}
+
+}  // namespace
+}  // namespace deepmc::core

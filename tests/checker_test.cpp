@@ -1,0 +1,752 @@
+// Tests for the static checker: every rule of Table 4 and Table 5 has at
+// least one positive (bug detected) and one negative (clean code stays
+// clean) case, many lifted from the paper's figures.
+#include <gtest/gtest.h>
+
+#include "core/static_checker.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace deepmc::core {
+namespace {
+
+using ir::parse_module;
+
+CheckResult check(const char* text,
+                  PersistencyModel model = PersistencyModel::kStrict) {
+  auto m = parse_module(text);
+  ir::verify_or_throw(*m);
+  return check_module(*m, model);
+}
+
+size_t count_rule(const CheckResult& r, const char* rule) {
+  return r.by_rule(rule).size();
+}
+
+// --- model flag parsing ----------------------------------------------------
+
+TEST(ModelTest, ParseFlags) {
+  EXPECT_EQ(parse_model_flag("-strict"), PersistencyModel::kStrict);
+  EXPECT_EQ(parse_model_flag("epoch"), PersistencyModel::kEpoch);
+  EXPECT_EQ(parse_model_flag("-strand"), PersistencyModel::kStrand);
+  EXPECT_FALSE(parse_model_flag("-bogus").has_value());
+}
+
+TEST(ModelTest, CategoryClassification) {
+  EXPECT_EQ(category_class(BugCategory::kUnflushedWrite),
+            BugClass::kModelViolation);
+  EXPECT_EQ(category_class(BugCategory::kSemanticMismatch),
+            BugClass::kModelViolation);
+  EXPECT_EQ(category_class(BugCategory::kFlushUnmodified),
+            BugClass::kPerformance);
+  EXPECT_EQ(category_class(BugCategory::kEmptyDurableTx),
+            BugClass::kPerformance);
+}
+
+// --- strict.unflushed-write ---------------------------------------------------
+
+TEST(StrictRules, CleanStoreFlushFenceIsClean) {
+  auto r = check(R"(
+struct %obj { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  pm.flush %f0, 8
+  pm.fence
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << "unexpected: " << r.warnings()[0].str();
+}
+
+TEST(StrictRules, UnflushedWriteAtFence) {
+  // Figure 9: two writes before the fence, only one flushed.
+  auto r = check(R"(
+struct %lk { i64, i64 }
+define void @nvm_lock() {
+entry:
+  %l = pm.alloc %lk
+  %state = gep %l, 0
+  %level = gep %l, 1
+  store i64 1, %level !loc("nvm_locks.c", 9)
+  store i64 2, %state
+  pm.flush %state, 8
+  pm.fence
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "strict.unflushed-write"), 1u);
+  EXPECT_EQ(r.by_rule("strict.unflushed-write")[0]->loc.line, 9u);
+  // The unflushed write is NOT "made durable" by the barrier, so the
+  // multiple-writes rule stays quiet — one bug, one report (Figure 9).
+  EXPECT_EQ(count_rule(r, "strict.multiple-writes"), 0u);
+}
+
+TEST(StrictRules, UnflushedWriteAtTraceEnd) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0 !loc("phlog_base.c", 132)
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  ASSERT_EQ(count_rule(r, "epoch.unflushed-write"), 1u);
+  EXPECT_EQ(r.warnings()[0].loc.file, "phlog_base.c");
+}
+
+TEST(StrictRules, VolatileWritesIgnored) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @f() {
+entry:
+  %s = alloca %obj
+  %f0 = gep %s, 0
+  store i64 1, %f0
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(StrictRules, UnloggedWriteInTransaction) {
+  // Figure 2: btree_map_create_split_node modifies a node inside a
+  // transaction without TX_ADD.
+  auto r = check(R"(
+struct %node { i64, i64 }
+define void @split(%node* %n) {
+entry:
+  %items = gep %n, 1
+  store i64 0, %items !loc("btree_map.c", 201)
+  ret
+}
+define void @tx_root() {
+entry:
+  %n = pm.alloc %node
+  tx.begin
+  call @split(%n)
+  pm.fence
+  tx.end
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "strict.unflushed-write"), 1u);
+  EXPECT_EQ(r.warnings()[0].loc.str(), "btree_map.c:201");
+}
+
+TEST(StrictRules, LoggedWriteInTransactionIsClean) {
+  auto r = check(R"(
+struct %node { i64, i64 }
+define void @tx_root() {
+entry:
+  %n = pm.alloc %node
+  tx.begin
+  tx.add %n, 16
+  %items = gep %n, 1
+  store i64 0, %items
+  pm.fence
+  tx.end
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+// --- strict.multiple-writes -----------------------------------------------------
+
+TEST(StrictRules, MultipleWritesOneBarrier) {
+  auto r = check(R"(
+struct %obj { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %q = pm.alloc %obj
+  %f0 = gep %p, 0
+  %g0 = gep %q, 0
+  store i64 1, %f0
+  store i64 2, %g0
+  pm.flush %f0, 8
+  pm.flush %g0, 8
+  pm.fence !loc("super.c", 584)
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  ASSERT_EQ(count_rule(r, "strict.multiple-writes"), 1u);
+  EXPECT_EQ(r.by_rule("strict.multiple-writes")[0]->loc.line, 584u);
+}
+
+TEST(StrictRules, OneWritePerBarrierIsClean) {
+  auto r = check(R"(
+struct %obj { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  %f1 = gep %p, 1
+  store i64 1, %f0
+  pm.persist %f0, 8
+  store i64 2, %f1
+  pm.persist %f1, 8
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+// --- strict.missing-barrier ------------------------------------------------------
+
+TEST(StrictRules, MissingBarrierBeforeTransaction) {
+  // Figure 3: nvm_create_region flushes the region, then nvm_txbegin runs
+  // with no intervening persist barrier.
+  auto r = check(R"(
+struct %region { i64, i64 }
+define void @nvm_create_region() {
+entry:
+  %r = pm.alloc %region
+  %f0 = gep %r, 0
+  store i64 7, %f0
+  pm.flush %f0, 8 !loc("nvm_region.c", 614)
+  tx.begin
+  pm.fence
+  tx.end
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "strict.missing-barrier"), 1u);
+  EXPECT_EQ(r.by_rule("strict.missing-barrier")[0]->loc.str(),
+            "nvm_region.c:614");
+}
+
+TEST(StrictRules, FenceBeforeTransactionIsClean) {
+  auto r = check(R"(
+struct %region { i64, i64 }
+define void @f() {
+entry:
+  %r = pm.alloc %region
+  %f0 = gep %r, 0
+  store i64 7, %f0
+  pm.flush %f0, 8
+  pm.fence
+  tx.begin
+  tx.add %r, 16
+  %f1 = gep %r, 1
+  store i64 8, %f1
+  pm.fence
+  tx.end
+  ret
+}
+)");
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+TEST(StrictRules, FlushedButNeverFencedAtTraceEnd) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0 !loc("rbtree_map.c", 379)
+  pm.flush %f0, 8
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "strict.missing-barrier"), 1u);
+  EXPECT_EQ(r.warnings()[0].loc.str(), "rbtree_map.c:379");
+}
+
+// --- epoch rules ---------------------------------------------------------------
+
+TEST(EpochRules, MissingBarrierBetweenEpochs) {
+  auto r = check(R"(
+struct %obj { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %q = pm.alloc %obj
+  epoch.begin
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  pm.flush %f0, 8
+  epoch.end
+  epoch.begin !loc("hash_map.c", 264)
+  %g0 = gep %q, 0
+  store i64 2, %g0
+  pm.flush %g0, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  ASSERT_EQ(count_rule(r, "epoch.missing-barrier"), 1u);
+  EXPECT_EQ(r.by_rule("epoch.missing-barrier")[0]->loc.line, 264u);
+}
+
+TEST(EpochRules, BarrierBetweenEpochsIsClean) {
+  auto r = check(R"(
+struct %obj { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %q = pm.alloc %obj
+  epoch.begin
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  pm.flush %f0, 8
+  pm.fence
+  epoch.end
+  epoch.begin
+  %g0 = gep %q, 0
+  store i64 2, %g0
+  pm.flush %g0, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+TEST(EpochRules, MissingBarrierInNestedTransaction) {
+  // Figure 4: pmfs_block_symlink flushes inside an inner transaction that
+  // ends without a barrier.
+  auto r = check(R"(
+struct %buf { [8 x i64] }
+define void @pmfs_block_symlink(%buf* %b) {
+entry:
+  tx.begin
+  %e0 = gep %b, 0
+  store i64 42, %e0
+  pm.flush %e0, 64 !loc("symlink.c", 38)
+  tx.end
+  ret
+}
+define void @pmfs_symlink() {
+entry:
+  %b = pm.alloc %buf
+  tx.begin
+  call @pmfs_block_symlink(%b)
+  pm.fence
+  tx.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  ASSERT_EQ(count_rule(r, "epoch.missing-barrier-nested"), 1u);
+  EXPECT_EQ(r.by_rule("epoch.missing-barrier-nested")[0]->loc.str(),
+            "symlink.c:38");
+}
+
+TEST(EpochRules, NestedTransactionWithBarrierIsClean) {
+  auto r = check(R"(
+struct %buf { [8 x i64] }
+define void @inner(%buf* %b) {
+entry:
+  tx.begin
+  %e0 = gep %b, 0
+  store i64 42, %e0
+  pm.flush %e0, 64
+  pm.fence
+  tx.end
+  ret
+}
+define void @outer() {
+entry:
+  %b = pm.alloc %buf
+  tx.begin
+  call @inner(%b)
+  pm.fence
+  tx.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+TEST(EpochRules, SemanticMismatchConsecutiveEpochsSameObject) {
+  // Figure 1: hashmap buckets and nbuckets are persisted in separate
+  // steps/epochs even though the program means them to be atomic.
+  auto r = check(R"(
+struct %hmap { i64, i64 }
+define void @create_hashmap() {
+entry:
+  %h = pm.alloc %hmap
+  epoch.begin
+  %nbuckets = gep %h, 0
+  store i64 16, %nbuckets
+  pm.flush %nbuckets, 8
+  pm.fence
+  epoch.end
+  epoch.begin
+  %buckets = gep %h, 1
+  store i64 1, %buckets !loc("hash_map.c", 120)
+  pm.flush %buckets, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  ASSERT_EQ(count_rule(r, "model.semantic-mismatch"), 1u);
+  EXPECT_EQ(r.by_rule("model.semantic-mismatch")[0]->loc.str(),
+            "hash_map.c:120");
+}
+
+TEST(EpochRules, ConsecutiveEpochsDifferentObjectsClean) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @f() {
+entry:
+  %a = pm.alloc %obj
+  %b = pm.alloc %obj
+  epoch.begin
+  %f0 = gep %a, 0
+  store i64 1, %f0
+  pm.flush %f0, 8
+  pm.fence
+  epoch.end
+  epoch.begin
+  %g0 = gep %b, 0
+  store i64 2, %g0
+  pm.flush %g0, 8
+  pm.fence
+  epoch.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  EXPECT_TRUE(r.empty()) << r.warnings()[0].str();
+}
+
+// --- perf.flush-unmodified --------------------------------------------------------
+
+TEST(PerfRules, FlushWithNoPrecedingWrite) {
+  auto r = check(R"(
+struct %obj { i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  pm.flush %p, 16 !loc("files.c", 232)
+  pm.fence
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "perf.flush-unmodified"), 1u);
+  EXPECT_EQ(r.warnings()[0].loc.str(), "files.c:232");
+}
+
+TEST(PerfRules, WholeObjectFlushWithOneFieldWritten) {
+  // Figure 5: pi_task_construct writes one field and persists the whole
+  // object. Needs field-sensitive DSA.
+  auto r = check(R"(
+struct %pi_task { i64, i64, i64, i64 }
+define void @pi_task_construct() {
+entry:
+  %t = pm.alloc %pi_task
+  %proto = gep %t, 0
+  store i64 5, %proto
+  pm.persist %t, 32 !loc("pminvaders.c", 246)
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "perf.flush-unmodified"), 1u);
+}
+
+TEST(PerfRules, WholeObjectFlushAfterFullInitIsClean) {
+  auto r = check(R"(
+struct %pi_task { i64, i64 }
+define void @f() {
+entry:
+  %t = pm.alloc %pi_task
+  %f0 = gep %t, 0
+  %f1 = gep %t, 1
+  store i64 1, %f0
+  store i64 2, %f1
+  pm.persist %t, 16
+  ret
+}
+)");
+  EXPECT_EQ(count_rule(r, "perf.flush-unmodified"), 0u);
+}
+
+TEST(PerfRules, MemsetCoversWholeObject) {
+  auto r = check(R"(
+struct %bucketarr { [16 x i64] }
+define void @f() {
+entry:
+  %b = pm.alloc %bucketarr
+  memset %b, 0, 128
+  pm.persist %b, 128
+  ret
+}
+)");
+  EXPECT_EQ(count_rule(r, "perf.flush-unmodified"), 0u);
+}
+
+TEST(PerfRules, FieldInsensitiveModeMissesFigure5Bug) {
+  // Ablation (§5.1: 31% of performance bugs need field sensitivity).
+  auto m = parse_module(R"(
+struct %pi_task { i64, i64, i64, i64 }
+define void @f() {
+entry:
+  %t = pm.alloc %pi_task
+  %proto = gep %t, 0
+  store i64 5, %proto
+  pm.persist %t, 32
+  ret
+}
+)");
+  ir::verify_or_throw(*m);
+  StaticChecker::Options opts;
+  opts.field_sensitive = false;
+  auto r = check_module(*m, PersistencyModel::kStrict, opts);
+  EXPECT_EQ(count_rule(r, "perf.flush-unmodified"), 0u);  // missed
+}
+
+// --- perf.log-unmodified ------------------------------------------------------------
+
+TEST(PerfRules, LogUnmodifiedObject) {
+  auto r = check(R"(
+struct %node { i64, i64 }
+define void @f() {
+entry:
+  %n = pm.alloc %node
+  %m = pm.alloc %node
+  tx.begin
+  tx.add %n, 16 !loc("rbtree_map.c", 197)
+  tx.add %m, 16
+  %g0 = gep %m, 0
+  store i64 1, %g0
+  pm.fence
+  tx.end
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "perf.log-unmodified"), 1u);
+  EXPECT_EQ(r.by_rule("perf.log-unmodified")[0]->loc.str(),
+            "rbtree_map.c:197");
+}
+
+// --- perf.redundant-flush ------------------------------------------------------------
+
+TEST(PerfRules, RedundantFlushNoInterveningStore) {
+  // Figure 6: nvm_free_blk flushes, then the caller flushes again.
+  auto r = check(R"(
+struct %blk { i64, i64 }
+define void @nvm_free_blk(%blk* %b) {
+entry:
+  %f0 = gep %b, 0
+  store i64 0, %f0
+  pm.flush %f0, 8
+  ret
+}
+define void @nvm_free_callback() {
+entry:
+  %b = pm.alloc %blk
+  call @nvm_free_blk(%b)
+  %f0 = gep %b, 0
+  pm.flush %f0, 8 !loc("nvm_heap.c", 1965)
+  pm.fence
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "perf.redundant-flush"), 1u);
+  EXPECT_EQ(r.by_rule("perf.redundant-flush")[0]->loc.str(),
+            "nvm_heap.c:1965");
+}
+
+TEST(PerfRules, ReflushAfterStoreIsNotRedundant) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  pm.flush %f0, 8
+  pm.fence
+  store i64 2, %f0
+  pm.flush %f0, 8
+  pm.fence
+  ret
+}
+)");
+  EXPECT_EQ(count_rule(r, "perf.redundant-flush"), 0u);
+}
+
+// --- perf.persist-same-object -----------------------------------------------------------
+
+TEST(PerfRules, PersistSameObjectTwiceInTransaction) {
+  auto r = check(R"(
+struct %entry { i64, i64 }
+define void @f() {
+entry:
+  %e = pm.alloc %entry
+  tx.begin
+  tx.add %e, 16
+  %f0 = gep %e, 0
+  store i64 1, %f0
+  pm.persist %f0, 8
+  %f1 = gep %e, 1
+  store i64 2, %f1
+  pm.persist %f1, 8 !loc("chhash.c", 185)
+  tx.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  ASSERT_EQ(count_rule(r, "perf.persist-same-object"), 1u);
+  EXPECT_EQ(r.by_rule("perf.persist-same-object")[0]->loc.str(),
+            "chhash.c:185");
+}
+
+TEST(PerfRules, SinglePersistPerObjectInTxIsClean) {
+  auto r = check(R"(
+struct %entry { i64, i64 }
+define void @f() {
+entry:
+  %e = pm.alloc %entry
+  tx.begin
+  tx.add %e, 16
+  %f0 = gep %e, 0
+  store i64 1, %f0
+  %f1 = gep %e, 1
+  store i64 2, %f1
+  pm.persist %e, 16
+  tx.end
+  ret
+}
+)",
+                 PersistencyModel::kEpoch);
+  EXPECT_EQ(count_rule(r, "perf.persist-same-object"), 0u);
+}
+
+// --- perf.empty-durable-tx ---------------------------------------------------------------
+
+TEST(PerfRules, DurableTransactionWithoutWrites) {
+  // Figure 7: pminvaders persists iter unconditionally; on the path where
+  // the timer condition is false, nothing was written.
+  auto r = check(R"(
+struct %alien { i64, i64 }
+define void @process_aliens(i64 %cond) {
+entry:
+  %iter = pm.alloc %alien
+  tx.begin
+  %c = eq %cond, 0
+  br %c, label %update, label %skip
+update:
+  %t = gep %iter, 0
+  store i64 100, %t
+  br label %skip
+skip:
+  pm.persist %iter, 16 !loc("pminvaders.c", 256)
+  tx.end
+  ret
+}
+)");
+  ASSERT_EQ(count_rule(r, "perf.empty-durable-tx"), 1u);
+  EXPECT_EQ(r.by_rule("perf.empty-durable-tx")[0]->loc.str(),
+            "pminvaders.c:256");
+  // The flush-unmodified symptom inside the empty tx is folded into the
+  // empty-tx warning (one bug, one report).
+  EXPECT_EQ(count_rule(r, "perf.flush-unmodified"), 0u);
+}
+
+TEST(PerfRules, TransactionWithWritesIsNotEmpty) {
+  auto r = check(R"(
+struct %alien { i64, i64 }
+define void @f() {
+entry:
+  %a = pm.alloc %alien
+  tx.begin
+  tx.add %a, 16
+  %t = gep %a, 0
+  store i64 1, %t
+  pm.fence
+  tx.end
+  ret
+}
+)");
+  EXPECT_EQ(count_rule(r, "perf.empty-durable-tx"), 0u);
+}
+
+// --- interprocedural + dedup -------------------------------------------------------------
+
+TEST(CheckerInfra, CalleeBugReportedOnceAcrossCallers) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @buggy(%obj* %p) {
+entry:
+  %f0 = gep %p, 0
+  store i64 1, %f0 !loc("lib.c", 50)
+  ret
+}
+define void @caller1() {
+entry:
+  %p = pm.alloc %obj
+  call @buggy(%p)
+  ret
+}
+define void @caller2() {
+entry:
+  %p = pm.alloc %obj
+  call @buggy(%p)
+  ret
+}
+)");
+  EXPECT_EQ(count_rule(r, "strict.unflushed-write"), 1u);
+}
+
+TEST(CheckerInfra, WarningsCarryFunctionAndModel) {
+  auto r = check(R"(
+struct %obj { i64 }
+define void @leaky() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  ret
+}
+)");
+  ASSERT_EQ(r.count(), 1u);
+  EXPECT_EQ(r.warnings()[0].function, "leaky");
+  EXPECT_EQ(r.warnings()[0].model, PersistencyModel::kStrict);
+  EXPECT_EQ(r.warnings()[0].bug_class(), BugClass::kModelViolation);
+}
+
+TEST(CheckerInfra, CheckFunctionScopesToOneRoot) {
+  auto m = parse_module(R"(
+struct %obj { i64 }
+define void @good() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  pm.persist %f0, 8
+  ret
+}
+define void @bad() {
+entry:
+  %p = pm.alloc %obj
+  %f0 = gep %p, 0
+  store i64 1, %f0
+  ret
+}
+)");
+  ir::verify_or_throw(*m);
+  StaticChecker checker(*m, PersistencyModel::kStrict);
+  EXPECT_TRUE(checker.check_function(*m->find_function("good")).empty());
+  EXPECT_EQ(checker.check_function(*m->find_function("bad")).count(), 1u);
+}
+
+}  // namespace
+}  // namespace deepmc::core

@@ -1,0 +1,243 @@
+// Differential fuzz tests: the persistent data structures are driven with
+// long random operation sequences and compared against in-memory reference
+// models (std::map / std::unordered_map) — including across crash +
+// recovery boundaries, where the persistent structure must agree with the
+// reference snapshot taken at the last durable point.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "apps/kvstores.h"
+#include "frameworks/pmfs_mini.h"
+#include "support/rng.h"
+
+namespace deepmc {
+namespace {
+
+pmem::LatencyModel zero() { return pmem::LatencyModel::zero(); }
+
+// --- MemcachedMini vs unordered_map -----------------------------------------------
+
+class MemcachedFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemcachedFuzz, AgreesWithReferenceModel) {
+  pmem::PmPool pool(1 << 24, zero());
+  apps::MemcachedMini mc(pool, 512);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t key = rng.below(200);
+    switch (rng.below(4)) {
+      case 0: {
+        const uint64_t v = rng.next();
+        mc.set(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 1: {
+        auto got = mc.get(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, std::nullopt) << "step " << step << " key " << key;
+        } else {
+          ASSERT_TRUE(got.has_value()) << "step " << step << " key " << key;
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 2: {
+        const bool erased = mc.erase(key);
+        EXPECT_EQ(erased, ref.erase(key) > 0) << "step " << step;
+        break;
+      }
+      case 3: {
+        const uint64_t updated = mc.rmw(key, 1);
+        ref[key] = ref.count(key) ? ref[key] + 1 : 1;
+        EXPECT_EQ(updated, ref[key]) << "step " << step;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(mc.size(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemcachedFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- MemcachedMini across crashes --------------------------------------------------
+
+class MemcachedCrashFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemcachedCrashFuzz, DurableOpsSurviveRandomCrashes) {
+  pmem::PmPool pool(1 << 24, zero());
+  mnemosyne::Mnemosyne recovery(pool);
+  apps::MemcachedMini mc(pool, 256);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(GetParam());
+
+  for (int round = 0; round < 8; ++round) {
+    for (int step = 0; step < 100; ++step) {
+      const uint64_t key = rng.below(100);
+      const uint64_t v = rng.next();
+      mc.set(key, v);
+      ref[key] = v;
+    }
+    // Every set committed before the crash must survive it; nothing may
+    // tear (set is a durable transaction).
+    pool.crash();
+    recovery.recover();
+    for (const auto& [key, v] : ref) {
+      auto got = mc.get(key);
+      ASSERT_TRUE(got.has_value()) << "round " << round << " key " << key;
+      EXPECT_EQ(*got, v) << "round " << round << " key " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemcachedCrashFuzz, ::testing::Values(7, 8));
+
+// --- Pmfs vs a reference directory --------------------------------------------------
+
+class PmfsFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PmfsFuzz, AgreesWithReferenceModel) {
+  pmem::PmPool pool(1 << 23, zero());
+  auto fs = pmfs::Pmfs::mkfs(pool, pmfs::Geometry{24, 48});
+  std::map<std::string, std::string> ref;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string name = "f" + std::to_string(rng.below(12));
+    switch (rng.below(3)) {
+      case 0: {  // create or overwrite
+        std::string data(rng.below(2000), static_cast<char>('a' + rng.below(26)));
+        uint32_t ino = fs.lookup(name);
+        if (ino == pmfs::Pmfs::kNoInode) {
+          if (ref.size() >= 10) break;  // respect geometry headroom
+          ino = fs.create(name);
+        }
+        fs.write_file(ino, data.data(), data.size());
+        ref[name] = data;
+        break;
+      }
+      case 1: {  // read & compare
+        const uint32_t ino = fs.lookup(name);
+        auto it = ref.find(name);
+        if (it == ref.end()) {
+          EXPECT_EQ(ino, pmfs::Pmfs::kNoInode) << name;
+        } else {
+          ASSERT_NE(ino, pmfs::Pmfs::kNoInode) << name;
+          auto data = fs.read_file(ino);
+          EXPECT_EQ(std::string(data.begin(), data.end()), it->second)
+              << "step " << step;
+        }
+        break;
+      }
+      case 2: {  // unlink
+        if (ref.count(name)) {
+          fs.unlink(name);
+          ref.erase(name);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(fs.file_count(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmfsFuzz, ::testing::Values(11, 12, 13));
+
+TEST_P(PmfsFuzz, SurvivesCrashRemountCycles) {
+  pmem::PmPool pool(1 << 23, zero());
+  std::map<std::string, std::string> ref;
+  Rng rng(GetParam() * 977);
+  {
+    auto fs = pmfs::Pmfs::mkfs(pool, pmfs::Geometry{24, 48});
+    for (int i = 0; i < 6; ++i) {
+      const std::string name = "file" + std::to_string(i);
+      std::string data(100 + rng.below(1500), static_cast<char>('A' + i));
+      fs.write_file(fs.create(name), data.data(), data.size());
+      ref[name] = data;
+    }
+  }
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    pool.crash();
+    auto fs = pmfs::Pmfs::mount(pool);
+    for (const auto& [name, data] : ref) {
+      const uint32_t ino = fs.lookup(name);
+      ASSERT_NE(ino, pmfs::Pmfs::kNoInode) << name << " cycle " << cycle;
+      auto read = fs.read_file(ino);
+      EXPECT_EQ(std::string(read.begin(), read.end()), data) << name;
+    }
+    // Mutate between crashes.
+    const std::string name = "file" + std::to_string(cycle);
+    std::string data(50 * (cycle + 1), 'z');
+    fs.write_file(fs.lookup(name), data.data(), data.size());
+    ref[name] = data;
+  }
+}
+
+// --- RedisMini vs reference ----------------------------------------------------------
+
+class RedisFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RedisFuzz, AgreesWithReferenceModel) {
+  pmem::PmPool pool(1 << 24, zero());
+  apps::RedisMini rd(pool, 512);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  std::vector<uint64_t> ref_list;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 1500; ++step) {
+    const uint64_t key = rng.below(150);
+    switch (rng.below(5)) {
+      case 0: {
+        const uint64_t v = rng.next();
+        rd.set(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 1: {
+        auto got = rd.get(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) EXPECT_EQ(got, std::nullopt);
+        else EXPECT_EQ(got, it->second);
+        break;
+      }
+      case 2: {
+        const uint64_t v = rd.incr(key);
+        ref[key] = ref.count(key) ? ref[key] + 1 : 1;
+        EXPECT_EQ(v, ref[key]);
+        break;
+      }
+      case 3: {
+        if (ref_list.size() < 500) {
+          const uint64_t v = rng.next();
+          rd.lpush(v);
+          ref_list.push_back(v);
+        }
+        break;
+      }
+      case 4: {
+        auto got = rd.lpop();
+        if (ref_list.empty()) {
+          EXPECT_EQ(got, std::nullopt);
+        } else {
+          EXPECT_EQ(got, ref_list.front());
+          ref_list.erase(ref_list.begin());
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(rd.list_length(), ref_list.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedisFuzz, ::testing::Values(21, 22, 23));
+
+}  // namespace
+}  // namespace deepmc

@@ -1,0 +1,210 @@
+// Additional DSA coverage: unification corner cases, collapsing, casts
+// with offset mismatches, arrays of structs, double indirection, and the
+// mod/ref summaries the checker consumes.
+#include <gtest/gtest.h>
+
+#include "analysis/dsa.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace deepmc::analysis {
+namespace {
+
+std::unique_ptr<ir::Module> parse_checked(const char* text) {
+  auto m = ir::parse_module(text);
+  ir::verify_or_throw(*m);
+  return m;
+}
+
+TEST(DsaExtra, CastAtOffsetCollapsesNode) {
+  // Casting a field address to an object pointer merges at different
+  // offsets -> the node collapses (conservative, field info dropped).
+  auto m = parse_checked(R"(
+struct %outer { i64, i64 }
+struct %inner { i64 }
+define void @f(%outer* %o) {
+entry:
+  %field = gep %o, 1
+  %alias = cast %field to %inner*
+  %back = cast %alias to %outer*
+  %f0 = gep %back, 0
+  store i64 1, %f0
+  ret
+}
+define void @caller() {
+entry:
+  %o = pm.alloc %outer
+  call @f(%o)
+  ret
+}
+)");
+  DSA dsa(*m);
+  dsa.run();
+  const ir::Function* f = m->find_function("f");
+  // %back aliases %o but through offset 8; the regions must conservatively
+  // overlap.
+  const auto& insts = f->entry()->instructions();
+  MemRegion via_back = dsa.region_for(insts[3].get(), 8);  // %f0
+  MemRegion arg = dsa.region_for(f->arg(0), 16);
+  EXPECT_TRUE(via_back.same_object(arg));
+  EXPECT_TRUE(via_back.overlaps(arg));
+}
+
+TEST(DsaExtra, ArrayOfStructsElementFields) {
+  auto m = parse_checked(R"(
+struct %elem { i64, i64 }
+struct %table { [4 x %elem] }
+define void @f() {
+entry:
+  %t = pm.alloc %table
+  %arr = gep %t, 0
+  %e1 = gep %arr, 1
+  %f1 = gep %e1, 1
+  store i64 9, %f1
+  ret
+}
+)");
+  DSA dsa(*m);
+  dsa.run();
+  const auto& insts = m->find_function("f")->entry()->instructions();
+  MemRegion r = dsa.region_for(insts[3].get(), 8);  // %f1
+  ASSERT_TRUE(r.valid());
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.offset, 24u);  // element 1 (16) + field 1 (8)
+}
+
+TEST(DsaExtra, DoubleIndirectionChainsEdges) {
+  auto m = parse_checked(R"(
+struct %leaf { i64 }
+struct %mid { i64, ptr }
+struct %root { i64, ptr }
+define void @f() {
+entry:
+  %r = pm.alloc %root
+  %m = pm.alloc %mid
+  %l = pm.alloc %leaf
+  %rlink = gep %r, 1
+  store %m, %rlink
+  %mlink = gep %m, 1
+  store %l, %mlink
+  %m2 = load %rlink
+  %m2c = cast %m2 to %mid*
+  %mlink2 = gep %m2c, 1
+  %l2 = load %mlink2
+  ret
+}
+)");
+  DSA dsa(*m);
+  dsa.run();
+  const auto& insts = m->find_function("f")->entry()->instructions();
+  // %l2 (last load) must alias %l (pm.alloc #3).
+  MemRegion leaf = dsa.region_for(insts[2].get(), 8);
+  MemRegion loaded = dsa.region_for(insts.back().get()
+                                        ? insts[insts.size() - 2].get()
+                                        : nullptr,
+                                    8);
+  EXPECT_TRUE(loaded.same_object(leaf));
+}
+
+TEST(DsaExtra, RecursiveFunctionsConverge) {
+  auto m = parse_checked(R"(
+struct %node { i64, ptr }
+define void @walk(%node* %n, i64 %d) {
+entry:
+  %c = eq %d, 0
+  br %c, label %stop, label %go
+go:
+  %v = gep %n, 0
+  store i64 1, %v
+  %link = gep %n, 1
+  %next = load %link
+  %nextc = cast %next to %node*
+  %d2 = sub %d, 1
+  call @walk(%nextc, %d2)
+  br label %stop
+stop:
+  ret
+}
+define void @main() {
+entry:
+  %a = pm.alloc %node
+  %b = pm.alloc %node
+  %link = gep %a, 1
+  store %b, %link
+  call @walk(%a, i64 2)
+  ret
+}
+)");
+  DSA dsa(*m);
+  dsa.run();
+  const ir::Function* walk = m->find_function("walk");
+  // The recursive walk unifies the whole list spine into persistent nodes.
+  EXPECT_TRUE(dsa.points_to_persistent(walk->arg(0)));
+}
+
+TEST(DsaExtra, ModRefOffsetsRecorded) {
+  auto m = parse_checked(R"(
+struct %obj { i64, i64, i64 }
+define void @f() {
+entry:
+  %p = pm.alloc %obj
+  %a = gep %p, 0
+  %c = gep %p, 2
+  store i64 1, %a
+  %v = load %c
+  ret
+}
+)");
+  DSA dsa(*m);
+  dsa.run();
+  const auto& insts = m->find_function("f")->entry()->instructions();
+  DSCell cell = dsa.cell_for(insts[0].get());
+  ASSERT_FALSE(cell.null());
+  EXPECT_EQ(cell.node->modified_offsets(), (std::set<uint64_t>{0}));
+  EXPECT_EQ(cell.node->read_offsets(), (std::set<uint64_t>{16}));
+  EXPECT_TRUE(cell.node->has(DSNode::kModified));
+  EXPECT_TRUE(cell.node->has(DSNode::kRead));
+}
+
+TEST(DsaExtra, RegionCoversAndOverlapsSemantics) {
+  MemRegion whole{reinterpret_cast<const DSNode*>(0x1), 0, 24, true};
+  MemRegion field{reinterpret_cast<const DSNode*>(0x1), 8, 8, true};
+  MemRegion other{reinterpret_cast<const DSNode*>(0x2), 8, 8, true};
+  MemRegion inexact{reinterpret_cast<const DSNode*>(0x1), 0, 8, false};
+
+  EXPECT_TRUE(whole.covers(field));
+  EXPECT_FALSE(field.covers(whole));
+  EXPECT_TRUE(whole.overlaps(field));
+  EXPECT_FALSE(field.overlaps(other));
+  EXPECT_TRUE(inexact.overlaps(field));  // conservative
+  EXPECT_TRUE(inexact.covers(field));    // conservative
+}
+
+TEST(DsaExtra, NullAndInvalidRegions) {
+  MemRegion invalid;
+  MemRegion valid{reinterpret_cast<const DSNode*>(0x1), 0, 8, true};
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_FALSE(invalid.same_object(valid));
+  EXPECT_FALSE(valid.overlaps(invalid));
+}
+
+TEST(DsaExtra, PersistentCountStableAcrossReruns) {
+  auto m = parse_checked(R"(
+struct %o { i64 }
+define void @f() {
+entry:
+  %a = pm.alloc %o
+  %b = pm.alloc %o
+  ret
+}
+)");
+  DSA dsa(*m);
+  dsa.run();
+  const size_t first = dsa.persistent_node_count();
+  dsa.run();  // idempotent
+  EXPECT_EQ(dsa.persistent_node_count(), first);
+  EXPECT_EQ(first, 2u);
+}
+
+}  // namespace
+}  // namespace deepmc::analysis

@@ -1,0 +1,170 @@
+// Whole-pipeline integration tests: text → parse → verify → static check →
+// instrument → execute → dynamic check → crash → inspect, as one flow —
+// the full Figure 8 workflow in a single test body, plus the CLI-level
+// behaviours (suppression + fix suggestions) driven through the library
+// API they are built on.
+#include <gtest/gtest.h>
+
+#include "analysis/dsg_printer.h"
+#include "core/fixit.h"
+#include "core/static_checker.h"
+#include "core/suppressions.h"
+#include "interp/instrumenter.h"
+#include "interp/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace deepmc {
+namespace {
+
+constexpr const char* kBank = R"(
+module "bank"
+struct %account { i64, i64 }
+
+define void @transfer(%account* %from, %account* %to, i64 %amount) {
+entry:
+  tx.begin
+  tx.add %from, 16
+  tx.add %to, 16
+  %fb = gep %from, 0
+  %fv = load %fb
+  %fv2 = sub %fv, %amount
+  store %fv2, %fb
+  %tb = gep %to, 0
+  %tv = load %tb
+  %tv2 = add %tv, %amount
+  store %tv2, %tb
+  pm.fence
+  tx.end
+  ret
+}
+
+define i64 @main() {
+entry:
+  %a = pm.alloc %account
+  %b = pm.alloc %account
+  %ab = gep %a, 0
+  store i64 1000, %ab
+  pm.persist %ab, 8
+  %bb = gep %b, 0
+  store i64 0, %bb
+  pm.persist %bb, 8
+  call @transfer(%a, %b, i64 250)
+  %v = load %bb
+  ret %v
+}
+)";
+
+TEST(Integration, Figure8WorkflowEndToEnd) {
+  // Step 0: parse + verify.
+  auto module = ir::parse_module(kBank);
+  ir::verify_or_throw(*module);
+
+  // Steps 1–4 (offline): CFG/CG/DSG + traces + rules.
+  core::StaticChecker checker(*module, core::PersistencyModel::kStrict);
+  auto result = checker.run();
+  EXPECT_TRUE(result.empty()) << result.warnings()[0].str();
+
+  // The DSG shows two persistent accounts.
+  EXPECT_EQ(checker.dsa().persistent_node_count(), 2u);
+  EXPECT_NE(analysis::dsg_to_string(checker.dsa()).find("persistent"),
+            std::string::npos);
+
+  // Steps 5–6 (online): instrument + execute under the runtime.
+  analysis::DSA dsa(*module);
+  dsa.run();
+  auto istats = interp::instrument_module(*module, dsa);
+  EXPECT_GT(istats.writes_instrumented, 0u);
+  ir::verify_or_throw(*module);  // instrumented module still valid
+
+  pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+  rt::RuntimeChecker rt(core::PersistencyModel::kStrict);
+  interp::Interpreter interp(*module, pool, &rt);
+  auto out = interp.run_main();
+  EXPECT_EQ(out, 250u);
+  EXPECT_TRUE(rt.races().empty());
+  EXPECT_TRUE(rt.barrier_violations().empty());
+}
+
+TEST(Integration, PrintedModuleReanalyzesIdentically) {
+  auto m1 = ir::parse_module(kBank);
+  ir::verify_or_throw(*m1);
+  auto m2 = ir::parse_module(ir::to_string(*m1));
+  ir::verify_or_throw(*m2);
+  auto r1 = core::check_module(*m1, core::PersistencyModel::kStrict);
+  auto r2 = core::check_module(*m2, core::PersistencyModel::kStrict);
+  EXPECT_EQ(r1.count(), r2.count());
+}
+
+TEST(Integration, BuggyVariantFlowsThroughTriage) {
+  // Remove the tx.add for %to: the transfer is now half-logged.
+  std::string buggy = kBank;
+  const std::string needle = "  tx.add %to, 16\n";
+  auto pos = buggy.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  buggy.erase(pos, needle.size());
+
+  auto module = ir::parse_module(buggy);
+  ir::verify_or_throw(*module);
+  auto result = core::check_module(*module, core::PersistencyModel::kStrict);
+  ASSERT_EQ(result.count(), 1u);
+  EXPECT_EQ(result.warnings()[0].rule, "strict.unflushed-write");
+
+  // The fix suggestion names the repair.
+  EXPECT_NE(core::suggest_fix(result.warnings()[0]).find("tx.add"),
+            std::string::npos);
+
+  // Suppressing it (a triage decision) empties the report and the
+  // proposed-database round trip matches.
+  auto db = core::SuppressionDb::parse(
+      core::SuppressionDb::propose(result));
+  auto stats = db.apply(result);
+  EXPECT_EQ(stats.suppressed, 1u);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(Integration, BuggyVariantLosesDataInWorstCaseCrash) {
+  // The half-logged transfer, executed and power-failed before the commit
+  // fence: the destination update exists only in cache and vanishes. A
+  // fault is injected at the transaction's first store; the interpreter
+  // "process" dies there, then the device loses power.
+  std::string buggy = kBank;
+  const std::string needle = "  tx.add %to, 16\n";
+  buggy.erase(buggy.find(needle), needle.size());
+  // Return the destination object instead of its balance so the test can
+  // inspect the post-crash image.
+  const std::string ret_needle = "  %v = load %bb\n  ret %v\n";
+  auto rp = buggy.find(ret_needle);
+  ASSERT_NE(rp, std::string::npos);
+  buggy.replace(rp, ret_needle.size(), "  ret %b\n");
+
+  auto module = ir::parse_module(buggy);
+  ir::verify_or_throw(*module);
+
+  // Dry run to learn the destination offset and the event budget of the
+  // program itself (pool construction burns a few events of its own).
+  uint64_t dest_off = 0, run_events = 0;
+  {
+    pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+    const uint64_t base = pool.event_count();
+    interp::Interpreter interp(*module, pool);
+    dest_off = interp.run_main().value();
+    run_events = pool.event_count() - base;
+  }
+
+  // Crash two events before the end (inside the tx, before the fence).
+  pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+  interp::Interpreter interp(*module, pool);
+  pool.inject_fault_after(run_events - 2);
+  EXPECT_THROW(interp.run_main(), pmem::PmFault);
+  pmem::CrashOptions worst;
+  worst.pending_survives = 0.0;
+  pool.crash(worst);
+  // The destination balance never became durable: the transfer is lost —
+  // exactly the hazard strict.unflushed-write warned about.
+  EXPECT_EQ(pool.load_val<uint64_t>(dest_off), 0u);
+}
+
+}  // namespace
+}  // namespace deepmc

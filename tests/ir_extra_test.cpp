@@ -1,0 +1,259 @@
+// Additional IR coverage: parser negative cases, printer stability on
+// tricky constructs, verifier corner cases, and type-system edges.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace deepmc::ir {
+namespace {
+
+// --- parser negatives ----------------------------------------------------------
+
+TEST(ParserNegative, UnknownStructInNonPointerPosition) {
+  EXPECT_THROW(parse_module(R"(
+define void @f() {
+entry:
+  %x = alloca %missing
+  ret
+}
+)"),
+               ParseError);
+}
+
+TEST(ParserNegative, RedefinedValue) {
+  EXPECT_THROW(parse_module(R"(
+define void @f() {
+entry:
+  %x = add 1, 2
+  %x = add 3, 4
+  ret
+}
+)"),
+               ParseError);
+}
+
+TEST(ParserNegative, DuplicateFunctionName) {
+  EXPECT_THROW(parse_module(R"(
+define void @f() {
+entry:
+  ret
+}
+define void @f() {
+entry:
+  ret
+}
+)"),
+               std::invalid_argument);
+}
+
+TEST(ParserNegative, BranchToUnknownLabel) {
+  EXPECT_THROW(parse_module(R"(
+define void @f() {
+entry:
+  br label %nowhere
+}
+)"),
+               ParseError);
+}
+
+TEST(ParserNegative, TrailingTokensRejected) {
+  EXPECT_THROW(parse_module(R"(
+define void @f() {
+entry:
+  pm.fence garbage
+  ret
+}
+)"),
+               ParseError);
+}
+
+TEST(ParserNegative, UnterminatedString) {
+  EXPECT_THROW(parse_module("module \"unterminated\n"), ParseError);
+}
+
+TEST(ParserNegative, MalformedLocSuffix) {
+  EXPECT_THROW(parse_module(R"(
+define void @f() {
+entry:
+  pm.fence !loc("f.c")
+  ret
+}
+)"),
+               ParseError);
+}
+
+// --- parser positives on edges ---------------------------------------------------
+
+TEST(ParserEdge, ForwardCallResolvesReturnType) {
+  auto m = parse_module(R"(
+define i64 @caller() {
+entry:
+  %v = call @callee()
+  ret %v
+}
+define i64 @callee() {
+entry:
+  ret 7
+}
+)");
+  verify_or_throw(*m);
+  const auto& insts = m->find_function("caller")->entry()->instructions();
+  EXPECT_EQ(insts[0]->type()->str(), "i64");
+}
+
+TEST(ParserEdge, AnonymousDeclarationParams) {
+  auto m = parse_module("declare void @ext(i64, ptr, %x*)\n");
+  const Function* f = m->find_function("ext");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->arg_count(), 3u);
+  EXPECT_EQ(f->arg(2)->type()->str(), "ptr");  // unknown struct degrades
+}
+
+TEST(ParserEdge, NegativeConstants) {
+  auto m = parse_module(R"(
+define i64 @f() {
+entry:
+  %x = add 5, -3
+  ret %x
+}
+)");
+  verify_or_throw(*m);
+}
+
+TEST(ParserEdge, NestedArrayTypes) {
+  auto m = parse_module(R"(
+struct %grid { [2 x [3 x i64]] }
+define void @f() {
+entry:
+  %g = pm.alloc %grid
+  ret
+}
+)");
+  const StructType* grid = m->types().find_struct("grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->size(), 48u);
+}
+
+TEST(ParserEdge, CommentsAndBlankLinesIgnoredEverywhere) {
+  auto m = parse_module(R"(
+; leading comment
+module "c"   ; trailing
+
+; between
+struct %o { i64 }  ; fields
+
+define void @f() {   ; body next
+entry:
+  ; nothing yet
+  %p = pm.alloc %o ; alloc
+  ret              ; done
+}
+)");
+  verify_or_throw(*m);
+  EXPECT_EQ(m->name(), "c");
+}
+
+// --- printer stability -------------------------------------------------------------
+
+TEST(PrinterEdge, AllRegionKindsAndIntrinsicsRoundTrip) {
+  auto m1 = parse_module(R"(
+struct %o { i64, [2 x i32] }
+define void @f(%o* %p, i64 %i) {
+entry:
+  %a = gep %p, 0
+  %arr = gep %p, 1
+  %e = gep %arr, %i
+  store i32 1, %e
+  memset %a, 0, 8
+  memcpy %a, %a, 8
+  pm.flush %a, 8
+  pm.persist %a, 8
+  tx.add %a, 8
+  tx.begin
+  tx.end
+  epoch.begin
+  epoch.end
+  strand.begin
+  strand.end
+  pm.free %p
+  ret
+}
+)");
+  const std::string t1 = to_string(*m1);
+  auto m2 = parse_module(t1);
+  EXPECT_EQ(to_string(*m2), t1);
+}
+
+TEST(PrinterEdge, InstructionToStringIsCompact) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", m.types().void_type(), {});
+  auto* fence = b.fence();
+  b.ret();
+  EXPECT_EQ(to_string(*fence), "pm.fence");
+}
+
+// --- verifier edges ------------------------------------------------------------------
+
+TEST(VerifierEdge, EmptyBlockFlagged) {
+  Module m("t");
+  m.create_function("f", m.types().void_type(), {});
+  m.find_function("f")->create_block("entry");
+  auto issues = verify_module(m);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("empty"), std::string::npos);
+}
+
+TEST(VerifierEdge, TerminatorMidBlockFlagged) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", m.types().void_type(), {});
+  b.ret();
+  b.fence();
+  b.ret();
+  auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("terminator"), std::string::npos);
+}
+
+TEST(VerifierEdge, StoreThroughNonPointerFlagged) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", m.types().void_type(), {{"x", m.types().i64()}});
+  Function* f = m.find_function("f");
+  b.store(b.const_int(1), f->arg(0));  // target is an i64, not a pointer
+  b.ret();
+  auto issues = verify_module(m);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("not a pointer"), std::string::npos);
+}
+
+// --- type-system edges ------------------------------------------------------------------
+
+TEST(TypeEdge, EmptyStructHasNonZeroStorage) {
+  TypeContext ctx;
+  const StructType* st = ctx.create_struct("empty", {});
+  EXPECT_GE(st->size(), 1u);
+}
+
+TEST(TypeEdge, PointerFieldsAlignStructs) {
+  TypeContext ctx;
+  // { i8, ptr } -> pointer aligned at 8.
+  const StructType* st =
+      ctx.create_struct("p", {ctx.i8(), ctx.opaque_ptr()});
+  EXPECT_EQ(st->field_offset(1), 8u);
+  EXPECT_EQ(st->size(), 16u);
+}
+
+TEST(TypeEdge, DeeplyNestedTypeStrings) {
+  TypeContext ctx;
+  const Type* t = ctx.pointer_to(
+      ctx.array_of(ctx.pointer_to(ctx.int_type(16)), 3));
+  EXPECT_EQ(t->str(), "[3 x i16*]*");
+}
+
+}  // namespace
+}  // namespace deepmc::ir

@@ -1,0 +1,146 @@
+// Additional PM-substrate coverage: fault-injection mechanics, allocator
+// behaviour across size classes, crash-option probabilities, and
+// cacheline-spanning operations.
+#include <gtest/gtest.h>
+
+#include "pmem/pool.h"
+
+namespace deepmc::pmem {
+namespace {
+
+TEST(FaultInjection, TriggersOnExactlyTheNthEvent) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t off = pool.alloc(8);
+  pool.inject_fault_after(3);
+  EXPECT_TRUE(pool.fault_armed());
+  pool.store_val<uint64_t>(off, 1);  // event 1
+  pool.flush(off, 8);                // event 2
+  EXPECT_THROW(pool.fence(), PmFault);  // event 3
+  EXPECT_FALSE(pool.fault_armed());  // disarms after firing
+  pool.fence();                      // subsequent events run normally
+}
+
+TEST(FaultInjection, FaultFiresBeforeTheEventTakesEffect) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t off = pool.alloc(8);
+  pool.store_val<uint64_t>(off, 7);
+  pool.persist(off, 8);
+  pool.inject_fault_after(1);
+  EXPECT_THROW(pool.store_val<uint64_t>(off, 9), PmFault);
+  EXPECT_EQ(pool.load_val<uint64_t>(off), 7u);  // store did not land
+}
+
+TEST(FaultInjection, ZeroDisarms) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t off = pool.alloc(8);
+  pool.inject_fault_after(1);
+  pool.inject_fault_after(0);
+  EXPECT_NO_THROW(pool.store_val<uint64_t>(off, 1));
+}
+
+TEST(FaultInjection, EventCountAdvances) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t off = pool.alloc(8);
+  const uint64_t before = pool.event_count();
+  pool.store_val<uint64_t>(off, 1);
+  pool.flush(off, 8);
+  pool.fence();
+  EXPECT_EQ(pool.event_count(), before + 3);
+}
+
+TEST(AllocatorExtra, DistinctSizeClassesDoNotMix) {
+  PmPool pool(1 << 18, LatencyModel::zero());
+  const uint64_t small = pool.alloc(64);
+  const uint64_t big = pool.alloc(256);
+  pool.free(small);
+  // A 256-byte request must not reuse the 64-byte chunk.
+  const uint64_t big2 = pool.alloc(256);
+  EXPECT_NE(big2, small);
+  EXPECT_NE(big2, big);
+  // A 64-byte request does reuse it.
+  EXPECT_EQ(pool.alloc(64), small);
+}
+
+TEST(AllocatorExtra, AllocBaseFindsEnclosingAllocation) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t a = pool.alloc(128);
+  EXPECT_EQ(pool.alloc_base(a), a);
+  EXPECT_EQ(pool.alloc_base(a + 100), a);
+  EXPECT_EQ(pool.alloc_base(a + 128), PmPool::kNullOff);  // one past end
+  pool.free(a);
+  EXPECT_EQ(pool.alloc_base(a), PmPool::kNullOff);
+}
+
+TEST(CrashOptionsExtra, PendingSurvivalIsProbabilistic) {
+  // With p=0.5, across many lines roughly half survive.
+  PmPool pool(1 << 20, LatencyModel::zero());
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t off = pool.alloc(64);
+    pool.store_val<uint64_t>(off, 1);
+    pool.flush(off, 8);
+    offs.push_back(off);
+  }
+  CrashOptions half;
+  half.pending_survives = 0.5;
+  Rng rng(99);
+  pool.crash(half, &rng);
+  int survived = 0;
+  for (uint64_t off : offs)
+    if (pool.load_val<uint64_t>(off) == 1) ++survived;
+  EXPECT_GT(survived, 60);
+  EXPECT_LT(survived, 140);
+}
+
+TEST(CacheLineSpanning, MemsetPersistAcrossManyLines) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t off = pool.alloc(400);
+  pool.memset_persist(off, 0x5a, 400);
+  EXPECT_TRUE(pool.is_persisted(off, 400));
+  pmem::CrashOptions worst;
+  worst.pending_survives = 0.0;
+  pool.crash(worst);
+  for (uint64_t i = 0; i < 400; i += 37)
+    EXPECT_EQ(pool.load_val<uint8_t>(off + i), 0x5a) << i;
+}
+
+TEST(CacheLineSpanning, PartialLineFlushCoversWholeLine) {
+  // Hardware flushes whole cachelines: flushing one byte persists its
+  // 64-byte line (after the fence).
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t off = pool.alloc(64);
+  pool.store_val<uint64_t>(off, 1);
+  pool.store_val<uint64_t>(off + 32, 2);  // same line
+  pool.flush(off, 1);
+  pool.fence();
+  pmem::CrashOptions worst;
+  worst.pending_survives = 0.0;
+  pool.crash(worst);
+  EXPECT_EQ(pool.load_val<uint64_t>(off), 1u);
+  EXPECT_EQ(pool.load_val<uint64_t>(off + 32), 2u);  // rode along
+}
+
+TEST(HeaderSurvival, MagicAndRootPersistedAtConstruction) {
+  PmPool pool(1 << 16, LatencyModel::zero());
+  const uint64_t obj = pool.alloc(64);
+  pool.set_root(obj);
+  pmem::CrashOptions worst;
+  worst.pending_survives = 0.0;
+  pool.crash(worst);
+  EXPECT_EQ(pool.root(), obj);
+}
+
+TEST(StatsExtra, SimTimeMonotonicUnderRealModel) {
+  PmPool pool(1 << 16);  // optane-like
+  const uint64_t off = pool.alloc(64);
+  uint64_t last = pool.stats().sim_ns;
+  for (int i = 0; i < 10; ++i) {
+    pool.store_val<uint64_t>(off, static_cast<uint64_t>(i));
+    pool.persist(off, 8);
+    EXPECT_GT(pool.stats().sim_ns, last);
+    last = pool.stats().sim_ns;
+  }
+}
+
+}  // namespace
+}  // namespace deepmc::pmem

@@ -1,0 +1,237 @@
+// Direct unit tests for the dynamic-checker runtime: vector-clock algebra,
+// shadow segment, happens-before transitivity across barriers, report
+// deduplication, the object registry, and the runtime-observed flush /
+// barrier reports.
+#include <gtest/gtest.h>
+
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::rt {
+namespace {
+
+using core::PersistencyModel;
+
+// --- vector clocks ------------------------------------------------------------
+
+TEST(VectorClockTest, DefaultIsZero) {
+  VectorClock vc;
+  EXPECT_EQ(vc.get(1), 0u);
+  EXPECT_EQ(vc.get(99), 0u);
+}
+
+TEST(VectorClockTest, TickAndJoin) {
+  VectorClock a, b;
+  a.tick(1);
+  a.tick(1);
+  b.tick(2);
+  b.join(a);
+  EXPECT_EQ(b.get(1), 2u);
+  EXPECT_EQ(b.get(2), 1u);
+  EXPECT_EQ(a.get(2), 0u);  // join is one-directional
+}
+
+TEST(VectorClockTest, LeqIsHappensBefore) {
+  VectorClock a, b;
+  a.tick(1);
+  b.join(a);
+  b.tick(2);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  VectorClock c;
+  c.tick(3);
+  EXPECT_FALSE(b.leq(c));
+  EXPECT_FALSE(c.leq(b));  // concurrent
+}
+
+// --- shadow segment -------------------------------------------------------------
+
+TEST(ShadowTest, WordGranularityAndSparseness) {
+  ShadowSegment shadow;
+  size_t visited = 0;
+  shadow.for_each_word(0, 24, [&](uint64_t addr, ShadowCell&) {
+    EXPECT_EQ(addr % kShadowWordBytes, 0u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3u);  // 24 bytes = 3 words
+  EXPECT_EQ(shadow.tracked_words(), 3u);
+  EXPECT_EQ(shadow.find(64), nullptr);  // untouched word: no cell
+}
+
+TEST(ShadowTest, UnalignedRangeCoversBothWords) {
+  ShadowSegment shadow;
+  size_t visited = 0;
+  shadow.for_each_word(6, 4, [&](uint64_t, ShadowCell&) { ++visited; });
+  EXPECT_EQ(visited, 2u);  // bytes 6..9 straddle words 0 and 1
+}
+
+// --- races ------------------------------------------------------------------------
+
+TEST(RuntimeChecker, SequentialCodeNeverRaces) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  rt.on_write(0, 0x100, 8, SourceLoc("a.c", 1));
+  rt.on_write(0, 0x100, 8, SourceLoc("a.c", 2));
+  rt.on_read(0, 0x100, 8, SourceLoc("a.c", 3));
+  EXPECT_TRUE(rt.races().empty());
+}
+
+TEST(RuntimeChecker, ThreeStrandsTransitiveOrdering) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  // S1 writes, ends; barrier; S2 reads (ordered); S2 ends; barrier;
+  // S3 writes (ordered after both).
+  StrandId s1 = rt.strand_begin();
+  rt.on_write(s1, 0x40, 8, SourceLoc("t.c", 1));
+  rt.strand_end(s1);
+  rt.on_fence(0);
+  StrandId s2 = rt.strand_begin();
+  rt.on_read(s2, 0x40, 8, SourceLoc("t.c", 2));
+  rt.strand_end(s2);
+  rt.on_fence(0);
+  StrandId s3 = rt.strand_begin();
+  rt.on_write(s3, 0x40, 8, SourceLoc("t.c", 3));
+  rt.strand_end(s3);
+  EXPECT_TRUE(rt.races().empty());
+}
+
+TEST(RuntimeChecker, UnorderedStrandsRace) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  StrandId s1 = rt.strand_begin();
+  StrandId s2 = rt.strand_begin();  // concurrent with s1 (no barrier)
+  rt.on_write(s1, 0x40, 8, SourceLoc("t.c", 10));
+  rt.on_write(s2, 0x40, 8, SourceLoc("t.c", 20));
+  ASSERT_EQ(rt.races().size(), 1u);
+  EXPECT_EQ(rt.races()[0].kind, RaceKind::kWaw);
+}
+
+TEST(RuntimeChecker, BarrierWithoutStrandEndDoesNotOrder) {
+  // The barrier orders strands that ENDED before it; a still-open strand
+  // remains concurrent with later ones.
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  StrandId s1 = rt.strand_begin();
+  rt.on_write(s1, 0x40, 8, SourceLoc("t.c", 1));
+  rt.on_fence(0);  // s1 has not ended
+  StrandId s2 = rt.strand_begin();
+  rt.on_write(s2, 0x40, 8, SourceLoc("t.c", 2));
+  ASSERT_EQ(rt.races().size(), 1u);
+}
+
+TEST(RuntimeChecker, RaceReportsDeduplicated) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  StrandId s1 = rt.strand_begin();
+  StrandId s2 = rt.strand_begin();
+  rt.on_write(s1, 0x40, 8, SourceLoc("t.c", 1));
+  rt.on_write(s2, 0x40, 8, SourceLoc("t.c", 2));
+  rt.on_write(s2, 0x40, 8, SourceLoc("t.c", 3));  // same pair, same word
+  EXPECT_EQ(rt.races().size(), 1u);
+}
+
+TEST(RuntimeChecker, DisjointWordsNoRace) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  StrandId s1 = rt.strand_begin();
+  StrandId s2 = rt.strand_begin();
+  rt.on_write(s1, 0x40, 8, SourceLoc("t.c", 1));
+  rt.on_write(s2, 0x48, 8, SourceLoc("t.c", 2));
+  EXPECT_TRUE(rt.races().empty());
+}
+
+TEST(RuntimeChecker, OverlappingRangesRaceOnSharedWord) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  StrandId s1 = rt.strand_begin();
+  StrandId s2 = rt.strand_begin();
+  rt.on_write(s1, 0x40, 16, SourceLoc("t.c", 1));  // words 0x40, 0x48
+  rt.on_write(s2, 0x48, 16, SourceLoc("t.c", 2));  // words 0x48, 0x50
+  ASSERT_EQ(rt.races().size(), 1u);
+  EXPECT_EQ(rt.races()[0].addr, 0x48u);
+}
+
+// --- epoch-object tracking ------------------------------------------------------
+
+TEST(RuntimeChecker, EpochMismatchUsesObjectRegistry) {
+  RuntimeChecker rt(PersistencyModel::kEpoch);
+  rt.on_alloc(0x1000, 64);
+  rt.epoch_begin();
+  rt.on_write(0, 0x1000, 8, SourceLoc("e.c", 1));
+  rt.epoch_end();
+  rt.epoch_begin();
+  rt.on_write(0, 0x1020, 8, SourceLoc("e.c", 2));  // same object, diff field
+  rt.epoch_end();
+  ASSERT_EQ(rt.epoch_mismatches().size(), 1u);
+  EXPECT_EQ(rt.epoch_mismatches()[0].object_base, 0x1000u);
+}
+
+TEST(RuntimeChecker, NonConsecutiveEpochsDoNotMismatch) {
+  RuntimeChecker rt(PersistencyModel::kEpoch);
+  rt.on_alloc(0x1000, 64);
+  rt.on_alloc(0x2000, 64);
+  rt.epoch_begin();
+  rt.on_write(0, 0x1000, 8, SourceLoc("e.c", 1));
+  rt.epoch_end();
+  rt.epoch_begin();  // intervening epoch on a different object
+  rt.on_write(0, 0x2000, 8, SourceLoc("e.c", 2));
+  rt.epoch_end();
+  rt.epoch_begin();
+  rt.on_write(0, 0x1000, 8, SourceLoc("e.c", 3));
+  rt.epoch_end();
+  EXPECT_TRUE(rt.epoch_mismatches().empty());
+}
+
+TEST(RuntimeChecker, FreedObjectLeavesRegistry) {
+  RuntimeChecker rt(PersistencyModel::kEpoch);
+  rt.on_alloc(0x1000, 64);
+  rt.on_free(0x1000);
+  rt.epoch_begin();
+  rt.on_write(0, 0x1000, 8, SourceLoc("e.c", 1));
+  rt.epoch_end();
+  rt.epoch_begin();
+  rt.on_write(0, 0x1010, 8, SourceLoc("e.c", 2));
+  rt.epoch_end();
+  // Without a registered object, distinct addresses are distinct keys.
+  EXPECT_TRUE(rt.epoch_mismatches().empty());
+}
+
+// --- runtime flush / barrier reports --------------------------------------------
+
+TEST(RuntimeChecker, RedundantFlushReportsDedupByLocation) {
+  RuntimeChecker rt(PersistencyModel::kStrict);
+  rt.report_redundant_flush(SourceLoc("f.c", 10), 0x40);
+  rt.report_redundant_flush(SourceLoc("f.c", 10), 0x80);  // same site, loop
+  rt.report_redundant_flush(SourceLoc("f.c", 20), 0x40);
+  EXPECT_EQ(rt.redundant_flushes().size(), 2u);
+}
+
+TEST(RuntimeChecker, BarrierReportsDedupByLocation) {
+  RuntimeChecker rt(PersistencyModel::kStrict);
+  rt.report_unfenced_tx_begin(SourceLoc("b.c", 5));
+  rt.report_unfenced_tx_begin(SourceLoc("b.c", 5));
+  EXPECT_EQ(rt.barrier_violations().size(), 1u);
+}
+
+TEST(RuntimeChecker, ClearReportsResetsEverything) {
+  RuntimeChecker rt(PersistencyModel::kStrand);
+  StrandId s1 = rt.strand_begin();
+  StrandId s2 = rt.strand_begin();
+  rt.on_write(s1, 0x40, 8, {});
+  rt.on_write(s2, 0x40, 8, {});
+  rt.report_redundant_flush(SourceLoc("f.c", 1), 0);
+  rt.report_unfenced_tx_begin(SourceLoc("b.c", 1));
+  rt.clear_reports();
+  EXPECT_TRUE(rt.races().empty());
+  EXPECT_TRUE(rt.redundant_flushes().empty());
+  EXPECT_TRUE(rt.barrier_violations().empty());
+}
+
+TEST(RuntimeChecker, StatsCountTraffic) {
+  RuntimeChecker rt(PersistencyModel::kEpoch);
+  rt.epoch_begin();
+  rt.on_write(0, 0x40, 8, {});
+  rt.on_read(0, 0x40, 8, {});
+  rt.on_fence(0);
+  rt.epoch_end();
+  auto stats = rt.stats();
+  EXPECT_EQ(stats.writes_tracked, 1u);
+  EXPECT_EQ(stats.reads_tracked, 1u);
+  EXPECT_EQ(stats.epochs_opened, 1u);
+  EXPECT_EQ(stats.fences, 1u);
+}
+
+}  // namespace
+}  // namespace deepmc::rt

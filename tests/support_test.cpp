@@ -1,0 +1,174 @@
+// Tests for the support layer: string utilities, deterministic RNG,
+// diagnostics engine, accumulators — plus thread-safety of the runtime
+// checker under concurrent instrumented threads (the Figure 12 apps run
+// multi-threaded in the paper).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/dynamic_checker.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+namespace deepmc {
+namespace {
+
+// --- strformat -----------------------------------------------------------------
+
+TEST(StrTest, FormatBasics) {
+  EXPECT_EQ(strformat("x=%d", 42), "x=42");
+  EXPECT_EQ(strformat("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StrTest, FormatLongStringsBeyondSmallBuffers) {
+  std::string big(5000, 'q');
+  EXPECT_EQ(strformat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(StrTest, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  auto kept = split("a,b,,c", ',', /*keep_empty=*/true);
+  EXPECT_EQ(kept.size(), 4u);
+  EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(StrTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(starts_with("pm.flush", "pm."));
+  EXPECT_FALSE(starts_with("pm", "pm."));
+}
+
+// --- rng -----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, SkewedFavorsHotSet) {
+  Rng rng(11);
+  int hot = 0;
+  const uint64_t n = 100;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.skewed(n) < n / 5 + 1) ++hot;
+  EXPECT_GT(hot, 7000);  // ~80/20 skew
+}
+
+// --- diagnostics ------------------------------------------------------------------
+
+TEST(DiagnosticsTest, CollectAndQuery) {
+  DiagnosticEngine diag;
+  diag.warn(SourceLoc("a.c", 1), "rule.x", "first");
+  diag.warn(SourceLoc("a.c", 2), "rule.y", "second");
+  diag.report(Severity::kError, SourceLoc("b.c", 3), "rule.x", "third");
+  EXPECT_EQ(diag.warning_count(), 2u);
+  EXPECT_EQ(diag.error_count(), 1u);
+  EXPECT_EQ(diag.by_rule("rule.x").size(), 2u);
+  EXPECT_EQ(diag.at("a.c", 2).size(), 1u);
+  EXPECT_EQ(diag.at("a.c", 9).size(), 0u);
+  EXPECT_NE(diag.diagnostics()[0].str().find("a.c:1"), std::string::npos);
+  diag.clear();
+  EXPECT_TRUE(diag.empty());
+}
+
+// --- accumulator --------------------------------------------------------------------
+
+TEST(AccumulatorTest, MeanMinMax) {
+  Accumulator acc;
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.add(2);
+  acc.add(4);
+  acc.add(9);
+  EXPECT_EQ(acc.n, 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min, 2.0);
+  EXPECT_DOUBLE_EQ(acc.max, 9.0);
+}
+
+// --- runtime thread-safety ------------------------------------------------------------
+
+TEST(RuntimeThreading, ConcurrentInstrumentedThreads) {
+  rt::RuntimeChecker rt(core::PersistencyModel::kStrand);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rt, t] {
+      rt::StrandId s = rt.strand_begin();
+      for (int i = 0; i < kOps; ++i) {
+        // Disjoint address ranges per thread: no races expected; the test
+        // is about data-structure integrity under concurrency.
+        const uint64_t addr = 0x10000ull * (t + 1) + (i % 64) * 8;
+        rt.on_write(s, addr, 8, SourceLoc("mt.c", 1));
+        rt.on_read(s, addr, 8, SourceLoc("mt.c", 2));
+      }
+      rt.strand_end(s);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(rt.races().empty());
+  auto stats = rt.stats();
+  EXPECT_EQ(stats.writes_tracked, static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(stats.reads_tracked, static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(stats.strands_opened, static_cast<uint64_t>(kThreads));
+}
+
+TEST(RuntimeThreading, ConcurrentConflictingThreadsDetected) {
+  rt::RuntimeChecker rt(core::PersistencyModel::kStrand);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&rt, t] {
+      rt::StrandId s = rt.strand_begin();
+      rt.on_write(s, 0x40, 8, SourceLoc("mt.c", 10 + t));
+      rt.strand_end(s);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Both strands write the same word with no barrier between them.
+  EXPECT_EQ(rt.races().size(), 1u);
+}
+
+}  // namespace
+}  // namespace deepmc

@@ -1,0 +1,162 @@
+// Tests for the suppression database (§5.4 future work) and the fix
+// suggestions (§4.3 future work), including the end-to-end false-positive
+// triage workflow over the real corpus: suppressing exactly the 7
+// validated false positives leaves exactly the 43 true bugs.
+#include <gtest/gtest.h>
+
+#include "core/fixit.h"
+#include "core/static_checker.h"
+#include "core/suppressions.h"
+#include "corpus/corpus.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace deepmc::core {
+namespace {
+
+// --- parsing ----------------------------------------------------------------
+
+TEST(SuppressionDb, ParsesEntriesCommentsAndWildcards) {
+  auto db = SuppressionDb::parse(R"(
+# header comment
+perf.flush-unmodified inode.c 150   # filled externally
+model.semantic-mismatch hash_map.c *
+* bbuild.c 210
+)");
+  ASSERT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.entries()[0].rule, "perf.flush-unmodified");
+  EXPECT_EQ(db.entries()[0].line, 150u);
+  EXPECT_EQ(db.entries()[0].reason, "filled externally");
+  EXPECT_EQ(db.entries()[1].line, 0u);
+  EXPECT_EQ(db.entries()[2].rule, "*");
+}
+
+TEST(SuppressionDb, RejectsMalformedEntries) {
+  EXPECT_THROW(SuppressionDb::parse("just two"), std::invalid_argument);
+  EXPECT_THROW(SuppressionDb::parse("a b notanumber"),
+               std::invalid_argument);
+  EXPECT_THROW(SuppressionDb::parse("a b 0"), std::invalid_argument);
+}
+
+TEST(SuppressionDb, EmptyTextIsEmptyDb) {
+  EXPECT_EQ(SuppressionDb::parse("").size(), 0u);
+  EXPECT_EQ(SuppressionDb::parse("\n# only comments\n\n").size(), 0u);
+}
+
+// --- matching / applying ---------------------------------------------------------
+
+Warning make_warning(const char* rule, const char* file, uint32_t line) {
+  Warning w;
+  w.rule = rule;
+  w.loc = SourceLoc(file, line);
+  w.category = BugCategory::kFlushUnmodified;
+  w.model = PersistencyModel::kStrict;
+  w.message = "m";
+  return w;
+}
+
+TEST(SuppressionDb, ApplyRemovesMatchesAndTracksUsage) {
+  CheckResult r;
+  r.add(make_warning("rule.a", "x.c", 1));
+  r.add(make_warning("rule.b", "x.c", 2));
+  r.add(make_warning("rule.b", "y.c", 3));
+
+  auto db = SuppressionDb::parse("rule.b x.c *\nrule.z q.c 9\n");
+  auto stats = db.apply(r);
+  EXPECT_EQ(stats.suppressed, 1u);
+  EXPECT_EQ(r.count(), 2u);
+  ASSERT_EQ(stats.used.size(), 1u);
+  EXPECT_EQ(stats.used[0], 0u);
+  ASSERT_EQ(stats.stale.size(), 1u);
+  EXPECT_EQ(stats.stale[0], 1u);  // the rule.z entry never fired
+}
+
+TEST(SuppressionDb, ProposeRoundTrips) {
+  CheckResult r;
+  r.add(make_warning("rule.a", "x.c", 1));
+  const std::string proposed = SuppressionDb::propose(r);
+  auto db = SuppressionDb::parse(proposed);
+  ASSERT_EQ(db.size(), 1u);
+  auto stats = db.apply(r);
+  EXPECT_EQ(stats.suppressed, 1u);
+  EXPECT_TRUE(r.empty());
+}
+
+// --- the §5.4 workflow over the real corpus ----------------------------------------
+
+TEST(SuppressionDb, SuppressingTheSevenFalsePositivesLeaves43Bugs) {
+  // Build the database from the registry's validated false positives —
+  // exactly what a triage session would record.
+  SuppressionDb db;
+  for (const corpus::BugSite* s :
+       corpus::sites_of(corpus::Provenance::kFalsePositive)) {
+    Suppression sup;
+    sup.rule = s->expected_rule;
+    sup.file = s->file;
+    sup.line = s->line;
+    sup.reason = s->description;
+    db.add(std::move(sup));
+  }
+  ASSERT_EQ(db.size(), 7u);
+
+  size_t remaining = 0, suppressed = 0;
+  std::vector<bool> entry_used(db.size(), false);
+  for (corpus::CorpusModule& cm : corpus::build_corpus()) {
+    auto result =
+        check_module(*cm.module, corpus::framework_model(cm.framework));
+    auto stats = db.apply(result);
+    suppressed += stats.suppressed;
+    remaining += result.count();
+    for (size_t idx : stats.used) entry_used[idx] = true;
+  }
+  EXPECT_EQ(suppressed, 7u);
+  // 44 static warnings - 7 FPs = 37 statically-reported true bugs (the
+  // other 6 true bugs are dynamic-only).
+  EXPECT_EQ(remaining, 37u);
+  for (size_t i = 0; i < db.size(); ++i)
+    EXPECT_TRUE(entry_used[i]) << "suppression " << i << " never fired";
+}
+
+// --- fixit ---------------------------------------------------------------------------
+
+TEST(Fixit, EveryRuleHasASpecificSuggestion) {
+  const char* rules[] = {
+      "strict.unflushed-write",  "epoch.unflushed-write",
+      "strict.multiple-writes",  "strict.missing-barrier",
+      "epoch.missing-barrier",   "epoch.missing-barrier-nested",
+      "model.semantic-mismatch", "perf.flush-unmodified",
+      "perf.log-unmodified",     "perf.redundant-flush",
+      "perf.persist-same-object", "perf.empty-durable-tx",
+  };
+  for (const char* rule : rules) {
+    Warning w = make_warning(rule, "f.c", 1);
+    const std::string fix = suggest_fix(w);
+    EXPECT_FALSE(fix.empty()) << rule;
+    EXPECT_EQ(fix.find("review the reported operation"), std::string::npos)
+        << rule << " fell through to the generic suggestion";
+  }
+}
+
+TEST(Fixit, UnknownRuleGetsGenericAdvice) {
+  Warning w = make_warning("rule.from-the-future", "f.c", 1);
+  EXPECT_NE(suggest_fix(w).find("review"), std::string::npos);
+}
+
+TEST(Fixit, ModelSpecificSuggestionForUnflushedWrite) {
+  Warning strict_w = make_warning("strict.unflushed-write", "f.c", 1);
+  strict_w.model = PersistencyModel::kStrict;
+  Warning epoch_w = make_warning("epoch.unflushed-write", "f.c", 1);
+  epoch_w.model = PersistencyModel::kEpoch;
+  EXPECT_NE(suggest_fix(strict_w).find("tx.add"), std::string::npos);
+  EXPECT_NE(suggest_fix(epoch_w).find("epoch"), std::string::npos);
+}
+
+TEST(Fixit, WarningWithFixContainsBoth) {
+  Warning w = make_warning("perf.redundant-flush", "f.c", 9);
+  const std::string s = warning_with_fix(w);
+  EXPECT_NE(s.find("f.c:9"), std::string::npos);
+  EXPECT_NE(s.find("fix:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepmc::core
