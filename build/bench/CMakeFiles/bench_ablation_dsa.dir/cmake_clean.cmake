@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dsa.dir/bench_ablation_dsa.cpp.o"
+  "CMakeFiles/bench_ablation_dsa.dir/bench_ablation_dsa.cpp.o.d"
+  "bench_ablation_dsa"
+  "bench_ablation_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_fixes.dir/bench_perf_fixes.cpp.o"
+  "CMakeFiles/bench_perf_fixes.dir/bench_perf_fixes.cpp.o.d"
+  "bench_perf_fixes"
+  "bench_perf_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strand_model.dir/bench_strand_model.cpp.o"
+  "CMakeFiles/bench_strand_model.dir/bench_strand_model.cpp.o.d"
+  "bench_strand_model"
+  "bench_strand_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strand_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_detection.dir/bench_table1_detection.cpp.o"
+  "CMakeFiles/bench_table1_detection.dir/bench_table1_detection.cpp.o.d"
+  "bench_table1_detection"
+  "bench_table1_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

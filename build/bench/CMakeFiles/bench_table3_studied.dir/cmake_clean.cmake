@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_studied.dir/bench_table3_studied.cpp.o"
+  "CMakeFiles/bench_table3_studied.dir/bench_table3_studied.cpp.o.d"
+  "bench_table3_studied"
+  "bench_table3_studied.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_studied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_newbugs.dir/bench_table8_newbugs.cpp.o"
+  "CMakeFiles/bench_table8_newbugs.dir/bench_table8_newbugs.cpp.o.d"
+  "bench_table8_newbugs"
+  "bench_table8_newbugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_newbugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

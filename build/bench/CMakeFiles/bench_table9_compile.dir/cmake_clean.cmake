@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_compile.dir/bench_table9_compile.cpp.o"
+  "CMakeFiles/bench_table9_compile.dir/bench_table9_compile.cpp.o.d"
+  "bench_table9_compile"
+  "bench_table9_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_consistency.dir/crash_consistency.cpp.o"
+  "CMakeFiles/crash_consistency.dir/crash_consistency.cpp.o.d"
+  "crash_consistency"
+  "crash_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_audit.dir/kvstore_audit.cpp.o"
+  "CMakeFiles/kvstore_audit.dir/kvstore_audit.cpp.o.d"
+  "kvstore_audit"
+  "kvstore_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strand_races.dir/strand_races.cpp.o"
+  "CMakeFiles/strand_races.dir/strand_races.cpp.o.d"
+  "strand_races"
+  "strand_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strand_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for strand_races.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_workflow.dir/triage_workflow.cpp.o"
+  "CMakeFiles/triage_workflow.dir/triage_workflow.cpp.o.d"
+  "triage_workflow"
+  "triage_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("pmem")
+subdirs("ir")
+subdirs("analysis")
+subdirs("core")
+subdirs("runtime")
+subdirs("interp")
+subdirs("frameworks")
+subdirs("corpus")
+subdirs("apps")
+subdirs("tools")

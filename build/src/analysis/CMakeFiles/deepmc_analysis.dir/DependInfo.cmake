@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cpp" "src/analysis/CMakeFiles/deepmc_analysis.dir/callgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/deepmc_analysis.dir/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/dsa.cpp" "src/analysis/CMakeFiles/deepmc_analysis.dir/dsa.cpp.o" "gcc" "src/analysis/CMakeFiles/deepmc_analysis.dir/dsa.cpp.o.d"
+  "/root/repo/src/analysis/dsg_printer.cpp" "src/analysis/CMakeFiles/deepmc_analysis.dir/dsg_printer.cpp.o" "gcc" "src/analysis/CMakeFiles/deepmc_analysis.dir/dsg_printer.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/analysis/CMakeFiles/deepmc_analysis.dir/trace.cpp.o" "gcc" "src/analysis/CMakeFiles/deepmc_analysis.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/deepmc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/deepmc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/deepmc_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/deepmc_analysis.dir/dsa.cpp.o"
+  "CMakeFiles/deepmc_analysis.dir/dsa.cpp.o.d"
+  "CMakeFiles/deepmc_analysis.dir/dsg_printer.cpp.o"
+  "CMakeFiles/deepmc_analysis.dir/dsg_printer.cpp.o.d"
+  "CMakeFiles/deepmc_analysis.dir/trace.cpp.o"
+  "CMakeFiles/deepmc_analysis.dir/trace.cpp.o.d"
+  "libdeepmc_analysis.a"
+  "libdeepmc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

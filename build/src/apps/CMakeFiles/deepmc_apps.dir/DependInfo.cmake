@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kvstores.cpp" "src/apps/CMakeFiles/deepmc_apps.dir/kvstores.cpp.o" "gcc" "src/apps/CMakeFiles/deepmc_apps.dir/kvstores.cpp.o.d"
+  "/root/repo/src/apps/runner.cpp" "src/apps/CMakeFiles/deepmc_apps.dir/runner.cpp.o" "gcc" "src/apps/CMakeFiles/deepmc_apps.dir/runner.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/deepmc_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/deepmc_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frameworks/CMakeFiles/deepmc_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/deepmc_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/deepmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/deepmc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deepmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deepmc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/deepmc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_apps.dir/kvstores.cpp.o"
+  "CMakeFiles/deepmc_apps.dir/kvstores.cpp.o.d"
+  "CMakeFiles/deepmc_apps.dir/runner.cpp.o"
+  "CMakeFiles/deepmc_apps.dir/runner.cpp.o.d"
+  "CMakeFiles/deepmc_apps.dir/workloads.cpp.o"
+  "CMakeFiles/deepmc_apps.dir/workloads.cpp.o.d"
+  "libdeepmc_apps.a"
+  "libdeepmc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

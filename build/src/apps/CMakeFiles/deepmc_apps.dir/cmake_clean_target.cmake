@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepmc_apps.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fixit.cpp" "src/core/CMakeFiles/deepmc_core.dir/fixit.cpp.o" "gcc" "src/core/CMakeFiles/deepmc_core.dir/fixit.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/deepmc_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/deepmc_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/deepmc_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/deepmc_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/static_checker.cpp" "src/core/CMakeFiles/deepmc_core.dir/static_checker.cpp.o" "gcc" "src/core/CMakeFiles/deepmc_core.dir/static_checker.cpp.o.d"
+  "/root/repo/src/core/suppressions.cpp" "src/core/CMakeFiles/deepmc_core.dir/suppressions.cpp.o" "gcc" "src/core/CMakeFiles/deepmc_core.dir/suppressions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/deepmc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/deepmc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/deepmc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_core.dir/fixit.cpp.o"
+  "CMakeFiles/deepmc_core.dir/fixit.cpp.o.d"
+  "CMakeFiles/deepmc_core.dir/model.cpp.o"
+  "CMakeFiles/deepmc_core.dir/model.cpp.o.d"
+  "CMakeFiles/deepmc_core.dir/report.cpp.o"
+  "CMakeFiles/deepmc_core.dir/report.cpp.o.d"
+  "CMakeFiles/deepmc_core.dir/static_checker.cpp.o"
+  "CMakeFiles/deepmc_core.dir/static_checker.cpp.o.d"
+  "CMakeFiles/deepmc_core.dir/suppressions.cpp.o"
+  "CMakeFiles/deepmc_core.dir/suppressions.cpp.o.d"
+  "libdeepmc_core.a"
+  "libdeepmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

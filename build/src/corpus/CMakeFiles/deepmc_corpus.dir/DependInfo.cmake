@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/clean_programs.cpp" "src/corpus/CMakeFiles/deepmc_corpus.dir/clean_programs.cpp.o" "gcc" "src/corpus/CMakeFiles/deepmc_corpus.dir/clean_programs.cpp.o.d"
+  "/root/repo/src/corpus/modules.cpp" "src/corpus/CMakeFiles/deepmc_corpus.dir/modules.cpp.o" "gcc" "src/corpus/CMakeFiles/deepmc_corpus.dir/modules.cpp.o.d"
+  "/root/repo/src/corpus/registry.cpp" "src/corpus/CMakeFiles/deepmc_corpus.dir/registry.cpp.o" "gcc" "src/corpus/CMakeFiles/deepmc_corpus.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deepmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/deepmc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/deepmc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deepmc_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

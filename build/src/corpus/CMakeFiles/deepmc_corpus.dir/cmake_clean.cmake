@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_corpus.dir/clean_programs.cpp.o"
+  "CMakeFiles/deepmc_corpus.dir/clean_programs.cpp.o.d"
+  "CMakeFiles/deepmc_corpus.dir/modules.cpp.o"
+  "CMakeFiles/deepmc_corpus.dir/modules.cpp.o.d"
+  "CMakeFiles/deepmc_corpus.dir/registry.cpp.o"
+  "CMakeFiles/deepmc_corpus.dir/registry.cpp.o.d"
+  "libdeepmc_corpus.a"
+  "libdeepmc_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

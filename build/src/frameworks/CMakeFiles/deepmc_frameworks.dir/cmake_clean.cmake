@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_frameworks.dir/mnemosyne_mini.cpp.o"
+  "CMakeFiles/deepmc_frameworks.dir/mnemosyne_mini.cpp.o.d"
+  "CMakeFiles/deepmc_frameworks.dir/nvmdirect_mini.cpp.o"
+  "CMakeFiles/deepmc_frameworks.dir/nvmdirect_mini.cpp.o.d"
+  "CMakeFiles/deepmc_frameworks.dir/pmdk_mini.cpp.o"
+  "CMakeFiles/deepmc_frameworks.dir/pmdk_mini.cpp.o.d"
+  "CMakeFiles/deepmc_frameworks.dir/pmfs_mini.cpp.o"
+  "CMakeFiles/deepmc_frameworks.dir/pmfs_mini.cpp.o.d"
+  "CMakeFiles/deepmc_frameworks.dir/strand_engine.cpp.o"
+  "CMakeFiles/deepmc_frameworks.dir/strand_engine.cpp.o.d"
+  "libdeepmc_frameworks.a"
+  "libdeepmc_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_interp.dir/instrumenter.cpp.o"
+  "CMakeFiles/deepmc_interp.dir/instrumenter.cpp.o.d"
+  "CMakeFiles/deepmc_interp.dir/interp.cpp.o"
+  "CMakeFiles/deepmc_interp.dir/interp.cpp.o.d"
+  "libdeepmc_interp.a"
+  "libdeepmc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_ir.dir/module.cpp.o"
+  "CMakeFiles/deepmc_ir.dir/module.cpp.o.d"
+  "CMakeFiles/deepmc_ir.dir/parser.cpp.o"
+  "CMakeFiles/deepmc_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/deepmc_ir.dir/printer.cpp.o"
+  "CMakeFiles/deepmc_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/deepmc_ir.dir/type.cpp.o"
+  "CMakeFiles/deepmc_ir.dir/type.cpp.o.d"
+  "CMakeFiles/deepmc_ir.dir/verifier.cpp.o"
+  "CMakeFiles/deepmc_ir.dir/verifier.cpp.o.d"
+  "libdeepmc_ir.a"
+  "libdeepmc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

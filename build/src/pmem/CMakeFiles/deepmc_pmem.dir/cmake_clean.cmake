@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_pmem.dir/persistence.cpp.o"
+  "CMakeFiles/deepmc_pmem.dir/persistence.cpp.o.d"
+  "CMakeFiles/deepmc_pmem.dir/pool.cpp.o"
+  "CMakeFiles/deepmc_pmem.dir/pool.cpp.o.d"
+  "libdeepmc_pmem.a"
+  "libdeepmc_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deepmc_pmem.
+# This may be replaced when dependencies are built.

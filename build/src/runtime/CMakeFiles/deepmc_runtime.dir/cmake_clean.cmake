@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_runtime.dir/dynamic_checker.cpp.o"
+  "CMakeFiles/deepmc_runtime.dir/dynamic_checker.cpp.o.d"
+  "libdeepmc_runtime.a"
+  "libdeepmc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

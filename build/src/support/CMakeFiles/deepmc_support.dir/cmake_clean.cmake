@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/deepmc_support.dir/diagnostics.cpp.o.d"
+  "libdeepmc_support.a"
+  "libdeepmc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

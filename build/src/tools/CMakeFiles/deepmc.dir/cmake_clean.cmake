@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmc.dir/deepmc.cpp.o"
+  "CMakeFiles/deepmc.dir/deepmc.cpp.o.d"
+  "deepmc"
+  "deepmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

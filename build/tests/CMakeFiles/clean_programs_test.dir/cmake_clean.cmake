@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_programs_test.dir/clean_programs_test.cpp.o"
+  "CMakeFiles/clean_programs_test.dir/clean_programs_test.cpp.o.d"
+  "clean_programs_test"
+  "clean_programs_test.pdb"
+  "clean_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_extra_test.dir/dsa_extra_test.cpp.o"
+  "CMakeFiles/dsa_extra_test.dir/dsa_extra_test.cpp.o.d"
+  "dsa_extra_test"
+  "dsa_extra_test.pdb"
+  "dsa_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

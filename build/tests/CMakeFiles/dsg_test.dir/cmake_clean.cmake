@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsg_test.dir/dsg_test.cpp.o"
+  "CMakeFiles/dsg_test.dir/dsg_test.cpp.o.d"
+  "dsg_test"
+  "dsg_test.pdb"
+  "dsg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

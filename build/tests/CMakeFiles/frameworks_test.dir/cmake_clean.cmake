@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frameworks_test.dir/frameworks_test.cpp.o"
+  "CMakeFiles/frameworks_test.dir/frameworks_test.cpp.o.d"
+  "frameworks_test"
+  "frameworks_test.pdb"
+  "frameworks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frameworks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

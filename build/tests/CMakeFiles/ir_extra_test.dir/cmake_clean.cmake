@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_extra_test.dir/ir_extra_test.cpp.o"
+  "CMakeFiles/ir_extra_test.dir/ir_extra_test.cpp.o.d"
+  "ir_extra_test"
+  "ir_extra_test.pdb"
+  "ir_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

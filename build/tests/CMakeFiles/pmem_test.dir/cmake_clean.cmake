@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_test.dir/pmem_test.cpp.o"
+  "CMakeFiles/pmem_test.dir/pmem_test.cpp.o.d"
+  "pmem_test"
+  "pmem_test.pdb"
+  "pmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strand_engine_test.dir/strand_engine_test.cpp.o"
+  "CMakeFiles/strand_engine_test.dir/strand_engine_test.cpp.o.d"
+  "strand_engine_test"
+  "strand_engine_test.pdb"
+  "strand_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strand_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/suppressions_test.cpp" "tests/CMakeFiles/suppressions_test.dir/suppressions_test.cpp.o" "gcc" "tests/CMakeFiles/suppressions_test.dir/suppressions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/deepmc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/deepmc_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/deepmc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deepmc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deepmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/deepmc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/deepmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/deepmc_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/deepmc_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/deepmc_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suppressions_test.dir/suppressions_test.cpp.o"
+  "CMakeFiles/suppressions_test.dir/suppressions_test.cpp.o.d"
+  "suppressions_test"
+  "suppressions_test.pdb"
+  "suppressions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suppressions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pmem_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/frameworks_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/crosscheck_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/dsg_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/strand_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/dsa_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/suppressions_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/clean_programs_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
