@@ -1,0 +1,126 @@
+// Corpus-sweep scaling bench: wall-clock of the full static-analysis
+// sweep over every corpus module, serial vs. parallel AnalysisDriver.
+//
+// The paper's Table 9 sells DeepMC on low compile-time overhead; this
+// bench shows the reproduction's orchestration layer scales that checking
+// across cores with byte-identical reports. The sweep is repeated a few
+// times per measurement so the run is long enough to time, and the unit
+// list is the corpus repeated — the same work a CI sweep performs.
+//
+// Pass criteria:
+//   * parallel report text is byte-identical to the serial report, and
+//   * with >= 4 hardware threads, --jobs 4 achieves >= 2x speedup.
+// On hosts with fewer cores the speedup criterion is reported as SKIP
+// (there is nothing to run in parallel on), output equality still counts.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/analysis_driver.h"
+#include "corpus/corpus.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+using namespace deepmc;
+
+namespace {
+
+core::AnalysisUnit corpus_unit(const std::string& name) {
+  core::AnalysisUnit u;
+  u.name = name;
+  u.build = [name] {
+    corpus::CorpusModule cm = corpus::build_module(name);
+    core::BuiltUnit b;
+    b.module = std::move(cm.module);
+    b.model = corpus::framework_model(cm.framework);
+    return b;
+  };
+  return u;
+}
+
+std::vector<core::AnalysisUnit> sweep_units(size_t repeats) {
+  std::vector<core::AnalysisUnit> units;
+  for (size_t r = 0; r < repeats; ++r)
+    for (const std::string& name : corpus::module_names())
+      units.push_back(corpus_unit(name));
+  return units;
+}
+
+struct SweepResult {
+  double seconds = 0;
+  std::string text;
+  size_t warnings = 0;
+};
+
+SweepResult run_sweep(const std::vector<core::AnalysisUnit>& units,
+                      size_t jobs) {
+  core::DriverOptions opts;
+  opts.jobs = jobs;
+  core::AnalysisDriver driver(opts);
+  Stopwatch sw;
+  core::Report report = driver.run(units);
+  SweepResult out;
+  out.seconds = sw.seconds();
+  out.text = report.text();
+  out.warnings = report.total_warnings();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_system_config(
+      "bench_parallel_sweep: corpus-sweep scaling (AnalysisDriver)");
+
+  // Size the sweep so the serial measurement is comfortably timeable.
+  size_t repeats = 4;
+  {
+    const double probe = run_sweep(sweep_units(1), 1).seconds;
+    if (probe > 0 && probe * repeats < 0.4)
+      repeats = static_cast<size_t>(0.4 / probe) + 1;
+  }
+  const auto units = sweep_units(repeats);
+  std::printf("Sweep: %zu units (%zu corpus modules x %zu repeats)\n\n",
+              units.size(), corpus::module_names().size(), repeats);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<size_t> job_counts = {1, 2, 4};
+  if (hw > 4) job_counts.push_back(hw);
+
+  const SweepResult serial = run_sweep(units, 1);
+  bench::Table table({"Jobs", "Wall (s)", "Speedup", "Output"});
+  table.add_row({"1", strformat("%.3f", serial.seconds), "1.00x",
+                 "baseline"});
+
+  bool identical = true;
+  double speedup4 = 0;
+  for (size_t jobs : job_counts) {
+    if (jobs == 1) continue;
+    const SweepResult r = run_sweep(units, jobs);
+    const bool same = r.text == serial.text;
+    identical = identical && same;
+    const double speedup = r.seconds > 0 ? serial.seconds / r.seconds : 0;
+    if (jobs == 4) speedup4 = speedup;
+    table.add_row({strformat("%zu", jobs), strformat("%.3f", r.seconds),
+                   strformat("%.2fx", speedup),
+                   same ? "identical" : "DIVERGED"});
+  }
+  table.print();
+  std::printf("Total warnings per sweep: %zu\n\n", serial.warnings);
+
+  bool pass = identical;
+  if (!identical)
+    std::printf("FAIL: parallel report diverged from serial report\n");
+  if (hw >= 4) {
+    std::printf("Speedup criterion (>= 2x at 4 jobs): %.2fx\n", speedup4);
+    if (speedup4 < 2.0) pass = false;
+  } else {
+    std::printf("Speedup criterion: SKIP (%u hardware thread(s); need >= 4 "
+                "to demonstrate parallel speedup)\n",
+                hw);
+  }
+  std::printf("\n[%s] corpus-sweep scaling\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper (the ROADMAP's verify line), plus an opt-in
+# ThreadSanitizer pass over the concurrency-sensitive tests.
+#
+#   scripts/check.sh            configure + build + full ctest
+#   scripts/check.sh --tsan     TSan build (-DDEEPMC_TSAN=ON) of the
+#                               thread-pool / parallel-driver tests only
+#   scripts/check.sh --all      both of the above
+#
+# Regenerating golden files after an intentional output change:
+#   UPDATE_GOLDEN=1 ctest --test-dir build -R Golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_tier1() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  cmake -B build-tsan -S . -DDEEPMC_TSAN=ON
+  # Only the targets the TSan pass exercises: the pool, the parallel
+  # driver, and the binary the golden/CLI tests drive.
+  cmake --build build-tsan -j "$jobs" \
+    --target thread_pool_test driver_test deepmc
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|Driver'
+}
+
+case "${1:-}" in
+  --tsan) run_tsan ;;
+  --all)  run_tier1; run_tsan ;;
+  "")     run_tier1 ;;
+  *) echo "usage: scripts/check.sh [--tsan|--all]" >&2; exit 64 ;;
+esac

@@ -1,0 +1,275 @@
+#include "core/analysis_driver.h"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/dsg_printer.h"
+#include "analysis/trace.h"
+#include "core/fixit.h"
+#include "interp/instrumenter.h"
+#include "interp/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+namespace deepmc::core {
+
+AnalysisUnit make_source_unit(std::string name, std::string source,
+                              std::optional<PersistencyModel> model) {
+  AnalysisUnit u;
+  u.name = std::move(name);
+  u.build = [source = std::move(source), model] {
+    BuiltUnit b;
+    b.module = ir::parse_module(source);
+    b.model = model;
+    return b;
+  };
+  return u;
+}
+
+AnalysisUnit make_file_unit(std::string path,
+                            std::optional<PersistencyModel> model) {
+  AnalysisUnit u;
+  u.name = path;
+  u.build = [path = std::move(path), model] {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    BuiltUnit b;
+    b.module = ir::parse_module(buf.str());
+    b.model = model;
+    return b;
+  };
+  return u;
+}
+
+// ===========================================================================
+// Report rendering
+// ===========================================================================
+
+size_t Report::total_warnings() const {
+  size_t n = 0;
+  for (const UnitReport& u : units_) n += u.warning_count();
+  return n;
+}
+
+bool Report::any_failed() const {
+  for (const UnitReport& u : units_)
+    if (u.failed) return true;
+  return false;
+}
+
+void Report::print_text(std::ostream& os) const {
+  for (const UnitReport& u : units_) os << u.text;
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  print_text(os);
+  return os.str();
+}
+
+void Report::print_json(std::ostream& os, bool include_timing) const {
+  os << "{\n";
+  os << "  \"schema\": \"deepmc-report-v1\",\n";
+  os << "  \"total_warnings\": " << total_warnings() << ",\n";
+  os << "  \"units\": [";
+  for (size_t i = 0; i < units_.size(); ++i) {
+    const UnitReport& u = units_[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\n";
+    os << "      \"name\": " << json_quote(u.name) << ",\n";
+    if (u.failed) {
+      os << "      \"failed\": true,\n";
+      os << "      \"error\": " << json_quote(u.error) << "\n";
+      os << "    }";
+      continue;
+    }
+    os << "      \"model\": " << json_quote(model_name(u.model)) << ",\n";
+    os << "      \"failed\": false,\n";
+    os << "      \"warning_count\": " << u.warning_count() << ",\n";
+    os << "      \"suppressed\": " << u.suppressed << ",\n";
+    os << "      \"warnings\": [";
+    const auto& ws = u.result.warnings();
+    for (size_t w = 0; w < ws.size(); ++w) {
+      os << (w ? ",\n" : "\n");
+      os << "        " << to_json(ws[w]);
+    }
+    os << (ws.empty() ? "" : "\n      ") << "],\n";
+    os << "      \"dynamic_warnings\": [";
+    for (size_t d = 0; d < u.dynamic.size(); ++d) {
+      const DynamicFinding& f = u.dynamic[d];
+      os << (d ? ",\n" : "\n");
+      os << "        {\"rule\": " << json_quote(f.rule)
+         << ", \"file\": " << json_quote(f.loc.file)
+         << ", \"line\": " << f.loc.line
+         << ", \"message\": " << json_quote(f.message) << "}";
+    }
+    os << (u.dynamic.empty() ? "" : "\n      ") << "],\n";
+    os << "      \"stats\": {";
+    os << "\"trace_roots\": " << u.stats.trace_roots;
+    os << ", \"functions_checked\": " << u.stats.functions_checked;
+    os << ", \"traces_checked\": " << u.stats.traces_checked;
+    os << ", \"dsa_nodes\": " << u.stats.dsa_nodes;
+    os << ", \"persistent_dsa_nodes\": " << u.stats.persistent_dsa_nodes;
+    if (include_timing)
+      os << ", \"elapsed_ms\": "
+         << strformat("%.3f", u.stats.elapsed_ms);
+    os << "}\n";
+    os << "    }";
+  }
+  os << (units_.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+}
+
+std::string Report::json(bool include_timing) const {
+  std::ostringstream os;
+  print_json(os, include_timing);
+  return os.str();
+}
+
+// ===========================================================================
+// AnalysisDriver
+// ===========================================================================
+
+AnalysisDriver::AnalysisDriver(DriverOptions opts) : opts_(std::move(opts)) {}
+
+UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
+                                        support::ThreadPool& pool) const {
+  UnitReport out;
+  out.name = unit.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    BuiltUnit built = unit.build();
+    ir::Module& module = *built.module;
+    ir::verify_or_throw(module);
+    out.model = built.model.value_or(opts_.model);
+
+    std::ostringstream os;
+    os << strformat("== %s (model: %s) ==\n", unit.name.c_str(),
+                    model_name(out.model));
+
+    StaticChecker checker(module, out.model, opts_.checker);
+    checker.prepare();
+    const std::vector<const ir::Function*> roots = checker.trace_roots();
+
+    // Fan the per-root checks out; merging in root order keeps the result
+    // identical to a serial StaticChecker::run().
+    std::vector<std::future<CheckResult>> futs;
+    futs.reserve(roots.size());
+    for (const ir::Function* f : roots)
+      futs.push_back(pool.submit([&checker, f] { return checker.check_root(*f); }));
+    CheckResult result;
+    for (auto& fut : futs) result.merge(pool.await(std::move(fut)));
+    result.fold_empty_tx_shadows();
+    result.sort();
+
+    out.stats.trace_roots = roots.size();
+    out.stats.functions_checked = result.functions_checked;
+    out.stats.traces_checked = result.traces_checked;
+    out.stats.dsa_nodes = checker.dsa().nodes().size();
+    out.stats.persistent_dsa_nodes = checker.dsa().persistent_node_count();
+
+    if (opts_.dump_dsg) {
+      os << "-- persistent DSG --\n";
+      analysis::print_dsg(checker.dsa(), os);
+    }
+    if (opts_.dump_traces) {
+      // Reuses the checker's collector instead of rebuilding DSA + traces.
+      const analysis::TraceCollector& collector = checker.trace_collector();
+      os << "-- traces --\n";
+      for (const auto& f : module.functions()) {
+        if (f->is_declaration()) continue;
+        auto traces = collector.collect(*f);
+        size_t persist_events = 0;
+        for (const auto& t : traces)
+          persist_events += t.persistent_event_count();
+        os << strformat("  @%s: %zu path(s), %zu persistent event(s)\n",
+                        f->name().c_str(), traces.size(), persist_events);
+      }
+    }
+
+    if (opts_.suppressions.size() > 0) {
+      auto stats = opts_.suppressions.apply(result);
+      out.suppressed = stats.suppressed;
+      if (stats.suppressed)
+        os << strformat("(%zu warning(s) suppressed by the database)\n",
+                        stats.suppressed);
+      for (size_t idx : stats.stale)
+        os << strformat("note: stale suppression: %s\n",
+                        opts_.suppressions.entries()[idx].str().c_str());
+    }
+    for (const Warning& w : result.warnings())
+      os << (opts_.suggest ? warning_with_fix(w) : w.str()) << "\n";
+
+    if (opts_.dynamic_run && module.find_function("main")) {
+      // Reuse the checker's DSA for instrumentation rather than running a
+      // second, identical analysis over the module.
+      interp::instrument_module(module, checker.dsa());
+      pmem::PmPool pm(1 << 24, pmem::LatencyModel::zero());
+      rt::RuntimeChecker rt(out.model);
+      interp::Interpreter interp(module, pm, &rt);
+      try {
+        interp.run_main();
+      } catch (const interp::InterpError& e) {
+        os << strformat("dynamic run trapped: %s\n", e.what());
+      }
+      for (const auto& r : rt.races())
+        out.dynamic.push_back({"rt.strand-race", r.second_loc, r.str()});
+      for (const auto& m : rt.epoch_mismatches())
+        out.dynamic.push_back({"rt.epoch-mismatch", m.second_loc, m.str()});
+      for (const auto& f : rt.redundant_flushes())
+        out.dynamic.push_back({"rt.redundant-flush", f.loc, f.str()});
+      for (const auto& b : rt.barrier_violations())
+        out.dynamic.push_back({"rt.missing-barrier", b.loc, b.str()});
+      for (const DynamicFinding& f : out.dynamic)
+        os << strformat("%s: warning [%s] %s\n", f.loc.str().c_str(),
+                        f.rule.c_str(), f.message.c_str());
+    }
+
+    if (opts_.dump_ir) {
+      os << "-- IR --\n";
+      ir::print_module(module, os);
+    }
+    out.result = std::move(result);
+    os << strformat("%zu warning(s)\n\n", out.warning_count());
+    out.text = os.str();
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  out.stats.elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return out;
+}
+
+Report AnalysisDriver::run(const std::vector<AnalysisUnit>& units) {
+  const size_t jobs =
+      opts_.jobs == 0 ? support::ThreadPool::default_concurrency() : opts_.jobs;
+  // jobs == 1 means "serial in the calling thread": a zero-thread pool
+  // executes every task inline, so serial runs carry no pool overhead.
+  support::ThreadPool pool(jobs <= 1 ? 0 : jobs);
+
+  std::vector<std::future<UnitReport>> futs;
+  futs.reserve(units.size());
+  for (const AnalysisUnit& unit : units)
+    futs.push_back(
+        pool.submit([this, &unit, &pool] { return analyze_unit(unit, pool); }));
+
+  Report report;
+  report.units_.reserve(units.size());
+  // Collect in input order; workers may finish in any order.
+  for (auto& fut : futs) report.units_.push_back(fut.get());
+  return report;
+}
+
+}  // namespace deepmc::core

@@ -1,0 +1,161 @@
+// Parallel analysis orchestration: the one code path through which the
+// CLI, tests and benches run DeepMC over a batch of inputs.
+//
+// The driver fans the batch out across a work-stealing thread pool
+// (support/thread_pool.h) at two levels:
+//
+//   * across units — each corpus module / .mir file is parsed, verified
+//     and checked as an independent task, and
+//   * within a unit — once the module's DSA is built, every trace root is
+//     checked as its own subtask (trace collection + rule scanning is the
+//     hot loop of Table 9's compile-time overhead).
+//
+// Determinism: per-root results are merged in trace_roots() order and
+// folded/sorted once (exactly what StaticChecker::run does serially), and
+// each unit renders its entire report block into a private buffer; the
+// buffers are emitted in input order. Output is therefore byte-identical
+// for every --jobs value, which the golden and determinism tests assert.
+//
+// A unit that fails to build (unreadable file, parse or verify error)
+// does not abort the batch: it is recorded as failed and the remaining
+// units still run.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/static_checker.h"
+#include "core/suppressions.h"
+
+namespace deepmc::support {
+class ThreadPool;
+}
+namespace deepmc::ir {
+class Module;
+}
+
+namespace deepmc::core {
+
+enum class ReportFormat : uint8_t { kText, kJson };
+
+/// What a unit's build step produced: the module plus an optional
+/// persistency model override (corpus units force their framework's
+/// model, exactly like the old CLI did).
+struct BuiltUnit {
+  std::unique_ptr<ir::Module> module;
+  std::optional<PersistencyModel> model;
+};
+
+/// One independent analysis input. `build` runs on a worker thread and
+/// may throw; the exception text becomes the unit's error.
+struct AnalysisUnit {
+  std::string name;                        ///< shown in the report header
+  std::function<BuiltUnit()> build;
+};
+
+/// Unit over in-memory MIR text (tests, benches).
+AnalysisUnit make_source_unit(std::string name, std::string source,
+                              std::optional<PersistencyModel> model = {});
+
+/// Unit over a .mir file on disk; the read happens on the worker and an
+/// unreadable file fails just that unit.
+AnalysisUnit make_file_unit(std::string path,
+                            std::optional<PersistencyModel> model = {});
+
+struct DriverOptions {
+  PersistencyModel model = PersistencyModel::kStrict;
+  StaticChecker::Options checker;  ///< field sensitivity + trace bounds
+  bool dynamic_run = false;        ///< execute @main under the runtime checker
+  bool dump_ir = false;
+  bool dump_dsg = false;
+  bool dump_traces = false;
+  bool suggest = false;            ///< append fix suggestions to warnings
+  SuppressionDb suppressions;
+  /// Analysis threads. 0 = hardware concurrency; 1 = serial in the calling
+  /// thread (no pool threads at all).
+  size_t jobs = 0;
+};
+
+/// A dynamic-checker finding, normalized for reporting ("rt.*" rules).
+struct DynamicFinding {
+  std::string rule;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Per-unit observability counters carried into the JSON report.
+struct UnitStats {
+  size_t trace_roots = 0;
+  size_t functions_checked = 0;
+  size_t traces_checked = 0;
+  size_t dsa_nodes = 0;
+  size_t persistent_dsa_nodes = 0;
+  double elapsed_ms = 0;  ///< wall clock for this unit (nondeterministic)
+};
+
+struct UnitReport {
+  std::string name;
+  PersistencyModel model = PersistencyModel::kStrict;
+  CheckResult result;                   ///< static warnings (post-suppression)
+  std::vector<DynamicFinding> dynamic;  ///< runtime findings (--dynamic)
+  size_t suppressed = 0;
+  std::string text;  ///< fully rendered text block for this unit
+  UnitStats stats;
+  bool failed = false;
+  std::string error;  ///< build/verify failure message
+
+  [[nodiscard]] size_t warning_count() const {
+    return result.count() + dynamic.size();
+  }
+};
+
+/// The merged, deterministically ordered result of a driver run. Units
+/// appear in input order regardless of completion order.
+class Report {
+ public:
+  [[nodiscard]] const std::vector<UnitReport>& units() const {
+    return units_;
+  }
+  [[nodiscard]] size_t total_warnings() const;
+  [[nodiscard]] bool any_failed() const;
+
+  /// Concatenated unit text blocks — byte-identical to what a serial
+  /// deepmc run prints. Failed units contribute nothing here (their error
+  /// goes to stderr in the CLI).
+  void print_text(std::ostream& os) const;
+  [[nodiscard]] std::string text() const;
+
+  /// Machine-readable report ("deepmc-report-v1"). `include_timing`
+  /// controls the per-unit elapsed_ms field, the only nondeterministic
+  /// value in the schema; tests switch it off to compare runs bytewise.
+  void print_json(std::ostream& os, bool include_timing = true) const;
+  [[nodiscard]] std::string json(bool include_timing = true) const;
+
+ private:
+  friend class AnalysisDriver;
+  std::vector<UnitReport> units_;
+};
+
+class AnalysisDriver {
+ public:
+  explicit AnalysisDriver(DriverOptions opts = {});
+
+  /// Analyze every unit (in parallel per DriverOptions::jobs) and return
+  /// the merged report.
+  Report run(const std::vector<AnalysisUnit>& units);
+
+  [[nodiscard]] const DriverOptions& options() const { return opts_; }
+
+ private:
+  UnitReport analyze_unit(const AnalysisUnit& unit,
+                          support::ThreadPool& pool) const;
+
+  DriverOptions opts_;
+};
+
+}  // namespace deepmc::core

@@ -23,6 +23,16 @@ struct Warning {
   [[nodiscard]] std::string str() const;
 };
 
+/// Render `s` as a JSON string literal: surrounding quotes plus escapes
+/// for quote, backslash, and control characters (\uXXXX for the ones
+/// without a short form). Bytes >= 0x20 pass through, so UTF-8 survives.
+std::string json_quote(std::string_view s);
+
+/// One warning as a JSON object with a fixed key order (file, line, rule,
+/// category, class, function, model, message) — the machine-readable form
+/// emitted by `deepmc --format json`.
+std::string to_json(const Warning& w);
+
 /// Result of a checker run. Warnings are deduplicated on (rule, file, line)
 /// — multiple paths or callers exposing the same site report once — and
 /// sorted by location.

@@ -508,7 +508,35 @@ void StaticChecker::ensure_analysis() {
   collector_ = std::make_unique<TraceCollector>(module_, *dsa_, opts_.trace);
 }
 
-void StaticChecker::check_traces(const Function& f, CheckResult& result) {
+void StaticChecker::prepare() { ensure_analysis(); }
+
+std::vector<const Function*> StaticChecker::trace_roots() const {
+  // Roots: functions not called from within the module. Callees are
+  // covered by trace inlining; checking them separately out of context
+  // would double-report and lose caller-provided persistence facts.
+  std::set<const Function*> called;
+  const auto& cg = dsa_->callgraph();
+  for (const auto& f : module_.functions())
+    for (const Function* callee : cg.callees(f.get())) called.insert(callee);
+
+  std::vector<const Function*> roots;
+  for (const auto& f : module_.functions())
+    if (!f->is_declaration() && !called.count(f.get()))
+      roots.push_back(f.get());
+  if (roots.empty()) {
+    for (const auto& f : module_.functions())
+      if (!f->is_declaration()) roots.push_back(f.get());
+  }
+  return roots;
+}
+
+CheckResult StaticChecker::check_root(const Function& f) const {
+  CheckResult result;
+  check_traces(f, result);
+  return result;
+}
+
+void StaticChecker::check_traces(const Function& f, CheckResult& result) const {
   auto traces = collector_->collect(f);
   result.traces_checked += traces.size();
   ++result.functions_checked;
@@ -520,26 +548,9 @@ void StaticChecker::check_traces(const Function& f, CheckResult& result) {
 }
 
 CheckResult StaticChecker::run() {
-  ensure_analysis();
-  // Roots: functions not called from within the module. Callees are
-  // covered by trace inlining; checking them separately out of context
-  // would double-report and lose caller-provided persistence facts.
-  std::set<const Function*> called;
-  const auto& cg = dsa_->callgraph();
-  for (const auto& f : module_.functions())
-    for (const Function* callee : cg.callees(f.get())) called.insert(callee);
-
+  prepare();
   CheckResult result;
-  bool any_root = false;
-  for (const auto& f : module_.functions()) {
-    if (f->is_declaration() || called.count(f.get())) continue;
-    any_root = true;
-    check_traces(*f, result);
-  }
-  if (!any_root) {
-    for (const auto& f : module_.functions())
-      if (!f->is_declaration()) check_traces(*f, result);
-  }
+  for (const Function* f : trace_roots()) check_traces(*f, result);
   result.fold_empty_tx_shadows();
   result.sort();
   return result;

@@ -66,14 +66,36 @@ class StaticChecker {
   /// Check a single function as a trace root.
   CheckResult check_function(const ir::Function& f);
 
+  /// Build the analyses (call graph, DSA, trace collector) now. Idempotent.
+  /// After prepare() returns, `trace_roots` and `check_root` only read the
+  /// analyses and are safe to call from multiple threads concurrently —
+  /// the parallel AnalysisDriver relies on this.
+  void prepare();
+
+  /// The module's trace roots in module function order: functions not
+  /// called from within the module, or every defined function when no such
+  /// root exists. Requires prepare().
+  [[nodiscard]] std::vector<const ir::Function*> trace_roots() const;
+
+  /// Check one trace root. Unlike run()/check_function(), the result is
+  /// neither folded nor sorted: callers checking several roots merge the
+  /// per-root results in trace_roots() order and fold/sort once, which
+  /// reproduces run() byte-for-byte. Requires prepare(); thread-safe.
+  [[nodiscard]] CheckResult check_root(const ir::Function& f) const;
+
   [[nodiscard]] const analysis::DSA& dsa() const { return *dsa_; }
+  /// The trace collector built by prepare() (shared with trace dumps so
+  /// they do not recompute the analysis). Requires prepare().
+  [[nodiscard]] const analysis::TraceCollector& trace_collector() const {
+    return *collector_;
+  }
   [[nodiscard]] PersistencyModel model() const { return model_; }
 
  private:
   struct TraceScanner;
 
   void ensure_analysis();
-  void check_traces(const ir::Function& f, CheckResult& result);
+  void check_traces(const ir::Function& f, CheckResult& result) const;
 
   const ir::Module& module_;
   PersistencyModel model_;

@@ -1,0 +1,134 @@
+#include "support/thread_pool.h"
+
+namespace deepmc::support {
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// submit() can route nested tasks to the local deque.
+struct WorkerTls {
+  const ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerTls tls;
+
+constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
+}  // namespace
+
+size_t ThreadPool::default_concurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  queues_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_.store(true);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::pop_back(Queue& q, std::function<void()>& out) {
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::pop_front(Queue& q, std::function<void()>& out) {
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  return true;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // inline (serial) pool
+    return;
+  }
+  Queue* q;
+  if (tls.pool == this) {
+    // Nested submission: keep fork-join work local to this worker.
+    q = queues_[tls.index].get();
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->tasks.push_back(std::move(task));
+  } else {
+    q = &inject_;
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::function<void()>& out, size_t self) {
+  if (self != kNotAWorker && pop_back(*queues_[self], out)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (pop_front(inject_, out)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  const size_t n = queues_.size();
+  const size_t start = self == kNotAWorker ? 0 : self + 1;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t victim = (start + k) % n;
+    if (victim == self) continue;
+    if (pop_front(*queues_[victim], out)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  const size_t self = tls.pool == this ? tls.index : kNotAWorker;
+  std::function<void()> task;
+  if (!pop_task(task, self)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(size_t index) {
+  tls.pool = this;
+  tls.index = index;
+  std::function<void()> task;
+  for (;;) {
+    if (pop_task(task, index)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    // Drain remaining tasks before exiting so futures submitted just
+    // before destruction still complete.
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) == 0)
+      return;
+  }
+}
+
+}  // namespace deepmc::support

@@ -9,6 +9,11 @@
 //   --dynamic                    instrument and execute @main under the
 //                                dynamic checker (strand races, runtime
 //                                epoch/flush checks)
+//   --jobs N / -j N              analysis threads (default: hardware
+//                                concurrency; 1 = serial). Output is
+//                                byte-identical for every N.
+//   --format text|json           report format (default text); json carries
+//                                per-unit timing/trace/DSA counters
 //   --dump-ir                    print the (possibly instrumented) module
 //   --dump-dsg                   print the persistent Data Structure Graph
 //   --dump-traces                print collected trace summaries
@@ -17,41 +22,31 @@
 //   --list-corpus                list built-in corpus modules
 //   --field-insensitive          disable DSA field sensitivity (ablation)
 //
-// Exit code: number of warnings (capped at 125), 0 when clean.
+// Exit codes:
+//   0       clean (no warnings)
+//   1..63   number of warnings (capped at 63)
+//   64      usage error (unknown flag, missing operand, no inputs)
+//   65      input error (unreadable file, parse/verify failure, unknown
+//           corpus module)
+// Warning counts and error exits no longer overlap: 64/65 are reserved.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <vector>
 
-#include "analysis/dsg_printer.h"
-#include "analysis/trace.h"
-#include "core/fixit.h"
-#include "core/static_checker.h"
-#include "core/suppressions.h"
+#include "core/analysis_driver.h"
 #include "corpus/corpus.h"
-#include "interp/instrumenter.h"
-#include "interp/interp.h"
-#include "ir/parser.h"
-#include "ir/printer.h"
-#include "ir/verifier.h"
 
 using namespace deepmc;
 
 namespace {
 
-struct CliOptions {
-  core::PersistencyModel model = core::PersistencyModel::kStrict;
-  bool dynamic_run = false;
-  bool dump_ir = false;
-  bool dump_dsg = false;
-  bool dump_traces = false;
-  bool suggest = false;
-  bool field_sensitive = true;
-  core::SuppressionDb suppressions;
-  std::vector<std::string> files;
-  std::vector<std::string> corpus_modules;
-};
+constexpr int kMaxWarningExit = 63;
+constexpr int kExitUsage = 64;
+constexpr int kExitError = 65;
 
 void usage() {
   std::fprintf(stderr,
@@ -59,101 +54,33 @@ void usage() {
                "[--dump-ir] [--dump-dsg] [--dump-traces]\n"
                "              [--suggest] [--suppressions FILE] "
                "[--field-insensitive]\n"
+               "              [--jobs N] [--format text|json]\n"
                "              [--corpus NAME] [--list-corpus] file.mir...\n");
 }
 
-size_t analyze(std::unique_ptr<ir::Module> module, const std::string& name,
-               const CliOptions& opts) {
-  ir::verify_or_throw(*module);
-  std::printf("== %s (model: %s) ==\n", name.c_str(),
-              core::model_name(opts.model));
-
-  core::StaticChecker::Options copts;
-  copts.field_sensitive = opts.field_sensitive;
-  core::StaticChecker checker(*module, opts.model, copts);
-  auto result = checker.run();
-
-  if (opts.dump_dsg) {
-    std::printf("-- persistent DSG --\n");
-    std::ostringstream os;
-    analysis::print_dsg(checker.dsa(), os);
-    std::printf("%s", os.str().c_str());
-  }
-  if (opts.dump_traces) {
-    analysis::TraceCollector collector(*module, checker.dsa());
-    std::printf("-- traces --\n");
-    for (const auto& f : module->functions()) {
-      if (f->is_declaration()) continue;
-      auto traces = collector.collect(*f);
-      size_t persist_events = 0;
-      for (const auto& t : traces) persist_events += t.persistent_event_count();
-      std::printf("  @%s: %zu path(s), %zu persistent event(s)\n",
-                  f->name().c_str(), traces.size(), persist_events);
-    }
-  }
-
-  if (opts.suppressions.size() > 0) {
-    auto stats = opts.suppressions.apply(result);
-    if (stats.suppressed)
-      std::printf("(%zu warning(s) suppressed by the database)\n",
-                  stats.suppressed);
-    for (size_t idx : stats.stale)
-      std::printf("note: stale suppression: %s\n",
-                  opts.suppressions.entries()[idx].str().c_str());
-  }
-  size_t warnings = result.count();
-  for (const core::Warning& w : result.warnings())
-    std::printf("%s\n", opts.suggest ? core::warning_with_fix(w).c_str()
-                                      : w.str().c_str());
-
-  if (opts.dynamic_run && module->find_function("main")) {
-    analysis::DSA dsa(*module);
-    dsa.run();
-    interp::instrument_module(*module, dsa);
-    pmem::PmPool pool(1 << 24, pmem::LatencyModel::zero());
-    rt::RuntimeChecker rt(opts.model);
-    interp::Interpreter interp(*module, pool, &rt);
-    try {
-      interp.run_main();
-    } catch (const interp::InterpError& e) {
-      std::printf("dynamic run trapped: %s\n", e.what());
-    }
-    for (const auto& r : rt.races()) {
-      std::printf("%s: warning [rt.strand-race] %s\n",
-                  r.second_loc.str().c_str(), r.str().c_str());
-      ++warnings;
-    }
-    for (const auto& m : rt.epoch_mismatches()) {
-      std::printf("%s: warning [rt.epoch-mismatch] %s\n",
-                  m.second_loc.str().c_str(), m.str().c_str());
-      ++warnings;
-    }
-    for (const auto& f : rt.redundant_flushes()) {
-      std::printf("%s: warning [rt.redundant-flush] %s\n",
-                  f.loc.str().c_str(), f.str().c_str());
-      ++warnings;
-    }
-    for (const auto& b : rt.barrier_violations()) {
-      std::printf("%s: warning [rt.missing-barrier] %s\n",
-                  b.loc.str().c_str(), b.str().c_str());
-      ++warnings;
-    }
-  }
-
-  if (opts.dump_ir) {
-    std::printf("-- IR --\n");
-    std::ostringstream os;
-    ir::print_module(*module, os);
-    std::printf("%s", os.str().c_str());
-  }
-  std::printf("%zu warning(s)\n\n", warnings);
-  return warnings;
+/// Corpus units force the framework's persistency model, like the serial
+/// CLI always did.
+core::AnalysisUnit corpus_unit(const std::string& name) {
+  core::AnalysisUnit u;
+  u.name = name;
+  u.build = [name] {
+    corpus::CorpusModule cm = corpus::build_module(name);
+    core::BuiltUnit b;
+    b.module = std::move(cm.module);
+    b.model = corpus::framework_model(cm.framework);
+    return b;
+  };
+  return u;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions opts;
+  core::DriverOptions opts;
+  core::ReportFormat format = core::ReportFormat::kText;
+  std::vector<std::string> files;
+  std::vector<std::string> corpus_modules;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (auto m = core::parse_model_flag(arg)) {
@@ -167,18 +94,44 @@ int main(int argc, char** argv) {
     } else if (arg == "--dump-traces") {
       opts.dump_traces = true;
     } else if (arg == "--field-insensitive") {
-      opts.field_sensitive = false;
+      opts.checker.field_sensitive = false;
     } else if (arg == "--suggest") {
       opts.suggest = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      if (++i >= argc) {
+        usage();
+        return kExitUsage;
+      }
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 1024) {
+        std::fprintf(stderr, "deepmc: invalid --jobs value '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+      opts.jobs = static_cast<size_t>(n);
+    } else if (arg == "--format") {
+      if (++i >= argc) {
+        usage();
+        return kExitUsage;
+      }
+      const std::string f = argv[i];
+      if (f == "text") {
+        format = core::ReportFormat::kText;
+      } else if (f == "json") {
+        format = core::ReportFormat::kJson;
+      } else {
+        std::fprintf(stderr, "deepmc: unknown format '%s'\n", f.c_str());
+        return kExitUsage;
+      }
     } else if (arg == "--suppressions") {
       if (++i >= argc) {
         usage();
-        return 2;
+        return kExitUsage;
       }
       std::ifstream f(argv[i]);
       if (!f) {
         std::fprintf(stderr, "cannot open %s\n", argv[i]);
-        return 2;
+        return kExitError;
       }
       std::ostringstream buf;
       buf << f.rdbuf();
@@ -190,46 +143,46 @@ int main(int argc, char** argv) {
     } else if (arg == "--corpus") {
       if (++i >= argc) {
         usage();
-        return 2;
+        return kExitUsage;
       }
-      opts.corpus_modules.push_back(argv[i]);
+      corpus_modules.push_back(argv[i]);
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
-      return 2;
+      return kExitUsage;
     } else {
-      opts.files.push_back(arg);
+      files.push_back(arg);
     }
   }
-  if (opts.files.empty() && opts.corpus_modules.empty()) {
+  if (files.empty() && corpus_modules.empty()) {
     usage();
-    return 2;
+    return kExitUsage;
   }
 
-  size_t total = 0;
-  try {
-    for (const std::string& name : opts.corpus_modules) {
-      corpus::CorpusModule cm = corpus::build_module(name);
-      CliOptions o = opts;
-      o.model = corpus::framework_model(cm.framework);
-      total += analyze(std::move(cm.module), name, o);
-    }
-    for (const std::string& file : opts.files) {
-      std::ifstream f(file);
-      if (!f) {
-        std::fprintf(stderr, "cannot open %s\n", file.c_str());
-        return 2;
-      }
-      std::ostringstream buf;
-      buf << f.rdbuf();
-      total += analyze(ir::parse_module(buf.str()), file, opts);
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "deepmc: %s\n", e.what());
-    return 2;
-  }
-  return static_cast<int>(std::min<size_t>(total, 125));
+  std::vector<core::AnalysisUnit> units;
+  units.reserve(corpus_modules.size() + files.size());
+  for (const std::string& name : corpus_modules)
+    units.push_back(corpus_unit(name));
+  for (const std::string& file : files)
+    units.push_back(core::make_file_unit(file));
+
+  core::AnalysisDriver driver(std::move(opts));
+  core::Report report = driver.run(units);
+
+  if (format == core::ReportFormat::kJson)
+    report.print_json(std::cout);
+  else
+    report.print_text(std::cout);
+  std::cout.flush();
+
+  for (const core::UnitReport& u : report.units())
+    if (u.failed)
+      std::fprintf(stderr, "deepmc: %s: %s\n", u.name.c_str(),
+                   u.error.c_str());
+  if (report.any_failed()) return kExitError;
+  return static_cast<int>(
+      std::min<size_t>(report.total_warnings(), kMaxWarningExit));
 }

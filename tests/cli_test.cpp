@@ -1,0 +1,124 @@
+// CLI contract tests for the deepmc binary: exit-code partitioning
+// (warning counts vs usage vs input errors), --jobs determinism at the
+// process level, and --format json output.
+//
+// Exit codes under test (see src/tools/deepmc.cpp):
+//   0      clean, 1..63 warning count (capped), 64 usage, 65 input error.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace deepmc {
+namespace {
+
+std::pair<std::string, int> run_command(const std::string& args) {
+  const std::string cmd =
+      std::string("\"") + DEEPMC_BIN + "\" " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return {"", -1};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, n);
+  const int status = pclose(pipe);
+  return {out, WIFEXITED(status) ? WEXITSTATUS(status) : -1};
+}
+
+std::string example(const char* name) {
+  return std::string("\"") + DEEPMC_SOURCE_DIR + "/examples/mir/" + name +
+         "\"";
+}
+
+TEST(CliExit, CleanInputExitsZero) {
+  auto [out, code] = run_command("-epoch " + example("epoch_log.mir"));
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("0 warning(s)"), std::string::npos);
+}
+
+TEST(CliExit, WarningCountIsTheExitCode) {
+  auto [out, code] = run_command("-strict " + example("unflushed_write.mir"));
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("1 warning(s)"), std::string::npos);
+}
+
+TEST(CliExit, UnknownFlagIsUsageError64) {
+  auto [out, code] = run_command("--definitely-not-a-flag");
+  EXPECT_EQ(code, 64);
+}
+
+TEST(CliExit, NoInputsIsUsageError64) {
+  auto [out, code] = run_command("");
+  EXPECT_EQ(code, 64);
+}
+
+TEST(CliExit, MissingOperandIsUsageError64) {
+  EXPECT_EQ(run_command("--corpus").second, 64);
+  EXPECT_EQ(run_command("--jobs").second, 64);
+  EXPECT_EQ(run_command("--format").second, 64);
+}
+
+TEST(CliExit, BadJobsValueIsUsageError64) {
+  EXPECT_EQ(run_command("--jobs 0 " + example("epoch_log.mir")).second, 64);
+  EXPECT_EQ(run_command("--jobs banana " + example("epoch_log.mir")).second,
+            64);
+}
+
+TEST(CliExit, BadFormatIsUsageError64) {
+  EXPECT_EQ(run_command("--format xml " + example("epoch_log.mir")).second,
+            64);
+}
+
+TEST(CliExit, MissingFileIsInputError65) {
+  auto [out, code] = run_command("/no/such/file.mir");
+  EXPECT_EQ(code, 65);
+}
+
+TEST(CliExit, UnknownCorpusModuleIsInputError65) {
+  EXPECT_EQ(run_command("--corpus not/a/module").second, 65);
+}
+
+TEST(CliExit, InputErrorDoesNotHideOtherUnitsOutput) {
+  // One good and one missing input: the good unit's report still prints,
+  // and the error exit (65) wins over the warning count.
+  auto [out, code] =
+      run_command("-strict " + example("unflushed_write.mir") +
+                  " /no/such/file.mir");
+  EXPECT_EQ(code, 65);
+  EXPECT_NE(out.find("1 warning(s)"), std::string::npos);
+}
+
+TEST(CliExit, WarningCountNeverCollidesWithErrorCodes) {
+  // The corpus sweep yields dozens of warnings; the cap keeps the exit
+  // below the reserved 64/65 band.
+  std::string args;
+  args += "--corpus pmdk/btree_map --corpus pmdk/hash_map";
+  auto [out, code] = run_command(args);
+  EXPECT_GT(code, 0);
+  EXPECT_LT(code, 64);
+}
+
+TEST(CliJobs, OutputIsIdenticalAcrossJobCounts) {
+  const std::string args =
+      "--corpus pmdk/btree_map --corpus pmfs/journal --corpus "
+      "mnemosyne/phlog_base " +
+      example("unflushed_write.mir");
+  auto [serial, c1] = run_command("--jobs 1 " + args);
+  auto [parallel, c8] = run_command("--jobs 8 " + args);
+  EXPECT_EQ(c1, c8);
+  EXPECT_EQ(serial, parallel);
+  ASSERT_FALSE(serial.empty());
+}
+
+TEST(CliJson, EmitsSchemaAndCounters) {
+  auto [out, code] =
+      run_command("--format json --corpus pmdk/btree_map");
+  EXPECT_LT(code, 64);
+  EXPECT_NE(out.find("\"schema\": \"deepmc-report-v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"elapsed_ms\": "), std::string::npos);
+  EXPECT_NE(out.find("\"trace_roots\": "), std::string::npos);
+  EXPECT_NE(out.find("\"warnings\": ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepmc
