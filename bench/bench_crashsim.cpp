@@ -1,0 +1,124 @@
+// Crash-state enumeration throughput: how fast the crash/ subsystem can
+// record, enumerate and recovery-classify reachable crash images across
+// the whole corpus, and how much of the naive subset space the
+// commit-point/cap pruning avoids materializing.
+//
+// Reported per module: simulated roots, crash points, distinct images,
+// trace-oracle witnesses, and the pruning ratio (share of the 2^k subset
+// space never built). The summary line gives aggregate images/second —
+// the number that bounds how many static warnings per second the
+// --crashsim validation pipeline can confirm.
+//
+//   bench_crashsim [--repeats N] [--json out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "corpus/corpus.h"
+#include "crash/crashsim.h"
+#include "ir/module.h"
+
+using namespace deepmc;
+
+namespace {
+
+std::string framework_tag(const std::string& module_name) {
+  const auto slash = module_name.find('/');
+  return module_name.substr(0, slash) + "_mini";
+}
+
+struct ModuleResult {
+  std::string name;
+  size_t roots = 0;
+  size_t witnesses = 0;
+  crash::Enumerator::Stats stats;
+};
+
+ModuleResult run_module(const std::string& name) {
+  corpus::CorpusModule cm = corpus::build_module(name);
+  crash::CrashSimOptions opts;
+  opts.model = corpus::framework_model(cm.framework);
+  opts.framework = framework_tag(name);
+  ModuleResult r;
+  r.name = name;
+  for (const auto& fn : cm.module->functions()) {
+    if (fn->is_declaration() || fn->arg_count() != 0) continue;
+    crash::RootCrashSim sim = crash::simulate_root(*cm.module, *fn, opts);
+    if (!sim.executed) continue;
+    ++r.roots;
+    r.witnesses += sim.witnesses.size();
+    r.stats.merge(sim.stats);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t repeats = 3;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--repeats") == 0)
+      repeats = std::strtoull(argv[i + 1], nullptr, 10);
+  const std::string json_path = bench::json_out_path(argc, argv);
+
+  bench::print_system_config("bench_crashsim: crash-state enumeration throughput");
+
+  // One untimed pass for the per-module table (work is deterministic, so
+  // the table is identical on every repeat).
+  bench::Table table({"module", "roots", "crash points", "images",
+                      "witnesses", "pruning"});
+  std::vector<ModuleResult> results;
+  for (const std::string& name : corpus::module_names())
+    results.push_back(run_module(name));
+  crash::Enumerator::Stats total;
+  size_t total_witnesses = 0;
+  for (const ModuleResult& r : results) {
+    char pruning[32];
+    std::snprintf(pruning, sizeof pruning, "%.1f%%",
+                  100.0 * r.stats.pruning_ratio());
+    table.add_row({r.name, std::to_string(r.roots),
+                   std::to_string(r.stats.crash_points),
+                   std::to_string(r.stats.images),
+                   std::to_string(r.witnesses), pruning});
+    total.merge(r.stats);
+    total_witnesses += r.witnesses;
+  }
+  table.print();
+
+  // Timed passes over the full sweep.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t rep = 0; rep < repeats; ++rep)
+    for (const std::string& name : corpus::module_names()) run_module(name);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double images_per_sec =
+      elapsed_s > 0 ? static_cast<double>(total.images) * repeats / elapsed_s
+                    : 0;
+
+  std::printf("sweep: %llu crash points, %llu images, %zu witnesses\n",
+              static_cast<unsigned long long>(total.crash_points),
+              static_cast<unsigned long long>(total.images), total_witnesses);
+  std::printf("pruning: %.1f%% of the subset space never materialized\n",
+              100.0 * total.pruning_ratio());
+  std::printf("throughput: %.0f images/sec (%zu repeats, %.3f s)\n",
+              images_per_sec, repeats, elapsed_s);
+
+  bench::JsonResult json("bench_crashsim");
+  json.add("modules", static_cast<uint64_t>(results.size()));
+  json.add("crash_points", total.crash_points);
+  json.add("images", total.images);
+  json.add("witnesses", static_cast<uint64_t>(total_witnesses));
+  json.add("pruning_ratio", total.pruning_ratio());
+  json.add("images_per_sec", images_per_sec);
+  json.add("repeats", static_cast<uint64_t>(repeats));
+  json.add("elapsed_s", elapsed_s);
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

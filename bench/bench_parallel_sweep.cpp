@@ -70,7 +70,8 @@ SweepResult run_sweep(const std::vector<core::AnalysisUnit>& units,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_out_path(argc, argv);
   bench::print_system_config(
       "bench_parallel_sweep: corpus-sweep scaling (AnalysisDriver)");
 
@@ -122,5 +123,17 @@ int main() {
                 hw);
   }
   std::printf("\n[%s] corpus-sweep scaling\n", pass ? "PASS" : "FAIL");
+
+  bench::JsonResult json("bench_parallel_sweep");
+  json.add("units", static_cast<uint64_t>(units.size()));
+  json.add("warnings", static_cast<uint64_t>(serial.warnings));
+  json.add("serial_s", serial.seconds);
+  json.add("speedup_4", speedup4);
+  json.add("identical_output", std::string(identical ? "true" : "false"));
+  json.add("pass", std::string(pass ? "true" : "false"));
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
   return pass ? 0 : 1;
 }

@@ -65,7 +65,8 @@ const BugSite* site_at(const std::string& file, uint32_t line) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_out_path(argc, argv);
   bench::print_system_config("bench_table1_detection: Table 1 (+ §5.3/§5.4)");
 
   std::map<std::pair<Framework, core::BugCategory>, Cell> matrix;
@@ -204,5 +205,16 @@ int main() {
                   studied_found == 19 && unmatched_warnings == 0 &&
                   matrix_matches_paper;
   std::printf("\n[%s] Table 1 reproduction\n", ok ? "PASS" : "FAIL");
+
+  bench::JsonResult json("bench_table1_detection");
+  json.add("warnings", static_cast<uint64_t>(all_warnings));
+  json.add("validated", static_cast<uint64_t>(all_validated));
+  json.add("studied_found", static_cast<uint64_t>(studied_found));
+  json.add("unmatched_warnings", static_cast<uint64_t>(unmatched_warnings));
+  json.add("pass", std::string(ok ? "true" : "false"));
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
   return ok ? 0 : 1;
 }

@@ -86,4 +86,63 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Value of a `--json <path>` argument, or "" when absent. Every bench
+/// binary accepts this flag; scripts/bench.sh uses it to collect
+/// machine-readable results (BENCH_<name>.json) next to the text report.
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  return {};
+}
+
+/// Minimal machine-readable result sink: a flat JSON object of metrics in
+/// insertion order. Numbers are emitted as-is, strings quoted/escaped.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string bench) { add("bench", std::move(bench)); }
+
+  void add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, quote(value));
+  }
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Write to `path` if non-empty. Returns false on IO failure.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream f(path, std::ios::binary);
+    if (!f.good()) return false;
+    f << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i)
+      f << "  \"" << entries_[i].first << "\": " << entries_[i].second
+        << (i + 1 < entries_.size() ? ",\n" : "\n");
+    f << "}\n";
+    return f.good();
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) {
+        out += c;
+      } else {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      }
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
 }  // namespace deepmc::bench

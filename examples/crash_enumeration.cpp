@@ -1,0 +1,114 @@
+// crash_enumeration: the crash-state enumeration engine used directly, the
+// way `deepmc --crashsim` uses it internally. Record a framework-level
+// execution, enumerate every crash image the hardware could expose, and
+// replay recovery on each one — first for a correctly logged transaction
+// (every image recovers), then for the unlogged two-field update of
+// Figure 2 (some images are unrecoverable, the bug made observable).
+#include <cstdio>
+
+#include "crash/enumerator.h"
+#include "crash/event_log.h"
+#include "crash/recovery_oracle.h"
+#include "frameworks/pmdk_mini.h"
+#include "pmem/pool.h"
+
+using namespace deepmc;
+
+namespace {
+
+struct Tally {
+  uint64_t images = 0;
+  uint64_t consistent = 0;
+  uint64_t inconsistent = 0;
+};
+
+// Enumerate every reachable crash image of the recorded execution and
+// classify each through pmdk recovery + the caller's invariant.
+Tally classify_images(const crash::EventLog& log,
+                      const crash::Invariant& invariant) {
+  crash::Enumerator::Options opts;
+  opts.granularity = crash::Granularity::kCacheline;
+  opts.include_dirty = false;  // flushed-but-unfenced lines only
+  crash::Enumerator en(log, opts);
+  auto oracle = crash::make_pmdk_oracle();
+  Tally t;
+  en.enumerate([&](const crash::CrashImage& img) {
+    ++t.images;
+    pmem::PmPool replay(1 << 20, pmem::LatencyModel::zero());
+    switch (oracle->classify(replay, img, invariant)) {
+      case crash::RecoveryOutcome::kConsistent:
+        ++t.consistent;
+        break;
+      case crash::RecoveryOutcome::kInconsistent:
+        ++t.inconsistent;
+        break;
+      case crash::RecoveryOutcome::kSkipped:
+        break;
+    }
+  });
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // The invariant both runs must uphold: the two account fields move from
+  // (0, 0) to (41, 42) atomically.
+  const auto both_or_neither = [](uint64_t a) {
+    return crash::Invariant([a](pmem::PmPool& pm) {
+      const uint64_t v0 = pm.load_val<uint64_t>(a);
+      const uint64_t v1 = pm.load_val<uint64_t>(a + 64);
+      return (v0 == 0 && v1 == 0) || (v0 == 41 && v1 == 42);
+    });
+  };
+
+  std::printf("=== 1. logged transaction: every crash image recovers ===\n");
+  {
+    pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+    crash::EventRecorder rec(pool);
+    pmdk::ObjPool obj(pool);
+    const uint64_t a = obj.alloc(128);
+    {
+      pmdk::Tx tx(obj);
+      tx.add(a, 128);
+      tx.write_val<uint64_t>(a, 41);
+      tx.write_val<uint64_t>(a + 64, 42);
+      tx.commit();
+    }
+    rec.detach();
+    const Tally t = classify_images(rec.log(), both_or_neither(a));
+    std::printf("images=%llu consistent=%llu inconsistent=%llu\n",
+                static_cast<unsigned long long>(t.images),
+                static_cast<unsigned long long>(t.consistent),
+                static_cast<unsigned long long>(t.inconsistent));
+  }
+
+  std::printf("\n=== 2. unlogged update: torn images are reachable ===\n");
+  {
+    pmem::PmPool pool(1 << 20, pmem::LatencyModel::zero());
+    crash::EventRecorder rec(pool);
+    pmdk::ObjPool obj(pool);
+    const uint64_t a = obj.alloc(128);
+    {
+      // Seed the undo log so recovery has one to read after replay.
+      pmdk::Tx tx(obj);
+      tx.add(a, 8);
+      tx.commit();
+    }
+    // Figure 2: both fields stored, one flush, one fence — no logging.
+    pool.store_val<uint64_t>(a, 41);
+    pool.store_val<uint64_t>(a + 64, 42);
+    pool.flush(a, 128);
+    pool.fence();
+    rec.detach();
+    const Tally t = classify_images(rec.log(), both_or_neither(a));
+    std::printf("images=%llu consistent=%llu inconsistent=%llu\n",
+                static_cast<unsigned long long>(t.images),
+                static_cast<unsigned long long>(t.consistent),
+                static_cast<unsigned long long>(t.inconsistent));
+    std::printf("the %llu inconsistent image(s) are exactly the torn "
+                "one-field-durable states\n",
+                static_cast<unsigned long long>(t.inconsistent));
+  }
+  return 0;
+}

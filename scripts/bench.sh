@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and run the headline benchmarks, collecting machine-readable
+# results as BENCH_<name>.json in the repo root (via each binary's
+# --json flag).
+#
+#   scripts/bench.sh             run the default set
+#   scripts/bench.sh crashsim    run a single bench by short name
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+benches=(crashsim table1_detection parallel_sweep)
+if [[ $# -gt 0 ]]; then benches=("$@"); fi
+
+targets=()
+for b in "${benches[@]}"; do targets+=("bench_${b}"); done
+
+cmake -B build -S .
+cmake --build build -j "$jobs" --target "${targets[@]}"
+
+status=0
+for b in "${benches[@]}"; do
+  echo "== bench_${b} =="
+  if ! "build/bench/bench_${b}" --json "BENCH_${b}.json"; then
+    echo "bench_${b}: FAILED" >&2
+    status=1
+  fi
+  echo "wrote BENCH_${b}.json"
+done
+exit "$status"

@@ -23,11 +23,12 @@ run_tier1() {
 run_tsan() {
   cmake -B build-tsan -S . -DDEEPMC_TSAN=ON
   # Only the targets the TSan pass exercises: the pool, the parallel
-  # driver, and the binary the golden/CLI tests drive.
+  # driver (with and without crash-state enumeration), and the binary
+  # the golden/CLI tests drive.
   cmake --build build-tsan -j "$jobs" \
-    --target thread_pool_test driver_test deepmc
+    --target thread_pool_test driver_test crash_test deepmc
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Driver'
+    -R 'ThreadPool|Driver|Crashsim'
 }
 
 case "${1:-}" in

@@ -5,9 +5,13 @@
 #include <ostream>
 #include <sstream>
 
+#include <map>
+#include <set>
+
 #include "analysis/dsg_printer.h"
 #include "analysis/trace.h"
 #include "core/fixit.h"
+#include "crash/crashsim.h"
 #include "interp/instrumenter.h"
 #include "interp/interp.h"
 #include "ir/parser.h"
@@ -19,6 +23,35 @@
 #include "support/thread_pool.h"
 
 namespace deepmc::core {
+
+const char* validation_name(Validation v) {
+  switch (v) {
+    case Validation::kConfirmed:
+      return "confirmed";
+    case Validation::kNotReproduced:
+      return "not-reproduced";
+    case Validation::kSkipped:
+      return "skipped";
+  }
+  return "skipped";
+}
+
+namespace {
+
+/// Recovery-oracle framework for a unit, inferred from the corpus naming
+/// convention ("pmdk/btree_map" and so on). Unknown prefixes get no oracle:
+/// images are still enumerated, recovery replay is skipped.
+std::string framework_for_unit(const std::string& name) {
+  const size_t slash = name.find('/');
+  const std::string prefix = name.substr(0, slash);
+  if (prefix == "pmdk") return "pmdk_mini";
+  if (prefix == "pmfs") return "pmfs_mini";
+  if (prefix == "mnemosyne") return "mnemosyne_mini";
+  if (prefix == "nvmdirect") return "nvmdirect_mini";
+  return "";
+}
+
+}  // namespace
 
 AnalysisUnit make_source_unit(std::string name, std::string source,
                               std::optional<PersistencyModel> model) {
@@ -77,8 +110,11 @@ std::string Report::text() const {
 }
 
 void Report::print_json(std::ostream& os, bool include_timing) const {
+  // v2 is backward-compatible with v1: it only adds the per-warning
+  // "validation" field and the per-unit "crashsim" object, both present
+  // only when the run enabled --crashsim.
   os << "{\n";
-  os << "  \"schema\": \"deepmc-report-v1\",\n";
+  os << "  \"schema\": \"deepmc-report-v2\",\n";
   os << "  \"total_warnings\": " << total_warnings() << ",\n";
   os << "  \"units\": [";
   for (size_t i = 0; i < units_.size(); ++i) {
@@ -100,7 +136,14 @@ void Report::print_json(std::ostream& os, bool include_timing) const {
     const auto& ws = u.result.warnings();
     for (size_t w = 0; w < ws.size(); ++w) {
       os << (w ? ",\n" : "\n");
-      os << "        " << to_json(ws[w]);
+      std::string wj = to_json(ws[w]);
+      if (u.crashsim.ran && w < u.crashsim.validations.size()) {
+        wj.pop_back();  // splice validation into the closing brace
+        wj += ", \"validation\": ";
+        wj += json_quote(validation_name(u.crashsim.validations[w]));
+        wj += "}";
+      }
+      os << "        " << wj;
     }
     os << (ws.empty() ? "" : "\n      ") << "],\n";
     os << "      \"dynamic_warnings\": [";
@@ -122,7 +165,37 @@ void Report::print_json(std::ostream& os, bool include_timing) const {
     if (include_timing)
       os << ", \"elapsed_ms\": "
          << strformat("%.3f", u.stats.elapsed_ms);
-    os << "}\n";
+    os << "}";
+    if (u.crashsim.ran) {
+      const CrashSimSummary& cs = u.crashsim;
+      os << ",\n      \"crashsim\": {\n";
+      os << "        \"framework\": " << json_quote(cs.framework) << ",\n";
+      os << "        \"confirmed\": " << cs.confirmed << ",\n";
+      os << "        \"not_reproduced\": " << cs.not_reproduced << ",\n";
+      os << "        \"skipped\": " << cs.skipped << ",\n";
+      os << "        \"roots\": [";
+      for (size_t r = 0; r < cs.roots.size(); ++r) {
+        const CrashSimRootSummary& rs = cs.roots[r];
+        os << (r ? ",\n" : "\n");
+        os << "          {\"root\": " << json_quote(rs.root)
+           << ", \"executed\": " << (rs.executed ? "true" : "false");
+        if (!rs.executed) {
+          os << ", \"error\": " << json_quote(rs.error) << "}";
+          continue;
+        }
+        os << ", \"crash_points\": " << rs.crash_points
+           << ", \"images\": " << rs.images
+           << ", \"witnesses\": " << rs.witnesses
+           << ", \"images_consistent\": " << rs.images_consistent
+           << ", \"images_inconsistent\": " << rs.images_inconsistent
+           << ", \"images_skipped\": " << rs.images_skipped
+           << ", \"pruning_ratio\": " << strformat("%.4f", rs.pruning_ratio)
+           << "}";
+      }
+      os << (cs.roots.empty() ? "" : "\n        ") << "]\n";
+      os << "      }";
+    }
+    os << "\n";
     os << "    }";
   }
   os << (units_.empty() ? "" : "\n  ") << "]\n";
@@ -208,6 +281,107 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
     }
     for (const Warning& w : result.warnings())
       os << (opts_.suggest ? warning_with_fix(w) : w.str()) << "\n";
+
+    if (opts_.crashsim) {
+      out.crashsim.ran = true;
+      out.crashsim.framework = framework_for_unit(unit.name);
+
+      // Zero-argument defined roots can be executed as-is; each gets its
+      // own pool + recorder + enumeration, fanned across the worker pool
+      // and merged in root order for deterministic output.
+      std::vector<const ir::Function*> sim_roots;
+      for (const ir::Function* f : roots)
+        if (!f->is_declaration() && f->arg_count() == 0)
+          sim_roots.push_back(f);
+
+      crash::CrashSimOptions copts;
+      copts.model = out.model;
+      copts.framework = out.crashsim.framework;
+      std::vector<std::future<crash::RootCrashSim>> cfuts;
+      cfuts.reserve(sim_roots.size());
+      for (const ir::Function* f : sim_roots)
+        cfuts.push_back(pool.submit([&module, f, copts] {
+          return crash::simulate_root(module, *f, copts);
+        }));
+      std::vector<crash::RootCrashSim> sims;
+      sims.reserve(sim_roots.size());
+      for (auto& fut : cfuts) sims.push_back(pool.await(std::move(fut)));
+
+      os << "-- crash-state enumeration --\n";
+      std::vector<std::string> executed_roots;
+      std::set<SourceLoc> witness_locs;
+      std::map<SourceLoc, std::string> witness_rule;  // first rule per loc
+      for (const crash::RootCrashSim& sim : sims) {
+        CrashSimRootSummary rs;
+        rs.root = sim.root;
+        rs.executed = sim.executed;
+        rs.error = sim.error;
+        rs.crash_points = sim.stats.crash_points;
+        rs.images = sim.stats.images;
+        rs.witnesses = sim.witnesses.size();
+        rs.images_consistent = sim.images_consistent;
+        rs.images_inconsistent = sim.images_inconsistent;
+        rs.images_skipped = sim.images_skipped;
+        rs.pruning_ratio = sim.stats.pruning_ratio();
+        out.crashsim.roots.push_back(rs);
+        if (!sim.executed) {
+          os << strformat("  root @%s: not executed (%s)\n",
+                          sim.root.c_str(), sim.error.c_str());
+          continue;
+        }
+        executed_roots.push_back(sim.root);
+        os << strformat(
+            "  root @%s: %llu crash point(s), %llu image(s), %zu "
+            "witness(es), pruning %.1f%%\n",
+            sim.root.c_str(),
+            static_cast<unsigned long long>(sim.stats.crash_points),
+            static_cast<unsigned long long>(sim.stats.images),
+            sim.witnesses.size(), 100.0 * rs.pruning_ratio);
+        for (const crash::Witness& w : sim.witnesses) {
+          for (const SourceLoc& loc : w.culprits) {
+            witness_locs.insert(loc);
+            witness_rule.emplace(loc, w.rule);
+          }
+        }
+      }
+
+      const std::set<std::string> executed =
+          crash::call_closure(module, executed_roots);
+      for (const Warning& w : result.warnings()) {
+        Validation v;
+        if (w.bug_class() == BugClass::kPerformance)
+          v = Validation::kSkipped;  // perf findings have no crash image
+        else if (!executed.count(w.function))
+          v = Validation::kSkipped;  // never executed by any root
+        else if (witness_locs.count(w.loc))
+          v = Validation::kConfirmed;
+        else
+          v = Validation::kNotReproduced;
+        out.crashsim.validations.push_back(v);
+        switch (v) {
+          case Validation::kConfirmed:
+            ++out.crashsim.confirmed;
+            os << strformat("  %s: validation confirmed [%s]\n",
+                            w.loc.str().c_str(),
+                            witness_rule.at(w.loc).c_str());
+            break;
+          case Validation::kNotReproduced:
+            ++out.crashsim.not_reproduced;
+            os << strformat("  %s: validation not-reproduced\n",
+                            w.loc.str().c_str());
+            break;
+          case Validation::kSkipped:
+            ++out.crashsim.skipped;
+            os << strformat("  %s: validation skipped\n",
+                            w.loc.str().c_str());
+            break;
+        }
+      }
+      os << strformat(
+          "validation: %zu confirmed, %zu not-reproduced, %zu skipped\n",
+          out.crashsim.confirmed, out.crashsim.not_reproduced,
+          out.crashsim.skipped);
+    }
 
     if (opts_.dynamic_run && module.find_function("main")) {
       // Reuse the checker's DSA for instrumentation rather than running a

@@ -71,6 +71,7 @@ struct DriverOptions {
   PersistencyModel model = PersistencyModel::kStrict;
   StaticChecker::Options checker;  ///< field sensitivity + trace bounds
   bool dynamic_run = false;        ///< execute @main under the runtime checker
+  bool crashsim = false;           ///< crash-state enumeration + validation
   bool dump_ir = false;
   bool dump_dsg = false;
   bool dump_traces = false;
@@ -88,6 +89,42 @@ struct DynamicFinding {
   std::string message;
 };
 
+/// End-to-end verdict for one static warning under crash-state enumeration
+/// (--crashsim): `confirmed` means at least one enumerated crash image
+/// witnesses the warned-about inconsistency; `not-reproduced` means the
+/// warned line executed but no reachable image misbehaved; `skipped` means
+/// the enumeration could not judge it (performance-class warning, or the
+/// code never executed under any simulated root).
+enum class Validation : uint8_t { kConfirmed, kNotReproduced, kSkipped };
+
+const char* validation_name(Validation v);
+
+/// Per-root crash-simulation counters (deterministic; no wall clock).
+struct CrashSimRootSummary {
+  std::string root;
+  bool executed = false;
+  std::string error;           ///< interpreter failure, when !executed
+  uint64_t crash_points = 0;
+  uint64_t images = 0;         ///< distinct reachable crash images
+  uint64_t witnesses = 0;      ///< trace-oracle violation witnesses
+  uint64_t images_consistent = 0;
+  uint64_t images_inconsistent = 0;
+  uint64_t images_skipped = 0;  ///< no recovery oracle for this unit
+  double pruning_ratio = 0;     ///< share of the subset space never built
+};
+
+/// Per-unit crash-simulation results: root summaries plus one Validation
+/// per static warning (parallel to UnitReport::result.warnings()).
+struct CrashSimSummary {
+  bool ran = false;
+  std::string framework;  ///< recovery oracle used ("" = enumeration only)
+  std::vector<CrashSimRootSummary> roots;
+  std::vector<Validation> validations;
+  size_t confirmed = 0;
+  size_t not_reproduced = 0;
+  size_t skipped = 0;
+};
+
 /// Per-unit observability counters carried into the JSON report.
 struct UnitStats {
   size_t trace_roots = 0;
@@ -103,6 +140,7 @@ struct UnitReport {
   PersistencyModel model = PersistencyModel::kStrict;
   CheckResult result;                   ///< static warnings (post-suppression)
   std::vector<DynamicFinding> dynamic;  ///< runtime findings (--dynamic)
+  CrashSimSummary crashsim;             ///< filled only under --crashsim
   size_t suppressed = 0;
   std::string text;  ///< fully rendered text block for this unit
   UnitStats stats;
@@ -130,7 +168,7 @@ class Report {
   void print_text(std::ostream& os) const;
   [[nodiscard]] std::string text() const;
 
-  /// Machine-readable report ("deepmc-report-v1"). `include_timing`
+  /// Machine-readable report ("deepmc-report-v2"). `include_timing`
   /// controls the per-unit elapsed_ms field, the only nondeterministic
   /// value in the schema; tests switch it off to compare runs bytewise.
   void print_json(std::ostream& os, bool include_timing = true) const;

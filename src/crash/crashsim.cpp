@@ -1,0 +1,92 @@
+#include "crash/crashsim.h"
+
+#include <exception>
+
+#include "interp/interp.h"
+#include "pmem/latency.h"
+
+namespace deepmc::crash {
+
+RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
+                           const CrashSimOptions& opts) {
+  RootCrashSim out;
+  out.root = root.name();
+
+  pmem::PmPool pool(opts.pool_bytes, pmem::LatencyModel::zero());
+  EventRecorder recorder(pool);
+  {
+    interp::Interpreter::Options iopts;
+    iopts.max_steps = opts.max_steps;
+    interp::Interpreter interp(module, pool, /*runtime=*/nullptr, iopts);
+    try {
+      interp.run(root);
+      out.executed = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+  }
+  recorder.detach();  // recovery replay below must not extend the log
+  const EventLog log = recorder.take_log();
+  if (!out.executed) return out;
+
+  out.witnesses = analyze_log(log, opts.model);
+
+  const std::unique_ptr<RecoveryOracle> oracle = make_oracle(opts.framework);
+  Enumerator::Options eopts;
+  eopts.model = opts.model;
+  eopts.granularity = Granularity::kStoreRange;
+  eopts.include_dirty = true;
+  eopts.max_subset_bits = opts.max_subset_bits;
+  const Enumerator enumerator(log, eopts);
+  out.stats = enumerator.enumerate([&](const CrashImage& image) {
+    if (!oracle) {
+      ++out.images_skipped;
+      return;
+    }
+    // A fresh pool per image: the image domain covers every line the
+    // execution touched, and untouched lines are identical between a fresh
+    // pool and the crashed one, so this reproduces the post-crash persisted
+    // state exactly without cross-image contamination.
+    pmem::PmPool replay_pool(opts.pool_bytes, pmem::LatencyModel::zero());
+    switch (oracle->classify(replay_pool, image, opts.invariant)) {
+      case RecoveryOutcome::kConsistent:
+        ++out.images_consistent;
+        break;
+      case RecoveryOutcome::kInconsistent:
+        ++out.images_inconsistent;
+        break;
+      case RecoveryOutcome::kSkipped:
+        ++out.images_skipped;
+        break;
+    }
+  });
+  return out;
+}
+
+std::set<std::string> call_closure(const ir::Module& module,
+                                   const std::vector<std::string>& roots) {
+  std::set<std::string> seen;
+  std::vector<const ir::Function*> work;
+  for (const std::string& r : roots) {
+    const ir::Function* f = module.find_function(r);
+    if (f && !f->is_declaration() && seen.insert(f->name()).second)
+      work.push_back(f);
+  }
+  while (!work.empty()) {
+    const ir::Function* f = work.back();
+    work.pop_back();
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kCall) continue;
+        const auto* call = static_cast<const ir::CallInst*>(inst.get());
+        const ir::Function* callee = module.find_function(call->callee());
+        if (callee && !callee->is_declaration() &&
+            seen.insert(callee->name()).second)
+          work.push_back(callee);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace deepmc::crash

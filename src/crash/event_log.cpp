@@ -1,0 +1,92 @@
+#include "crash/event_log.h"
+
+#include <cstring>
+
+namespace deepmc::crash {
+
+size_t EventLog::counted_events() const {
+  size_t n = 0;
+  for (const Event& e : events) n += e.counted ? 1 : 0;
+  return n;
+}
+
+EventRecorder::EventRecorder(pmem::PmPool& pool) : pool_(&pool) {
+  pool_->set_event_sink(this);
+}
+
+EventRecorder::~EventRecorder() { detach(); }
+
+void EventRecorder::detach() {
+  if (pool_ && pool_->event_sink() == this) pool_->set_event_sink(nullptr);
+  pool_ = nullptr;
+}
+
+void EventRecorder::on_line_base(uint64_t line, const uint8_t* persisted64) {
+  auto& base = log_.line_bases[line];
+  std::memcpy(base.data(), persisted64, pmem::kCachelineBytes);
+}
+
+void EventRecorder::on_store(uint64_t off, const void* src, uint64_t size,
+                             bool counted) {
+  Event e;
+  e.kind = EventKind::kStore;
+  e.off = off;
+  e.size = size;
+  e.bytes.resize(size);
+  std::memcpy(e.bytes.data(), src, size);
+  e.loc = current_loc_;
+  e.alloc_base = pool_ ? pool_->alloc_base(off) : 0;
+  e.counted = counted;
+  log_.events.push_back(std::move(e));
+}
+
+void EventRecorder::on_flush(uint64_t off, uint64_t size) {
+  Event e;
+  e.kind = EventKind::kFlush;
+  e.off = off;
+  e.size = size;
+  e.loc = current_loc_;
+  log_.events.push_back(std::move(e));
+}
+
+void EventRecorder::on_fence() {
+  Event e;
+  e.kind = EventKind::kFence;
+  e.loc = current_loc_;
+  log_.events.push_back(std::move(e));
+}
+
+void EventRecorder::on_source_loc(const SourceLoc& loc) {
+  if (loc.valid()) current_loc_ = loc;
+}
+
+void EventRecorder::on_region_begin(uint8_t kind, const SourceLoc& loc) {
+  Event e;
+  e.kind = EventKind::kRegionBegin;
+  e.region_kind = kind;
+  e.loc = loc;
+  e.counted = false;
+  log_.events.push_back(std::move(e));
+}
+
+void EventRecorder::on_region_end(uint8_t kind, const SourceLoc& loc) {
+  Event e;
+  e.kind = EventKind::kRegionEnd;
+  e.region_kind = kind;
+  e.loc = loc;
+  e.counted = false;
+  log_.events.push_back(std::move(e));
+}
+
+void EventRecorder::on_tx_add(uint64_t off, uint64_t size,
+                              const SourceLoc& loc) {
+  Event e;
+  e.kind = EventKind::kTxAdd;
+  e.off = off;
+  e.size = size;
+  e.loc = loc;
+  e.counted = false;
+  log_.events.push_back(std::move(e));
+}
+
+}  // namespace deepmc::crash

@@ -1,0 +1,87 @@
+// Recorded persistence-event logs: the input to crash-state enumeration.
+//
+// An EventRecorder attaches to a pmem::PmPool as its PmEventSink and turns
+// the raw event stream (stores with payloads, flushes, fences) plus the
+// interpreter's annotation channel (source locations, tx/epoch/strand region
+// boundaries, tx.add hints) into a flat, replayable EventLog. The log prefix
+// before the n-th *counted* event is, by construction, exactly what a crash
+// injected at that point has observed — pool events are reported only after
+// fault injection lets them happen — which is what lets the enumerator and
+// the linear fault-injection sweep be cross-checked image-for-image.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "support/source_loc.h"
+
+namespace deepmc::crash {
+
+enum class EventKind : uint8_t {
+  kStore,
+  kFlush,
+  kFence,
+  kRegionBegin,
+  kRegionEnd,
+  kTxAdd,
+};
+
+struct Event {
+  EventKind kind;
+  uint64_t off = 0;
+  uint64_t size = 0;
+  std::vector<uint8_t> bytes;  ///< store payload
+  SourceLoc loc;               ///< sticky source location (may be invalid)
+  uint8_t region_kind = 0;     ///< ir::RegionKind for region begin/end
+  uint64_t alloc_base = 0;     ///< store: containing allocation (0 = none)
+  bool counted = true;         ///< advances PmPool::event_count()
+};
+
+/// A recorded execution: the event sequence plus the persisted baseline of
+/// every cacheline the execution touched (captured at first touch).
+struct EventLog {
+  std::vector<Event> events;
+  std::map<uint64_t, std::array<uint8_t, pmem::kCachelineBytes>> line_bases;
+
+  /// Number of counted events (= pool event_count delta over the window).
+  [[nodiscard]] size_t counted_events() const;
+};
+
+class EventRecorder final : public pmem::PmEventSink {
+ public:
+  /// Attaches to `pool` immediately. The recorder must outlive the
+  /// attachment; the destructor detaches.
+  explicit EventRecorder(pmem::PmPool& pool);
+  ~EventRecorder() override;
+
+  EventRecorder(const EventRecorder&) = delete;
+  EventRecorder& operator=(const EventRecorder&) = delete;
+
+  /// Stop recording (idempotent). Call before replaying recovery on the
+  /// same pool, so recovery's own events do not pollute the log.
+  void detach();
+
+  [[nodiscard]] const EventLog& log() const { return log_; }
+  EventLog take_log() { return std::move(log_); }
+
+  // --- PmEventSink ------------------------------------------------------
+  void on_line_base(uint64_t line, const uint8_t* persisted64) override;
+  void on_store(uint64_t off, const void* src, uint64_t size,
+                bool counted) override;
+  void on_flush(uint64_t off, uint64_t size) override;
+  void on_fence() override;
+  void on_source_loc(const SourceLoc& loc) override;
+  void on_region_begin(uint8_t kind, const SourceLoc& loc) override;
+  void on_region_end(uint8_t kind, const SourceLoc& loc) override;
+  void on_tx_add(uint64_t off, uint64_t size, const SourceLoc& loc) override;
+
+ private:
+  pmem::PmPool* pool_;
+  EventLog log_;
+  SourceLoc current_loc_;
+};
+
+}  // namespace deepmc::crash

@@ -1,0 +1,96 @@
+#include "crash/recovery_oracle.h"
+
+#include "frameworks/mnemosyne_mini.h"
+#include "frameworks/nvmdirect_mini.h"
+#include "frameworks/pmdk_mini.h"
+#include "frameworks/pmfs_mini.h"
+
+namespace deepmc::crash {
+
+RecoveryOutcome RecoveryOracle::classify(pmem::PmPool& pool,
+                                         const CrashImage& image,
+                                         const Invariant& invariant) const {
+  try {
+    pool.install_image(image.lines);
+    recover(pool);
+  } catch (...) {
+    // Recovery could not even parse the persisted state.
+    return RecoveryOutcome::kInconsistent;
+  }
+  if (!invariant) return RecoveryOutcome::kConsistent;
+  try {
+    return invariant(pool) ? RecoveryOutcome::kConsistent
+                           : RecoveryOutcome::kInconsistent;
+  } catch (...) {
+    return RecoveryOutcome::kInconsistent;
+  }
+}
+
+namespace {
+
+class PmdkOracle final : public RecoveryOracle {
+ public:
+  [[nodiscard]] std::string name() const override { return "pmdk_mini"; }
+
+ protected:
+  void recover(pmem::PmPool& pool) const override {
+    pmdk::ObjPool op(pool);
+    pmdk::recover(op);
+  }
+};
+
+class MnemosyneOracle final : public RecoveryOracle {
+ public:
+  [[nodiscard]] std::string name() const override { return "mnemosyne_mini"; }
+
+ protected:
+  void recover(pmem::PmPool& pool) const override {
+    mnemosyne::Mnemosyne m(pool);
+    m.recover();
+  }
+};
+
+class PmfsOracle final : public RecoveryOracle {
+ public:
+  [[nodiscard]] std::string name() const override { return "pmfs_mini"; }
+
+ protected:
+  void recover(pmem::PmPool& pool) const override {
+    (void)pmfs::Pmfs::mount(pool);
+  }
+};
+
+class NvmdirectOracle final : public RecoveryOracle {
+ public:
+  [[nodiscard]] std::string name() const override { return "nvmdirect_mini"; }
+
+ protected:
+  void recover(pmem::PmPool& pool) const override {
+    (void)nvmdirect::NvmRegion::attach(pool);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryOracle> make_pmdk_oracle() {
+  return std::make_unique<PmdkOracle>();
+}
+std::unique_ptr<RecoveryOracle> make_mnemosyne_oracle() {
+  return std::make_unique<MnemosyneOracle>();
+}
+std::unique_ptr<RecoveryOracle> make_pmfs_oracle() {
+  return std::make_unique<PmfsOracle>();
+}
+std::unique_ptr<RecoveryOracle> make_nvmdirect_oracle() {
+  return std::make_unique<NvmdirectOracle>();
+}
+
+std::unique_ptr<RecoveryOracle> make_oracle(const std::string& framework) {
+  if (framework == "pmdk_mini") return make_pmdk_oracle();
+  if (framework == "mnemosyne_mini") return make_mnemosyne_oracle();
+  if (framework == "pmfs_mini") return make_pmfs_oracle();
+  if (framework == "nvmdirect_mini") return make_nvmdirect_oracle();
+  return nullptr;
+}
+
+}  // namespace deepmc::crash

@@ -1,0 +1,66 @@
+// Recovery oracles: replay a framework's recovery path on an enumerated
+// crash image and classify the outcome.
+//
+// Each oracle is the bridge between an abstract persisted image (a
+// line -> bytes map from the enumerator) and a concrete framework's
+// post-crash contract: install the image into the pool as if power was just
+// restored, run the framework's recovery entry point (pmdk's undo-log
+// replay, mnemosyne's log recovery, pmfs's journal-rollback mount,
+// nvm_direct's region attach), then ask a user-supplied invariant whether
+// the recovered state is acceptable. Exceptions escaping recovery — torn
+// metadata the framework cannot even parse — classify as inconsistent.
+//
+// NOTE: detach any EventRecorder from the pool before replaying recovery,
+// otherwise recovery's own stores pollute the recorded log.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "crash/enumerator.h"
+#include "pmem/pool.h"
+
+namespace deepmc::crash {
+
+enum class RecoveryOutcome : uint8_t {
+  kConsistent,    ///< recovery succeeded and the invariant held
+  kInconsistent,  ///< recovery threw, or the invariant was violated
+  kSkipped,       ///< no oracle applicable to this image
+};
+
+/// Returns true when the recovered pool satisfies the program's invariant.
+using Invariant = std::function<bool(pmem::PmPool&)>;
+
+class RecoveryOracle {
+ public:
+  virtual ~RecoveryOracle() = default;
+
+  /// Framework tag, e.g. "pmdk_mini".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Install `image` into `pool` (simulating the post-crash persisted
+  /// state), run the framework's recovery entry point, then evaluate
+  /// `invariant` (when given). Never throws: recovery failures classify.
+  RecoveryOutcome classify(pmem::PmPool& pool, const CrashImage& image,
+                           const Invariant& invariant) const;
+
+ protected:
+  /// Framework-specific recovery entry. Throwing means inconsistent.
+  virtual void recover(pmem::PmPool& pool) const = 0;
+};
+
+/// pmdk_mini: ObjPool undo-log replay (pmdk::recover).
+std::unique_ptr<RecoveryOracle> make_pmdk_oracle();
+/// mnemosyne_mini: durable-transaction log recovery (Mnemosyne::recover).
+std::unique_ptr<RecoveryOracle> make_mnemosyne_oracle();
+/// pmfs_mini: journal rollback on mount (Pmfs::mount).
+std::unique_ptr<RecoveryOracle> make_pmfs_oracle();
+/// nvmdirect_mini: region attach (NvmRegion::attach).
+std::unique_ptr<RecoveryOracle> make_nvmdirect_oracle();
+
+/// The oracle for a framework tag ("pmdk_mini", "pmfs_mini",
+/// "mnemosyne_mini", "nvmdirect_mini"); nullptr when unknown.
+std::unique_ptr<RecoveryOracle> make_oracle(const std::string& framework);
+
+}  // namespace deepmc::crash

@@ -102,6 +102,15 @@ std::optional<uint64_t> Interpreter::exec_function(
     const Instruction* inst = bb->instructions()[ip].get();
     if (++steps_ > opts_.max_steps) throw InterpError("step budget exceeded");
 
+    // Forward the instruction's source location to an attached event sink
+    // before a persistence event it is about to cause, so recorded pool
+    // events carry program coordinates (crash-state enumeration needs them
+    // to name culprit stores/flushes).
+    pmem::PmEventSink* sink = pool_->event_sink();
+    auto note_loc = [&](uint64_t addr) {
+      if (sink && addr < kVolatileBase) sink->on_source_loc(inst->loc());
+    };
+
     switch (inst->opcode()) {
       case Opcode::kAlloca: {
         const auto* a = static_cast<const AllocaInst*>(inst);
@@ -134,8 +143,9 @@ std::optional<uint64_t> Interpreter::exec_function(
       }
       case Opcode::kStore: {
         const auto* s = static_cast<const StoreInst*>(inst);
-        store_int(eval(regs, s->pointer()), eval(regs, s->value()),
-                  s->value()->type()->size());
+        const uint64_t addr = eval(regs, s->pointer());
+        note_loc(addr);
+        store_int(addr, eval(regs, s->value()), s->value()->type()->size());
         break;
       }
       case Opcode::kGep:
@@ -151,6 +161,7 @@ std::optional<uint64_t> Interpreter::exec_function(
         const uint64_t byte = eval(regs, m->byte());
         const uint64_t size = eval(regs, m->size());
         std::vector<uint8_t> buf(size, static_cast<uint8_t>(byte));
+        note_loc(p);
         if (size) mem_write(p, buf.data(), size);
         break;
       }
@@ -159,6 +170,7 @@ std::optional<uint64_t> Interpreter::exec_function(
         const uint64_t d = eval(regs, m->dest());
         const uint64_t s = eval(regs, m->source());
         const uint64_t size = eval(regs, m->size());
+        note_loc(d);
         std::vector<uint8_t> buf(size);
         if (size) {
           mem_read(s, buf.data(), size);
@@ -171,6 +183,7 @@ std::optional<uint64_t> Interpreter::exec_function(
         const uint64_t p = eval(regs, fl->pointer());
         const uint64_t size = eval(regs, fl->size());
         if (p < kVolatileBase) {
+          note_loc(p);
           const bool redundant = pool_->flush(p, size);
           if (rt_) {
             rt_->on_flush(current_strand_, p, size);
@@ -183,6 +196,7 @@ std::optional<uint64_t> Interpreter::exec_function(
         const auto* fl = static_cast<const FlushInst*>(inst);
         const uint64_t p = eval(regs, fl->pointer());
         const uint64_t size = eval(regs, fl->size());
+        note_loc(p);
         if (p < kVolatileBase) {
           const bool redundant = pool_->flush(p, size);
           if (rt_) {
@@ -195,16 +209,28 @@ std::optional<uint64_t> Interpreter::exec_function(
         break;
       }
       case Opcode::kFence:
+        note_loc(0);
         pool_->fence();
         if (rt_) rt_->on_fence(current_strand_);
         break;
-      case Opcode::kTxAdd:
+      case Opcode::kTxAdd: {
         // Undo-log registration: framework-level semantics (snapshot +
         // commit-time flush) are modeled by the mini frameworks; at IR
-        // level tx.add is a persistence hint only.
+        // level tx.add is a persistence hint — forwarded to the event sink
+        // so the crash-state oracle knows which ranges are logged.
+        if (sink) {
+          const auto* ta = static_cast<const TxAddInst*>(inst);
+          const uint64_t p = eval(regs, ta->pointer());
+          const uint64_t size = eval(regs, ta->size());
+          if (p < kVolatileBase) sink->on_tx_add(p, size, inst->loc());
+        }
         break;
+      }
       case Opcode::kTxBegin: {
         const auto* tb = static_cast<const TxBeginInst*>(inst);
+        if (sink)
+          sink->on_region_begin(static_cast<uint8_t>(tb->region_kind()),
+                                inst->loc());
         // Strands are *meant* to run with each other's flushes in flight;
         // only tx/epoch boundaries owe a barrier.
         if (rt_ && tb->region_kind() != RegionKind::kStrand &&
@@ -222,6 +248,9 @@ std::optional<uint64_t> Interpreter::exec_function(
       }
       case Opcode::kTxEnd: {
         const auto* te = static_cast<const TxEndInst*>(inst);
+        if (sink)
+          sink->on_region_end(static_cast<uint8_t>(te->region_kind()),
+                              inst->loc());
         if (rt_) {
           if (te->region_kind() == RegionKind::kStrand) {
             rt_->strand_end(current_strand_);

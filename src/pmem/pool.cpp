@@ -82,11 +82,24 @@ void PmPool::fault_tick() {
   }
 }
 
+void PmPool::announce_lines(uint64_t off, uint64_t size) {
+  if (!sink_ || size == 0) return;
+  const uint64_t first = line_of(off), last = line_of(off + size - 1);
+  for (uint64_t l = first; l <= last; ++l) {
+    if (sink_seen_lines_.insert(l).second)
+      sink_->on_line_base(l, persisted_.data() + l * kCachelineBytes);
+  }
+}
+
 void PmPool::store(uint64_t off, const void* src, uint64_t size) {
   fault_tick();
   check_range(off, size);
   std::memcpy(data_.data() + off, src, size);
   tracker_.on_store(off, size);
+  if (sink_) {
+    announce_lines(off, size);
+    sink_->on_store(off, src, size, /*counted=*/true);
+  }
 }
 
 void PmPool::load(uint64_t off, void* dst, uint64_t size) const {
@@ -117,6 +130,10 @@ bool PmPool::flush(uint64_t off, uint64_t size) {
       snapshot_pending_line(l);
   bool redundant = false;
   tracker_.on_flush(off, size, &redundant);
+  if (sink_) {
+    announce_lines(off, size);
+    sink_->on_flush(off, size);
+  }
   return redundant;
 }
 
@@ -129,12 +146,19 @@ void PmPool::fence() {
   }
   staged_.clear();
   tracker_.on_fence();
+  if (sink_) sink_->on_fence();
 }
 
 void PmPool::memset_persist(uint64_t off, uint8_t byte, uint64_t size) {
   check_range(off, size);
   std::memset(data_.data() + off, byte, size);
   tracker_.on_store(off, size);
+  if (sink_) {
+    announce_lines(off, size);
+    // The memset does not advance event_count(); recorders that replay the
+    // fault-injection sweep need to know this store is "free".
+    sink_->on_store(off, data_.data() + off, size, /*counted=*/false);
+  }
   persist(off, size);
 }
 
@@ -161,6 +185,23 @@ void PmPool::crash(const CrashOptions& opts, Rng* rng) {
   staged_.clear();
   data_ = persisted_;  // the surviving image is what recovery sees
   // All cache state is gone after power loss.
+  PersistenceStats saved = tracker_.stats();
+  tracker_.reset();
+  tracker_.mutable_stats() = saved;
+}
+
+void PmPool::install_image(
+    const std::map<uint64_t, std::vector<uint8_t>>& lines) {
+  for (const auto& [line, bytes] : lines) {
+    const uint64_t base = line * kCachelineBytes;
+    check_range(base, kCachelineBytes);
+    if (bytes.size() != kCachelineBytes)
+      throw std::invalid_argument(
+          "PmPool::install_image: image lines must be whole cachelines");
+    std::memcpy(persisted_.data() + base, bytes.data(), kCachelineBytes);
+  }
+  staged_.clear();
+  data_ = persisted_;
   PersistenceStats saved = tracker_.stats();
   tracker_.reset();
   tracker_.mutable_stats() = saved;

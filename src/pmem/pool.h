@@ -21,13 +21,55 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "pmem/persistence.h"
 #include "support/rng.h"
+#include "support/source_loc.h"
 
 namespace deepmc::pmem {
+
+/// Observer for the pool's persistence-event stream, the feed the crash-state
+/// enumerator (src/crash/) records. Two channels share one interface:
+///
+///  * raw pool events — on_store/on_flush/on_fence fire from inside the data
+///    path, *after* fault injection has decided the event happens (an event
+///    that throws PmFault is never reported, so a recorded log prefix is
+///    exactly what a crash at that point has observed). on_line_base reports
+///    the persisted content of a cacheline the first time an event touches it
+///    after the sink attaches, giving recorders a baseline image.
+///  * annotations — the MIR interpreter forwards source locations, region
+///    (tx/epoch/strand) boundaries and tx.add hints so a recorded log can be
+///    mapped back to program structure. Framework-level callers that drive
+///    the pool directly simply never emit these.
+///
+/// Default implementations are no-ops; sinks override what they need.
+class PmEventSink {
+ public:
+  virtual ~PmEventSink() = default;
+
+  /// First touch of `line` since the sink attached: `persisted64` points at
+  /// the line's current persistence-domain content (kCachelineBytes bytes).
+  virtual void on_line_base(uint64_t /*line*/, const uint8_t* /*persisted64*/) {
+  }
+  /// A store of `size` bytes at `off`. `counted` is false for stores that do
+  /// not advance event_count() (the memset half of memset_persist).
+  virtual void on_store(uint64_t /*off*/, const void* /*src*/,
+                        uint64_t /*size*/, bool /*counted*/) {}
+  virtual void on_flush(uint64_t /*off*/, uint64_t /*size*/) {}
+  virtual void on_fence() {}
+
+  // --- annotation channel (interpreter-driven) --------------------------
+  /// Source location of the next persistence event(s); sticky.
+  virtual void on_source_loc(const SourceLoc& /*loc*/) {}
+  /// `kind` is the ir::RegionKind value (tx/epoch/strand).
+  virtual void on_region_begin(uint8_t /*kind*/, const SourceLoc& /*loc*/) {}
+  virtual void on_region_end(uint8_t /*kind*/, const SourceLoc& /*loc*/) {}
+  virtual void on_tx_add(uint64_t /*off*/, uint64_t /*size*/,
+                         const SourceLoc& /*loc*/) {}
+};
 
 /// Thrown when fault injection triggers: the "process" dies at a
 /// persistence event. Callers catch it, call crash(), and run recovery —
@@ -125,6 +167,25 @@ class PmPool {
   /// recovery code in a real system; that is orthogonal to the bugs studied).
   void crash(const CrashOptions& opts = {}, Rng* rng = nullptr);
 
+  /// Replace the persisted image of the given cachelines (line index ->
+  /// kCachelineBytes of content) and make it the visible state, as if the
+  /// machine power-failed with exactly those lines durable and rebooted.
+  /// Lines not mentioned keep their current persisted content. Cache state
+  /// is discarded (like crash()); the allocator survives. The recovery
+  /// oracles install each enumerated crash image through this before
+  /// replaying the framework's recovery entry point.
+  void install_image(const std::map<uint64_t, std::vector<uint8_t>>& lines);
+
+  // --- event sink ---------------------------------------------------------
+  /// Attach an observer for subsequent persistence events (nullptr
+  /// detaches). The pool does not own the sink; it must outlive the
+  /// attachment. Line-base announcements restart on every attach.
+  void set_event_sink(PmEventSink* sink) {
+    sink_ = sink;
+    sink_seen_lines_.clear();
+  }
+  [[nodiscard]] PmEventSink* event_sink() const { return sink_; }
+
   /// True if [off, off+size) is fully persisted (would survive any crash).
   [[nodiscard]] bool is_persisted(uint64_t off, uint64_t size) const {
     return tracker_.is_persisted(off, size);
@@ -141,6 +202,9 @@ class PmPool {
   void check_range(uint64_t off, uint64_t size) const;
   void snapshot_pending_line(uint64_t line);
   void fault_tick();
+  /// Announce persisted baselines for lines covering [off, off+size) that
+  /// the sink has not seen yet.
+  void announce_lines(uint64_t off, uint64_t size);
 
   std::vector<uint8_t> data_;       ///< "cache-visible" contents
   std::vector<uint8_t> persisted_;  ///< contents in the persistence domain
@@ -153,6 +217,9 @@ class PmPool {
   bool fault_armed_ = false;
   uint64_t fault_countdown_ = 0;
   uint64_t event_count_ = 0;
+
+  PmEventSink* sink_ = nullptr;
+  std::set<uint64_t> sink_seen_lines_;  ///< lines announced via on_line_base
 
   uint64_t bump_;  ///< next free offset
   std::map<uint64_t, uint64_t> allocs_;  ///< off -> size (live)

@@ -9,6 +9,10 @@
 //   --dynamic                    instrument and execute @main under the
 //                                dynamic checker (strand races, runtime
 //                                epoch/flush checks)
+//   --crashsim                   enumerate reachable crash images for every
+//                                executable trace root and validate each
+//                                static warning end-to-end (confirmed /
+//                                not-reproduced / skipped)
 //   --jobs N / -j N              analysis threads (default: hardware
 //                                concurrency; 1 = serial). Output is
 //                                byte-identical for every N.
@@ -51,6 +55,7 @@ constexpr int kExitError = 65;
 void usage() {
   std::fprintf(stderr,
                "usage: deepmc [-strict|-epoch|-strand] [--dynamic] "
+               "[--crashsim]\n"
                "[--dump-ir] [--dump-dsg] [--dump-traces]\n"
                "              [--suggest] [--suppressions FILE] "
                "[--field-insensitive]\n"
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
       opts.model = *m;
     } else if (arg == "--dynamic") {
       opts.dynamic_run = true;
+    } else if (arg == "--crashsim") {
+      opts.crashsim = true;
     } else if (arg == "--dump-ir") {
       opts.dump_ir = true;
     } else if (arg == "--dump-dsg") {

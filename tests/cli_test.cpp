@@ -62,6 +62,15 @@ TEST(CliExit, BadJobsValueIsUsageError64) {
   EXPECT_EQ(run_command("--jobs 0 " + example("epoch_log.mir")).second, 64);
   EXPECT_EQ(run_command("--jobs banana " + example("epoch_log.mir")).second,
             64);
+  // Above the documented 1..1024 range, negative, trailing garbage, and
+  // uint64 overflow must all be rejected the same way.
+  EXPECT_EQ(run_command("--jobs 1025 " + example("epoch_log.mir")).second, 64);
+  EXPECT_EQ(run_command("--jobs -1 " + example("epoch_log.mir")).second, 64);
+  EXPECT_EQ(run_command("--jobs 8x " + example("epoch_log.mir")).second, 64);
+  EXPECT_EQ(
+      run_command("--jobs 99999999999999999999 " + example("epoch_log.mir"))
+          .second,
+      64);
 }
 
 TEST(CliExit, BadFormatIsUsageError64) {
@@ -114,10 +123,36 @@ TEST(CliJson, EmitsSchemaAndCounters) {
   auto [out, code] =
       run_command("--format json --corpus pmdk/btree_map");
   EXPECT_LT(code, 64);
-  EXPECT_NE(out.find("\"schema\": \"deepmc-report-v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"schema\": \"deepmc-report-v2\""), std::string::npos);
   EXPECT_NE(out.find("\"elapsed_ms\": "), std::string::npos);
   EXPECT_NE(out.find("\"trace_roots\": "), std::string::npos);
   EXPECT_NE(out.find("\"warnings\": ["), std::string::npos);
+  // v2 is backward compatible: crashsim fields only appear under
+  // --crashsim.
+  EXPECT_EQ(out.find("\"crashsim\""), std::string::npos);
+  EXPECT_EQ(out.find("\"validation\""), std::string::npos);
+}
+
+TEST(CliCrashsim, AnnotatesWarningsAndStaysDeterministic) {
+  const std::string args =
+      "--crashsim --corpus pmdk/btree_map --corpus pmfs/symlink " +
+      example("crash_enum.mir");
+  auto [serial, c1] = run_command("--jobs 1 " + args);
+  auto [parallel, c8] = run_command("--jobs 8 " + args);
+  EXPECT_EQ(c1, c8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("-- crash-state enumeration --"), std::string::npos);
+  EXPECT_NE(serial.find("validation confirmed"), std::string::npos);
+  EXPECT_NE(serial.find("crash.rollback-exposure"), std::string::npos);
+}
+
+TEST(CliCrashsim, JsonCarriesValidationVerdicts) {
+  auto [out, code] =
+      run_command("--crashsim --format json --corpus pmfs/symlink");
+  EXPECT_LT(code, 64);
+  EXPECT_NE(out.find("\"validation\": \"confirmed\""), std::string::npos);
+  EXPECT_NE(out.find("\"crashsim\": {"), std::string::npos);
+  EXPECT_NE(out.find("\"framework\": \"pmfs_mini\""), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,12 @@
 // recovery, and checks the all-or-nothing invariant — for every n.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crash/enumerator.h"
+#include "crash/event_log.h"
 #include "frameworks/mnemosyne_mini.h"
 #include "frameworks/pmdk_mini.h"
 #include "frameworks/pmfs_mini.h"
@@ -76,6 +82,91 @@ TEST(FaultSweep, PmdkTransactionIsAtomicAtEveryCrashPoint) {
     if (committed) {
       // A transaction that returned from commit() must be durable.
       EXPECT_TRUE(new_state) << "crash point " << n << ": durability violated";
+    }
+  }
+}
+
+// --- linear sweep vs crash-state enumeration --------------------------------
+
+// Every image the linear inject_fault_after(n) sweep can produce — under
+// any CrashOptions the pool supports — must be a member of the enumerated
+// crash-state set (cacheline granularity mirrors the pool's staged_/dirty
+// bookkeeping exactly). This cross-validates the two crash simulators
+// image-for-image.
+TEST(FaultSweep, LinearSweepImagesAreSubsetOfEnumeratedSet) {
+  // Record the fault-free transaction once.
+  pmem::PmPool ref(1 << 20, zero());
+  pmdk::ObjPool ref_obj(ref);
+  const uint64_t a = ref_obj.alloc(64);
+  ref_obj.write_val<uint64_t>(a, 1000);
+  ref_obj.write_val<uint64_t>(a + 8, 0);
+  ref_obj.persist(a, 16);
+  crash::EventRecorder rec(ref);
+  const uint64_t before = ref.event_count();
+  {
+    pmdk::Tx tx(ref_obj);
+    tx.add(a, 16);
+    tx.write_val<uint64_t>(a, 900);
+    tx.write_val<uint64_t>(a + 8, 1);
+    tx.commit();
+  }
+  const uint64_t total = ref.event_count() - before;
+  rec.detach();
+
+  crash::Enumerator::Options opts;
+  opts.granularity = crash::Granularity::kCacheline;
+  opts.include_dirty = true;  // dirty-eviction images are reachable too
+  crash::Enumerator en(rec.log(), opts);
+  std::set<uint64_t> enumerated;
+  en.enumerate(
+      [&](const crash::CrashImage& img) { enumerated.insert(img.digest); });
+  const std::vector<uint64_t> lines = en.touched_lines();
+  ASSERT_FALSE(enumerated.empty());
+  ASSERT_FALSE(lines.empty());
+
+  // Re-run the transaction with a fault at every point, under each
+  // deterministic device model, and check the surviving image was
+  // predicted by the enumerator.
+  struct Device {
+    double pending_survives;
+    double dirty_evicted;
+  };
+  const Device devices[] = {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}};
+  for (const Device& dev : devices) {
+    for (uint64_t n = 1; n <= total + 1; ++n) {
+      pmem::PmPool pool(1 << 20, zero());
+      pmdk::ObjPool obj(pool);
+      const uint64_t b = obj.alloc(64);
+      ASSERT_EQ(b, a) << "allocator must be deterministic for this test";
+      obj.write_val<uint64_t>(b, 1000);
+      obj.write_val<uint64_t>(b + 8, 0);
+      obj.persist(b, 16);
+      if (n <= total) pool.inject_fault_after(n);
+      try {
+        pmdk::Tx tx(obj);
+        tx.add(b, 16);
+        tx.write_val<uint64_t>(b, 900);
+        tx.write_val<uint64_t>(b + 8, 1);
+        tx.commit();
+        tx.abandon();
+      } catch (const pmem::PmFault&) {
+      }
+      pool.inject_fault_after(0);
+      pmem::CrashOptions co;
+      co.pending_survives = dev.pending_survives;
+      co.dirty_evicted = dev.dirty_evicted;
+      pool.crash(co);
+
+      std::map<uint64_t, std::vector<uint8_t>> image;
+      for (uint64_t line : lines) {
+        std::vector<uint8_t> buf(pmem::kCachelineBytes);
+        pool.load(line * pmem::kCachelineBytes, buf.data(), buf.size());
+        image[line] = std::move(buf);
+      }
+      EXPECT_TRUE(enumerated.count(crash::digest_lines(image)))
+          << "sweep image at fault point " << n << " (pending="
+          << dev.pending_survives << " evict=" << dev.dirty_evicted
+          << ") was not enumerated";
     }
   }
 }

@@ -102,6 +102,23 @@ std::vector<GoldenCase> golden_cases() {
     c.args = "--corpus " + name;
     cases.push_back(c);
   }
+  // Crash-state enumeration output (--crashsim): one example file and one
+  // corpus module per framework pin the validation annotations.
+  {
+    GoldenCase c;
+    c.id = "crashsim_mir_crash_enum";
+    c.args = "-strict --crashsim \"" +
+             (mir_dir / "crash_enum.mir").string() + "\"";
+    cases.push_back(c);
+  }
+  for (const std::string& name :
+       {std::string("pmdk/btree_map"), std::string("nvmdirect/nvm_region"),
+        std::string("pmfs/symlink"), std::string("mnemosyne/phlog_base")}) {
+    GoldenCase c;
+    c.id = "crashsim_corpus_" + sanitize(name);
+    c.args = "--crashsim --corpus " + name;
+    cases.push_back(c);
+  }
   return cases;
 }
 
