@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Build and run the headline benchmarks, collecting machine-readable
 # results as BENCH_<name>.json in the repo root (via each binary's
-# --json flag).
+# --json flag). Every JSON result is validated after the run: a bench
+# that exits zero but leaves a missing or unparseable JSON file fails
+# the script loudly, by name — results must never be silently dropped.
 #
 #   scripts/bench.sh             run the default set
 #   scripts/bench.sh crashsim    run a single bench by short name
@@ -9,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 4)"
-benches=(crashsim table1_detection parallel_sweep)
+benches=(crashsim table1_detection parallel_sweep obs_overhead)
 if [[ $# -gt 0 ]]; then benches=("$@"); fi
 
 targets=()
@@ -18,12 +20,37 @@ for b in "${benches[@]}"; do targets+=("bench_${b}"); done
 cmake -B build -S .
 cmake --build build -j "$jobs" --target "${targets[@]}"
 
+# Validate one BENCH_<name>.json: parseable JSON when python3 is around,
+# else at least a non-empty object-shaped file.
+check_json() {
+  local bench="$1" file="$2"
+  if [[ ! -s "$file" ]]; then
+    echo "bench_${bench}: JSON result ${file} is missing or empty" >&2
+    return 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$file" \
+        2>/dev/null; then
+      echo "bench_${bench}: JSON result ${file} does not parse" >&2
+      return 1
+    fi
+  elif [[ "$(head -c1 "$file")" != "{" ]]; then
+    echo "bench_${bench}: JSON result ${file} does not look like JSON" >&2
+    return 1
+  fi
+  return 0
+}
+
 status=0
 for b in "${benches[@]}"; do
   echo "== bench_${b} =="
   if ! "build/bench/bench_${b}" --json "BENCH_${b}.json"; then
     echo "bench_${b}: FAILED" >&2
     status=1
+  fi
+  if ! check_json "$b" "BENCH_${b}.json"; then
+    status=1
+    continue
   fi
   echo "wrote BENCH_${b}.json"
 done

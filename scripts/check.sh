@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification wrapper (the ROADMAP's verify line), plus an opt-in
-# ThreadSanitizer pass over the concurrency-sensitive tests.
+# ThreadSanitizer pass over the concurrency-sensitive tests and an
+# observability-identity pass asserting the report byte-identity contract.
 #
-#   scripts/check.sh            configure + build + full ctest
+#   scripts/check.sh            configure + build + full ctest + obs identity
 #   scripts/check.sh --tsan     TSan build (-DDEEPMC_TSAN=ON) of the
 #                               thread-pool / parallel-driver tests only
-#   scripts/check.sh --all      both of the above
+#   scripts/check.sh --obs      observability identity pass only: every
+#                               corpus module's report must be byte-identical
+#                               with --stats/--metrics-out/--trace-out on vs
+#                               off, at --jobs 1 and --jobs 8, and the stable
+#                               metrics section identical across jobs
+#   scripts/check.sh --all      all of the above
 #
 # Regenerating golden files after an intentional output change:
 #   UPDATE_GOLDEN=1 ctest --test-dir build -R Golden
@@ -26,14 +32,63 @@ run_tsan() {
   # driver (with and without crash-state enumeration), and the binary
   # the golden/CLI tests drive.
   cmake --build build-tsan -j "$jobs" \
-    --target thread_pool_test driver_test crash_test deepmc
+    --target thread_pool_test driver_test crash_test obs_test deepmc
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Driver|Crashsim'
+    -R 'ThreadPool|Driver|Crashsim|ObsRegistry'
+}
+
+run_obs_identity() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target deepmc
+  local bin=build/src/tools/deepmc
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+
+  # deepmc exits with the warning count (0..63); only >=64 is an error.
+  run_deepmc() {
+    local out="$1"; shift
+    "$bin" "$@" > "$out" 2>/dev/null || {
+      local rc=$?
+      if [[ "$rc" -ge 64 ]]; then
+        echo "obs-identity: deepmc failed ($rc): $*" >&2
+        return 1
+      fi
+    }
+    return 0
+  }
+
+  echo "== observability identity: full corpus, obs on vs off =="
+  local module n
+  while IFS= read -r module; do
+    for n in 1 8; do
+      local id="${module//\//_}_j${n}"
+      run_deepmc "$tmp/plain_$id" --crashsim --corpus "$module" --jobs "$n"
+      run_deepmc "$tmp/obs_$id" --crashsim --corpus "$module" --jobs "$n" \
+        --stats --metrics-out "$tmp/m_$id.json" --trace-out "$tmp/t_$id.json"
+      if ! cmp -s "$tmp/plain_$id" "$tmp/obs_$id"; then
+        echo "obs-identity: report for $module differs with observability" \
+             "on at --jobs $n" >&2
+        return 1
+      fi
+      # Stable metrics section: everything before the volatile marker.
+      awk '/^  "volatile": \{$/{exit} {print}' "$tmp/m_$id.json" \
+        > "$tmp/stable_$id"
+    done
+    if ! cmp -s "$tmp/stable_${module//\//_}_j1" \
+                "$tmp/stable_${module//\//_}_j8"; then
+      echo "obs-identity: stable metrics for $module differ between" \
+           "--jobs 1 and --jobs 8" >&2
+      return 1
+    fi
+  done < <("$bin" --list-corpus)
+  echo "obs-identity: OK"
 }
 
 case "${1:-}" in
   --tsan) run_tsan ;;
-  --all)  run_tier1; run_tsan ;;
-  "")     run_tier1 ;;
-  *) echo "usage: scripts/check.sh [--tsan|--all]" >&2; exit 64 ;;
+  --obs)  run_obs_identity ;;
+  --all)  run_tier1; run_tsan; run_obs_identity ;;
+  "")     run_tier1; run_obs_identity ;;
+  *) echo "usage: scripts/check.sh [--tsan|--obs|--all]" >&2; exit 64 ;;
 esac

@@ -4,9 +4,54 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace deepmc::analysis {
 
 using namespace ir;
+
+namespace {
+
+// DSA construction is serial per unit, so every count below is a pure
+// function of the analyzed module (obs::Volatility::kStable).
+
+obs::Counter& dsa_builds() {
+  static obs::Counter c = obs::registry().counter(
+      "dsa.builds_total", obs::Volatility::kStable,
+      "DSA constructions (one per analyzed unit)");
+  return c;
+}
+
+obs::Counter& dsa_nodes_created() {
+  static obs::Counter c = obs::registry().counter(
+      "dsa.nodes_total", obs::Volatility::kStable,
+      "live DSG nodes after unification, summed over units");
+  return c;
+}
+
+obs::Counter& dsa_persistent_nodes() {
+  static obs::Counter c = obs::registry().counter(
+      "dsa.persistent_nodes_total", obs::Volatility::kStable,
+      "persistent DSG nodes, summed over units");
+  return c;
+}
+
+obs::Counter& dsa_unifications() {
+  static obs::Counter c = obs::registry().counter(
+      "dsa.unifications_total", obs::Volatility::kStable,
+      "cell unifications performed");
+  return c;
+}
+
+obs::Counter& dsa_collapses() {
+  static obs::Counter c = obs::registry().counter(
+      "dsa.collapses_total", obs::Volatility::kStable,
+      "nodes collapsed to a single field");
+  return c;
+}
+
+}  // namespace
 
 DSA::DSA(const Module& module, Options opts)
     : module_(module), opts_(opts), cg_(std::make_unique<CallGraph>(module)) {}
@@ -38,6 +83,7 @@ DSCell DSA::resolve(DSCell c) const {
 void DSA::collapse(DSNode* n) {
   n = resolve(n);
   if (n->has(DSNode::kCollapsed)) return;
+  if (obs::enabled()) dsa_collapses().inc();
   n->add_flags(DSNode::kCollapsed);
   // Fold all out-edges into a single offset-0 edge.
   if (!n->edges_.empty()) {
@@ -103,6 +149,7 @@ void DSA::unify(DSCell a, DSCell b) {
   a = resolve(a);
   b = resolve(b);
   if (a.null() || b.null()) return;
+  if (obs::enabled()) dsa_unifications().inc();
   if (a.node == b.node) {
     if (a.exact && b.exact && a.offset != b.offset) collapse(a.node);
     return;
@@ -346,10 +393,16 @@ void DSA::top_down_phase() {
 void DSA::run() {
   if (ran_) return;
   ran_ = true;
+  obs::Span span("dsa.build", "analysis");
   for (const auto& f : module_.functions())
     if (!f->is_declaration()) local_phase(*f);
   bottom_up_phase();
   top_down_phase();
+  if (obs::enabled()) {
+    dsa_builds().inc();
+    dsa_nodes_created().inc(nodes().size());
+    dsa_persistent_nodes().inc(persistent_node_count());
+  }
 }
 
 DSCell DSA::cell_for(const Value* v) const {

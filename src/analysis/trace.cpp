@@ -1,8 +1,46 @@
 #include "analysis/trace.h"
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace deepmc::analysis {
 
 using namespace ir;
+
+namespace {
+
+// Path exploration is bounded and deterministic per root, so all trace
+// metrics are stable across runs and --jobs values.
+
+obs::Counter& trace_collections() {
+  static obs::Counter c = obs::registry().counter(
+      "trace.collections_total", obs::Volatility::kStable,
+      "TraceCollector::collect invocations");
+  return c;
+}
+
+obs::Counter& traces_collected() {
+  static obs::Counter c = obs::registry().counter(
+      "trace.traces_total", obs::Volatility::kStable,
+      "bounded paths materialized");
+  return c;
+}
+
+obs::Counter& trace_events() {
+  static obs::Counter c = obs::registry().counter(
+      "trace.events_total", obs::Volatility::kStable,
+      "persistence-relevant events across all traces");
+  return c;
+}
+
+obs::Histogram& events_per_trace() {
+  static obs::Histogram h = obs::registry().histogram(
+      "trace.events_per_trace", obs::Volatility::kStable,
+      "events per collected trace", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return h;
+}
+
+}  // namespace
 
 const char* event_kind_name(EventKind k) {
   switch (k) {
@@ -199,6 +237,8 @@ TraceCollector::TraceCollector(const ir::Module& module, const DSA& dsa,
     : module_(module), dsa_(dsa), opts_(opts) {}
 
 std::vector<Trace> TraceCollector::collect(const Function& f) const {
+  obs::Span span("trace.collect", "analysis",
+                 obs::span_arg("root", f.name()));
   Walker w(module_, dsa_, opts_);
   w.walk_function(f, 0);
   std::vector<Trace> traces;
@@ -208,6 +248,14 @@ std::vector<Trace> TraceCollector::collect(const Function& f) const {
     t.root = &f;
     t.events = std::move(ev);
     traces.push_back(std::move(t));
+  }
+  if (obs::enabled()) {
+    trace_collections().inc();
+    traces_collected().inc(traces.size());
+    for (const Trace& t : traces) {
+      trace_events().inc(t.events.size());
+      events_per_trace().observe(t.events.size());
+    }
   }
   return traces;
 }

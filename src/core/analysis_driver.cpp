@@ -17,12 +17,90 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "pmem/pool.h"
 #include "runtime/dynamic_checker.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 
 namespace deepmc::core {
+
+namespace {
+
+// Driver totals are sums over units of deterministic per-unit results;
+// they are identical across runs and --jobs values (kStable).
+
+obs::Counter& units_total() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.units_total", obs::Volatility::kStable, "units analyzed");
+  return c;
+}
+
+obs::Counter& units_failed() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.units_failed_total", obs::Volatility::kStable,
+      "units whose build/verify step failed");
+  return c;
+}
+
+obs::Counter& warnings_total() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.warnings_total", obs::Volatility::kStable,
+      "static warnings after folding and suppression");
+  return c;
+}
+
+obs::Counter& warnings_suppressed() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.warnings_suppressed_total", obs::Volatility::kStable,
+      "warnings removed by the suppression database");
+  return c;
+}
+
+obs::Counter& dynamic_findings() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.dynamic_findings_total", obs::Volatility::kStable,
+      "rt.* findings from --dynamic runs");
+  return c;
+}
+
+obs::Counter& functions_checked() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.functions_checked_total", obs::Volatility::kStable,
+      "functions checked, summed over units (Table 9 accounting)");
+  return c;
+}
+
+obs::Counter& traces_checked() {
+  static obs::Counter c = obs::registry().counter(
+      "driver.traces_checked_total", obs::Volatility::kStable,
+      "traces checked, summed over units (Table 9 accounting)");
+  return c;
+}
+
+obs::Counter& validations_confirmed() {
+  static obs::Counter c = obs::registry().counter(
+      "crash.validations_confirmed_total", obs::Volatility::kStable,
+      "static warnings confirmed by a crash-image witness");
+  return c;
+}
+
+obs::Counter& validations_not_reproduced() {
+  static obs::Counter c = obs::registry().counter(
+      "crash.validations_not_reproduced_total", obs::Volatility::kStable,
+      "executed warnings with no misbehaving reachable image");
+  return c;
+}
+
+obs::Counter& validations_skipped() {
+  static obs::Counter c = obs::registry().counter(
+      "crash.validations_skipped_total", obs::Volatility::kStable,
+      "warnings the enumeration could not judge");
+  return c;
+}
+
+}  // namespace
 
 const char* validation_name(Validation v) {
   switch (v) {
@@ -218,9 +296,16 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
                                         support::ThreadPool& pool) const {
   UnitReport out;
   out.name = unit.name;
+  obs::Span unit_span("unit.analyze", "driver",
+                      obs::span_arg("unit", unit.name));
+  units_total().inc();
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    BuiltUnit built = unit.build();
+    BuiltUnit built = [&] {
+      obs::Span build_span("unit.build", "driver",
+                           obs::span_arg("unit", unit.name));
+      return unit.build();
+    }();
     ir::Module& module = *built.module;
     ir::verify_or_throw(module);
     out.model = built.model.value_or(opts_.model);
@@ -249,6 +334,8 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
     out.stats.traces_checked = result.traces_checked;
     out.stats.dsa_nodes = checker.dsa().nodes().size();
     out.stats.persistent_dsa_nodes = checker.dsa().persistent_node_count();
+    functions_checked().inc(result.functions_checked);
+    traces_checked().inc(result.traces_checked);
 
     if (opts_.dump_dsg) {
       os << "-- persistent DSG --\n";
@@ -272,6 +359,7 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
     if (opts_.suppressions.size() > 0) {
       auto stats = opts_.suppressions.apply(result);
       out.suppressed = stats.suppressed;
+      warnings_suppressed().inc(stats.suppressed);
       if (stats.suppressed)
         os << strformat("(%zu warning(s) suppressed by the database)\n",
                         stats.suppressed);
@@ -282,7 +370,11 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
     for (const Warning& w : result.warnings())
       os << (opts_.suggest ? warning_with_fix(w) : w.str()) << "\n";
 
+    warnings_total().inc(result.count());
+
     if (opts_.crashsim) {
+      obs::Span crashsim_span("unit.crashsim", "crash",
+                              obs::span_arg("unit", unit.name));
       out.crashsim.ran = true;
       out.crashsim.framework = framework_for_unit(unit.name);
 
@@ -381,9 +473,14 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
           "validation: %zu confirmed, %zu not-reproduced, %zu skipped\n",
           out.crashsim.confirmed, out.crashsim.not_reproduced,
           out.crashsim.skipped);
+      validations_confirmed().inc(out.crashsim.confirmed);
+      validations_not_reproduced().inc(out.crashsim.not_reproduced);
+      validations_skipped().inc(out.crashsim.skipped);
     }
 
     if (opts_.dynamic_run && module.find_function("main")) {
+      obs::Span dynamic_span("unit.dynamic", "runtime",
+                             obs::span_arg("unit", unit.name));
       // Reuse the checker's DSA for instrumentation rather than running a
       // second, identical analysis over the module.
       interp::instrument_module(module, checker.dsa());
@@ -395,6 +492,7 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
       } catch (const interp::InterpError& e) {
         os << strformat("dynamic run trapped: %s\n", e.what());
       }
+      rt.publish_obs();
       for (const auto& r : rt.races())
         out.dynamic.push_back({"rt.strand-race", r.second_loc, r.str()});
       for (const auto& m : rt.epoch_mismatches())
@@ -406,6 +504,7 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
       for (const DynamicFinding& f : out.dynamic)
         os << strformat("%s: warning [%s] %s\n", f.loc.str().c_str(),
                         f.rule.c_str(), f.message.c_str());
+      dynamic_findings().inc(out.dynamic.size());
     }
 
     if (opts_.dump_ir) {
@@ -418,6 +517,7 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = e.what();
+    units_failed().inc();
   }
   out.stats.elapsed_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -427,6 +527,9 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
 }
 
 Report AnalysisDriver::run(const std::vector<AnalysisUnit>& units) {
+  obs::Span run_span(
+      "driver.run", "driver",
+      obs::span_arg_num("units", static_cast<double>(units.size())));
   const size_t jobs =
       opts_.jobs == 0 ? support::ThreadPool::default_concurrency() : opts_.jobs;
   // jobs == 1 means "serial in the calling thread": a zero-thread pool

@@ -4,9 +4,36 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "support/str.h"
 
 namespace deepmc::core {
+
+namespace {
+
+obs::Counter& checker_prepares() {
+  static obs::Counter c = obs::registry().counter(
+      "checker.prepares_total", obs::Volatility::kStable,
+      "analysis builds (call graph + DSA + trace collector)");
+  return c;
+}
+
+obs::Counter& checker_roots() {
+  static obs::Counter c = obs::registry().counter(
+      "checker.roots_checked_total", obs::Volatility::kStable,
+      "trace roots scanned by the rule checker");
+  return c;
+}
+
+obs::Counter& checker_traces_scanned() {
+  static obs::Counter c = obs::registry().counter(
+      "checker.traces_scanned_total", obs::Volatility::kStable,
+      "traces run through the Table 4/5 rule scanner");
+  return c;
+}
+
+}  // namespace
 
 using analysis::DSA;
 using analysis::EventKind;
@@ -501,6 +528,8 @@ StaticChecker::~StaticChecker() = default;
 
 void StaticChecker::ensure_analysis() {
   if (dsa_) return;
+  obs::Span span("checker.prepare", "checker");
+  if (obs::enabled()) checker_prepares().inc();
   DSA::Options dopts;
   dopts.field_sensitive = opts_.field_sensitive;
   dsa_ = std::make_unique<DSA>(module_, dopts);
@@ -531,6 +560,8 @@ std::vector<const Function*> StaticChecker::trace_roots() const {
 }
 
 CheckResult StaticChecker::check_root(const Function& f) const {
+  obs::Span span("root.check", "checker", obs::span_arg("root", f.name()));
+  if (obs::enabled()) checker_roots().inc();
   CheckResult result;
   check_traces(f, result);
   return result;
@@ -538,6 +569,7 @@ CheckResult StaticChecker::check_root(const Function& f) const {
 
 void StaticChecker::check_traces(const Function& f, CheckResult& result) const {
   auto traces = collector_->collect(f);
+  if (obs::enabled()) checker_traces_scanned().inc(traces.size());
   result.traces_checked += traces.size();
   ++result.functions_checked;
   for (const Trace& t : traces) {

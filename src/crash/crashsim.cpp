@@ -3,18 +3,71 @@
 #include <exception>
 
 #include "interp/interp.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "pmem/latency.h"
 
 namespace deepmc::crash {
 
+namespace {
+
+// Enumeration is a deterministic walk of one recorded execution, so every
+// count below is stable across runs and --jobs values.
+
+obs::Counter stable_counter(const char* name, const char* help) {
+  return obs::registry().counter(name, obs::Volatility::kStable, help);
+}
+
+void publish_root_obs(const RootCrashSim& out) {
+  static obs::Counter roots =
+      stable_counter("crash.roots_total", "roots crash-simulated");
+  static obs::Counter failed = stable_counter(
+      "crash.roots_failed_total", "roots whose pre-crash execution trapped");
+  static obs::Counter points = stable_counter(
+      "crash.crash_points_total", "crash positions in recorded logs");
+  static obs::Counter images =
+      stable_counter("crash.images_total", "distinct crash images visited");
+  static obs::Counter witnesses = stable_counter(
+      "crash.witnesses_total", "ordering/durability witnesses extracted");
+  static obs::Counter consistent = stable_counter(
+      "crash.images_consistent_total", "images recovery classified consistent");
+  static obs::Counter inconsistent = stable_counter(
+      "crash.images_inconsistent_total",
+      "images recovery classified inconsistent");
+  static obs::Counter skipped = stable_counter(
+      "crash.images_skipped_total", "images with no applicable oracle");
+  static obs::Counter pruned = stable_counter(
+      "crash.points_pruned_total", "crash points removed by commit pruning");
+  static obs::Counter dup_subsets = stable_counter(
+      "crash.duplicate_subsets_total", "subsets collapsing to a seen image");
+  static obs::Counter capped = stable_counter(
+      "crash.capped_points_total", "crash points hit by the subset cap");
+  roots.inc();
+  if (!out.executed) failed.inc();
+  points.inc(out.stats.crash_points);
+  images.inc(out.stats.images);
+  witnesses.inc(out.witnesses.size());
+  consistent.inc(out.images_consistent);
+  inconsistent.inc(out.images_inconsistent);
+  skipped.inc(out.images_skipped);
+  pruned.inc(out.stats.points_pruned);
+  dup_subsets.inc(out.stats.duplicate_subsets);
+  capped.inc(out.stats.capped_points);
+}
+
+}  // namespace
+
 RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
                            const CrashSimOptions& opts) {
+  obs::Span root_span("crashsim.root", "crash",
+                      obs::span_arg("root", root.name()));
   RootCrashSim out;
   out.root = root.name();
 
   pmem::PmPool pool(opts.pool_bytes, pmem::LatencyModel::zero());
   EventRecorder recorder(pool);
   {
+    obs::Span exec_span("crashsim.execute", "crash");
     interp::Interpreter::Options iopts;
     iopts.max_steps = opts.max_steps;
     interp::Interpreter interp(module, pool, /*runtime=*/nullptr, iopts);
@@ -27,9 +80,15 @@ RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
   }
   recorder.detach();  // recovery replay below must not extend the log
   const EventLog log = recorder.take_log();
-  if (!out.executed) return out;
+  if (!out.executed) {
+    if (obs::enabled()) publish_root_obs(out);
+    return out;
+  }
 
-  out.witnesses = analyze_log(log, opts.model);
+  {
+    obs::Span witness_span("crashsim.witness", "crash");
+    out.witnesses = analyze_log(log, opts.model);
+  }
 
   const std::unique_ptr<RecoveryOracle> oracle = make_oracle(opts.framework);
   Enumerator::Options eopts;
@@ -38,6 +97,7 @@ RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
   eopts.include_dirty = true;
   eopts.max_subset_bits = opts.max_subset_bits;
   const Enumerator enumerator(log, eopts);
+  obs::Span enum_span("crashsim.enumerate", "crash");
   out.stats = enumerator.enumerate([&](const CrashImage& image) {
     if (!oracle) {
       ++out.images_skipped;
@@ -60,6 +120,7 @@ RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
         break;
     }
   });
+  if (obs::enabled()) publish_root_obs(out);
   return out;
 }
 

@@ -4,9 +4,28 @@
 #include <cmath>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace deepmc::crash {
 
 namespace {
+
+// The log is a deterministic record of one interpreted execution, so the
+// distribution of in-flight units per crash point is stable.
+
+obs::Counter& enumerations() {
+  static obs::Counter c = obs::registry().counter(
+      "crash.enumerations_total", obs::Volatility::kStable,
+      "Enumerator::enumerate invocations");
+  return c;
+}
+
+obs::Histogram& pending_units_per_point() {
+  static obs::Histogram h = obs::registry().histogram(
+      "crash.pending_units_per_point", obs::Volatility::kStable,
+      "in-flight persistence units per crash point", {1, 2, 4, 8, 16, 32});
+  return h;
+}
 
 constexpr uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
@@ -209,6 +228,7 @@ Enumerator::Enumerator(const EventLog& log, Options opts)
     : log_(&log), opts_(opts) {}
 
 Enumerator::Stats Enumerator::enumerate(const Visitor& visit) const {
+  if (obs::enabled()) enumerations().inc();
   return opts_.granularity == Granularity::kStoreRange
              ? enumerate_store_range(visit)
              : enumerate_cacheline(visit);
@@ -246,6 +266,7 @@ Enumerator::Stats Enumerator::enumerate_store_range(
     // Reachable space at this point (counted whether or not the point is
     // pruned: pruning is exactly the work this ratio credits as saved).
     const size_t k = inflight.size();
+    if (obs::enabled()) pending_units_per_point().observe(k);
     st.subset_space +=
         std::ldexp(1.0, static_cast<int>(std::min<size_t>(k, 1000)));
 
@@ -322,6 +343,7 @@ Enumerator::Stats Enumerator::enumerate_cacheline(const Visitor& visit) const {
     // Reachable space at this point (counted whether or not the point is
     // pruned: pruning is exactly the work this ratio credits as saved).
     const size_t k = inflight.size();
+    if (obs::enabled()) pending_units_per_point().observe(k);
     st.subset_space +=
         std::ldexp(1.0, static_cast<int>(std::min<size_t>(k, 1000)));
 

@@ -4,8 +4,48 @@
 #include "frameworks/nvmdirect_mini.h"
 #include "frameworks/pmdk_mini.h"
 #include "frameworks/pmfs_mini.h"
+#include "obs/metrics.h"
 
 namespace deepmc::crash {
+
+namespace {
+
+// Replay outcomes are a pure function of the crash image, so stable.
+
+obs::Counter& replays() {
+  static obs::Counter c = obs::registry().counter(
+      "crash.recovery_replays_total", obs::Volatility::kStable,
+      "recovery-oracle classifications performed");
+  return c;
+}
+
+obs::Counter& replay_outcome(RecoveryOutcome o) {
+  static obs::Counter consistent = obs::registry().counter(
+      "crash.recovery_consistent_total", obs::Volatility::kStable,
+      "replays ending in a consistent recovered state");
+  static obs::Counter inconsistent = obs::registry().counter(
+      "crash.recovery_inconsistent_total", obs::Volatility::kStable,
+      "replays ending in an inconsistent recovered state");
+  static obs::Counter skipped = obs::registry().counter(
+      "crash.recovery_skipped_total", obs::Volatility::kStable,
+      "replays the oracle could not classify");
+  switch (o) {
+    case RecoveryOutcome::kConsistent: return consistent;
+    case RecoveryOutcome::kInconsistent: return inconsistent;
+    case RecoveryOutcome::kSkipped: break;
+  }
+  return skipped;
+}
+
+RecoveryOutcome record_outcome(RecoveryOutcome o) {
+  if (obs::enabled()) {
+    replays().inc();
+    replay_outcome(o).inc();
+  }
+  return o;
+}
+
+}  // namespace
 
 RecoveryOutcome RecoveryOracle::classify(pmem::PmPool& pool,
                                          const CrashImage& image,
@@ -15,14 +55,14 @@ RecoveryOutcome RecoveryOracle::classify(pmem::PmPool& pool,
     recover(pool);
   } catch (...) {
     // Recovery could not even parse the persisted state.
-    return RecoveryOutcome::kInconsistent;
+    return record_outcome(RecoveryOutcome::kInconsistent);
   }
-  if (!invariant) return RecoveryOutcome::kConsistent;
+  if (!invariant) return record_outcome(RecoveryOutcome::kConsistent);
   try {
-    return invariant(pool) ? RecoveryOutcome::kConsistent
-                           : RecoveryOutcome::kInconsistent;
+    return record_outcome(invariant(pool) ? RecoveryOutcome::kConsistent
+                                          : RecoveryOutcome::kInconsistent);
   } catch (...) {
-    return RecoveryOutcome::kInconsistent;
+    return record_outcome(RecoveryOutcome::kInconsistent);
   }
 }
 

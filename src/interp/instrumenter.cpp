@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace deepmc::interp {
 
 using namespace ir;
@@ -207,6 +209,13 @@ InstrumenterStats instrument_module(Module& module, const analysis::DSA& dsa,
         }
       }
     }
+  }
+  if (obs::enabled()) {
+    static obs::Counter hooks = obs::registry().counter(
+        "interp.instrumented_calls_total", obs::Volatility::kStable,
+        "runtime hook calls inserted by the instrumenter");
+    hooks.inc(stats.allocs_instrumented + stats.writes_instrumented +
+              stats.reads_instrumented);
   }
   return stats;
 }

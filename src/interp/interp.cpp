@@ -1,12 +1,61 @@
 #include "interp/interp.h"
 
 #include <cstring>
+#include <exception>
 
 #include "interp/instrumenter.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace deepmc::interp {
 
 using namespace ir;
+
+namespace {
+
+// Interpretation is deterministic (fixed step budget, no scheduling), so
+// these counters are stable across runs and --jobs values.
+
+obs::Counter& interp_runs() {
+  static obs::Counter c = obs::registry().counter(
+      "interp.runs_total", obs::Volatility::kStable,
+      "interpreter entry points executed");
+  return c;
+}
+
+obs::Counter& interp_steps() {
+  static obs::Counter c = obs::registry().counter(
+      "interp.steps_total", obs::Volatility::kStable,
+      "instructions interpreted");
+  return c;
+}
+
+obs::Counter& interp_traps() {
+  static obs::Counter c = obs::registry().counter(
+      "interp.traps_total", obs::Volatility::kStable,
+      "interpreter runs ended by a trap (InterpError)");
+  return c;
+}
+
+// Accounts interpreted steps (even when the run traps) without disturbing
+// the InterpError propagation path.
+class RunAccounting {
+ public:
+  explicit RunAccounting(const uint64_t& steps)
+      : steps_(steps), start_(steps) {}
+  ~RunAccounting() {
+    if (!obs::enabled()) return;
+    interp_runs().inc();
+    interp_steps().inc(steps_ - start_);
+    if (std::uncaught_exceptions() > 0) interp_traps().inc();
+  }
+
+ private:
+  const uint64_t& steps_;
+  uint64_t start_;
+};
+
+}  // namespace
 
 Interpreter::Interpreter(const Module& module, pmem::PmPool& pool,
                          rt::RuntimeChecker* runtime, Options opts)
@@ -76,6 +125,8 @@ uint64_t Interpreter::gep_address(const std::map<const Value*, uint64_t>& regs,
 
 std::optional<uint64_t> Interpreter::run(const Function& f,
                                          std::vector<uint64_t> args) {
+  obs::Span span("interp.run", "interp", obs::span_arg("function", f.name()));
+  RunAccounting accounting(steps_);
   return exec_function(f, args, 0);
 }
 

@@ -1,5 +1,6 @@
 #include "runtime/dynamic_checker.h"
 
+#include "obs/metrics.h"
 #include "support/str.h"
 
 namespace deepmc::rt {
@@ -218,6 +219,46 @@ void RuntimeChecker::clear_reports() {
   epoch_mismatches_.clear();
   redundant_flushes_.clear();
   barrier_violations_.clear();
+}
+
+void RuntimeChecker::publish_obs() const {
+  if (!obs::enabled()) return;
+  // Sequential interpreted runs make every count here a pure function of
+  // the executed program (kStable); this is the dynamic-checker half of
+  // Figure 12's overhead story: how many instrumented events fired and
+  // how much shadow memory they pinned.
+  static obs::Counter writes = obs::registry().counter(
+      "rt.writes_tracked_total", obs::Volatility::kStable,
+      "instrumented persistent writes observed");
+  static obs::Counter reads = obs::registry().counter(
+      "rt.reads_tracked_total", obs::Volatility::kStable,
+      "instrumented persistent reads observed");
+  static obs::Counter strands = obs::registry().counter(
+      "rt.strands_total", obs::Volatility::kStable, "strands opened");
+  static obs::Counter epochs = obs::registry().counter(
+      "rt.epochs_total", obs::Volatility::kStable, "epochs opened");
+  static obs::Counter fences = obs::registry().counter(
+      "rt.fences_total", obs::Volatility::kStable,
+      "persist barriers observed");
+  static obs::Counter shadow_words = obs::registry().counter(
+      "rt.shadow_words_total", obs::Volatility::kStable,
+      "shadow-memory words tracked at publish time");
+  static obs::Counter races_found = obs::registry().counter(
+      "rt.races_total", obs::Volatility::kStable,
+      "strand WAW/RAW races reported");
+  static obs::Counter mismatches = obs::registry().counter(
+      "rt.epoch_mismatches_total", obs::Volatility::kStable,
+      "epoch semantic mismatches reported");
+  const RuntimeStats s = stats();
+  writes.inc(s.writes_tracked);
+  reads.inc(s.reads_tracked);
+  strands.inc(s.strands_opened);
+  epochs.inc(s.epochs_opened);
+  fences.inc(s.fences);
+  shadow_words.inc(tracked_words());
+  std::lock_guard<std::mutex> lock(mu_);
+  races_found.inc(races_.size());
+  mismatches.inc(epoch_mismatches_.size());
 }
 
 }  // namespace deepmc::rt

@@ -146,6 +146,11 @@ class RuntimeChecker {
   [[nodiscard]] size_t tracked_words() const { return shadow_.tracked_words(); }
   void clear_reports();
 
+  /// Fold this checker's instrumented-event and shadow-memory counts into
+  /// the observability registry (rt.* metrics, the Figure 12 overhead
+  /// accounting). No-op with observability disabled; call after a run.
+  void publish_obs() const;
+
  private:
   /// Base offset of the registered object containing `addr` (0 if unknown).
   uint64_t object_of(uint64_t addr) const;

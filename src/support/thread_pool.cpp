@@ -1,8 +1,95 @@
 #include "support/thread_pool.h"
 
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace deepmc::support {
 
 namespace {
+
+// All pool metrics are kVolatile: how tasks distribute over workers (and
+// therefore steals, queue waits, per-worker busy time) depends on
+// scheduling, never on the analyzed inputs.
+
+obs::Counter& tasks_submitted() {
+  static obs::Counter c = obs::registry().counter(
+      "pool.tasks_submitted_total", obs::Volatility::kVolatile,
+      "tasks handed to the pool (external + nested submissions)");
+  return c;
+}
+
+obs::Counter& tasks_inline() {
+  static obs::Counter c = obs::registry().counter(
+      "pool.tasks_inline_total", obs::Volatility::kVolatile,
+      "tasks executed inline by a zero-thread (serial) pool");
+  return c;
+}
+
+obs::Counter& tasks_executed() {
+  static obs::Counter c = obs::registry().counter(
+      "pool.tasks_executed_total", obs::Volatility::kVolatile,
+      "tasks dequeued and run to completion");
+  return c;
+}
+
+obs::Counter& tasks_stolen() {
+  static obs::Counter c = obs::registry().counter(
+      "pool.tasks_stolen_total", obs::Volatility::kVolatile,
+      "tasks taken from a sibling worker's deque");
+  return c;
+}
+
+obs::Histogram& queue_wait_us() {
+  static obs::Histogram h = obs::registry().histogram(
+      "pool.queue_wait_us", obs::Volatility::kVolatile,
+      "microseconds a task spent queued before running",
+      obs::time_buckets_us());
+  return h;
+}
+
+obs::Histogram& task_run_us() {
+  static obs::Histogram h = obs::registry().histogram(
+      "pool.task_run_us", obs::Volatility::kVolatile,
+      "microseconds a task spent running", obs::time_buckets_us());
+  return h;
+}
+
+/// Busy-time counter for the calling thread, keyed by its stable label
+/// (tid 0 = main/external, workers carry their pool index).
+obs::Counter worker_busy_counter() {
+  const uint32_t tid = obs::thread_tid();
+  const std::string name =
+      tid == 0 ? "pool.worker_busy_us.main"
+               : "pool.worker_busy_us.worker-" + std::to_string(tid - 1);
+  return obs::registry().counter(
+      name, obs::Volatility::kVolatile,
+      "microseconds this thread spent running pool tasks");
+}
+
+/// Wrap a task so its queue wait, run time and span are recorded. Only
+/// installed when observability is enabled at submission time.
+std::function<void()> instrument_task(std::function<void()> task) {
+  const auto enqueued = std::chrono::steady_clock::now();
+  return [task = std::move(task), enqueued] {
+    const auto started = std::chrono::steady_clock::now();
+    const double wait_us =
+        std::chrono::duration<double, std::micro>(started - enqueued).count();
+    queue_wait_us().observe(static_cast<uint64_t>(wait_us));
+    tasks_executed().inc();
+    {
+      obs::Span span("pool.task", "pool",
+                     obs::span_arg_num("wait_us", wait_us));
+      task();
+    }
+    const double run_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+    task_run_us().observe(static_cast<uint64_t>(run_us));
+    worker_busy_counter().inc(static_cast<uint64_t>(run_us));
+  };
+}
 
 /// Identifies the pool (and worker slot) the current thread belongs to, so
 /// submit() can route nested tasks to the local deque.
@@ -22,6 +109,10 @@ size_t ThreadPool::default_concurrency() {
 }
 
 ThreadPool::ThreadPool(size_t threads) {
+  static obs::Gauge workers_gauge = obs::registry().gauge(
+      "pool.workers", obs::Volatility::kVolatile,
+      "worker threads in the most recently created pool (0 = inline)");
+  workers_gauge.set(threads);
   queues_.reserve(threads);
   for (size_t i = 0; i < threads; ++i)
     queues_.push_back(std::make_unique<Queue>());
@@ -56,7 +147,12 @@ bool ThreadPool::pop_front(Queue& q, std::function<void()>& out) {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  if (obs::enabled()) {
+    tasks_submitted().inc();
+    task = instrument_task(std::move(task));
+  }
   if (workers_.empty()) {
+    if (obs::enabled()) tasks_inline().inc();
     task();  // inline (serial) pool
     return;
   }
@@ -94,6 +190,7 @@ bool ThreadPool::pop_task(std::function<void()>& out, size_t self) {
     if (victim == self) continue;
     if (pop_front(*queues_[victim], out)) {
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (obs::enabled()) tasks_stolen().inc();
       return true;
     }
   }
@@ -111,6 +208,10 @@ bool ThreadPool::try_run_one() {
 void ThreadPool::worker_loop(size_t index) {
   tls.pool = this;
   tls.index = index;
+  // Stable worker identity for spans, per-worker metrics and TSan/trace
+  // attribution: worker i is obs tid i+1 (tid 0 = the main thread).
+  obs::set_thread_label(static_cast<uint32_t>(index) + 1,
+                        "worker-" + std::to_string(index));
   std::function<void()> task;
   for (;;) {
     if (pop_task(task, index)) {

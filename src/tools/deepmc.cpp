@@ -26,6 +26,13 @@
 //   --list-corpus                list built-in corpus modules
 //   --field-insensitive          disable DSA field sensitivity (ablation)
 //
+// Observability (pure side channels; the report on stdout is byte-identical
+// with these on or off, at any --jobs):
+//   --stats                      print a metrics summary table to stderr
+//   --metrics-out FILE           write metrics JSON (deepmc-metrics-v1)
+//   --prom-out FILE              write Prometheus text exposition
+//   --trace-out FILE             write a Chrome trace_event JSON span trace
+//
 // Exit codes:
 //   0       clean (no warnings)
 //   1..63   number of warnings (capped at 63)
@@ -33,6 +40,7 @@
 //   65      input error (unreadable file, parse/verify failure, unknown
 //           corpus module)
 // Warning counts and error exits no longer overlap: 64/65 are reserved.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -43,6 +51,9 @@
 
 #include "core/analysis_driver.h"
 #include "corpus/corpus.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "support/thread_pool.h"
 
 using namespace deepmc;
 
@@ -60,7 +71,26 @@ void usage() {
                "              [--suggest] [--suppressions FILE] "
                "[--field-insensitive]\n"
                "              [--jobs N] [--format text|json]\n"
+               "              [--stats] [--metrics-out FILE] "
+               "[--prom-out FILE]\n"
+               "              [--trace-out FILE]\n"
                "              [--corpus NAME] [--list-corpus] file.mir...\n");
+}
+
+/// Accepts `--flag FILE` and `--flag=FILE`; fills `out` and returns true
+/// when `arg` is this flag (a missing operand leaves `out` empty).
+bool file_flag(const std::string& flag, const std::string& arg, int argc,
+               char** argv, int& i, std::string* out) {
+  if (arg == flag) {
+    if (++i < argc) *out = argv[i];
+    return true;
+  }
+  if (arg.size() > flag.size() + 1 && arg.compare(0, flag.size(), flag) == 0 &&
+      arg[flag.size()] == '=') {
+    *out = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
 }
 
 /// Corpus units force the framework's persistency model, like the serial
@@ -85,11 +115,30 @@ int main(int argc, char** argv) {
   core::ReportFormat format = core::ReportFormat::kText;
   std::vector<std::string> files;
   std::vector<std::string> corpus_modules;
+  bool stats = false;
+  std::string metrics_out, prom_out, trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (auto m = core::parse_model_flag(arg)) {
       opts.model = *m;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (file_flag("--metrics-out", arg, argc, argv, i, &metrics_out)) {
+      if (metrics_out.empty()) {
+        usage();
+        return kExitUsage;
+      }
+    } else if (file_flag("--prom-out", arg, argc, argv, i, &prom_out)) {
+      if (prom_out.empty()) {
+        usage();
+        return kExitUsage;
+      }
+    } else if (file_flag("--trace-out", arg, argc, argv, i, &trace_out)) {
+      if (trace_out.empty()) {
+        usage();
+        return kExitUsage;
+      }
     } else if (arg == "--dynamic") {
       opts.dynamic_run = true;
     } else if (arg == "--crashsim") {
@@ -176,6 +225,18 @@ int main(int argc, char** argv) {
   for (const std::string& file : files)
     units.push_back(core::make_file_unit(file));
 
+  // Any observability sink turns recording on; the report is unaffected
+  // either way (asserted by tests/obs_test.cpp and scripts/check.sh).
+  const bool obs_on =
+      stats || !metrics_out.empty() || !prom_out.empty() || !trace_out.empty();
+  if (obs_on) obs::set_enabled(true);
+  if (!trace_out.empty()) obs::tracer().start();
+  const size_t jobs = opts.jobs == 0
+                          ? support::ThreadPool::default_concurrency()
+                          : opts.jobs;
+  const size_t pool_workers = jobs <= 1 ? 0 : jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+
   core::AnalysisDriver driver(std::move(opts));
   core::Report report = driver.run(units);
 
@@ -184,6 +245,42 @@ int main(int argc, char** argv) {
   else
     report.print_text(std::cout);
   std::cout.flush();
+
+  if (obs_on) {
+    // The driver's pool has been joined; every worker shard is retired, so
+    // the snapshot is complete and deterministic.
+    obs::Snapshot snap = obs::registry().snapshot();
+    snap.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    if (!metrics_out.empty()) {
+      std::ofstream f(metrics_out, std::ios::binary);
+      f << snap.to_json();
+      if (!f.flush()) {
+        std::fprintf(stderr, "deepmc: cannot write %s\n", metrics_out.c_str());
+        return kExitError;
+      }
+    }
+    if (!prom_out.empty()) {
+      std::ofstream f(prom_out, std::ios::binary);
+      snap.to_prometheus(f);
+      if (!f.flush()) {
+        std::fprintf(stderr, "deepmc: cannot write %s\n", prom_out.c_str());
+        return kExitError;
+      }
+    }
+    if (!trace_out.empty() && !obs::tracer().write_file(trace_out)) {
+      std::fprintf(stderr, "deepmc: cannot write %s\n", trace_out.c_str());
+      return kExitError;
+    }
+    if (stats) {
+      char header[128];
+      std::snprintf(header, sizeof header, "jobs=%zu, pool=%zu worker(s), "
+                    "units=%zu",
+                    jobs, pool_workers, units.size());
+      snap.print_stats(std::cerr, header);
+    }
+  }
 
   for (const core::UnitReport& u : report.units())
     if (u.failed)
