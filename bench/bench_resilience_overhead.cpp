@@ -1,0 +1,137 @@
+// Resilience-layer overhead: full-corpus analysis (crashsim included)
+// with no budgets configured vs every budget armed at a limit far above
+// what the sweep uses, so the guarded run pays the full bookkeeping cost
+// (Budget::charge on every trace/DSA/interp step, amortized cancel
+// polls, deadline checks) without ever tripping. Fault-point gates are
+// compiled in on both sides and stay disarmed; their inactive cost — a
+// relaxed atomic load per site — is part of both measurements.
+//
+// The resilience layer is designed to be invisible when nothing trips:
+// the charge hot path is one add plus a masked compare, and the poll
+// slow path runs every 4096 charges. Min-of-N timing on both sides
+// filters scheduler noise; the run fails (exit 1) when the measured
+// overhead exceeds --max-overhead (default 2%).
+//
+//   bench_resilience_overhead [--repeats N] [--max-overhead PCT]
+//                             [--json out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/analysis_driver.h"
+#include "corpus/corpus.h"
+
+using namespace deepmc;
+
+namespace {
+
+std::vector<core::AnalysisUnit> corpus_units() {
+  std::vector<core::AnalysisUnit> units;
+  for (const std::string& name : corpus::module_names()) {
+    core::AnalysisUnit u;
+    u.name = name;
+    u.build = [name] {
+      corpus::CorpusModule cm = corpus::build_module(name);
+      core::BuiltUnit b;
+      b.module = std::move(cm.module);
+      b.model = corpus::framework_model(cm.framework);
+      return b;
+    };
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
+double run_once(bool budgets_on) {
+  core::DriverOptions opts;
+  opts.crashsim = true;
+  if (budgets_on) {
+    // Far above anything the corpus sweep reaches: every charge runs,
+    // nothing ever trips, and no rung beyond "full" is attempted.
+    opts.budgets.trace_steps = 1ull << 40;
+    opts.budgets.dsa_steps = 1ull << 40;
+    opts.budgets.enum_images = 1ull << 40;
+    opts.budgets.interp_steps = 1ull << 40;
+    opts.budgets.wall_ms = 1ull << 30;
+  }
+  const std::vector<core::AnalysisUnit> units = corpus_units();
+  const auto t0 = std::chrono::steady_clock::now();
+  core::AnalysisDriver driver(std::move(opts));
+  core::Report report = driver.run(units);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (report.any_failed() || report.any_degraded()) {
+    std::fprintf(stderr,
+                 "bench_resilience_overhead: a corpus unit %s — the "
+                 "generous budgets are not generous enough\n",
+                 report.any_failed() ? "failed" : "degraded");
+    std::exit(1);
+  }
+  return s;
+}
+
+double min_of(size_t repeats, bool budgets_on) {
+  double best = 0;
+  for (size_t i = 0; i < repeats; ++i) {
+    const double s = run_once(budgets_on);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t repeats = 7;
+  double max_overhead_pct = 2.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0)
+      repeats = std::strtoull(argv[i + 1], nullptr, 10);
+    if (std::strcmp(argv[i], "--max-overhead") == 0)
+      max_overhead_pct = std::strtod(argv[i + 1], nullptr);
+  }
+  const std::string json_path = bench::json_out_path(argc, argv);
+
+  bench::print_system_config(
+      "bench_resilience_overhead: budget + cancellation bookkeeping cost");
+
+  run_once(false);  // warmup: page in the corpus builders and the pool
+
+  const double t_off = min_of(repeats, /*budgets_on=*/false);
+  const double t_on = min_of(repeats, /*budgets_on=*/true);
+  const double overhead_pct =
+      t_off > 0 ? 100.0 * (t_on - t_off) / t_off : 0.0;
+
+  bench::Table table({"configuration", "min time (s)"});
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", t_off);
+  table.add_row({"budgets off", buf});
+  std::snprintf(buf, sizeof buf, "%.4f", t_on);
+  table.add_row({"all budgets armed (never trip)", buf});
+  table.print();
+  std::printf("overhead: %.2f%% (budget %.1f%%, min of %zu runs each)\n",
+              overhead_pct, max_overhead_pct, repeats);
+
+  bench::JsonResult json("bench_resilience_overhead");
+  json.add("t_off_s", t_off);
+  json.add("t_on_s", t_on);
+  json.add("overhead_pct", overhead_pct);
+  json.add("max_overhead_pct", max_overhead_pct);
+  json.add("repeats", static_cast<uint64_t>(repeats));
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr,
+                 "bench_resilience_overhead: overhead %.2f%% exceeds the "
+                 "%.1f%% budget\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

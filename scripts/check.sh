@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verification wrapper (the ROADMAP's verify line), plus an opt-in
-# ThreadSanitizer pass over the concurrency-sensitive tests and an
-# observability-identity pass asserting the report byte-identity contract.
+# Tier-1 verification wrapper (the ROADMAP's verify line), plus opt-in
+# sanitizer passes and the contract checks that must hold release to
+# release: report byte-identity under observability, and the resilience
+# ladder (budgets, fault injection, degraded-mode reporting).
 #
-#   scripts/check.sh            configure + build + full ctest + obs identity
-#   scripts/check.sh --tsan     TSan build (-DDEEPMC_TSAN=ON) of the
-#                               thread-pool / parallel-driver tests only
-#   scripts/check.sh --obs      observability identity pass only: every
-#                               corpus module's report must be byte-identical
-#                               with --stats/--metrics-out/--trace-out on vs
-#                               off, at --jobs 1 and --jobs 8, and the stable
-#                               metrics section identical across jobs
-#   scripts/check.sh --all      all of the above
+#   scripts/check.sh              configure + build + full ctest + obs
+#                                 identity + resilience ladder
+#   scripts/check.sh --tsan       TSan build (-DDEEPMC_TSAN=ON) of the
+#                                 thread-pool / parallel-driver tests only
+#   scripts/check.sh --san        ASan+UBSan build (-DDEEPMC_ASAN=ON): parser
+#                                 fuzz + resilience tests, then the deepmc
+#                                 binary over the hostile parser corpus and
+#                                 the example programs
+#   scripts/check.sh --obs        observability identity pass only: every
+#                                 corpus module's report must be byte-identical
+#                                 with --stats/--metrics-out/--trace-out on vs
+#                                 off, at --jobs 1 and --jobs 8, and the stable
+#                                 metrics section identical across jobs
+#   scripts/check.sh --resilience resilience pass only: budget exhaustion must
+#                                 degrade (exit 66) with a valid v3 report,
+#                                 every registered fault point must fail its
+#                                 unit (exit 65), and unaffected units must be
+#                                 byte-identical (modulo elapsed_ms) at any
+#                                 --jobs
+#   scripts/check.sh --all        all of the above
 #
 # Regenerating golden files after an intentional output change:
 #   UPDATE_GOLDEN=1 ctest --test-dir build -R Golden
@@ -37,6 +49,40 @@ run_tsan() {
     -R 'ThreadPool|Driver|Crashsim|ObsRegistry'
 }
 
+run_san() {
+  cmake -B build-asan -S . -DDEEPMC_ASAN=ON
+  cmake --build build-asan -j "$jobs" \
+    --target fuzz_parser_test resilience_test ir_test deepmc
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -R 'FuzzParser|Resilience|Parser'
+
+  # The binary itself over hostile and healthy inputs. Sanitizer aborts
+  # exit with 99 so they can't be mistaken for deepmc's own exit codes
+  # (0..63 warnings, 64 usage, 65 failed unit, 66 degraded).
+  local bin=build-asan/src/tools/deepmc rc f
+  export ASAN_OPTIONS="exitcode=99${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
+  export UBSAN_OPTIONS="halt_on_error=1:exitcode=99${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
+  echo "== san: deepmc over the parser fuzz corpus =="
+  for f in tests/fuzz/*.mir; do
+    rc=0
+    "$bin" --keep-going "$f" >/dev/null 2>&1 || rc=$?
+    if [[ "$rc" -ge 67 ]]; then
+      echo "san: deepmc died under sanitizers ($rc) on $f" >&2
+      return 1
+    fi
+  done
+  echo "== san: deepmc over the example programs =="
+  for f in examples/mir/*.mir; do
+    rc=0
+    "$bin" --dynamic --crashsim "$f" >/dev/null 2>&1 || rc=$?
+    if [[ "$rc" -ge 64 ]]; then
+      echo "san: deepmc failed ($rc) on $f" >&2
+      return 1
+    fi
+  done
+  echo "san: OK"
+}
+
 run_obs_identity() {
   cmake -B build -S .
   cmake --build build -j "$jobs" --target deepmc
@@ -45,12 +91,14 @@ run_obs_identity() {
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' RETURN
 
-  # deepmc exits with the warning count (0..63); only >=64 is an error.
+  # deepmc exits with the warning count (0..63); 66 means degraded-but-
+  # reported, which still produces a complete report. Only 64/65 (usage,
+  # failed unit) or anything above 66 is a hard failure here.
   run_deepmc() {
     local out="$1"; shift
     "$bin" "$@" > "$out" 2>/dev/null || {
       local rc=$?
-      if [[ "$rc" -ge 64 ]]; then
+      if [[ "$rc" -ge 64 && "$rc" -ne 66 ]]; then
         echo "obs-identity: deepmc failed ($rc): $*" >&2
         return 1
       fi
@@ -85,10 +133,102 @@ run_obs_identity() {
   echo "obs-identity: OK"
 }
 
+run_resilience() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target deepmc
+  local bin=build/src/tools/deepmc
+  local tmp rc
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+
+  echo "== resilience: budget exhaustion degrades instead of hanging =="
+  rc=0
+  "$bin" --corpus pmdk/btree_map --budget-trace-steps 5 --format json \
+    > "$tmp/degraded.json" 2>/dev/null || rc=$?
+  if [[ "$rc" -ne 66 ]]; then
+    echo "resilience: expected exit 66 for a trace-budget trip, got $rc" >&2
+    return 1
+  fi
+  if ! grep -q '"deepmc-report-v3"' "$tmp/degraded.json" ||
+     ! grep -q '"status": "degraded"' "$tmp/degraded.json"; then
+    echo "resilience: degraded run did not produce a v3 degraded report" >&2
+    return 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$tmp/degraded.json" || {
+      echo "resilience: degraded report is not valid JSON" >&2
+      return 1
+    }
+  fi
+
+  echo "== resilience: every registered fault point fails its unit =="
+  local point
+  while IFS= read -r point; do
+    rc=0
+    "$bin" --dynamic --crashsim --format json --inject-fault "$point:1" \
+      examples/mir/crash_enum.mir > "$tmp/fault_$point.out" 2>/dev/null || rc=$?
+    if [[ "$rc" -ne 65 ]]; then
+      echo "resilience: --inject-fault $point:1 exited $rc, want 65" >&2
+      return 1
+    fi
+    if ! grep -q "fault-injected:$point" "$tmp/fault_$point.out"; then
+      echo "resilience: report for $point does not name the tripped point" >&2
+      return 1
+    fi
+  done < <("$bin" --list-fault-points)
+
+  echo "== resilience: unaffected units byte-identical under injection =="
+  # parser.read only fires for file units; the corpus unit in the same
+  # run must come out byte-identical (modulo the documented elapsed_ms
+  # timing fields) at every --jobs level.
+  local n
+  for n in 1 4; do
+    run_pair() {
+      local out="$1"; shift
+      rc=0
+      "$bin" --keep-going --format json --jobs "$n" "$@" \
+        --corpus pmdk/btree_map examples/mir/unflushed_write.mir \
+        > "$tmp/raw" 2>/dev/null || rc=$?
+      grep -v '"elapsed_ms"' "$tmp/raw" > "$out"
+    }
+    run_pair "$tmp/clean_j$n"
+    if [[ "$rc" -ge 64 ]]; then
+      echo "resilience: clean identity run failed ($rc)" >&2
+      return 1
+    fi
+    run_pair "$tmp/faulted_j$n" --inject-fault parser.read:1
+    if [[ "$rc" -ne 65 ]]; then
+      echo "resilience: faulted identity run exited $rc, want 65" >&2
+      return 1
+    fi
+    # The corpus unit's block must be unchanged: compare from its entry
+    # (the corpus unit comes first in input order) up to the file unit's.
+    awk '/"pmdk\/btree_map"/{p=1} /unflushed_write/{exit} p' \
+      "$tmp/clean_j$n" > "$tmp/c_$n"
+    awk '/"pmdk\/btree_map"/{p=1} /unflushed_write/{exit} p' \
+      "$tmp/faulted_j$n" > "$tmp/f_$n"
+    if [[ ! -s "$tmp/c_$n" ]]; then
+      echo "resilience: could not locate the corpus unit's report block" >&2
+      return 1
+    fi
+    if ! cmp -s "$tmp/c_$n" "$tmp/f_$n"; then
+      echo "resilience: unaffected unit changed under injection at" \
+           "--jobs $n" >&2
+      diff "$tmp/c_$n" "$tmp/f_$n" >&2 || true
+      return 1
+    fi
+  done
+  echo "resilience: OK"
+}
+
 case "${1:-}" in
   --tsan) run_tsan ;;
+  --san)  run_san ;;
   --obs)  run_obs_identity ;;
-  --all)  run_tier1; run_tsan; run_obs_identity ;;
-  "")     run_tier1; run_obs_identity ;;
-  *) echo "usage: scripts/check.sh [--tsan|--obs|--all]" >&2; exit 64 ;;
+  --resilience) run_resilience ;;
+  --all)  run_tier1; run_tsan; run_san; run_obs_identity; run_resilience ;;
+  "")     run_tier1; run_obs_identity; run_resilience ;;
+  *) echo "usage: scripts/check.sh [--tsan|--san|--obs|--resilience|--all]" >&2
+     exit 64 ;;
 esac

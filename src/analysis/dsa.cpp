@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "support/faultpoint.h"
 
 namespace deepmc::analysis {
 
@@ -60,6 +61,7 @@ DSA::~DSA() = default;
 
 DSNode* DSA::make_node(std::string name, const Type* type, uint32_t flags,
                        SourceLoc loc) {
+  DEEPMC_FAULTPOINT("dsa.node-alloc");
   auto n = std::make_unique<DSNode>();
   n->name_ = std::move(name);
   n->type_ = type;
@@ -196,6 +198,7 @@ DSCell DSA::cell_for_impl(const Value* v) {
 void DSA::local_phase(const Function& f) {
   for (const auto& bb : f.blocks()) {
     for (const auto& ip : bb->instructions()) {
+      if (opts_.step_budget != nullptr) opts_.step_budget->charge();
       Instruction* inst = ip.get();
       switch (inst->opcode()) {
         case Opcode::kAlloca: {
@@ -347,6 +350,7 @@ void DSA::local_phase(const Function& f) {
 }
 
 void DSA::process_call(const CallInst* call) {
+  if (opts_.step_budget != nullptr) opts_.step_budget->charge();
   const Function* callee = module_.find_function(call->callee());
   if (!callee || callee->is_declaration()) return;
   const size_t n = std::min(callee->arg_count(), call->args().size());
@@ -398,6 +402,9 @@ void DSA::run() {
     if (!f->is_declaration()) local_phase(*f);
   bottom_up_phase();
   top_down_phase();
+  // The caller's meter only covers the build; drop it so the read-only
+  // query API never touches a dangling pointer.
+  opts_.step_budget = nullptr;
   if (obs::enabled()) {
     dsa_builds().inc();
     dsa_nodes_created().inc(nodes().size());

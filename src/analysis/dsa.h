@@ -35,6 +35,7 @@
 
 #include "analysis/callgraph.h"
 #include "ir/module.h"
+#include "support/budget.h"
 
 namespace deepmc::analysis {
 
@@ -133,6 +134,12 @@ class DSA {
  public:
   struct Options {
     bool field_sensitive = true;  ///< ablation knob (DESIGN.md §5)
+    /// Optional per-unit step meter (owned by the caller, must outlive
+    /// run()). Charged once per Local-phase instruction and once per
+    /// Bottom-Up call processed; run() then throws support::BudgetExceeded
+    /// / support::CancelledError. DSA runs serially per unit, so one
+    /// budget per DSA stays deterministic.
+    support::Budget* step_budget = nullptr;
   };
 
   explicit DSA(const ir::Module& module) : DSA(module, Options{}) {}

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "support/faultpoint.h"
 
 namespace deepmc::analysis {
 
@@ -70,13 +71,17 @@ struct TraceCollector::Walker {
   const ir::Module& module;
   const DSA& dsa;
   const TraceOptions& opts;
+  // Shared with spliced sub-walkers so callee exploration draws from the
+  // same per-invocation meter; null when the caller sets no budget.
+  support::Budget* budget;
   std::vector<std::vector<TraceEvent>> out;
   std::vector<TraceEvent> events;
   // Per-path block visit counts (loop bound) — indexed by block pointer.
   std::map<const BasicBlock*, int> visits;
 
-  Walker(const ir::Module& m, const DSA& d, const TraceOptions& o)
-      : module(m), dsa(d), opts(o) {}
+  Walker(const ir::Module& m, const DSA& d, const TraceOptions& o,
+         support::Budget* b)
+      : module(m), dsa(d), opts(o), budget(b) {}
 
   [[nodiscard]] bool budget_left() const { return out.size() < opts.max_paths; }
 
@@ -105,6 +110,8 @@ struct TraceCollector::Walker {
     if (!budget_left()) return;
     const auto& insts = bb->instructions();
     for (size_t i = idx; i < insts.size(); ++i) {
+      DEEPMC_FAULTPOINT("trace.step");
+      if (budget != nullptr) budget->charge();
       const Instruction* inst = insts[i].get();
       switch (inst->opcode()) {
         case Opcode::kStore: {
@@ -180,7 +187,7 @@ struct TraceCollector::Walker {
               depth < opts.max_recursion) {
             // Splice each callee variant, then continue with the rest of
             // this block after each.
-            Walker sub(module, dsa, opts);
+            Walker sub(module, dsa, opts, budget);
             sub.walk_function(*callee, depth + 1);
             size_t variants = 0;
             const size_t checkpoint = events.size();
@@ -236,10 +243,11 @@ TraceCollector::TraceCollector(const ir::Module& module, const DSA& dsa,
                                TraceOptions opts)
     : module_(module), dsa_(dsa), opts_(opts) {}
 
-std::vector<Trace> TraceCollector::collect(const Function& f) const {
+std::vector<Trace> TraceCollector::collect(const Function& f,
+                                           support::Budget* budget) const {
   obs::Span span("trace.collect", "analysis",
                  obs::span_arg("root", f.name()));
-  Walker w(module_, dsa_, opts_);
+  Walker w(module_, dsa_, opts_, budget);
   w.walk_function(f, 0);
   std::vector<Trace> traces;
   traces.reserve(w.out.size());

@@ -20,6 +20,7 @@
 
 #include "analysis/dsa.h"
 #include "ir/module.h"
+#include "support/budget.h"
 
 namespace deepmc::analysis {
 
@@ -73,8 +74,13 @@ class TraceCollector {
   TraceCollector(const ir::Module& module, const DSA& dsa,
                  TraceOptions opts = {});
 
-  /// All bounded traces rooted at `f`.
-  [[nodiscard]] std::vector<Trace> collect(const ir::Function& f) const;
+  /// All bounded traces rooted at `f`. When `budget` is non-null, every
+  /// instruction step charges one unit against it; the budget must be
+  /// private to this invocation (see support/budget.h) so trip points
+  /// stay deterministic. Throws support::BudgetExceeded /
+  /// support::CancelledError out of the walk.
+  [[nodiscard]] std::vector<Trace> collect(
+      const ir::Function& f, support::Budget* budget = nullptr) const;
 
   /// Traces for every defined function in the module, keyed by function.
   [[nodiscard]] std::map<const ir::Function*, std::vector<Trace>>

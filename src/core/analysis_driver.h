@@ -19,6 +19,15 @@
 // A unit that fails to build (unreadable file, parse or verify error)
 // does not abort the batch: it is recorded as failed and the remaining
 // units still run.
+//
+// Resilience (deepmc-report-v3): every stage is budgeted and cancellable
+// (support/budget.h). When a unit exhausts a step budget the driver walks
+// a degradation ladder — full bounds, tightened bounds, static-only —
+// and classifies the unit ok/degraded/failed with a machine-readable
+// reason; degradation is a pure function of the inputs (per-root budgets,
+// no shared counters), so reports stay byte-identical at any --jobs. The
+// wall-clock watchdog is the one exception: it only fires a CancelToken,
+// and what it interrupts depends on the machine.
 #pragma once
 
 #include <functional>
@@ -34,6 +43,7 @@
 
 namespace deepmc::support {
 class ThreadPool;
+class FaultScope;
 }
 namespace deepmc::ir {
 class Module;
@@ -45,10 +55,15 @@ enum class ReportFormat : uint8_t { kText, kJson };
 
 /// What a unit's build step produced: the module plus an optional
 /// persistency model override (corpus units force their framework's
-/// model, exactly like the old CLI did).
+/// model, exactly like the old CLI did). Expected input problems — an
+/// unreadable file, a parse error — are returned structurally (`module`
+/// null, `error`/`error_reason` set) instead of thrown, so a bad input
+/// is per-unit data, not exception control flow through the driver.
 struct BuiltUnit {
   std::unique_ptr<ir::Module> module;
   std::optional<PersistencyModel> model;
+  std::string error;         ///< why the build produced no module
+  std::string error_reason;  ///< machine-readable: "input-error", "parse-error"
 };
 
 /// One independent analysis input. `build` runs on a worker thread and
@@ -67,6 +82,23 @@ AnalysisUnit make_source_unit(std::string name, std::string source,
 AnalysisUnit make_file_unit(std::string path,
                             std::optional<PersistencyModel> model = {});
 
+/// Resilience budgets (0 = unlimited). Step budgets are deterministic:
+/// each meter is private to one root / one unit-serial stage, so the trip
+/// point is a pure function of the input. `wall_ms` is the watchdog and
+/// inherently machine-dependent; it cancels cooperatively and degrades
+/// the unit like a step budget, but identity across runs is not promised.
+struct BudgetOptions {
+  uint64_t trace_steps = 0;   ///< per trace root (collection walk steps)
+  uint64_t dsa_steps = 0;     ///< per unit (DSA build, serial)
+  uint64_t enum_images = 0;   ///< per crashsim root (materialised subsets)
+  uint64_t interp_steps = 0;  ///< per executed root / dynamic run
+  uint64_t wall_ms = 0;       ///< per unit attempt, wall clock
+
+  [[nodiscard]] bool any() const {
+    return trace_steps || dsa_steps || enum_images || interp_steps || wall_ms;
+  }
+};
+
 struct DriverOptions {
   PersistencyModel model = PersistencyModel::kStrict;
   StaticChecker::Options checker;  ///< field sensitivity + trace bounds
@@ -80,7 +112,32 @@ struct DriverOptions {
   /// Analysis threads. 0 = hardware concurrency; 1 = serial in the calling
   /// thread (no pool threads at all).
   size_t jobs = 0;
+  BudgetOptions budgets;
+  /// false = fail fast: after the first failed unit (in input order), the
+  /// remaining units are reported as not run instead of analyzed. true
+  /// (default) keeps the long-standing keep-going behavior.
+  bool keep_going = true;
+  size_t max_subset_bits = 10;  ///< crashsim subset cap at the full rung
 };
+
+/// One rung of the degradation ladder: the bounds and stages a retry
+/// uses. Exposed so tests can assert the ladder tightens monotonically.
+struct LadderRung {
+  std::string name;               ///< "full", "tightened", "static-only"
+  analysis::TraceOptions trace;
+  size_t max_subset_bits = 10;
+  bool run_crashsim = false;
+  bool run_dynamic = false;
+  /// Final-rung behavior: a per-root trace-budget trip yields an empty
+  /// result for that root (recorded in DegradedInfo) instead of failing
+  /// the attempt — partial static warnings beat no report.
+  bool tolerate_root_budget = false;
+};
+
+/// The ladder the driver walks for `opts`: rung 0 is the requested
+/// configuration; later rungs tighten every bound monotonically and
+/// finally drop crashsim/dynamic.
+std::vector<LadderRung> degradation_ladder(const DriverOptions& opts);
 
 /// A dynamic-checker finding, normalized for reporting ("rt.*" rules).
 struct DynamicFinding {
@@ -135,6 +192,21 @@ struct UnitStats {
   double elapsed_ms = 0;  ///< wall clock for this unit (nondeterministic)
 };
 
+/// Unit classification under the resilience layer. kOk: analyzed at the
+/// requested bounds. kDegraded: a budget tripped and a tightened rung
+/// produced (possibly partial) results. kFailed: no analysis result.
+enum class UnitStatus : uint8_t { kOk, kDegraded, kFailed };
+
+const char* unit_status_name(UnitStatus s);
+
+/// Why and how a unit was degraded (UnitStatus::kDegraded only).
+struct DegradedInfo {
+  std::string rung;    ///< ladder rung that produced the result
+  std::string reason;  ///< machine-readable, e.g. "budget-exhausted:trace.steps"
+  std::vector<std::string> skipped_stages;          ///< "crashsim", "dynamic"
+  std::vector<std::string> roots_budget_exhausted;  ///< roots with no results
+};
+
 struct UnitReport {
   std::string name;
   PersistencyModel model = PersistencyModel::kStrict;
@@ -144,8 +216,12 @@ struct UnitReport {
   size_t suppressed = 0;
   std::string text;  ///< fully rendered text block for this unit
   UnitStats stats;
-  bool failed = false;
-  std::string error;  ///< build/verify failure message
+  UnitStatus status = UnitStatus::kOk;
+  DegradedInfo degraded;   ///< meaningful when status == kDegraded
+  bool failed = false;     ///< kept in sync with status (v2 compatibility)
+  std::string error;       ///< build/verify failure message
+  std::string fail_reason; ///< machine-readable, e.g. "input-error",
+                           ///< "parse-error", "fault-injected:<point>"
 
   [[nodiscard]] size_t warning_count() const {
     return result.count() + dynamic.size();
@@ -161,6 +237,7 @@ class Report {
   }
   [[nodiscard]] size_t total_warnings() const;
   [[nodiscard]] bool any_failed() const;
+  [[nodiscard]] bool any_degraded() const;
 
   /// Concatenated unit text blocks — byte-identical to what a serial
   /// deepmc run prints. Failed units contribute nothing here (their error
@@ -168,7 +245,7 @@ class Report {
   void print_text(std::ostream& os) const;
   [[nodiscard]] std::string text() const;
 
-  /// Machine-readable report ("deepmc-report-v2"). `include_timing`
+  /// Machine-readable report ("deepmc-report-v3"). `include_timing`
   /// controls the per-unit elapsed_ms field, the only nondeterministic
   /// value in the schema; tests switch it off to compare runs bytewise.
   void print_json(std::ostream& os, bool include_timing = true) const;
@@ -192,6 +269,13 @@ class AnalysisDriver {
  private:
   UnitReport analyze_unit(const AnalysisUnit& unit,
                           support::ThreadPool& pool) const;
+  /// One ladder-rung attempt. Fills `out` on success; throws the
+  /// classified resilience signal (BudgetExceeded, FaultInjected,
+  /// CancelledError) or the build/verify error otherwise.
+  void run_attempt(const AnalysisUnit& unit, support::ThreadPool& pool,
+                   const LadderRung& rung, support::FaultScope& faults,
+                   const support::CancelToken& cancel, UnitReport& out,
+                   std::vector<std::string>* roots_exhausted) const;
 
   DriverOptions opts_;
 };

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "support/faultpoint.h"
 #include "support/str.h"
 
 namespace deepmc::core {
@@ -532,6 +533,11 @@ void StaticChecker::ensure_analysis() {
   if (obs::enabled()) checker_prepares().inc();
   DSA::Options dopts;
   dopts.field_sensitive = opts_.field_sensitive;
+  // DSA runs serially inside this call, so one budget for the whole build
+  // is deterministic; the pointer is dropped by DSA::run() on return.
+  support::Budget dsa_budget("dsa.steps", opts_.dsa_step_budget);
+  dsa_budget.set_cancel(opts_.cancel);
+  dopts.step_budget = &dsa_budget;
   dsa_ = std::make_unique<DSA>(module_, dopts);
   dsa_->run();
   collector_ = std::make_unique<TraceCollector>(module_, *dsa_, opts_.trace);
@@ -559,8 +565,15 @@ std::vector<const Function*> StaticChecker::trace_roots() const {
   return roots;
 }
 
+support::Budget StaticChecker::make_root_budget() const {
+  support::Budget b("trace.steps", opts_.trace_step_budget);
+  b.set_cancel(opts_.cancel);
+  return b;
+}
+
 CheckResult StaticChecker::check_root(const Function& f) const {
   obs::Span span("root.check", "checker", obs::span_arg("root", f.name()));
+  DEEPMC_FAULTPOINT("checker.root");
   if (obs::enabled()) checker_roots().inc();
   CheckResult result;
   check_traces(f, result);
@@ -568,7 +581,11 @@ CheckResult StaticChecker::check_root(const Function& f) const {
 }
 
 void StaticChecker::check_traces(const Function& f, CheckResult& result) const {
-  auto traces = collector_->collect(f);
+  // One fresh meter per root: the trip point is a function of this root's
+  // walk alone, never of sibling roots or scheduling.
+  support::Budget budget = make_root_budget();
+  budget.check_cancel();
+  auto traces = collector_->collect(f, &budget);
   if (obs::enabled()) checker_traces_scanned().inc(traces.size());
   result.traces_checked += traces.size();
   ++result.functions_checked;

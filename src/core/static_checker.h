@@ -42,6 +42,7 @@
 #include "analysis/dsa.h"
 #include "analysis/trace.h"
 #include "core/report.h"
+#include "support/budget.h"
 
 namespace deepmc::core {
 
@@ -50,6 +51,16 @@ class StaticChecker {
   struct Options {
     analysis::TraceOptions trace;
     bool field_sensitive = true;  ///< DSA field sensitivity (ablation knob)
+    /// Step budgets (0 = unlimited). The DSA budget covers the whole
+    /// (serial) prepare(); the trace budget is per root — each
+    /// check_root() / run() root gets a fresh meter, so trip points are
+    /// deterministic at any --jobs. On exhaustion the call throws
+    /// support::BudgetExceeded.
+    uint64_t dsa_step_budget = 0;
+    uint64_t trace_step_budget = 0;
+    /// Cooperative cancellation: checked from the budget poll path even
+    /// when both budgets are unlimited. Default token never fires.
+    support::CancelToken cancel;
   };
 
   StaticChecker(const ir::Module& module, PersistencyModel model)
@@ -96,6 +107,7 @@ class StaticChecker {
 
   void ensure_analysis();
   void check_traces(const ir::Function& f, CheckResult& result) const;
+  [[nodiscard]] support::Budget make_root_budget() const;
 
   const ir::Module& module_;
   PersistencyModel model_;

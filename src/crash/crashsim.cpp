@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "pmem/latency.h"
+#include "support/faultpoint.h"
 
 namespace deepmc::crash {
 
@@ -70,10 +71,25 @@ RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
     obs::Span exec_span("crashsim.execute", "crash");
     interp::Interpreter::Options iopts;
     iopts.max_steps = opts.max_steps;
+    if (opts.interp_step_budget > 0 && opts.interp_step_budget < iopts.max_steps)
+      iopts.max_steps = opts.interp_step_budget;
+    iopts.cancel = opts.cancel;
     interp::Interpreter interp(module, pool, /*runtime=*/nullptr, iopts);
     try {
       interp.run(root);
       out.executed = true;
+    } catch (const support::FaultInjected&) {
+      throw;  // resilience-layer signals classify the unit, not the root
+    } catch (const support::CancelledError&) {
+      throw;
+    } catch (const support::BudgetExceeded&) {
+      throw;
+    } catch (const interp::StepLimitReached& e) {
+      // With an explicit budget this is a degradation signal; without one
+      // it is the pre-existing safety net and stays a per-root trap.
+      if (opts.interp_step_budget > 0)
+        throw support::BudgetExceeded("interp.steps", e.limit());
+      out.error = e.what();
     } catch (const std::exception& e) {
       out.error = e.what();
     }
@@ -96,6 +112,10 @@ RootCrashSim simulate_root(const ir::Module& module, const ir::Function& root,
   eopts.granularity = Granularity::kStoreRange;
   eopts.include_dirty = true;
   eopts.max_subset_bits = opts.max_subset_bits;
+  // Per-root meter: this enumeration covers exactly one root's log.
+  support::Budget image_budget("enum.images", opts.image_budget);
+  image_budget.set_cancel(opts.cancel);
+  eopts.image_budget = &image_budget;
   const Enumerator enumerator(log, eopts);
   obs::Span enum_span("crashsim.enumerate", "crash");
   out.stats = enumerator.enumerate([&](const CrashImage& image) {

@@ -33,6 +33,15 @@ struct CrashSimOptions {
   size_t max_subset_bits = 10;
   uint64_t pool_bytes = 1ull << 22;
   uint64_t max_steps = 2'000'000;
+  /// Resilience-layer budgets (0 = unlimited). `interp_step_budget` caps
+  /// the pre-crash execution and, unlike the safety-net `max_steps`,
+  /// surfaces exhaustion as support::BudgetExceeded (so the driver can
+  /// degrade the unit instead of recording a trap). `image_budget` caps
+  /// enumeration per root. The cancel token propagates into the
+  /// interpreter and the budgets.
+  uint64_t interp_step_budget = 0;
+  uint64_t image_budget = 0;
+  support::CancelToken cancel;
 };
 
 struct RootCrashSim {

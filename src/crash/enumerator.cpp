@@ -5,6 +5,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "support/faultpoint.h"
 
 namespace deepmc::crash {
 
@@ -282,6 +283,8 @@ Enumerator::Stats Enumerator::enumerate_store_range(
 
     std::set<uint64_t> seen;
     auto emit = [&](const std::vector<size_t>& extra) {
+      DEEPMC_FAULTPOINT("enum.image");
+      if (opts_.image_budget != nullptr) opts_.image_budget->charge();
       st.subsets_materialized += 1;
       CrashImage img = extra.empty() ? base : replay.image_at(point, extra);
       if (!seen.insert(img.digest).second) {
@@ -360,6 +363,8 @@ Enumerator::Stats Enumerator::enumerate_cacheline(const Visitor& visit) const {
 
     std::set<uint64_t> seen;
     auto emit = [&](const std::vector<size_t>& sel) {
+      DEEPMC_FAULTPOINT("enum.image");
+      if (opts_.image_budget != nullptr) opts_.image_budget->charge();
       st.subsets_materialized += 1;
       CrashImage img;
       img.point = point;

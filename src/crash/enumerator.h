@@ -40,6 +40,7 @@
 
 #include "core/model.h"
 #include "crash/event_log.h"
+#include "support/budget.h"
 
 namespace deepmc::crash {
 
@@ -160,6 +161,12 @@ class Enumerator {
     /// Beyond this many pending units per point, enumerate the boundary
     /// family instead of all 2^k subsets.
     size_t max_subset_bits = 10;
+    /// Optional per-enumeration image meter (owned by the caller, must
+    /// outlive enumerate()). Charged once per materialised subset;
+    /// enumerate() throws support::BudgetExceeded on exhaustion. One
+    /// enumeration = one root's event log, so one meter per call is
+    /// deterministic at any --jobs.
+    support::Budget* image_budget = nullptr;
   };
 
   struct Stats {

@@ -6,6 +6,7 @@
 #include "interp/instrumenter.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "support/faultpoint.h"
 
 namespace deepmc::interp {
 
@@ -151,7 +152,9 @@ std::optional<uint64_t> Interpreter::exec_function(
     if (ip >= bb->size())
       throw InterpError("fell off the end of block " + bb->name());
     const Instruction* inst = bb->instructions()[ip].get();
-    if (++steps_ > opts_.max_steps) throw InterpError("step budget exceeded");
+    DEEPMC_FAULTPOINT("interp.step");
+    if (++steps_ > opts_.max_steps) throw StepLimitReached(opts_.max_steps);
+    if ((steps_ & 0xFFF) == 0) opts_.cancel.check();
 
     // Forward the instruction's source location to an attached event sink
     // before a persistence event it is about to cause, so recorded pool

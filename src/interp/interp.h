@@ -26,6 +26,7 @@
 #include "ir/module.h"
 #include "pmem/pool.h"
 #include "runtime/dynamic_checker.h"
+#include "support/budget.h"
 
 namespace deepmc::interp {
 
@@ -36,12 +37,29 @@ class InterpError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The step-budget trap, distinguishable from genuine program traps so
+/// the resilience layer can reclassify it (InterpError keeps catching it
+/// for existing callers).
+class StepLimitReached : public InterpError {
+ public:
+  explicit StepLimitReached(uint64_t limit)
+      : InterpError("step budget exceeded"), limit_(limit) {}
+
+  [[nodiscard]] uint64_t limit() const { return limit_; }
+
+ private:
+  uint64_t limit_ = 0;
+};
+
 class Interpreter {
  public:
   struct Options {
     uint64_t max_steps = 10'000'000;  ///< instruction budget per run()
     uint64_t max_call_depth = 256;
     uint64_t volatile_bytes = 1 << 20;
+    /// Cooperative cancellation, polled every few thousand steps; fires
+    /// as support::CancelledError out of run(). Default token never fires.
+    support::CancelToken cancel;
   };
 
   Interpreter(const ir::Module& module, pmem::PmPool& pool,

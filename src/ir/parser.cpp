@@ -30,6 +30,7 @@ struct Token {
   Tok kind = Tok::kEnd;
   std::string text;
   int64_t number = 0;
+  size_t col = 0;  ///< 1-based column where the token starts
 };
 
 class Lexer {
@@ -50,6 +51,7 @@ class Lexer {
     if (cur_.kind != kind) fail(std::string("expected ") + what);
     return take();
   }
+  [[nodiscard]] size_t col() const { return tok_col_; }
   void expect_punct(char c) {
     if (cur_.kind != Tok::kPunct || cur_.text[0] != c)
       fail(std::string("expected '") + c + "'");
@@ -71,7 +73,11 @@ class Lexer {
   }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(lineno_, msg + " (near '" + cur_.text + "')");
+    throw ParseError(lineno_, tok_col_, msg + " (near '" + cur_.text + "')");
+  }
+  /// Like fail(), but anchored at an already-consumed token.
+  [[noreturn]] void fail_at(const Token& t, const std::string& msg) const {
+    throw ParseError(lineno_, t.col, msg + " (near '" + t.text + "')");
   }
 
   [[nodiscard]] size_t lineno() const { return lineno_; }
@@ -86,8 +92,9 @@ class Lexer {
     while (pos_ < s_.size() &&
            (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r'))
       ++pos_;
+    tok_col_ = pos_ + 1;
     if (pos_ >= s_.size() || s_[pos_] == ';') {
-      cur_ = {Tok::kEnd, "", 0};
+      cur_ = {Tok::kEnd, "", 0, tok_col_};
       return;
     }
     const char c = s_[pos_];
@@ -96,15 +103,17 @@ class Lexer {
       size_t start = pos_;
       while (pos_ < s_.size() && ident_char(s_[pos_])) ++pos_;
       cur_ = {c == '%' ? Tok::kLocal : Tok::kGlobal,
-              std::string(s_.substr(start, pos_ - start)), 0};
+              std::string(s_.substr(start, pos_ - start)), 0, tok_col_};
       return;
     }
     if (c == '"') {
       ++pos_;
       size_t start = pos_;
       while (pos_ < s_.size() && s_[pos_] != '"') ++pos_;
-      if (pos_ >= s_.size()) throw ParseError(lineno_, "unterminated string");
-      cur_ = {Tok::kString, std::string(s_.substr(start, pos_ - start)), 0};
+      if (pos_ >= s_.size())
+        throw ParseError(lineno_, tok_col_, "unterminated string");
+      cur_ = {Tok::kString, std::string(s_.substr(start, pos_ - start)), 0,
+              tok_col_};
       ++pos_;
       return;
     }
@@ -112,26 +121,41 @@ class Lexer {
         (c == '-' && pos_ + 1 < s_.size() &&
          std::isdigit(static_cast<unsigned char>(s_[pos_ + 1])))) {
       size_t start = pos_;
-      if (c == '-') ++pos_;
+      const bool neg = c == '-';
+      if (neg) ++pos_;
+      // Overflow-checked accumulation: std::stoll would throw out_of_range
+      // (not ParseError) on a huge literal, which breaks the never-crash
+      // contract of the tolerant parser.
+      uint64_t mag = 0;
+      const uint64_t cap = neg ? uint64_t{1} << 63 : (uint64_t{1} << 63) - 1;
       while (pos_ < s_.size() &&
-             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        const auto d = static_cast<uint64_t>(s_[pos_] - '0');
+        if (mag > (cap - d) / 10)
+          throw ParseError(lineno_, tok_col_, "integer literal out of range");
+        mag = mag * 10 + d;
         ++pos_;
+      }
       std::string text(s_.substr(start, pos_ - start));
-      cur_ = {Tok::kNumber, text, std::stoll(text)};
+      const auto v = neg ? -static_cast<int64_t>(mag - 1) - 1
+                         : static_cast<int64_t>(mag);
+      cur_ = {Tok::kNumber, text, v, tok_col_};
       return;
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t start = pos_;
       while (pos_ < s_.size() && ident_char(s_[pos_])) ++pos_;
-      cur_ = {Tok::kIdent, std::string(s_.substr(start, pos_ - start)), 0};
+      cur_ = {Tok::kIdent, std::string(s_.substr(start, pos_ - start)), 0,
+              tok_col_};
       return;
     }
-    cur_ = {Tok::kPunct, std::string(1, c), 0};
+    cur_ = {Tok::kPunct, std::string(1, c), 0, tok_col_};
     ++pos_;
   }
 
   std::string_view s_;
   size_t pos_ = 0;
+  size_t tok_col_ = 1;  // 1-based column where cur_ starts
   size_t lineno_;
   Token cur_;
 };
@@ -142,7 +166,13 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) {
+  /// Strict mode when `diags` is null (first ParseError propagates);
+  /// tolerant mode otherwise (errors are recorded, the line is skipped,
+  /// parsing continues until `max_diags` problems have been seen).
+  explicit Parser(std::string_view text,
+                  std::vector<ParseDiagnostic>* diags = nullptr,
+                  size_t max_diags = 0)
+      : diags_(diags), max_diags_(max_diags) {
     for (std::string_view line : split(text, '\n', /*keep_empty=*/true))
       lines_.emplace_back(line);
   }
@@ -156,9 +186,37 @@ class Parser {
   }
 
  private:
+  // --- error recovery --------------------------------------------------------
+
+  /// Runs `fn`; in tolerant mode a ParseError becomes a diagnostic and the
+  /// caller moves on, in strict mode it propagates. Returns false once the
+  /// diagnostic cap is hit — callers stop feeding the parser more lines.
+  template <class Fn>
+  bool guarded(Fn&& fn) {
+    if (diags_ == nullptr) {
+      fn();
+      return true;
+    }
+    if (gave_up_) return false;
+    try {
+      fn();
+    } catch (const ParseError& e) {
+      diags_->push_back({e.line(), e.col(), e.message()});
+      // At the cap the parse stops; a result with exactly max_diags_
+      // diagnostics is therefore possibly truncated.
+      if (diags_->size() >= max_diags_) gave_up_ = true;
+    }
+    return !gave_up_;
+  }
+
   // --- types ---------------------------------------------------------------
 
-  const Type* parse_type(Lexer& lex) {
+  static constexpr int kMaxTypeDepth = 32;
+  static constexpr uint32_t kMaxIntBits = 1u << 16;
+  static constexpr int64_t kMaxArrayLen = int64_t{1} << 32;
+
+  const Type* parse_type(Lexer& lex, int depth = 0) {
+    if (depth > kMaxTypeDepth) lex.fail("type nesting too deep");
     const Type* base = nullptr;
     if (lex.peek().kind == Tok::kIdent) {
       const std::string& w = lex.peek().text;
@@ -169,14 +227,16 @@ class Parser {
         lex.take();
         base = module_->types().opaque_ptr();
       } else if (w.size() > 1 && w[0] == 'i') {
-        uint32_t bits = 0;
+        uint64_t bits = 0;
         for (size_t i = 1; i < w.size(); ++i) {
-          if (!std::isdigit(static_cast<unsigned char>(w[i])))
+          if (!std::isdigit(static_cast<unsigned char>(w[i])) ||
+              bits > kMaxIntBits)
             lex.fail("bad type " + w);
-          bits = bits * 10 + static_cast<uint32_t>(w[i] - '0');
+          bits = bits * 10 + static_cast<uint64_t>(w[i] - '0');
         }
+        if (bits == 0 || bits > kMaxIntBits) lex.fail("bad type " + w);
         lex.take();
-        base = module_->types().int_type(bits);
+        base = module_->types().int_type(static_cast<uint32_t>(bits));
       } else {
         lex.fail("unknown type " + w);
       }
@@ -197,14 +257,18 @@ class Parser {
     } else if (lex.peek().kind == Tok::kPunct && lex.peek().text == "[") {
       lex.take();
       Token n = lex.expect(Tok::kNumber, "array length");
+      if (n.number < 0 || n.number > kMaxArrayLen)
+        lex.fail("array length out of range");
       if (!lex.accept_ident("x")) lex.fail("expected 'x' in array type");
-      const Type* elem = parse_type(lex);
+      const Type* elem = parse_type(lex, depth + 1);
       lex.expect_punct(']');
       base = module_->types().array_of(elem, static_cast<uint64_t>(n.number));
     } else {
       lex.fail("expected type");
     }
+    int stars = 0;
     while (lex.peek().kind == Tok::kPunct && lex.peek().text == "*") {
+      if (++stars > kMaxTypeDepth) lex.fail("pointer nesting too deep");
       lex.take();
       base = module_->types().pointer_to(base);
     }
@@ -219,25 +283,31 @@ class Parser {
     for (size_t i = 0; i < lines_.size(); ++i) {
       std::string_view t = trim(lines_[i]);
       if (t.empty() || t[0] == ';') continue;
-      Lexer lex(lines_[i], i + 1);
-      if (lex.accept_ident("module")) {
-        mod_name = lex.expect(Tok::kString, "module name").text;
+      const bool keep = guarded([&] {
+        Lexer lex(lines_[i], i + 1);
+        if (lex.accept_ident("module")) {
+          mod_name = lex.expect(Tok::kString, "module name").text;
+          if (!module_) module_ = std::make_unique<Module>(mod_name);
+          return;
+        }
         if (!module_) module_ = std::make_unique<Module>(mod_name);
-        continue;
-      }
-      if (!module_) module_ = std::make_unique<Module>(mod_name);
-      if (lex.accept_ident("struct")) {
-        parse_struct(lex);
-      } else if (lex.peek().kind == Tok::kIdent &&
-                 (lex.peek().text == "define" || lex.peek().text == "declare")) {
-        parse_signature(lex, i);
-      }
+        if (lex.accept_ident("struct")) {
+          parse_struct(lex);
+        } else if (lex.peek().kind == Tok::kIdent &&
+                   (lex.peek().text == "define" ||
+                    lex.peek().text == "declare")) {
+          parse_signature(lex, i);
+        }
+      });
+      if (!keep) break;
     }
     if (!module_) module_ = std::make_unique<Module>(mod_name);
   }
 
   void parse_struct(Lexer& lex) {
     Token name = lex.expect(Tok::kLocal, "struct name");
+    if (module_->types().find_struct(name.text))
+      lex.fail_at(name, "duplicate struct %" + name.text);
     lex.expect_punct('{');
     std::vector<const Type*> fields;
     if (!lex.accept_punct('}')) {
@@ -254,6 +324,8 @@ class Parser {
     lex.take();
     const Type* ret = parse_type(lex);
     Token name = lex.expect(Tok::kGlobal, "function name");
+    if (module_->find_function(name.text))
+      lex.fail_at(name, "duplicate function @" + name.text);
     lex.expect_punct('(');
     std::vector<std::pair<std::string, const Type*>> params;
     if (!lex.accept_punct(')')) {
@@ -268,13 +340,19 @@ class Parser {
       lex.expect_punct(')');
     }
     Function* f = module_->create_function(name.text, ret, std::move(params));
-    if (is_define) body_start_[f] = line_index;
+    if (is_define) body_start_.emplace_back(f, line_index);
   }
 
   // --- pass 2 ----------------------------------------------------------------
 
   void parse_bodies() {
-    for (auto& [func, start] : body_start_) parse_body(func, start);
+    // Bodies parse in source order, so strict mode reports the first error
+    // by line number and tolerant diagnostics come out in a stable order.
+    for (auto& [func, start] : body_start_) {
+      Function* f = func;
+      const size_t s = start;
+      if (!guarded([&] { parse_body(f, s); })) break;
+    }
   }
 
   /// A line with its trailing ';' comment removed and trimmed.
@@ -305,8 +383,14 @@ class Parser {
       if (t.empty()) continue;
       if (t.back() == ':' && t.find(' ') == std::string_view::npos) {
         std::string label(t.substr(0, t.size() - 1));
-        if (blocks.count(label))
-          throw ParseError(i + 1, "duplicate label " + label);
+        if (blocks.count(label)) {
+          // Recoverable: keep the first definition, report the repeat.
+          if (!guarded([&] {
+                throw ParseError(i + 1, "duplicate label " + label);
+              }))
+            return;
+          continue;
+        }
         blocks[label] = func->create_block(label);
       }
     }
@@ -323,17 +407,24 @@ class Parser {
     b.set_insert_point(cur);
 
     // Pending conditional branches that referenced labels before creation
-    // are impossible: all blocks exist. Parse instructions.
+    // are impossible: all blocks exist. Parse instructions; in tolerant
+    // mode a bad line is recorded and skipped, and parsing resumes on the
+    // next line of the same body.
     for (size_t i = first; i < last; ++i) {
       std::string_view t = code_of(lines_[i]);
       if (t.empty()) continue;
       if (t.back() == ':' && t.find(' ') == std::string_view::npos) {
-        cur = blocks.at(std::string(t.substr(0, t.size() - 1)));
+        auto it = blocks.find(std::string(t.substr(0, t.size() - 1)));
+        if (it == blocks.end()) continue;  // duplicate label already noted
+        cur = it->second;
         b.set_insert_point(cur);
         continue;
       }
-      Lexer lex(lines_[i], i + 1);
-      parse_instruction(lex, b, func, values, blocks);
+      const bool keep = guarded([&] {
+        Lexer lex(lines_[i], i + 1);
+        parse_instruction(lex, b, func, values, blocks);
+      });
+      if (!keep) return;
     }
   }
 
@@ -358,7 +449,7 @@ class Parser {
     }
     Token v = lex.expect(Tok::kLocal, "value");
     auto it = values.find(v.text);
-    if (it == values.end()) lex.fail("undefined value %" + v.text);
+    if (it == values.end()) lex.fail_at(v, "undefined value %" + v.text);
     return it->second;
   }
 
@@ -496,7 +587,7 @@ class Parser {
       if (!pt) lex.fail("cast target must be a pointer type");
       inst = b.cast(src, pt->pointee(), result);
     } else {
-      lex.fail("unknown opcode " + w);
+      lex.fail_at(op, "unknown opcode " + w);
     }
 
     // Optional !loc("file", line) suffix.
@@ -529,13 +620,30 @@ class Parser {
 
   std::vector<std::string> lines_;
   std::unique_ptr<Module> module_;
-  std::map<Function*, size_t> body_start_;
+  std::vector<std::pair<Function*, size_t>> body_start_;
+  std::vector<ParseDiagnostic>* diags_ = nullptr;  // null = strict mode
+  size_t max_diags_ = 0;
+  bool gave_up_ = false;
 };
 
 }  // namespace
 
+std::string ParseDiagnostic::str() const {
+  std::string s = "line " + std::to_string(line);
+  if (col > 0) s += ":" + std::to_string(col);
+  return s + ": " + message;
+}
+
 std::unique_ptr<Module> parse_module(std::string_view text) {
   return Parser(text).run();
+}
+
+TolerantParseResult parse_module_tolerant(std::string_view text,
+                                          size_t max_diagnostics) {
+  TolerantParseResult r;
+  if (max_diagnostics == 0) max_diagnostics = 1;
+  r.module = Parser(text, &r.diagnostics, max_diagnostics).run();
+  return r;
 }
 
 }  // namespace deepmc::ir

@@ -19,11 +19,21 @@
 // Pointers to structs not yet defined parse as the untyped `ptr` (this is
 // how self-referential structs are expressed; a `cast` restores the type at
 // use sites). Parse errors throw ParseError with a line number.
+//
+// Two entry points share one grammar:
+//   * parse_module       — throws ParseError at the first problem (the
+//                          historical behavior every existing caller keeps);
+//   * parse_module_tolerant — never throws on malformed input: it records a
+//                          diagnostic (line, column, message), skips to the
+//                          next line, and keeps going, so one bad line does
+//                          not hide the errors after it. tests/fuzz/ pins
+//                          the crash-free guarantee over a hostile corpus.
 #pragma once
 
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ir/module.h"
 
@@ -33,14 +43,51 @@ class ParseError : public std::runtime_error {
  public:
   ParseError(size_t line, const std::string& what)
       : std::runtime_error("line " + std::to_string(line) + ": " + what),
-        line_(line) {}
+        line_(line),
+        message_(what) {}
+  ParseError(size_t line, size_t col, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line),
+        col_(col),
+        message_(what) {}
   [[nodiscard]] size_t line() const { return line_; }
+  /// 1-based column of the offending token; 0 when the error has no
+  /// useful column (line-level problems like a missing '}').
+  [[nodiscard]] size_t col() const { return col_; }
+  /// The message without the "line N: " prefix what() carries.
+  [[nodiscard]] const std::string& message() const { return message_; }
 
  private:
   size_t line_;
+  size_t col_ = 0;
+  std::string message_;
+};
+
+/// One recoverable problem found by parse_module_tolerant.
+struct ParseDiagnostic {
+  size_t line = 0;
+  size_t col = 0;  ///< 1-based; 0 = whole-line problem
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Result of a tolerant parse. `module` is always non-null; with a
+/// non-empty `diagnostics` it reflects only the lines that parsed and may
+/// not verify — callers gate on ok() before analyzing it.
+struct TolerantParseResult {
+  std::unique_ptr<Module> module;
+  std::vector<ParseDiagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return diagnostics.empty(); }
 };
 
 /// Parse a full module from MIR text. Throws ParseError on malformed input.
 std::unique_ptr<Module> parse_module(std::string_view text);
+
+/// Parse with per-line error recovery; collects up to `max_diagnostics`
+/// problems instead of throwing. Never throws on malformed input.
+TolerantParseResult parse_module_tolerant(std::string_view text,
+                                          size_t max_diagnostics = 32);
 
 }  // namespace deepmc::ir

@@ -1,0 +1,10 @@
+#include "support/budget.h"
+
+namespace deepmc::support {
+
+// Out of line on purpose: this is the amortised cold path of
+// Budget::charge (once per 4096 charges); keeping it out of the header
+// keeps the inlined hot path to a decrement and a branch.
+void Budget::poll_slow() const { check_cancel(); }
+
+}  // namespace deepmc::support

@@ -26,6 +26,19 @@
 //   --list-corpus                list built-in corpus modules
 //   --field-insensitive          disable DSA field sensitivity (ablation)
 //
+// Resilience (docs/RESILIENCE.md):
+//   --budget-trace-steps N       per-root trace walk budget (0 = unlimited)
+//   --budget-dsa-steps N         per-unit DSA build budget
+//   --budget-enum-images N       per-root crash-image budget
+//   --budget-interp-steps N      per-execution interpreter budget
+//   --budget-wall-ms N           per-attempt wall-clock watchdog (cancels
+//                                cooperatively; inherently nondeterministic)
+//   --keep-going / --fail-fast   keep analyzing after a failed unit
+//                                (default) / stop at the first failure
+//   --inject-fault NAME:COUNT    arm a fault point (repeatable; also via
+//                                DEEPMC_FAULTS=name:count[,name:count])
+//   --list-fault-points          list registered fault points
+//
 // Observability (pure side channels; the report on stdout is byte-identical
 // with these on or off, at any --jobs):
 //   --stats                      print a metrics summary table to stderr
@@ -38,8 +51,11 @@
 //   1..63   number of warnings (capped at 63)
 //   64      usage error (unknown flag, missing operand, no inputs)
 //   65      input error (unreadable file, parse/verify failure, unknown
-//           corpus module)
-// Warning counts and error exits no longer overlap: 64/65 are reserved.
+//           corpus module) or any failed unit
+//   66      no failures, but at least one unit was degraded (analyzed on a
+//           tightened ladder rung after a budget trip)
+// Warning counts and error exits no longer overlap: 64/65/66 are reserved.
+// Precedence: failed (65) > degraded (66) > warning count.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +69,7 @@
 #include "corpus/corpus.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "support/faultpoint.h"
 #include "support/thread_pool.h"
 
 using namespace deepmc;
@@ -62,6 +79,7 @@ namespace {
 constexpr int kMaxWarningExit = 63;
 constexpr int kExitUsage = 64;
 constexpr int kExitError = 65;
+constexpr int kExitDegraded = 66;
 
 void usage() {
   std::fprintf(stderr,
@@ -74,7 +92,34 @@ void usage() {
                "              [--stats] [--metrics-out FILE] "
                "[--prom-out FILE]\n"
                "              [--trace-out FILE]\n"
+               "              [--budget-trace-steps N] [--budget-dsa-steps N]\n"
+               "              [--budget-enum-images N] "
+               "[--budget-interp-steps N]\n"
+               "              [--budget-wall-ms N] [--keep-going|--fail-fast]\n"
+               "              [--inject-fault NAME:COUNT] "
+               "[--list-fault-points]\n"
                "              [--corpus NAME] [--list-corpus] file.mir...\n");
+}
+
+/// Accepts `--flag N` and `--flag=N` for a non-negative integer operand;
+/// returns true when `arg` is this flag, with `*ok` false on a bad value.
+bool num_flag(const std::string& flag, const std::string& arg, int argc,
+              char** argv, int& i, uint64_t* out, bool* ok) {
+  std::string text;
+  if (arg == flag) {
+    if (++i < argc) text = argv[i];
+  } else if (arg.size() > flag.size() + 1 &&
+             arg.compare(0, flag.size(), flag) == 0 &&
+             arg[flag.size()] == '=') {
+    text = arg.substr(flag.size() + 1);
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+  *ok = !text.empty() && end == text.c_str() + text.size();
+  if (*ok) *out = static_cast<uint64_t>(n);
+  return true;
 }
 
 /// Accepts `--flag FILE` and `--flag=FILE`; fills `out` and returns true
@@ -120,8 +165,49 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool num_ok = false;
     if (auto m = core::parse_model_flag(arg)) {
       opts.model = *m;
+    } else if (num_flag("--budget-trace-steps", arg, argc, argv, i,
+                        &opts.budgets.trace_steps, &num_ok) ||
+               num_flag("--budget-dsa-steps", arg, argc, argv, i,
+                        &opts.budgets.dsa_steps, &num_ok) ||
+               num_flag("--budget-enum-images", arg, argc, argv, i,
+                        &opts.budgets.enum_images, &num_ok) ||
+               num_flag("--budget-interp-steps", arg, argc, argv, i,
+                        &opts.budgets.interp_steps, &num_ok) ||
+               num_flag("--budget-wall-ms", arg, argc, argv, i,
+                        &opts.budgets.wall_ms, &num_ok)) {
+      if (!num_ok) {
+        std::fprintf(stderr, "deepmc: invalid value for %s\n", arg.c_str());
+        return kExitUsage;
+      }
+    } else if (arg == "--keep-going") {
+      opts.keep_going = true;
+    } else if (arg == "--fail-fast") {
+      opts.keep_going = false;
+    } else if (arg == "--list-fault-points") {
+      for (const std::string& n : support::registered_fault_points())
+        std::printf("%s\n", n.c_str());
+      return 0;
+    } else if (arg == "--inject-fault" ||
+               arg.compare(0, 15, "--inject-fault=") == 0) {
+      std::string spec;
+      if (arg == "--inject-fault") {
+        if (++i >= argc) {
+          usage();
+          return kExitUsage;
+        }
+        spec = argv[i];
+      } else {
+        spec = arg.substr(15);
+      }
+      try {
+        support::arm_fault(spec);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "deepmc: %s\n", e.what());
+        return kExitUsage;
+      }
     } else if (arg == "--stats") {
       stats = true;
     } else if (file_flag("--metrics-out", arg, argc, argv, i, &metrics_out)) {
@@ -217,6 +303,10 @@ int main(int argc, char** argv) {
     usage();
     return kExitUsage;
   }
+  if (std::string env_err; !support::arm_faults_from_env(&env_err)) {
+    std::fprintf(stderr, "deepmc: %s\n", env_err.c_str());
+    return kExitUsage;
+  }
 
   std::vector<core::AnalysisUnit> units;
   units.reserve(corpus_modules.size() + files.size());
@@ -282,11 +372,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const core::UnitReport& u : report.units())
-    if (u.failed)
+  for (const core::UnitReport& u : report.units()) {
+    if (u.failed) {
       std::fprintf(stderr, "deepmc: %s: %s\n", u.name.c_str(),
                    u.error.c_str());
+    } else if (u.status == core::UnitStatus::kDegraded) {
+      std::fprintf(stderr, "deepmc: %s: degraded: %s (rung %s)\n",
+                   u.name.c_str(), u.degraded.reason.c_str(),
+                   u.degraded.rung.c_str());
+    }
+  }
   if (report.any_failed()) return kExitError;
+  if (report.any_degraded()) return kExitDegraded;
   return static_cast<int>(
       std::min<size_t>(report.total_warnings(), kMaxWarningExit));
 }

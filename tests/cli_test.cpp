@@ -123,7 +123,7 @@ TEST(CliJson, EmitsSchemaAndCounters) {
   auto [out, code] =
       run_command("--format json --corpus pmdk/btree_map");
   EXPECT_LT(code, 64);
-  EXPECT_NE(out.find("\"schema\": \"deepmc-report-v2\""), std::string::npos);
+  EXPECT_NE(out.find("\"schema\": \"deepmc-report-v3\""), std::string::npos);
   EXPECT_NE(out.find("\"elapsed_ms\": "), std::string::npos);
   EXPECT_NE(out.find("\"trace_roots\": "), std::string::npos);
   EXPECT_NE(out.find("\"warnings\": ["), std::string::npos);

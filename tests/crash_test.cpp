@@ -607,7 +607,7 @@ TEST(CrashsimValidation, JsonCarriesValidationAndCrashsimObject) {
   AnalysisDriver driver(opts);
   const Report report = driver.run({corpus_unit("pmdk/btree_map")});
   const std::string json = report.json(/*include_timing=*/false);
-  EXPECT_NE(json.find("\"schema\": \"deepmc-report-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"deepmc-report-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"validation\": \"confirmed\""), std::string::npos);
   EXPECT_NE(json.find("\"crashsim\": {"), std::string::npos);
   EXPECT_NE(json.find("\"framework\": \"pmdk_mini\""), std::string::npos);

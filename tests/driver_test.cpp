@@ -209,7 +209,7 @@ TEST(DriverJson, ReportSchemaShape) {
   AnalysisDriver driver;
   Report report = driver.run({core::make_source_unit("buggy", kBuggy)});
   const std::string j = report.json(/*include_timing=*/false);
-  EXPECT_NE(j.find("\"schema\": \"deepmc-report-v2\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\": \"deepmc-report-v3\""), std::string::npos);
   EXPECT_NE(j.find("\"total_warnings\": 1"), std::string::npos);
   EXPECT_NE(j.find("\"units\": ["), std::string::npos);
   EXPECT_NE(j.find("\"warnings\": ["), std::string::npos);

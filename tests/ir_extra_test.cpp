@@ -46,7 +46,7 @@ entry:
   ret
 }
 )"),
-               std::invalid_argument);
+               ParseError);
 }
 
 TEST(ParserNegative, BranchToUnknownLabel) {
