@@ -1,0 +1,145 @@
+// Generated-corpus throughput and accuracy bench: programs/second through
+// generate + static-check, and measured precision/recall of the checker
+// against the generator's planted-bug manifests.
+//
+// The paper validates DeepMC on 47 hand-collected programs; the seeded
+// generator (src/gen/) scales that to thousands with known ground truth.
+// This bench records the sustained rate the corpus harness can sweep at
+// and the accuracy floor it enforces (scripts/run_corpus.sh,
+// tests/golden/corpus_baseline.json).
+//
+// Pass criteria (the ISSUE floors the nightly job also enforces):
+//   * precision >= 0.90 and recall >= 0.95 over the seed window, and
+//   * zero generation or parse failures.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/static_checker.h"
+#include "gen/generator.h"
+#include "gen/score.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+using namespace deepmc;
+
+namespace {
+
+constexpr uint64_t kSeedCount = 1000;
+constexpr double kMinPrecision = 0.90;
+constexpr double kMinRecall = 0.95;
+
+std::vector<gen::ReportedWarning> warnings_of(const core::CheckResult& res) {
+  std::vector<gen::ReportedWarning> out;
+  out.reserve(res.count());
+  for (const core::Warning& w : res.warnings()) {
+    gen::ReportedWarning rw;
+    rw.rule = w.rule;
+    rw.file = w.loc.file;
+    rw.line = w.loc.line;
+    out.push_back(std::move(rw));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_out_path(argc, argv);
+  bench::print_system_config(
+      "bench_corpus: generated-corpus throughput and accuracy");
+
+  uint64_t failures = 0;
+  size_t total_lines = 0;
+  gen::Score score;
+
+  // Phase 1: generation alone (text + manifest, no analysis).
+  Stopwatch gen_sw;
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    gen::GenOptions opts;
+    opts.seed = seed;
+    const gen::GeneratedProgram p = gen::generate_program(opts);
+    total_lines += p.manifest.line_count;
+  }
+  const double gen_s = gen_sw.seconds();
+
+  // Phase 2: the full generate + static-check sweep the harness times.
+  Stopwatch sweep_sw;
+  for (uint64_t seed = 0; seed < kSeedCount; ++seed) {
+    gen::GenOptions opts;
+    opts.seed = seed;
+    try {
+      const gen::GeneratedProgram p = gen::generate_program(opts);
+      const core::CheckResult res = core::check_module(*p.module, p.model);
+      score.merge(gen::score_program(p.manifest, warnings_of(res)));
+    } catch (const std::exception& e) {
+      ++failures;
+      std::fprintf(stderr, "seed %llu failed: %s\n",
+                   static_cast<unsigned long long>(seed), e.what());
+    }
+  }
+  const double sweep_s = sweep_sw.seconds();
+
+  const double gen_rate = gen_s > 0 ? kSeedCount / gen_s : 0;
+  const double sweep_rate = sweep_s > 0 ? kSeedCount / sweep_s : 0;
+
+  bench::Table table({"Phase", "Programs", "Wall (s)", "Programs/s"});
+  table.add_row({"generate", strformat("%llu",
+                                       (unsigned long long)kSeedCount),
+                 strformat("%.3f", gen_s), strformat("%.0f", gen_rate)});
+  table.add_row({"generate+check", strformat("%llu",
+                                             (unsigned long long)kSeedCount),
+                 strformat("%.3f", sweep_s), strformat("%.0f", sweep_rate)});
+  table.print();
+
+  std::printf("Corpus: %llu programs (%llu clean controls), avg %.1f lines\n",
+              (unsigned long long)score.programs,
+              (unsigned long long)score.clean_programs,
+              score.programs ? static_cast<double>(total_lines) /
+                                   static_cast<double>(kSeedCount)
+                             : 0.0);
+  std::printf("Planted %llu, reported %llu: tp=%llu fp=%llu fn=%llu\n",
+              (unsigned long long)score.planted,
+              (unsigned long long)score.reported,
+              (unsigned long long)score.tp, (unsigned long long)score.fp,
+              (unsigned long long)score.fn);
+  std::printf("Precision %.6f (floor %.2f), recall %.6f (floor %.2f)\n\n",
+              score.precision(), kMinPrecision, score.recall(), kMinRecall);
+
+  bool pass = failures == 0 && score.precision() >= kMinPrecision &&
+              score.recall() >= kMinRecall;
+  if (failures != 0)
+    std::printf("FAIL: %llu seed(s) failed to generate or check\n",
+                (unsigned long long)failures);
+  if (score.precision() < kMinPrecision)
+    std::printf("FAIL: precision %.6f below floor %.2f\n", score.precision(),
+                kMinPrecision);
+  if (score.recall() < kMinRecall)
+    std::printf("FAIL: recall %.6f below floor %.2f\n", score.recall(),
+                kMinRecall);
+  std::printf("[%s] generated-corpus throughput and accuracy\n",
+              pass ? "PASS" : "FAIL");
+
+  bench::JsonResult json("bench_corpus");
+  json.add("programs", static_cast<uint64_t>(kSeedCount));
+  json.add("clean_programs", score.clean_programs);
+  json.add("planted", score.planted);
+  json.add("reported", score.reported);
+  json.add("tp", score.tp);
+  json.add("fp", score.fp);
+  json.add("fn", score.fn);
+  json.add("precision", score.precision());
+  json.add("recall", score.recall());
+  json.add("generate_s", gen_s);
+  json.add("sweep_s", sweep_s);
+  json.add("generate_programs_per_sec", gen_rate);
+  json.add("programs_per_sec", sweep_rate);
+  json.add("failures", failures);
+  json.add("pass", std::string(pass ? "true" : "false"));
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

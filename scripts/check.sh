@@ -85,8 +85,9 @@ run_san() {
 
 run_obs_identity() {
   cmake -B build -S .
-  cmake --build build -j "$jobs" --target deepmc
+  cmake --build build -j "$jobs" --target deepmc deepmc-corpus
   local bin=build/src/tools/deepmc
+  local genbin=build/src/tools/deepmc-corpus
   local tmp
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' RETURN
@@ -130,6 +131,34 @@ run_obs_identity() {
       return 1
     fi
   done < <("$bin" --list-corpus)
+
+  echo "== observability identity: generated corpus, stable metrics across jobs =="
+  # The hand-written goldens above pin a handful of shapes; generated
+  # programs (src/gen/) sweep the grammar. The deepmc-metrics-v1 stable
+  # section must be byte-identical across --jobs for them too.
+  local seed
+  for seed in 0 7 23 101 997; do
+    "$genbin" gen --seed "$seed" > "$tmp/gen_$seed.mir" || {
+      echo "obs-identity: deepmc-corpus gen --seed $seed failed" >&2
+      return 1
+    }
+    for n in 1 8; do
+      run_deepmc "$tmp/gen_${seed}_j$n" --jobs "$n" \
+        --metrics-out "$tmp/gm_${seed}_j$n.json" "$tmp/gen_$seed.mir"
+      awk '/^  "volatile": \{$/{exit} {print}' "$tmp/gm_${seed}_j$n.json" \
+        > "$tmp/gstable_${seed}_j$n"
+    done
+    if ! cmp -s "$tmp/gen_${seed}_j1" "$tmp/gen_${seed}_j8"; then
+      echo "obs-identity: report for generated seed $seed differs between" \
+           "--jobs 1 and --jobs 8" >&2
+      return 1
+    fi
+    if ! cmp -s "$tmp/gstable_${seed}_j1" "$tmp/gstable_${seed}_j8"; then
+      echo "obs-identity: stable metrics for generated seed $seed differ" \
+           "between --jobs 1 and --jobs 8" >&2
+      return 1
+    fi
+  done
   echo "obs-identity: OK"
 }
 

@@ -1,0 +1,229 @@
+#!/usr/bin/env bash
+# Tier 1: corpus-scale regression harness over generated programs.
+#
+# Generates thousands of seeded programs with known planted bugs
+# (src/gen/, docs/CORPUS.md) and validates the pipeline's output
+# properties end to end:
+#
+#   * no crash: neither deepmc-corpus nor the deepmc binary may die on any
+#     generated or mutated program (the tolerant parser must never abort),
+#   * determinism: the deepmc-corpus-v1 stable section and per-file JSON
+#     reports are byte-identical across --jobs 1/4/16,
+#   * valid locations: every warning cites the program's synthetic source
+#     file at a line within the generated range, and
+#   * measured precision/recall against the planted-bug manifests, with
+#     configurable floors and an optional checked-in baseline
+#     (tests/golden/corpus_baseline.json).
+#
+# Usage: scripts/run_corpus.sh [--count N] [--seed-range A:B]
+#                              [--min-recall R] [--min-precision P]
+#                              [--baseline FILE] [--skip-build]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT=1000
+SEED_START=0
+MIN_RECALL=0.95
+MIN_PRECISION=0.90
+BASELINE="tests/golden/corpus_baseline.json"
+SKIP_BUILD=0
+SAMPLE_FILES=24   # generated .mir files driven through the deepmc binary
+MUTANT_FILES=16   # mutated programs driven through the deepmc binary
+JOBS_LEVELS="1 4 16"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --count) COUNT="${2:?}"; shift 2 ;;
+    --count=*) COUNT="${1#*=}"; shift ;;
+    --seed-range)
+      SEED_START="${2%%:*}"; COUNT="$(( ${2##*:} - ${2%%:*} ))"; shift 2 ;;
+    --seed-range=*)
+      v="${1#*=}"; SEED_START="${v%%:*}"; COUNT="$(( ${v##*:} - ${v%%:*} ))"
+      shift ;;
+    --min-recall) MIN_RECALL="${2:?}"; shift 2 ;;
+    --min-precision) MIN_PRECISION="${2:?}"; shift 2 ;;
+    --baseline) BASELINE="${2:?}"; shift 2 ;;
+    --skip-build) SKIP_BUILD=1; shift ;;
+    *) echo "usage: scripts/run_corpus.sh [--count N] [--seed-range A:B]" \
+            "[--min-recall R] [--min-precision P] [--baseline FILE]" \
+            "[--skip-build]" >&2
+       exit 64 ;;
+  esac
+done
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc 2>/dev/null || echo 4)" \
+    --target deepmc deepmc-corpus >/dev/null
+fi
+
+DEEPMC=build/src/tools/deepmc
+CORPUS=build/src/tools/deepmc-corpus
+for bin in "$DEEPMC" "$CORPUS"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "FATAL: $bin not found; build first (cmake --build build -j)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+PASS=0
+FAIL=0
+
+log_pass() { echo "  [PASS] $1"; PASS=$((PASS+1)); }
+log_fail() { echo "  [FAIL] $1" >&2; FAIL=$((FAIL+1)); }
+
+# --- Phase 1: corpus run — precision/recall, floors, jobs determinism ------
+
+echo "== corpus run: $COUNT programs, seeds $SEED_START..$((SEED_START+COUNT-1)) =="
+baseline_args=()
+if [[ -f "$BASELINE" ]]; then
+  baseline_args=(--baseline "$BASELINE")
+else
+  echo "  (no baseline at $BASELINE; floors only)"
+fi
+
+run_rc=0
+for n in $JOBS_LEVELS; do
+  rc=0
+  "$CORPUS" run --count "$COUNT" --seed-start "$SEED_START" --jobs "$n" \
+    --crashsim-sample 25 --min-recall "$MIN_RECALL" \
+    --min-precision "$MIN_PRECISION" "${baseline_args[@]}" \
+    --out "$TMP/run_j$n.json" 2> "$TMP/run_j$n.err" || rc=$?
+  if [[ "$rc" -ge 64 ]]; then
+    log_fail "deepmc-corpus run --jobs $n crashed/failed (exit $rc)"
+    sed 's/^/    /' "$TMP/run_j$n.err" >&2
+    run_rc=$rc
+    continue
+  fi
+  if [[ "$rc" -ne 0 ]]; then
+    log_fail "deepmc-corpus run --jobs $n: precision/recall regression (exit $rc)"
+    sed 's/^/    /' "$TMP/run_j$n.err" >&2
+    run_rc=$rc
+  else
+    log_pass "deepmc-corpus run --jobs $n: no crashes, floors met"
+  fi
+  # Stable section: everything before the volatile marker (same extraction
+  # scripts/check.sh uses for deepmc-metrics-v1).
+  awk '/^  "volatile": \{$/{exit} {print}' "$TMP/run_j$n.json" \
+    > "$TMP/stable_j$n"
+done
+
+first="${JOBS_LEVELS%% *}"
+for n in $JOBS_LEVELS; do
+  [[ "$n" == "$first" ]] && continue
+  if cmp -s "$TMP/stable_j$first" "$TMP/stable_j$n"; then
+    log_pass "stable corpus report identical: --jobs $first vs --jobs $n"
+  else
+    log_fail "stable corpus report differs between --jobs $first and --jobs $n"
+    diff "$TMP/stable_j$first" "$TMP/stable_j$n" | head -20 >&2
+  fi
+done
+
+echo "  corpus metrics:"
+grep -E '    "(programs|planted|reported|tp|fp|fn|precision|recall)":' \
+  "$TMP/run_j$first.json" | sed 's/^/  /'
+
+# --- Phase 2: generated .mir files through the deepmc binary ---------------
+
+echo "== deepmc binary over $SAMPLE_FILES generated programs =="
+step=$(( COUNT / SAMPLE_FILES )); [[ "$step" -lt 1 ]] && step=1
+for (( i = 0; i < SAMPLE_FILES && i * step < COUNT; i++ )); do
+  seed=$(( SEED_START + i * step ))
+  f="$TMP/s$seed.mir"
+  if ! "$CORPUS" gen --seed "$seed" > "$f" 2>/dev/null; then
+    log_fail "seed $seed: deepmc-corpus gen failed"
+    continue
+  fi
+  "$CORPUS" gen --seed "$seed" --manifest > "$TMP/s$seed.manifest" 2>/dev/null
+  line_count="$(sed -n 's/.*"line_count": \([0-9]*\).*/\1/p' \
+    "$TMP/s$seed.manifest")"
+
+  crashed=0
+  for n in $JOBS_LEVELS; do
+    rc=0
+    "$DEEPMC" --format json --jobs "$n" "$f" > "$TMP/out_j$n.raw" 2>/dev/null \
+      || rc=$?
+    if [[ "$rc" -ge 64 ]]; then
+      log_fail "seed $seed: deepmc exited $rc at --jobs $n"
+      crashed=1
+      break
+    fi
+    grep -v '"elapsed_ms"' "$TMP/out_j$n.raw" > "$TMP/out_j$n"
+  done
+  [[ "$crashed" -ne 0 ]] && continue
+  log_pass "seed $seed: analyzed at all jobs levels (no crash)"
+
+  identical=1
+  for n in $JOBS_LEVELS; do
+    [[ "$n" == "$first" ]] && continue
+    if ! cmp -s "$TMP/out_j$first" "$TMP/out_j$n"; then
+      log_fail "seed $seed: report differs between --jobs $first and --jobs $n"
+      diff "$TMP/out_j$first" "$TMP/out_j$n" | head -10 >&2
+      identical=0
+    fi
+  done
+  [[ "$identical" -eq 1 ]] && log_pass "seed $seed: byte-identical report across jobs"
+
+  # Every warning must cite the synthetic source file at a generated line.
+  invalid=0
+  while IFS= read -r line; do
+    file="$(sed -n 's/.*"file": "\([^"]*\)".*/\1/p' <<< "$line")"
+    lineno="$(sed -n 's/.*"line": \([0-9]*\).*/\1/p' <<< "$line")"
+    [[ -z "$file" || -z "$lineno" ]] && continue
+    if [[ "$file" != "$(printf 'gen_%05d.c' "$seed")" ]] ||
+       [[ "$lineno" -lt 1 || "$lineno" -gt "${line_count:-0}" ]]; then
+      echo "    invalid location: $file:$lineno (program has" \
+           "${line_count:-?} lines)" >&2
+      invalid=$((invalid+1))
+    fi
+  done < <(grep '"rule"' "$TMP/out_j$first" || true)
+  if [[ "$invalid" -eq 0 ]]; then
+    log_pass "seed $seed: all warning locations valid"
+  else
+    log_fail "seed $seed: $invalid invalid warning locations"
+  fi
+done
+
+# --- Phase 3: mutated programs — the tolerant parser must never abort ------
+
+echo "== deepmc binary over $MUTANT_FILES mutated programs =="
+for (( i = 0; i < MUTANT_FILES; i++ )); do
+  seed=$(( SEED_START + i ))
+  f="$TMP/mut$seed.mir"
+  if ! "$CORPUS" gen --seed "$seed" --mutate 4 --mutate-seed $(( seed + 1 )) \
+      > "$f" 2>/dev/null; then
+    log_fail "seed $seed: deepmc-corpus gen --mutate failed"
+    continue
+  fi
+  rc=0
+  "$DEEPMC" --keep-going --format json "$f" > "$TMP/mut_a" 2>/dev/null || rc=$?
+  if [[ "$rc" -ge 67 ]]; then
+    log_fail "mutant $seed: deepmc crashed (exit $rc)"
+    continue
+  fi
+  rc2=0
+  "$DEEPMC" --keep-going --format json "$f" > "$TMP/mut_b" 2>/dev/null || rc2=$?
+  if [[ "$rc" -ne "$rc2" ]]; then
+    log_fail "mutant $seed: exit code unstable ($rc vs $rc2)"
+    continue
+  fi
+  grep -v '"elapsed_ms"' "$TMP/mut_a" > "$TMP/mut_a.s"
+  grep -v '"elapsed_ms"' "$TMP/mut_b" > "$TMP/mut_b.s"
+  if cmp -s "$TMP/mut_a.s" "$TMP/mut_b.s"; then
+    log_pass "mutant $seed: no crash (exit $rc), stable diagnostics"
+  else
+    log_fail "mutant $seed: diagnostics differ between identical runs"
+  fi
+done
+
+# --- Summary ---------------------------------------------------------------
+
+echo
+echo "run_corpus: $PASS passed, $FAIL failed"
+if [[ "$FAIL" -gt 0 || "$run_rc" -ne 0 ]]; then
+  exit 1
+fi
+exit 0

@@ -1,0 +1,628 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace deepmc::gen {
+
+using corpus::Framework;
+using core::PersistencyModel;
+using ir::BasicBlock;
+using ir::IRBuilder;
+using ir::RegionKind;
+using ir::StructType;
+using ir::Value;
+
+namespace {
+
+/// Clean scenario shapes. Each is self-contained: it allocates its own
+/// objects and leaves no pending persistence state (unfenced flushes,
+/// open regions, unchecked writes) behind.
+enum class Scenario : uint8_t {
+  kTxUpdate,         // tx.begin; tx.add; stores; tx.end        (pmdk)
+  kPersistUpdate,    // store; pm.persist                       (nvmdirect)
+  kFlushFenceUpdate, // store; pm.flush; pm.fence
+  kEpochUpdate,      // epoch.begin; store; flush; fence; epoch.end
+  kEpochFenceAfter,  // epoch.begin; store; flush; epoch.end; fence
+  kStrandUpdate,     // strand.begin; store; flush; strand.end; fence
+  kNestedRegion,     // nested tx (logged) / nested epoch (fenced)
+  kVolatileNoise,    // alloca traffic, no persistence
+  kBranchUpdate,     // diamond: both arms store+persist the same field
+  kBulkInit,         // memset + whole-object persist
+  kExtCall,          // call into a declared external helper
+};
+
+const std::vector<Scenario>& scenarios_for(Framework f) {
+  // Weighted by repetition: the framework's signature idiom dominates.
+  static const std::vector<Scenario> pmdk = {
+      Scenario::kTxUpdate,     Scenario::kTxUpdate,
+      Scenario::kPersistUpdate, Scenario::kFlushFenceUpdate,
+      Scenario::kNestedRegion, Scenario::kBranchUpdate,
+      Scenario::kBulkInit,     Scenario::kVolatileNoise,
+      Scenario::kExtCall};
+  static const std::vector<Scenario> nvmdirect = {
+      Scenario::kPersistUpdate, Scenario::kPersistUpdate,
+      Scenario::kFlushFenceUpdate, Scenario::kTxUpdate,
+      Scenario::kStrandUpdate, Scenario::kBranchUpdate,
+      Scenario::kBulkInit,     Scenario::kVolatileNoise,
+      Scenario::kExtCall};
+  static const std::vector<Scenario> mnemosyne = {
+      Scenario::kEpochUpdate,  Scenario::kEpochUpdate,
+      Scenario::kEpochFenceAfter, Scenario::kFlushFenceUpdate,
+      Scenario::kStrandUpdate, Scenario::kBranchUpdate,
+      Scenario::kVolatileNoise, Scenario::kBulkInit,
+      Scenario::kExtCall};
+  static const std::vector<Scenario> pmfs = {
+      Scenario::kEpochUpdate,  Scenario::kEpochFenceAfter,
+      Scenario::kNestedRegion, Scenario::kBulkInit,
+      Scenario::kFlushFenceUpdate, Scenario::kVolatileNoise,
+      Scenario::kExtCall};
+  switch (f) {
+    case Framework::kPmdk: return pmdk;
+    case Framework::kNvmDirect: return nvmdirect;
+    case Framework::kMnemosyne: return mnemosyne;
+    case Framework::kPmfs: return pmfs;
+  }
+  return pmdk;
+}
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(const GenOptions& opts)
+      : opts_(opts),
+        // Mix the seed so seed 0 does not degenerate into splitmix's
+        // first fixed-point neighbourhood.
+        rng_(opts.seed * 0x9e3779b97f4a7c15ull + 0xdeadbeefcafef00dull) {}
+
+  GeneratedProgram run() {
+    GeneratedProgram out;
+    out.seed = opts_.seed;
+    out.name = strformat("gen/s%llu",
+                                  static_cast<unsigned long long>(opts_.seed));
+    out.framework = opts_.framework
+                        ? *opts_.framework
+                        : static_cast<Framework>(rng_.below(4));
+    out.model = corpus::framework_model(out.framework);
+    model_ = out.model;
+    framework_ = out.framework;
+    out.clean = opts_.force_clean || rng_.chance(opts_.clean_probability);
+
+    file_ = strformat("gen_%05llu.c",
+                               static_cast<unsigned long long>(opts_.seed));
+    out.module = std::make_unique<ir::Module>(out.name);
+    mod_ = out.module.get();
+    builder_ = std::make_unique<IRBuilder>(*mod_);
+
+    make_structs();
+    plan_and_emit(out.clean);
+
+    ir::verify_or_throw(*mod_);
+    out.text = ir::to_string(*mod_);
+
+    out.manifest.program = out.name;
+    out.manifest.seed = opts_.seed;
+    out.manifest.framework = corpus::framework_name(out.framework);
+    out.manifest.model = core::model_name(out.model);
+    out.manifest.clean = out.clean;
+    out.manifest.source_file = file_;
+    out.manifest.line_count = line_;
+    out.manifest.bugs = std::move(bugs_);
+    return out;
+  }
+
+ private:
+  IRBuilder& b() { return *builder_; }
+
+  /// Advance the synthetic source position and stamp it on the next
+  /// emitted instruction. Every instruction gets its own line, so planted
+  /// warning sites never collide under the checker's (rule, file, line)
+  /// dedup.
+  uint32_t stamp() {
+    ++line_;
+    b().set_loc(file_, line_);
+    return line_;
+  }
+
+  void make_structs() {
+    const size_t n = 1 + rng_.below(2);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t int_fields = 2 + rng_.below(3);
+      std::vector<const ir::Type*> fields;
+      for (size_t f = 0; f < int_fields; ++f)
+        fields.push_back(mod_->types().i64());
+      if (rng_.chance(0.25))
+        fields.push_back(mod_->types().array_of(mod_->types().i64(), 4));
+      structs_.push_back(mod_->types().create_struct(
+          strformat("gen_rec%zu", i), std::move(fields)));
+      int_field_count_.push_back(int_fields);
+    }
+  }
+
+  const StructType* pick_struct(size_t* int_fields) {
+    const size_t i = rng_.below(structs_.size());
+    *int_fields = int_field_count_[i];
+    return structs_[i];
+  }
+
+  std::string vname(const char* base) {
+    return strformat("s%zu_%s%zu", slot_, base, vcount_++);
+  }
+
+  Value* fresh_object(const StructType** st_out, size_t* int_fields) {
+    const StructType* st = pick_struct(int_fields);
+    if (st_out) *st_out = st;
+    stamp();
+    return b().pm_alloc(st, vname("o"));
+  }
+
+  Value* field_ptr(Value* obj, size_t index) {
+    stamp();
+    return b().gep(obj, static_cast<int64_t>(index), vname("f"));
+  }
+
+  void store_const(Value* ptr) {
+    stamp();
+    b().store(static_cast<int64_t>(1 + rng_.below(97)), ptr);
+  }
+
+  // --- clean scenarios ------------------------------------------------------
+
+  void emit_tx_update() {
+    size_t nf = 0;
+    const StructType* st = nullptr;
+    Value* o = fresh_object(&st, &nf);
+    stamp();
+    b().tx_begin(RegionKind::kTx);
+    stamp();
+    b().tx_add(o);
+    const size_t writes = 1 + rng_.below(std::min<size_t>(3, nf));
+    for (size_t i = 0; i < writes; ++i) store_const(field_ptr(o, i));
+    stamp();
+    b().tx_end(RegionKind::kTx);
+  }
+
+  void emit_persist_update() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    store_const(f);
+    stamp();
+    b().persist(f);
+  }
+
+  void emit_flush_fence_update() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    store_const(f);
+    stamp();
+    b().flush(f);
+    stamp();
+    b().fence();
+  }
+
+  void emit_epoch_update(bool fence_inside) {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    stamp();
+    b().epoch_begin();
+    Value* f = field_ptr(o, rng_.below(nf));
+    store_const(f);
+    stamp();
+    b().flush(f);
+    if (fence_inside) {
+      stamp();
+      b().fence();
+      stamp();
+      b().epoch_end();
+    } else {
+      stamp();
+      b().epoch_end();
+      stamp();
+      b().fence();
+    }
+  }
+
+  void emit_strand_update() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    stamp();
+    b().strand_begin();
+    Value* f = field_ptr(o, rng_.below(nf));
+    store_const(f);
+    stamp();
+    b().flush(f);
+    stamp();
+    b().strand_end();
+    stamp();
+    b().fence();
+  }
+
+  void emit_nested_region() {
+    size_t nf1 = 0, nf2 = 0;
+    Value* outer = fresh_object(nullptr, &nf1);
+    Value* inner = fresh_object(nullptr, &nf2);
+    if (model_ == PersistencyModel::kStrict) {
+      // PMDK-style nested durable transactions with undo logging.
+      stamp();
+      b().tx_begin(RegionKind::kTx);
+      stamp();
+      b().tx_add(outer);
+      store_const(field_ptr(outer, 0));
+      stamp();
+      b().tx_begin(RegionKind::kTx);
+      stamp();
+      b().tx_add(inner);
+      store_const(field_ptr(inner, 0));
+      stamp();
+      b().tx_end(RegionKind::kTx);
+      stamp();
+      b().tx_end(RegionKind::kTx);
+    } else {
+      // PMFS-style nested epochs: the inner epoch persists (flush+fence)
+      // before returning to the outer one.
+      stamp();
+      b().epoch_begin();
+      Value* fo = field_ptr(outer, 0);
+      store_const(fo);
+      stamp();
+      b().flush(fo);
+      stamp();
+      b().epoch_begin();
+      Value* fi = field_ptr(inner, 0);
+      store_const(fi);
+      stamp();
+      b().flush(fi);
+      stamp();
+      b().fence();
+      stamp();
+      b().epoch_end();
+      stamp();
+      b().epoch_end();
+    }
+  }
+
+  void emit_volatile_noise() {
+    stamp();
+    Value* a = b().alloca_(mod_->types().i64(), vname("a"));
+    stamp();
+    b().store(static_cast<int64_t>(rng_.below(100)), a);
+    stamp();
+    Value* v = b().load(a, vname("v"));
+    stamp();
+    Value* w = b().binop(ir::BinOpKind::kAdd, v,
+                         b().const_int(static_cast<int64_t>(1 + rng_.below(9))),
+                         vname("w"));
+    stamp();
+    b().store(w, a);
+  }
+
+  void emit_branch_update() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    stamp();
+    Value* c = b().alloca_(mod_->types().i64(), vname("c"));
+    const int64_t k = static_cast<int64_t>(rng_.below(2));
+    stamp();
+    b().store(k, c);
+    stamp();
+    Value* v = b().load(c, vname("v"));
+    stamp();
+    Value* cond =
+        b().binop(ir::BinOpKind::kEq, v, b().const_int(0), vname("cond"));
+    BasicBlock* then_bb =
+        b().create_block(strformat("s%zu_then", slot_));
+    BasicBlock* else_bb =
+        b().create_block(strformat("s%zu_else", slot_));
+    BasicBlock* join_bb =
+        b().create_block(strformat("s%zu_join", slot_));
+    stamp();
+    b().cond_br(cond, then_bb, else_bb);
+    b().set_insert_point(then_bb);
+    store_const(f);
+    stamp();
+    b().persist(f);
+    stamp();
+    b().br(join_bb);
+    b().set_insert_point(else_bb);
+    store_const(f);
+    stamp();
+    b().persist(f);
+    stamp();
+    b().br(join_bb);
+    b().set_insert_point(join_bb);
+  }
+
+  void emit_bulk_init() {
+    size_t nf = 0;
+    const StructType* st = nullptr;
+    Value* o = fresh_object(&st, &nf);
+    stamp();
+    b().memset_(o, b().const_int(0),
+                b().const_int(static_cast<int64_t>(st->size())));
+    stamp();
+    b().persist(o, st->size());
+  }
+
+  void emit_ext_call() {
+    if (!ext_) ext_ = mod_->create_function("gen_ext", mod_->types().void_type(), {});
+    stamp();
+    b().call(ext_, {});
+  }
+
+  void emit_clean(Scenario s) {
+    switch (s) {
+      case Scenario::kTxUpdate: emit_tx_update(); break;
+      case Scenario::kPersistUpdate: emit_persist_update(); break;
+      case Scenario::kFlushFenceUpdate: emit_flush_fence_update(); break;
+      case Scenario::kEpochUpdate: emit_epoch_update(true); break;
+      case Scenario::kEpochFenceAfter: emit_epoch_update(false); break;
+      case Scenario::kStrandUpdate: emit_strand_update(); break;
+      case Scenario::kNestedRegion: emit_nested_region(); break;
+      case Scenario::kVolatileNoise: emit_volatile_noise(); break;
+      case Scenario::kBranchUpdate: emit_branch_update(); break;
+      case Scenario::kBulkInit: emit_bulk_init(); break;
+      case Scenario::kExtCall: emit_ext_call(); break;
+    }
+  }
+
+  // --- bug scenarios --------------------------------------------------------
+  //
+  // Each records exactly one manifest entry whose (file, line) is the site
+  // the checker reports. Shapes mirror src/core/static_checker.cpp's rule
+  // semantics; docs/CORPUS.md documents them next to the rule inventory.
+
+  void plant(BugKind kind, uint32_t line) {
+    PlantedBug bug;
+    bug.kind = kind;
+    bug.rule = bug_kind_rule(kind, model_);
+    bug.file = file_;
+    bug.line = line;
+    bug.function = func_name_;
+    bugs_.push_back(std::move(bug));
+  }
+
+  /// Store never flushed; the trailing barrier reports it.
+  void emit_bug_missing_flush() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    stamp();
+    plant(BugKind::kMissingFlush, line_);
+    b().store(static_cast<int64_t>(1 + rng_.below(97)), f);
+    stamp();
+    b().fence();
+  }
+
+  /// Flushed store with no barrier before the trace ends. Only valid as a
+  /// function's final block: a later fence would retroactively order it.
+  void emit_bug_missing_fence() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    stamp();
+    plant(BugKind::kMissingFence, line_);
+    b().store(static_cast<int64_t>(1 + rng_.below(97)), f);
+    stamp();
+    b().flush(f);
+  }
+
+  /// The second store is "moved" after the flush: the flushed line no
+  /// longer holds the newest value when the barrier hits.
+  void emit_bug_misordered_store() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    store_const(f);
+    stamp();
+    b().flush(f);
+    stamp();
+    plant(BugKind::kMisorderedStore, line_);
+    b().store(static_cast<int64_t>(1 + rng_.below(97)), f);
+    stamp();
+    b().fence();
+  }
+
+  /// Duplicate write-back of an unmodified range.
+  void emit_bug_redundant_flush() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    Value* f = field_ptr(o, rng_.below(nf));
+    store_const(f);
+    stamp();
+    b().flush(f);
+    stamp();
+    plant(BugKind::kRedundantFlush, line_);
+    b().flush(f);
+    stamp();
+    b().fence();
+  }
+
+  /// Several flushed writes made durable by one barrier (the "oversized
+  /// epoch": updates that should persist one at a time are batched).
+  void emit_bug_oversized_epoch() {
+    size_t nf = 0;
+    Value* o = fresh_object(nullptr, &nf);
+    const size_t writes = std::max<size_t>(2, std::min<size_t>(nf, 2 + rng_.below(2)));
+    for (size_t i = 0; i < writes; ++i) {
+      Value* f = field_ptr(o, i);
+      store_const(f);
+      stamp();
+      b().flush(f);
+    }
+    stamp();
+    plant(BugKind::kOversizedEpoch, line_);
+    b().fence();
+  }
+
+  /// The region commits while one of its writes is neither undo-logged
+  /// nor flushed.
+  void emit_bug_unflushed_commit() {
+    size_t nf1 = 0, nf2 = 0;
+    Value* logged = fresh_object(nullptr, &nf1);
+    Value* stray = fresh_object(nullptr, &nf2);
+    const RegionKind kind = model_ == PersistencyModel::kStrict
+                                ? RegionKind::kTx
+                                : RegionKind::kEpoch;
+    stamp();
+    b().tx_begin(kind);
+    stamp();
+    b().tx_add(logged);
+    store_const(field_ptr(logged, 0));
+    Value* f2 = field_ptr(stray, rng_.below(nf2));
+    stamp();
+    plant(BugKind::kUnflushedCommit, line_);
+    b().store(static_cast<int64_t>(1 + rng_.below(97)), f2);
+    stamp();
+    b().tx_end(kind);
+  }
+
+  void emit_bug(BugKind kind) {
+    switch (kind) {
+      case BugKind::kMissingFlush: emit_bug_missing_flush(); break;
+      case BugKind::kMissingFence: emit_bug_missing_fence(); break;
+      case BugKind::kMisorderedStore: emit_bug_misordered_store(); break;
+      case BugKind::kRedundantFlush: emit_bug_redundant_flush(); break;
+      case BugKind::kOversizedEpoch: emit_bug_oversized_epoch(); break;
+      case BugKind::kUnflushedCommit: emit_bug_unflushed_commit(); break;
+    }
+  }
+
+  // --- program layout -------------------------------------------------------
+
+  void plan_and_emit(bool clean) {
+    const size_t nfuncs = 1 + rng_.below(std::max<size_t>(1, opts_.max_functions));
+    std::vector<size_t> nblocks(nfuncs);
+    size_t total = 0;
+    for (size_t i = 0; i < nfuncs; ++i) {
+      nblocks[i] =
+          1 + rng_.below(std::max<size_t>(1, opts_.max_blocks_per_function));
+      total += nblocks[i];
+    }
+
+    std::vector<bool> is_bug_slot(total, false);
+    if (!clean) {
+      size_t nbugs = std::min<size_t>(
+          1 + rng_.below(std::max<size_t>(1, opts_.max_bugs)), total);
+      std::vector<size_t> order(total);
+      for (size_t i = 0; i < total; ++i) order[i] = i;
+      for (size_t i = total - 1; i > 0; --i)
+        std::swap(order[i], order[rng_.below(i + 1)]);
+      for (size_t i = 0; i < nbugs; ++i) is_bug_slot[order[i]] = true;
+    }
+
+    const std::vector<Scenario>& menu = scenarios_for(framework_);
+    size_t global = 0;
+    for (size_t fi = 0; fi < nfuncs; ++fi) {
+      func_name_ = strformat("gen_f%zu", fi);
+      b().begin_function(func_name_, mod_->types().void_type(), {});
+      for (size_t bi = 0; bi < nblocks[fi]; ++bi, ++global) {
+        slot_ = global;
+        if (is_bug_slot[global]) {
+          BugKind kind = static_cast<BugKind>(rng_.below(kBugKindCount));
+          const bool last_block = bi + 1 == nblocks[fi];
+          if (kind == BugKind::kMissingFence && !last_block) {
+            // Trace-end dependent shape in a non-final block: fall back to
+            // a position-independent kind (the draw stays deterministic).
+            static constexpr BugKind fallback[5] = {
+                BugKind::kMissingFlush, BugKind::kMisorderedStore,
+                BugKind::kRedundantFlush, BugKind::kOversizedEpoch,
+                BugKind::kUnflushedCommit};
+            kind = fallback[rng_.below(5)];
+          }
+          emit_bug(kind);
+        } else {
+          emit_clean(menu[rng_.below(menu.size())]);
+        }
+      }
+      stamp();
+      b().ret();
+    }
+  }
+
+  GenOptions opts_;
+  Rng rng_;
+  ir::Module* mod_ = nullptr;
+  std::unique_ptr<IRBuilder> builder_;
+  ir::Function* ext_ = nullptr;
+  Framework framework_ = Framework::kPmdk;
+  PersistencyModel model_ = PersistencyModel::kStrict;
+  std::string file_;
+  std::string func_name_;
+  uint32_t line_ = 0;
+  size_t slot_ = 0;
+  size_t vcount_ = 0;
+  std::vector<const StructType*> structs_;
+  std::vector<size_t> int_field_count_;
+  std::vector<PlantedBug> bugs_;
+};
+
+}  // namespace
+
+GeneratedProgram generate_program(const GenOptions& opts) {
+  return ProgramGenerator(opts).run();
+}
+
+std::string mutate_text(const std::string& text, uint64_t seed,
+                        size_t tokens) {
+  struct Token {
+    size_t start;
+    size_t len;
+  };
+  std::vector<Token> toks;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    const size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) toks.push_back({start, i - start});
+  }
+  if (toks.empty() || tokens == 0) return text;
+
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x5ca1ab1e0ddba11ull);
+  // Pick distinct token indices, then corrupt from the back so earlier
+  // offsets stay valid.
+  std::vector<std::pair<size_t, uint64_t>> picks;  // token idx, strategy
+  std::vector<bool> used(toks.size(), false);
+  for (size_t t = 0; t < tokens && t < toks.size(); ++t) {
+    size_t idx = rng.below(toks.size());
+    for (size_t probe = 0; used[idx] && probe < toks.size(); ++probe)
+      idx = (idx + 1) % toks.size();
+    if (used[idx]) break;
+    used[idx] = true;
+    picks.emplace_back(idx, rng.next());
+  }
+  std::sort(picks.begin(), picks.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::string out = text;
+  for (const auto& [idx, strategy_bits] : picks) {
+    const Token& tok = toks[idx];
+    const std::string word = out.substr(tok.start, tok.len);
+    std::string repl;
+    switch (strategy_bits % 6) {
+      case 0: repl = ""; break;                       // delete
+      case 1: repl = "@@@@"; break;                   // garbage
+      case 2: repl = word + " " + word; break;        // duplicate
+      case 3: repl = word.substr(0, tok.len / 2); break;  // truncate
+      case 4: repl = "99999999999999999999999999"; break;  // overflow int
+      case 5: repl = "\"" + word; break;              // unterminated string
+    }
+    out.replace(tok.start, tok.len, repl);
+  }
+  return out;
+}
+
+}  // namespace deepmc::gen

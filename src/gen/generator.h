@@ -1,0 +1,79 @@
+// Deterministic MIR program generator with known-bug injection.
+//
+// The generator is the corpus-scale ground-truth engine (ROADMAP item 5):
+// from a seed it derives a program over the pm.*/tx.* intrinsics in one of
+// the four mini-framework idioms (pmdk / mnemosyne / nvmdirect / pmfs),
+// built from self-contained "scenario blocks". Clean blocks follow the
+// framework's persistency discipline exactly (logged transactional
+// updates, flush+fence sequences, fenced epochs, strands, volatile noise,
+// bulk init, diamond control flow); bug blocks are local corruptions of
+// those shapes whose warning site and rule id are known by construction
+// and recorded in a deepmc-manifest-v1 manifest (src/gen/manifest.h).
+//
+// Determinism contract (pinned by tests/gen_test.cpp): the same options
+// produce a byte-identical program text and manifest on every run and
+// platform — generation draws only from support/rng.h's splitmix64 stream,
+// never from global state, time, or addresses.
+//
+// Every block allocates fresh persistent objects, so a block's trace state
+// (pending flushes, region siblings, write sets) cannot leak warnings into
+// a neighbouring block: a generated program's expected report is exactly
+// its manifest. The misordered-store and missing-fence shapes depend on
+// where the trace ends, so missing-fence bugs are only planted in a
+// function's final block.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/registry.h"
+#include "gen/manifest.h"
+#include "ir/module.h"
+
+namespace deepmc::gen {
+
+struct GenOptions {
+  uint64_t seed = 0;
+  /// Force one framework idiom; default derives it from the seed.
+  std::optional<corpus::Framework> framework;
+  /// Emit a guaranteed-clean control program (no bugs planted).
+  bool force_clean = false;
+  /// Share of seeds that come out clean when not forced (deterministic
+  /// per seed).
+  double clean_probability = 0.2;
+  /// Function count is 1..max_functions; blocks per function
+  /// 1..max_blocks_per_function.
+  size_t max_functions = 3;
+  size_t max_blocks_per_function = 4;
+  /// Planted bugs per non-clean program: 1..max_bugs (capped by the
+  /// number of scenario slots).
+  size_t max_bugs = 3;
+};
+
+struct GeneratedProgram {
+  std::string name;  ///< unit name, "gen/s<seed>"
+  corpus::Framework framework = corpus::Framework::kPmdk;
+  core::PersistencyModel model = core::PersistencyModel::kStrict;
+  std::unique_ptr<ir::Module> module;  ///< verified, ready to analyze
+  std::string text;                    ///< printed MIR (parses back)
+  Manifest manifest;                   ///< planted-bug ground truth
+  bool clean = false;
+  uint64_t seed = 0;
+};
+
+/// Generate one program. The result's module always passes ir::verify and
+/// its text parses back to an equivalent module.
+GeneratedProgram generate_program(const GenOptions& opts);
+
+/// Corrupt `tokens` whitespace-delimited tokens of `text` deterministically
+/// (seeded): deletions, garbage substitutions, duplications, truncations,
+/// overflowing integers, and unterminated strings. Exercises
+/// parse_module_tolerant's recovery over generator-shaped input
+/// (tests/fuzz/gen-mutated-*.mir are committed outputs of this function).
+std::string mutate_text(const std::string& text, uint64_t seed,
+                        size_t tokens);
+
+}  // namespace deepmc::gen

@@ -1,0 +1,236 @@
+#include "gen/manifest.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "core/report.h"
+#include "support/str.h"
+
+namespace deepmc::gen {
+
+const char* bug_kind_name(BugKind k) {
+  switch (k) {
+    case BugKind::kMissingFlush: return "missing-flush";
+    case BugKind::kMissingFence: return "missing-fence";
+    case BugKind::kMisorderedStore: return "misordered-store";
+    case BugKind::kRedundantFlush: return "redundant-flush";
+    case BugKind::kOversizedEpoch: return "oversized-epoch";
+    case BugKind::kUnflushedCommit: return "unflushed-commit";
+  }
+  return "?";
+}
+
+std::optional<BugKind> parse_bug_kind(std::string_view name) {
+  for (size_t i = 0; i < kBugKindCount; ++i) {
+    const auto k = static_cast<BugKind>(i);
+    if (name == bug_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const char* bug_kind_rule(BugKind kind, core::PersistencyModel model) {
+  switch (kind) {
+    case BugKind::kMissingFlush:
+      // The unflushed write reaches an explicit barrier; the fence handler
+      // reports strict.unflushed-write under every model.
+      return "strict.unflushed-write";
+    case BugKind::kMissingFence:
+      return "strict.missing-barrier";
+    case BugKind::kMisorderedStore:
+      // The re-issued store reaches the barrier unflushed.
+      return "strict.unflushed-write";
+    case BugKind::kRedundantFlush:
+      return "perf.redundant-flush";
+    case BugKind::kOversizedEpoch:
+      return "strict.multiple-writes";
+    case BugKind::kUnflushedCommit:
+      // Region-end checks name the model's own rule.
+      return model == core::PersistencyModel::kStrict
+                 ? "strict.unflushed-write"
+                 : "epoch.unflushed-write";
+  }
+  return "?";
+}
+
+std::string manifest_json(const Manifest& m) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"deepmc-manifest-v1\",\n";
+  out += "  \"program\": " + core::json_quote(m.program) + ",\n";
+  out += "  \"seed\": " + std::to_string(m.seed) + ",\n";
+  out += "  \"framework\": " + core::json_quote(m.framework) + ",\n";
+  out += "  \"model\": " + core::json_quote(m.model) + ",\n";
+  out += std::string("  \"clean\": ") + (m.clean ? "true" : "false") + ",\n";
+  out += "  \"source_file\": " + core::json_quote(m.source_file) + ",\n";
+  out += "  \"line_count\": " + std::to_string(m.line_count) + ",\n";
+  out += "  \"bugs\": [";
+  for (size_t i = 0; i < m.bugs.size(); ++i) {
+    const PlantedBug& b = m.bugs[i];
+    out += i ? ",\n" : "\n";
+    out += "    {\"kind\": " + core::json_quote(bug_kind_name(b.kind));
+    out += ", \"rule\": " + core::json_quote(b.rule);
+    out += ", \"file\": " + core::json_quote(b.file);
+    out += ", \"line\": " + std::to_string(b.line);
+    out += ", \"function\": " + core::json_quote(b.function) + "}";
+  }
+  out += m.bugs.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal scanner for the JSON subset manifest_json() emits. It is not a
+/// general JSON parser: strings have no escapes beyond \" \\ (json_quote
+/// escapes control characters, which the manifest never contains).
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c))
+      throw std::invalid_argument(
+          strformat("manifest: expected '%c' at offset %zu", c,
+                             pos_));
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  uint64_t number() {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ == start)
+      throw std::invalid_argument("manifest: expected a number");
+    return std::stoull(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    throw std::invalid_argument("manifest: expected true/false");
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+PlantedBug parse_bug(Scanner& s) {
+  PlantedBug b;
+  s.expect('{');
+  bool first = true;
+  while (s.peek() != '}') {
+    if (!first) s.expect(',');
+    first = false;
+    const std::string key = s.string();
+    s.expect(':');
+    if (key == "kind") {
+      const std::string kind = s.string();
+      auto k = parse_bug_kind(kind);
+      if (!k)
+        throw std::invalid_argument("manifest: unknown bug kind '" + kind +
+                                    "'");
+      b.kind = *k;
+    } else if (key == "rule") {
+      b.rule = s.string();
+    } else if (key == "file") {
+      b.file = s.string();
+    } else if (key == "line") {
+      b.line = static_cast<uint32_t>(s.number());
+    } else if (key == "function") {
+      b.function = s.string();
+    } else {
+      throw std::invalid_argument("manifest: unknown bug key '" + key + "'");
+    }
+  }
+  s.expect('}');
+  return b;
+}
+
+}  // namespace
+
+Manifest parse_manifest_json(std::string_view text) {
+  Scanner s(text);
+  Manifest m;
+  m.schema.clear();
+  s.expect('{');
+  bool first = true;
+  while (s.peek() != '}') {
+    if (!first) s.expect(',');
+    first = false;
+    const std::string key = s.string();
+    s.expect(':');
+    if (key == "schema") {
+      m.schema = s.string();
+    } else if (key == "program") {
+      m.program = s.string();
+    } else if (key == "seed") {
+      m.seed = s.number();
+    } else if (key == "framework") {
+      m.framework = s.string();
+    } else if (key == "model") {
+      m.model = s.string();
+    } else if (key == "clean") {
+      m.clean = s.boolean();
+    } else if (key == "source_file") {
+      m.source_file = s.string();
+    } else if (key == "line_count") {
+      m.line_count = static_cast<uint32_t>(s.number());
+    } else if (key == "bugs") {
+      s.expect('[');
+      while (s.peek() != ']') {
+        if (!m.bugs.empty()) s.expect(',');
+        m.bugs.push_back(parse_bug(s));
+      }
+      s.expect(']');
+    } else {
+      throw std::invalid_argument("manifest: unknown key '" + key + "'");
+    }
+  }
+  s.expect('}');
+  if (m.schema != "deepmc-manifest-v1")
+    throw std::invalid_argument("manifest: schema is not deepmc-manifest-v1");
+  return m;
+}
+
+}  // namespace deepmc::gen

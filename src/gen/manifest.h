@@ -1,0 +1,78 @@
+// Planted-bug manifests (deepmc-manifest-v1).
+//
+// Every generated program (src/gen/generator.h) carries a machine-readable
+// manifest of the violations the generator planted: one entry per bug with
+// the kind of corruption, the static rule id the checker is expected to
+// fire, and the exact source location the warning must cite. The corpus
+// harness (src/tools/deepmc-corpus.cpp, scripts/run_corpus.sh) scores
+// checker reports against these manifests to measure precision/recall at
+// corpus scale — the same (file, line) keying the hand-written registry
+// (src/corpus/registry.h) uses for the paper's Tables 3 and 8.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/model.h"
+
+namespace deepmc::gen {
+
+/// The corruption kinds the generator can plant. Each maps to a concrete
+/// MIR shape with a known warning site (docs/CORPUS.md has the shapes).
+enum class BugKind : uint8_t {
+  kMissingFlush,     ///< persistent store never flushed before its barrier
+  kMissingFence,     ///< flushed store with no persist barrier before end
+  kMisorderedStore,  ///< store moved after its flush (stale line persists)
+  kRedundantFlush,   ///< duplicate flush of an unmodified range
+  kOversizedEpoch,   ///< several writes made durable by a single barrier
+  kUnflushedCommit,  ///< region commits with an unlogged, unflushed write
+};
+
+inline constexpr size_t kBugKindCount = 6;
+
+const char* bug_kind_name(BugKind k);
+std::optional<BugKind> parse_bug_kind(std::string_view name);
+
+/// The static rule id the checker reports for `kind` under `model`
+/// (src/core/static_checker.h's rule inventory).
+const char* bug_kind_rule(BugKind kind, core::PersistencyModel model);
+
+/// One planted violation: where it is and what the checker must say.
+struct PlantedBug {
+  BugKind kind = BugKind::kMissingFlush;
+  std::string rule;      ///< expected rule id, e.g. "strict.unflushed-write"
+  std::string file;      ///< synthetic source file, e.g. "gen_0042.c"
+  uint32_t line = 0;     ///< line the warning must cite
+  std::string function;  ///< function carrying the bug
+
+  [[nodiscard]] std::string loc_str() const {
+    return file + ":" + std::to_string(line);
+  }
+};
+
+/// A parsed deepmc-manifest-v1 document.
+struct Manifest {
+  std::string schema = "deepmc-manifest-v1";
+  std::string program;    ///< unit name, e.g. "gen/s42"
+  uint64_t seed = 0;
+  std::string framework;  ///< "pmdk" / "pmfs" / "nvmdirect" / "mnemosyne"
+  std::string model;      ///< "strict" / "epoch" / "strand"
+  bool clean = false;     ///< guaranteed-clean control program (no bugs)
+  std::string source_file;
+  uint32_t line_count = 0;  ///< lines in the synthetic source file
+  std::vector<PlantedBug> bugs;
+};
+
+/// Render a manifest as deepmc-manifest-v1 JSON (stable key order,
+/// byte-identical for identical inputs).
+std::string manifest_json(const Manifest& m);
+
+/// Parse manifest JSON produced by manifest_json(). Throws
+/// std::invalid_argument on missing schema or malformed structure; the
+/// parser accepts exactly the subset of JSON the serializer emits.
+Manifest parse_manifest_json(std::string_view text);
+
+}  // namespace deepmc::gen

@@ -1,0 +1,88 @@
+#include "gen/score.h"
+
+namespace deepmc::gen {
+
+void Score::merge(const Score& other) {
+  programs += other.programs;
+  clean_programs += other.clean_programs;
+  planted += other.planted;
+  reported += other.reported;
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  rule_mismatches += other.rule_mismatches;
+  for (size_t i = 0; i < kBugKindCount; ++i) {
+    planted_by_kind[i] += other.planted_by_kind[i];
+    detected_by_kind[i] += other.detected_by_kind[i];
+  }
+  confirmed_tp += other.confirmed_tp;
+  confirmed_outside_manifest += other.confirmed_outside_manifest;
+  not_reproduced += other.not_reproduced;
+  skipped += other.skipped;
+}
+
+Score score_program(const Manifest& manifest,
+                    const std::vector<ReportedWarning>& warnings) {
+  Score s;
+  s.programs = 1;
+  if (manifest.clean) s.clean_programs = 1;
+  s.planted = manifest.bugs.size();
+  s.reported = warnings.size();
+
+  std::vector<bool> matched(manifest.bugs.size(), false);
+  for (const ReportedWarning& w : warnings) {
+    bool is_tp = false;
+    bool loc_match = false;
+    for (size_t i = 0; i < manifest.bugs.size(); ++i) {
+      const PlantedBug& b = manifest.bugs[i];
+      if (b.file != w.file || b.line != w.line) continue;
+      loc_match = true;
+      if (b.rule == w.rule && !matched[i]) {
+        matched[i] = true;
+        is_tp = true;
+        ++s.detected_by_kind[static_cast<size_t>(b.kind)];
+        break;
+      }
+    }
+    if (is_tp) {
+      ++s.tp;
+      if (w.validation && *w.validation == core::Validation::kConfirmed)
+        ++s.confirmed_tp;
+    } else {
+      ++s.fp;
+      if (loc_match) ++s.rule_mismatches;
+      if (w.validation && *w.validation == core::Validation::kConfirmed)
+        ++s.confirmed_outside_manifest;
+    }
+    if (w.validation) {
+      if (*w.validation == core::Validation::kNotReproduced)
+        ++s.not_reproduced;
+      else if (*w.validation == core::Validation::kSkipped)
+        ++s.skipped;
+    }
+  }
+  for (size_t i = 0; i < manifest.bugs.size(); ++i) {
+    ++s.planted_by_kind[static_cast<size_t>(manifest.bugs[i].kind)];
+    if (!matched[i]) ++s.fn;
+  }
+  return s;
+}
+
+std::vector<ReportedWarning> warnings_of(const core::UnitReport& unit) {
+  std::vector<ReportedWarning> out;
+  const auto& warnings = unit.result.warnings();
+  const bool has_validation =
+      unit.crashsim.ran && unit.crashsim.validations.size() == warnings.size();
+  out.reserve(warnings.size());
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    ReportedWarning rw;
+    rw.rule = warnings[i].rule;
+    rw.file = warnings[i].loc.file;
+    rw.line = warnings[i].loc.line;
+    if (has_validation) rw.validation = unit.crashsim.validations[i];
+    out.push_back(std::move(rw));
+  }
+  return out;
+}
+
+}  // namespace deepmc::gen

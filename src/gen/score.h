@@ -1,0 +1,81 @@
+// Precision/recall scoring of checker reports against planted-bug
+// manifests.
+//
+// A reported warning is a true positive when the manifest lists a planted
+// bug with the same rule id at the same (file, line); everything else the
+// checker reports on a generated program is a false positive, and every
+// planted bug with no matching warning is a false negative. This is the
+// same location-keyed matching the hand-written registry uses, applied at
+// corpus scale (tests/corpus_score_test.cpp pins the arithmetic; the
+// floors live in scripts/run_corpus.sh and tests/golden/
+// corpus_baseline.json).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis_driver.h"
+#include "gen/manifest.h"
+
+namespace deepmc::gen {
+
+/// One warning as seen by the scorer: just the match key plus the crashsim
+/// verdict when the driver ran with crash-state validation.
+struct ReportedWarning {
+  std::string rule;
+  std::string file;
+  uint32_t line = 0;
+  std::optional<core::Validation> validation;
+};
+
+/// Aggregated scoring over one or many program/manifest pairs.
+struct Score {
+  uint64_t programs = 0;        ///< programs scored
+  uint64_t clean_programs = 0;  ///< guaranteed-clean controls among them
+  uint64_t planted = 0;         ///< manifest entries
+  uint64_t reported = 0;        ///< warnings reported
+  uint64_t tp = 0;              ///< warning matches a planted (rule, loc)
+  uint64_t fp = 0;              ///< warning with no planted counterpart
+  uint64_t fn = 0;              ///< planted bug never reported
+  /// Warnings at a planted location but with a different rule id — counted
+  /// as FP+FN, tallied separately because they usually mean a template and
+  /// the checker disagree about the rule, not about the bug.
+  uint64_t rule_mismatches = 0;
+
+  /// Per-kind planted / detected tallies (index by BugKind).
+  uint64_t planted_by_kind[kBugKindCount] = {};
+  uint64_t detected_by_kind[kBugKindCount] = {};
+
+  // Crashsim cross-check tallies (only populated when warnings carry
+  // validation verdicts).
+  uint64_t confirmed_tp = 0;  ///< confirmed warning matching the manifest
+  /// Confirmed warnings NOT in the manifest: the enumerator found a real
+  /// crash-state violation the generator did not plant — a template bug.
+  uint64_t confirmed_outside_manifest = 0;
+  uint64_t not_reproduced = 0;
+  uint64_t skipped = 0;
+
+  [[nodiscard]] double precision() const {
+    const uint64_t denom = tp + fp;
+    return denom == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+  [[nodiscard]] double recall() const {
+    return planted == 0 ? 1.0
+                        : static_cast<double>(tp) / static_cast<double>(planted);
+  }
+
+  void merge(const Score& other);
+};
+
+/// Score one program's report against its manifest.
+Score score_program(const Manifest& manifest,
+                    const std::vector<ReportedWarning>& warnings);
+
+/// Flatten a driver unit report into the scorer's warning view, attaching
+/// crashsim verdicts when present.
+std::vector<ReportedWarning> warnings_of(const core::UnitReport& unit);
+
+}  // namespace deepmc::gen

@@ -1,0 +1,193 @@
+// Scoring arithmetic tests (src/gen/score.h): synthetic report/manifest
+// pairs must hit exact precision/recall values, including the crashsim
+// validation statuses (confirmed / not-reproduced / skipped).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/manifest.h"
+#include "gen/score.h"
+
+namespace deepmc::gen {
+namespace {
+
+PlantedBug bug(BugKind kind, const char* rule, uint32_t line) {
+  PlantedBug b;
+  b.kind = kind;
+  b.rule = rule;
+  b.file = "gen_00001.c";
+  b.line = line;
+  b.function = "gen_f0";
+  return b;
+}
+
+ReportedWarning warn(const char* rule, uint32_t line,
+                     std::optional<core::Validation> v = std::nullopt) {
+  ReportedWarning w;
+  w.rule = rule;
+  w.file = "gen_00001.c";
+  w.line = line;
+  w.validation = v;
+  return w;
+}
+
+Manifest manifest(std::vector<PlantedBug> bugs, bool clean = false) {
+  Manifest m;
+  m.program = "gen/s1";
+  m.seed = 1;
+  m.framework = "PMDK";
+  m.model = "strict";
+  m.clean = clean;
+  m.source_file = "gen_00001.c";
+  m.line_count = 40;
+  m.bugs = std::move(bugs);
+  return m;
+}
+
+TEST(CorpusScore, PerfectMatchIsOneOne) {
+  const Manifest m = manifest({bug(BugKind::kMissingFlush,
+                                   "strict.unflushed-write", 4),
+                               bug(BugKind::kRedundantFlush,
+                                   "perf.redundant-flush", 9)});
+  const Score s = score_program(
+      m, {warn("strict.unflushed-write", 4), warn("perf.redundant-flush", 9)});
+  EXPECT_EQ(s.tp, 2u);
+  EXPECT_EQ(s.fp, 0u);
+  EXPECT_EQ(s.fn, 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_EQ(s.detected_by_kind[static_cast<size_t>(BugKind::kMissingFlush)],
+            1u);
+  EXPECT_EQ(s.detected_by_kind[static_cast<size_t>(BugKind::kRedundantFlush)],
+            1u);
+}
+
+TEST(CorpusScore, MissedBugCostsRecall) {
+  const Manifest m = manifest({bug(BugKind::kMissingFlush,
+                                   "strict.unflushed-write", 4),
+                               bug(BugKind::kMissingFence,
+                                   "strict.missing-barrier", 12)});
+  const Score s = score_program(m, {warn("strict.unflushed-write", 4)});
+  EXPECT_EQ(s.tp, 1u);
+  EXPECT_EQ(s.fn, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.5);
+}
+
+TEST(CorpusScore, ExtraWarningCostsPrecision) {
+  const Manifest m =
+      manifest({bug(BugKind::kMissingFlush, "strict.unflushed-write", 4)});
+  const Score s = score_program(
+      m, {warn("strict.unflushed-write", 4), warn("perf.redundant-flush", 30)});
+  EXPECT_EQ(s.tp, 1u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+}
+
+TEST(CorpusScore, RuleMismatchAtPlantedLocationIsFpPlusFn) {
+  // Right line, wrong rule: the checker saw *something* there but not what
+  // the generator planted — counted against both precision and recall,
+  // and tallied separately as a rule mismatch.
+  const Manifest m =
+      manifest({bug(BugKind::kMissingFlush, "strict.unflushed-write", 4)});
+  const Score s = score_program(m, {warn("perf.redundant-flush", 4)});
+  EXPECT_EQ(s.tp, 0u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.fn, 1u);
+  EXPECT_EQ(s.rule_mismatches, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+}
+
+TEST(CorpusScore, CleanProgramWithNoWarningsIsPerfect) {
+  const Score s = score_program(manifest({}, /*clean=*/true), {});
+  EXPECT_EQ(s.clean_programs, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);  // vacuous: no reports
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);     // vacuous: nothing planted
+}
+
+TEST(CorpusScore, WarningOnCleanProgramIsPureFp) {
+  const Score s = score_program(manifest({}, /*clean=*/true),
+                                {warn("strict.unflushed-write", 7)});
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+}
+
+TEST(CorpusScore, DuplicateWarningAtSameSiteCountsOnceAsTp) {
+  // The checker dedupes on (rule, file, line), but the scorer must not
+  // double-credit even if fed duplicates.
+  const Manifest m =
+      manifest({bug(BugKind::kMissingFlush, "strict.unflushed-write", 4)});
+  const Score s = score_program(
+      m, {warn("strict.unflushed-write", 4), warn("strict.unflushed-write", 4)});
+  EXPECT_EQ(s.tp, 1u);
+  EXPECT_EQ(s.fp, 1u);
+}
+
+TEST(CorpusScore, CrashsimValidationTallies) {
+  const Manifest m = manifest({
+      bug(BugKind::kMissingFlush, "strict.unflushed-write", 4),
+      bug(BugKind::kMissingFence, "strict.missing-barrier", 12),
+      bug(BugKind::kRedundantFlush, "perf.redundant-flush", 20),
+  });
+  const Score s = score_program(
+      m, {warn("strict.unflushed-write", 4, core::Validation::kConfirmed),
+          warn("strict.missing-barrier", 12,
+               core::Validation::kNotReproduced),
+          warn("perf.redundant-flush", 20, core::Validation::kSkipped)});
+  EXPECT_EQ(s.tp, 3u);
+  EXPECT_EQ(s.confirmed_tp, 1u);
+  EXPECT_EQ(s.confirmed_outside_manifest, 0u);
+  EXPECT_EQ(s.not_reproduced, 1u);
+  EXPECT_EQ(s.skipped, 1u);
+}
+
+TEST(CorpusScore, ConfirmedWarningOutsideManifestIsFlagged) {
+  // A crashsim-confirmed warning the generator did not plant means the
+  // ground truth itself is wrong; the harness fails the run on this.
+  const Score s =
+      score_program(manifest({}, /*clean=*/true),
+                    {warn("strict.unflushed-write", 9,
+                          core::Validation::kConfirmed)});
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.confirmed_outside_manifest, 1u);
+  EXPECT_EQ(s.confirmed_tp, 0u);
+}
+
+TEST(CorpusScore, MergeAccumulates) {
+  const Manifest m1 =
+      manifest({bug(BugKind::kMissingFlush, "strict.unflushed-write", 4)});
+  Score total = score_program(m1, {warn("strict.unflushed-write", 4)});
+  const Score s2 = score_program(
+      manifest({bug(BugKind::kOversizedEpoch, "strict.multiple-writes", 8)}),
+      {warn("strict.multiple-writes", 8), warn("perf.redundant-flush", 33)});
+  total.merge(s2);
+  EXPECT_EQ(total.programs, 2u);
+  EXPECT_EQ(total.planted, 2u);
+  EXPECT_EQ(total.tp, 2u);
+  EXPECT_EQ(total.fp, 1u);
+  EXPECT_DOUBLE_EQ(total.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(total.recall(), 1.0);
+}
+
+TEST(CorpusScore, KindTalliesFollowTheManifest) {
+  const Manifest m = manifest({
+      bug(BugKind::kUnflushedCommit, "strict.unflushed-write", 5),
+      bug(BugKind::kMisorderedStore, "strict.unflushed-write", 15),
+  });
+  // Same rule, different kinds: matching is by location, so the tallies
+  // land on the right kind.
+  const Score s = score_program(m, {warn("strict.unflushed-write", 15)});
+  EXPECT_EQ(s.detected_by_kind[static_cast<size_t>(BugKind::kMisorderedStore)],
+            1u);
+  EXPECT_EQ(s.detected_by_kind[static_cast<size_t>(BugKind::kUnflushedCommit)],
+            0u);
+  EXPECT_EQ(s.planted_by_kind[static_cast<size_t>(BugKind::kUnflushedCommit)],
+            1u);
+}
+
+}  // namespace
+}  // namespace deepmc::gen

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/generator.h"
 #include "ir/parser.h"
 
 namespace deepmc::ir {
@@ -161,6 +162,68 @@ TEST(FuzzParser, BoundaryIntegersParse) {
   const TolerantParseResult r =
       parse_module_tolerant(read_file(fuzz_dir() + "/boundary-int.mir"));
   EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.diagnostics[0].str());
+}
+
+// --- generator-produced mutants -------------------------------------------
+//
+// tests/fuzz/gen-mutated-*.mir are committed outputs of `deepmc-corpus gen
+// --mutate` and ride through every corpus-driven test above. These tests
+// additionally sweep fresh generator mutants in-process, so the tolerant
+// parser is exercised against the *current* generator grammar, not just
+// the snapshot in the corpus.
+
+TEST(FuzzParser, GeneratedMutantsNeverCrashTolerantParser) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    gen::GenOptions opts;
+    opts.seed = seed;
+    const gen::GeneratedProgram prog = gen::generate_program(opts);
+    for (size_t tokens = 1; tokens <= 5; ++tokens) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " tokens " +
+                   std::to_string(tokens));
+      const std::string mutated =
+          gen::mutate_text(prog.text, seed * 31 + tokens, tokens);
+      EXPECT_NO_THROW({
+        TolerantParseResult r = parse_module_tolerant(mutated);
+        EXPECT_NE(r.module, nullptr);
+      });
+    }
+  }
+}
+
+TEST(FuzzParser, GeneratedMutantDiagnosticsAreStable) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    gen::GenOptions opts;
+    opts.seed = seed;
+    const gen::GeneratedProgram prog = gen::generate_program(opts);
+    const std::string mutated = gen::mutate_text(prog.text, seed + 1, 4);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const TolerantParseResult a = parse_module_tolerant(mutated);
+    const TolerantParseResult b = parse_module_tolerant(mutated);
+    ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+    for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+      EXPECT_EQ(a.diagnostics[i].line, b.diagnostics[i].line);
+      EXPECT_EQ(a.diagnostics[i].col, b.diagnostics[i].col);
+      EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+    }
+  }
+}
+
+TEST(FuzzParser, MutationIsDeterministic) {
+  gen::GenOptions opts;
+  opts.seed = 7;
+  const gen::GeneratedProgram prog = gen::generate_program(opts);
+  EXPECT_EQ(gen::mutate_text(prog.text, 42, 3),
+            gen::mutate_text(prog.text, 42, 3));
+  // A different mutation seed corrupts differently.
+  EXPECT_NE(gen::mutate_text(prog.text, 42, 3),
+            gen::mutate_text(prog.text, 43, 3));
+}
+
+TEST(FuzzParser, CommittedGeneratorMutantsPresent) {
+  size_t found = 0;
+  for (const std::string& path : corpus_files())
+    if (path.find("gen-mutated-") != std::string::npos) ++found;
+  EXPECT_GE(found, 12u);
 }
 
 TEST(FuzzParser, OverflowingIntegerIsAnError) {
