@@ -15,9 +15,14 @@
 #     configurable floors and an optional checked-in baseline
 #     (tests/golden/corpus_baseline.json).
 #
+# With --serve, every corpus run additionally replays each seed through an
+# in-process incremental analysis server (src/serve/, docs/SERVER.md) and
+# fails the seed if the cold or warm-cache response ever diverges from the
+# one-shot report — gating warm-cache precision/recall on the same floors.
+#
 # Usage: scripts/run_corpus.sh [--count N] [--seed-range A:B]
 #                              [--min-recall R] [--min-precision P]
-#                              [--baseline FILE] [--skip-build]
+#                              [--baseline FILE] [--skip-build] [--serve]
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +32,7 @@ MIN_RECALL=0.95
 MIN_PRECISION=0.90
 BASELINE="tests/golden/corpus_baseline.json"
 SKIP_BUILD=0
+SERVE=0
 SAMPLE_FILES=24   # generated .mir files driven through the deepmc binary
 MUTANT_FILES=16   # mutated programs driven through the deepmc binary
 JOBS_LEVELS="1 4 16"
@@ -44,9 +50,10 @@ while [[ $# -gt 0 ]]; do
     --min-precision) MIN_PRECISION="${2:?}"; shift 2 ;;
     --baseline) BASELINE="${2:?}"; shift 2 ;;
     --skip-build) SKIP_BUILD=1; shift ;;
+    --serve) SERVE=1; shift ;;
     *) echo "usage: scripts/run_corpus.sh [--count N] [--seed-range A:B]" \
             "[--min-recall R] [--min-precision P] [--baseline FILE]" \
-            "[--skip-build]" >&2
+            "[--skip-build] [--serve]" >&2
        exit 64 ;;
   esac
 done
@@ -87,10 +94,17 @@ fi
 
 run_rc=0
 for n in $JOBS_LEVELS; do
+  # Per-jobs-level cache dirs keep the serve cross-check hermetic, so the
+  # stable section stays byte-comparable across jobs levels.
+  serve_args=()
+  if [[ "$SERVE" -eq 1 ]]; then
+    serve_args=(--serve --serve-cache "$TMP/serve_cache_j$n")
+  fi
   rc=0
   "$CORPUS" run --count "$COUNT" --seed-start "$SEED_START" --jobs "$n" \
     --crashsim-sample 25 --min-recall "$MIN_RECALL" \
     --min-precision "$MIN_PRECISION" "${baseline_args[@]}" \
+    "${serve_args[@]}" \
     --out "$TMP/run_j$n.json" 2> "$TMP/run_j$n.err" || rc=$?
   if [[ "$rc" -ge 64 ]]; then
     log_fail "deepmc-corpus run --jobs $n crashed/failed (exit $rc)"

@@ -1,0 +1,211 @@
+#!/usr/bin/env bash
+# Tier 1: end-to-end harness for the incremental analysis server
+# (src/serve/, docs/SERVER.md). Starts a real `deepmc serve` daemon on a
+# Unix-domain socket and validates the server contract the tests promise:
+#
+#   * byte identity: cold, warm, and dirty-cone client responses are
+#     identical to one-shot `deepmc` runs (modulo elapsed_ms), for every
+#     built-in corpus module and a sample of generated seed programs,
+#   * exit-code parity: the client aggregates the same exit code the
+#     one-shot binary reports,
+#   * jobs invariance: responses are byte-identical whether the daemon
+#     analyzes with --jobs 1 or --jobs 4,
+#   * single-function diffs: a --touch-function variant round-trips
+#     through the warm cache with the same bytes a fresh analysis gives,
+#   * lifecycle: --ping answers, --cache-stats parses, --shutdown makes
+#     the daemon exit cleanly and remove its socket.
+#
+# Usage: scripts/run_serve.sh [--seeds N] [--skip-build]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS=20
+SKIP_BUILD=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seeds) SEEDS="${2:?}"; shift 2 ;;
+    --seeds=*) SEEDS="${1#*=}"; shift ;;
+    --skip-build) SKIP_BUILD=1; shift ;;
+    *) echo "usage: scripts/run_serve.sh [--seeds N] [--skip-build]" >&2
+       exit 64 ;;
+  esac
+done
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc 2>/dev/null || echo 4)" \
+    --target deepmc deepmc-corpus >/dev/null
+fi
+
+DEEPMC="$PWD/build/src/tools/deepmc"
+CORPUS="$PWD/build/src/tools/deepmc-corpus"
+for bin in "$DEEPMC" "$CORPUS"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "FATAL: $bin not found; build first (cmake --build build -j)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+PASS=0
+FAIL=0
+log_pass() { echo "  [PASS] $1"; PASS=$((PASS+1)); }
+log_fail() { echo "  [FAIL] $1" >&2; FAIL=$((FAIL+1)); }
+
+# elapsed_ms is the only nondeterministic report field; strip it in place
+# (the stats object lives on one line, so grep -v would delete the whole
+# line from the one-shot output only).
+strip_timing() { sed -E 's/, "elapsed_ms": [0-9.eE+-]+//' "$1"; }
+
+start_daemon() {  # $1 = jobs
+  local jobs="$1"
+  SOCK="$TMP/serve_j$jobs.sock"
+  "$DEEPMC" serve --socket "$SOCK" --cache-dir "$TMP/cache_j$jobs" \
+    --jobs "$jobs" > "$TMP/daemon_j$jobs.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && grep -q "deepmc-serve: listening" \
+      "$TMP/daemon_j$jobs.log" && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.05
+  done
+  echo "FATAL: daemon (--jobs $jobs) did not come up" >&2
+  cat "$TMP/daemon_j$jobs.log" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$DEEPMC" serve --connect "$SOCK" --shutdown >/dev/null 2>&1
+  local waited=0
+  while kill -0 "$DAEMON_PID" 2>/dev/null && [[ "$waited" -lt 100 ]]; do
+    sleep 0.05; waited=$((waited+1))
+  done
+  if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    log_fail "daemon did not exit after --shutdown"
+    kill "$DAEMON_PID" 2>/dev/null
+  else
+    log_pass "daemon exited cleanly on --shutdown"
+  fi
+  if [[ -S "$SOCK" ]]; then
+    log_fail "daemon left its socket behind: $SOCK"
+  fi
+  DAEMON_PID=""
+}
+
+# compare_case <label> <client-output> <client-rc> <oneshot-output>
+# <oneshot-rc>
+compare_case() {
+  local label="$1" got="$2" got_rc="$3" want="$4" want_rc="$5"
+  strip_timing "$got"  > "$got.s"
+  strip_timing "$want" > "$want.s"
+  if ! cmp -s "$got.s" "$want.s"; then
+    log_fail "$label: response differs from one-shot deepmc"
+    diff "$want.s" "$got.s" | head -10 >&2
+    return 1
+  fi
+  if [[ "$got_rc" -ne "$want_rc" ]]; then
+    log_fail "$label: exit $got_rc, one-shot exited $want_rc"
+    return 1
+  fi
+  return 0
+}
+
+mapfile -t MODULES < <("$DEEPMC" --list-corpus)
+
+for jobs in 1 4; do
+  echo "== daemon --jobs $jobs: corpus modules + $SEEDS generated seeds =="
+  start_daemon "$jobs"
+
+  rc=0
+  "$DEEPMC" serve --connect "$SOCK" --ping > "$TMP/ping" 2>&1 || rc=$?
+  if [[ "$rc" -eq 0 ]] && grep -q "pong" "$TMP/ping"; then
+    log_pass "--ping answered"
+  else
+    log_fail "--ping failed (exit $rc)"
+  fi
+
+  # Corpus modules: cold then warm, both against the one-shot report.
+  corpus_bad=0
+  for m in "${MODULES[@]}"; do
+    want_rc=0
+    "$DEEPMC" --corpus "$m" --format json > "$TMP/want" 2>/dev/null \
+      || want_rc=$?
+    for phase in cold warm; do
+      got_rc=0
+      "$DEEPMC" serve --connect "$SOCK" --corpus "$m" --format json \
+        > "$TMP/got" 2>/dev/null || got_rc=$?
+      compare_case "corpus $m ($phase, --jobs $jobs)" \
+        "$TMP/got" "$got_rc" "$TMP/want" "$want_rc" || corpus_bad=1
+    done
+    # Keep the (warm) server response for the cross-jobs comparison below.
+    cp "$TMP/got.s" "$TMP/corpus_$(echo "$m" | tr / _)_j$jobs"
+  done
+  [[ "$corpus_bad" -eq 0 ]] && \
+    log_pass "all ${#MODULES[@]} corpus modules byte-identical (cold+warm)"
+
+  # Generated seeds: original cold+warm, then a --touch-function variant
+  # (dirty-cone path) — every response vs its own one-shot run.
+  seed_bad=0
+  for (( s = 0; s < SEEDS; s++ )); do
+    f="$TMP/s$s.mir"
+    "$CORPUS" gen --seed "$s" > "$f" 2>/dev/null || {
+      log_fail "seed $s: deepmc-corpus gen failed"; seed_bad=1; continue; }
+    "$CORPUS" gen --seed "$s" --touch-function 1 > "$f.touched" 2>/dev/null \
+      || { log_fail "seed $s: gen --touch-function failed"; seed_bad=1
+           continue; }
+    for variant in "$f" "$f.touched"; do
+      want_rc=0
+      "$DEEPMC" --format json "$variant" > "$TMP/want" 2>/dev/null \
+        || want_rc=$?
+      got_rc=0
+      "$DEEPMC" serve --connect "$SOCK" --format json "$variant" \
+        > "$TMP/got" 2>/dev/null || got_rc=$?
+      compare_case "seed $s ${variant##*.} (--jobs $jobs)" \
+        "$TMP/got" "$got_rc" "$TMP/want" "$want_rc" || seed_bad=1
+    done
+    # Warm replay of the original after the touched variant displaced it.
+    got_rc=0
+    "$DEEPMC" serve --connect "$SOCK" --format json "$f" > "$TMP/got" \
+      2>/dev/null || got_rc=$?
+    want_rc=0
+    "$DEEPMC" --format json "$f" > "$TMP/want" 2>/dev/null || want_rc=$?
+    compare_case "seed $s re-warm (--jobs $jobs)" \
+      "$TMP/got" "$got_rc" "$TMP/want" "$want_rc" || seed_bad=1
+  done
+  [[ "$seed_bad" -eq 0 ]] && \
+    log_pass "$SEEDS seeds byte-identical (cold, touched, re-warm)"
+
+  rc=0
+  "$DEEPMC" serve --connect "$SOCK" --cache-stats > "$TMP/stats" 2>&1 || rc=$?
+  if [[ "$rc" -eq 0 ]] && grep -q '"unit_hits"' "$TMP/stats"; then
+    log_pass "--cache-stats returned server statistics"
+  else
+    log_fail "--cache-stats failed (exit $rc)"
+    cat "$TMP/stats" >&2
+  fi
+
+  stop_daemon
+done
+
+# Responses must not depend on the daemon's --jobs level.
+jobs_bad=0
+for m in "${MODULES[@]}"; do
+  key="$(echo "$m" | tr / _)"
+  if ! cmp -s "$TMP/corpus_${key}_j1" "$TMP/corpus_${key}_j4"; then
+    log_fail "corpus $m: response differs between --jobs 1 and --jobs 4"
+    jobs_bad=1
+  fi
+done
+[[ "$jobs_bad" -eq 0 ]] && log_pass "responses identical across daemon jobs levels"
+
+echo
+echo "run_serve: $PASS passed, $FAIL failed"
+[[ "$FAIL" -gt 0 ]] && exit 1
+exit 0

@@ -402,6 +402,12 @@ std::string Report::json(bool include_timing) const {
   return os.str();
 }
 
+Report Report::from_units(std::vector<UnitReport> units) {
+  Report r;
+  r.units_ = std::move(units);
+  return r;
+}
+
 // ===========================================================================
 // AnalysisDriver
 // ===========================================================================
@@ -473,18 +479,41 @@ void AnalysisDriver::run_attempt(const AnalysisUnit& unit,
   // even after a failure (they reference this stack frame); the real
   // signal is rethrown afterwards, preferred over the CancelledError
   // echoes it provoked in siblings.
-  std::vector<std::future<CheckResult>> futs;
-  futs.reserve(roots.size());
-  for (const ir::Function* f : roots)
-    futs.push_back(pool.submit([&checker, f, &faults] {
+  //
+  // Seeded roots (the serve cache's dirty-cone path) skip check_root and
+  // merge the pre-computed result in the same position of the same order,
+  // so a seeded merge is byte-equivalent to a fresh one. Seeds apply only
+  // on the full rung: they were produced at full bounds.
+  const bool use_seeds =
+      opts_.seeded_roots != nullptr && rung.name == "full";
+  std::vector<const CheckResult*> seeded(roots.size(), nullptr);
+  std::vector<std::future<CheckResult>> futs(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (use_seeds) {
+      auto it = opts_.seeded_roots->find(roots[i]->name());
+      if (it != opts_.seeded_roots->end()) {
+        seeded[i] = &it->second;
+        continue;
+      }
+    }
+    const ir::Function* f = roots[i];
+    futs[i] = pool.submit([&checker, f, &faults] {
       support::FaultActivation act(&faults);
       return checker.check_root(*f);
-    }));
+    });
+  }
   CheckResult result;
   std::exception_ptr budget_ex, cancel_ex, other_ex;
   for (size_t i = 0; i < futs.size(); ++i) {
+    if (seeded[i] != nullptr) {
+      result.merge(*seeded[i]);
+      continue;
+    }
     try {
-      result.merge(pool.await(std::move(futs[i])));
+      CheckResult root_result = pool.await(std::move(futs[i]));
+      if (opts_.collect_root_results)
+        out.root_results.emplace_back(roots[i]->name(), root_result);
+      result.merge(root_result);
     } catch (const support::BudgetExceeded&) {
       if (rung.tolerate_root_budget && roots_exhausted != nullptr) {
         // Final rung: this root contributes nothing, the unit survives
@@ -847,14 +876,19 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
 }
 
 Report AnalysisDriver::run(const std::vector<AnalysisUnit>& units) {
-  obs::Span run_span(
-      "driver.run", "driver",
-      obs::span_arg_num("units", static_cast<double>(units.size())));
   const size_t jobs =
       opts_.jobs == 0 ? support::ThreadPool::default_concurrency() : opts_.jobs;
   // jobs == 1 means "serial in the calling thread": a zero-thread pool
   // executes every task inline, so serial runs carry no pool overhead.
   support::ThreadPool pool(jobs <= 1 ? 0 : jobs);
+  return run(units, pool);
+}
+
+Report AnalysisDriver::run(const std::vector<AnalysisUnit>& units,
+                           support::ThreadPool& pool) {
+  obs::Span run_span(
+      "driver.run", "driver",
+      obs::span_arg_num("units", static_cast<double>(units.size())));
 
   std::vector<std::future<UnitReport>> futs;
   futs.reserve(units.size());

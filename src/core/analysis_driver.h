@@ -32,9 +32,11 @@
 
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/report.h"
@@ -118,6 +120,19 @@ struct DriverOptions {
   /// (default) keeps the long-standing keep-going behavior.
   bool keep_going = true;
   size_t max_subset_bits = 10;  ///< crashsim subset cap at the full rung
+
+  // --- incremental serving hooks (src/serve/) ---
+  /// Pre-computed raw per-root check results keyed by root function name.
+  /// On the "full" ladder rung the driver merges a seeded result in root
+  /// order instead of re-running check_root for that root; the caller is
+  /// responsible for only seeding results that an identical configuration
+  /// produced (the serve cache keys enforce this). Non-owning; must
+  /// outlive the run. Tightened rungs ignore the seeds — they were
+  /// computed at full bounds.
+  const std::map<std::string, CheckResult>* seeded_roots = nullptr;
+  /// Record every freshly computed per-root result in
+  /// UnitReport::root_results so the caller can persist it.
+  bool collect_root_results = false;
 };
 
 /// One rung of the degradation ladder: the bounds and stages a retry
@@ -222,6 +237,11 @@ struct UnitReport {
   std::string error;       ///< build/verify failure message
   std::string fail_reason; ///< machine-readable, e.g. "input-error",
                            ///< "parse-error", "fault-injected:<point>"
+  /// Raw (unfolded, unsorted) per-root results computed by this run, in
+  /// trace_roots() order; roots satisfied from DriverOptions::seeded_roots
+  /// do not appear. Filled only under collect_root_results and never
+  /// rendered into the report itself.
+  std::vector<std::pair<std::string, CheckResult>> root_results;
 
   [[nodiscard]] size_t warning_count() const {
     return result.count() + dynamic.size();
@@ -251,6 +271,11 @@ class Report {
   void print_json(std::ostream& os, bool include_timing = true) const;
   [[nodiscard]] std::string json(bool include_timing = true) const;
 
+  /// Assemble a report from pre-built unit blocks. The serve cache uses
+  /// this to render a cached unit through the exact same print paths a
+  /// fresh run takes, which is what keeps cached responses byte-identical.
+  static Report from_units(std::vector<UnitReport> units);
+
  private:
   friend class AnalysisDriver;
   std::vector<UnitReport> units_;
@@ -263,6 +288,12 @@ class AnalysisDriver {
   /// Analyze every unit (in parallel per DriverOptions::jobs) and return
   /// the merged report.
   Report run(const std::vector<AnalysisUnit>& units);
+
+  /// Same, over an externally owned pool — the serve daemon keeps one
+  /// warm across requests instead of rebuilding workers per request.
+  /// DriverOptions::jobs is ignored on this path; the pool decides.
+  Report run(const std::vector<AnalysisUnit>& units,
+             support::ThreadPool& pool);
 
   [[nodiscard]] const DriverOptions& options() const { return opts_; }
 

@@ -571,6 +571,75 @@ GeneratedProgram generate_program(const GenOptions& opts) {
   return ProgramGenerator(opts).run();
 }
 
+std::string touch_function(const std::string& text, uint64_t salt) {
+  // Line-level view of the printed module: a function body spans a line
+  // starting "define " through the next "}" at column 0. Editable sites
+  // are "store i64 <constant>, ..." lines — bumping the constant changes
+  // the function's content hash without disturbing control flow, locs,
+  // or the planted-bug manifest's warning sites.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+
+  // Editable store-line indices, grouped by owning function.
+  std::vector<std::vector<size_t>> functions;
+  bool in_function = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("define ", 0) == 0) {
+      in_function = true;
+      functions.emplace_back();
+      continue;
+    }
+    if (line == "}") {
+      in_function = false;
+      if (!functions.empty() && functions.back().empty()) functions.pop_back();
+      continue;
+    }
+    if (!in_function || functions.empty()) continue;
+    size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos) continue;
+    if (line.compare(p, 10, "store i64 ") != 0) continue;
+    const size_t digits = p + 10;
+    size_t end = digits;
+    while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end])))
+      ++end;
+    if (end == digits || end >= line.size() || line[end] != ',') continue;
+    functions.back().push_back(i);
+  }
+  if (functions.empty()) return text;
+
+  const std::vector<size_t>& sites = functions[salt % functions.size()];
+  std::string& line = lines[sites[(salt / functions.size()) % sites.size()]];
+  const size_t p = line.find("store i64 ") + 10;
+  size_t end = p;
+  while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end])))
+    ++end;
+  const long long value = std::stoll(line.substr(p, end - p));
+  // Stay a small positive constant so the line shape (and any overflow
+  // behavior) never changes, whatever the starting value.
+  const long long bumped = value >= 97 ? 1 : value + 1;
+  line.replace(p, end - p, std::to_string(bumped));
+
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  // Preserve the original trailing-newline-lessness, if any.
+  if (!text.empty() && text.back() != '\n') out.pop_back();
+  return out;
+}
+
 std::string mutate_text(const std::string& text, uint64_t seed,
                         size_t tokens) {
   struct Token {

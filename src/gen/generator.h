@@ -76,4 +76,13 @@ GeneratedProgram generate_program(const GenOptions& opts);
 std::string mutate_text(const std::string& text, uint64_t seed,
                         size_t tokens);
 
+/// Deterministic single-function edit: bump one stored integer constant
+/// in one `define`d function of `text` (picked by `salt`), leaving every
+/// other function byte-identical. The result still parses and verifies —
+/// it models a developer touching one function between analysis-server
+/// submissions, so tests and benches can measure dirty-cone recomputation
+/// on a tiny diff. Returns `text` unchanged when no function stores an
+/// integer constant.
+std::string touch_function(const std::string& text, uint64_t salt);
+
 }  // namespace deepmc::gen

@@ -1,0 +1,123 @@
+#include "serve/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "serve/hash.h"
+#include "support/faultpoint.h"
+
+namespace deepmc::serve {
+
+namespace fs = std::filesystem;
+
+DiskCache::DiskCache(std::string dir, uint32_t version)
+    : dir_(std::move(dir)), version_(version) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) dir_.clear();  // unusable directory disables the cache
+}
+
+std::string DiskCache::path_for(const std::string& key) const {
+  return dir_ + "/" + key + ".dmc";
+}
+
+std::optional<std::string> DiskCache::get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  try {
+    DEEPMC_FAULTPOINT("cache.read");
+  } catch (const support::FaultInjected&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.read_faults;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  bool corrupt = true;
+  std::string payload;
+  std::string header;
+  if (std::getline(in, header)) {
+    std::istringstream hs(header);
+    std::string tag;
+    std::string hash;
+    uint64_t size = 0;
+    if (hs >> tag >> hash >> size &&
+        tag == "deepmc-cache-v" + std::to_string(version_) &&
+        size <= (1ull << 31)) {
+      payload.resize(static_cast<size_t>(size));
+      in.read(payload.data(), static_cast<std::streamsize>(size));
+      if (in.gcount() == static_cast<std::streamsize>(size) &&
+          in.get() == std::char_traits<char>::eof() &&
+          hash_bytes(payload) == hash)
+        corrupt = false;
+    }
+  }
+  if (corrupt) {
+    in.close();
+    std::error_code ec;
+    fs::remove(path, ec);  // don't trip over the same entry again
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  return payload;
+}
+
+void DiskCache::put(const std::string& key, std::string_view payload) {
+  if (!enabled()) return;
+  try {
+    DEEPMC_FAULTPOINT("cache.write");
+  } catch (const support::FaultInjected&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_faults;
+    return;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++tmp_seq_;
+  }
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp" + std::to_string(seq);
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << "deepmc-cache-v" << version_ << ' ' << hash_bytes(payload) << ' '
+          << payload.size() << '\n';
+      out.write(payload.data(),
+                static_cast<std::streamsize>(payload.size()));
+      out.flush();
+      ok = out.good();
+    }
+  }
+  if (ok) {
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    ok = !ec;
+  }
+  if (!ok) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_errors;
+  }
+}
+
+DiskCache::Stats DiskCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace deepmc::serve

@@ -1,0 +1,67 @@
+// Versioned, hash-validated on-disk cache for the analysis server.
+//
+// Layout: one file per entry under the cache directory, named by the
+// 32-hex content key (src/serve/hash.h). Each file is a one-line header
+//
+//   deepmc-cache-v<version> <payload-hash-32hex> <payload-size>\n
+//
+// followed by the raw payload bytes (src/serve/wire.h encoding). The
+// header makes every entry self-validating: a version bump, a truncated
+// write, or bit rot all read back as a miss, never as wrong results.
+//
+// Degraded mode, never crash: every failure path — unreadable directory,
+// corrupt entry, full disk, or an injected fault at "cache.read" /
+// "cache.write" (src/support/faultpoint.h) — degrades to a miss or a
+// dropped write and bumps a counter. The server stays up and falls back
+// to full recomputation.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace deepmc::serve {
+
+class DiskCache {
+ public:
+  /// Entry-format version written into and required from every header.
+  /// Bump when the wire encoding changes; old entries then read as misses.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t corrupt = 0;       ///< bad header/hash/version (entry removed)
+    uint64_t read_faults = 0;   ///< injected "cache.read" trips
+    uint64_t write_faults = 0;  ///< injected "cache.write" trips
+    uint64_t write_errors = 0;  ///< I/O failures while storing
+  };
+
+  /// An empty `dir` disables the cache: every get misses, every put is a
+  /// no-op. `version` overrides the header version (tests use this to
+  /// exercise version-mismatch recovery).
+  explicit DiskCache(std::string dir, uint32_t version = kFormatVersion);
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+  /// Payload for `key`, or nullopt on miss/corruption/fault.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Best-effort store; failures are counted, not raised.
+  void put(const std::string& key, std::string_view payload);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+  uint32_t version_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  uint64_t tmp_seq_ = 0;  ///< suffix for unique temp names (under mu_)
+};
+
+}  // namespace deepmc::serve

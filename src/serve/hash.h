@@ -1,0 +1,67 @@
+// Content hashing for the incremental analysis server (docs/SERVER.md).
+//
+// Cache keys concatenate two independent 64-bit streams over the same
+// bytes — FNV-1a and an xorshift-multiply mix — into one 32-hex-digit
+// key. Cheap, dependency-free, deterministic across platforms, and with
+// a collision probability that is negligible at cache scale. Not
+// cryptographic: the cache trusts its own directory, and corruption is
+// caught separately by the payload hash in every entry header
+// (src/serve/cache.h).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace deepmc::serve {
+
+class Hasher {
+ public:
+  Hasher& update(std::string_view bytes) {
+    for (unsigned char c : bytes) step(c);
+    return *this;
+  }
+
+  Hasher& update_u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      step(static_cast<unsigned char>(v >> (i * 8)));
+    return *this;
+  }
+
+  /// A logical field: the bytes plus a separator, so ("ab","c") and
+  /// ("a","bc") hash differently.
+  Hasher& field(std::string_view bytes) {
+    update(bytes);
+    step(0x1f);
+    return *this;
+  }
+
+  /// 32 lowercase hex digits (128 bits).
+  [[nodiscard]] std::string hex() const {
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(a_),
+                  static_cast<unsigned long long>(b_));
+    return buf;
+  }
+
+ private:
+  void step(unsigned char c) {
+    a_ = (a_ ^ c) * 0x100000001b3ull;  // FNV-1a, 64-bit
+    b_ ^= c;
+    b_ ^= b_ << 13;
+    b_ ^= b_ >> 7;
+    b_ ^= b_ << 17;
+    b_ += 0x9e3779b97f4a7c15ull;
+  }
+
+  uint64_t a_ = 0xcbf29ce484222325ull;  // FNV offset basis
+  uint64_t b_ = 0x6a09e667f3bcc909ull;  // sqrt(2) fraction bits
+};
+
+inline std::string hash_bytes(std::string_view bytes) {
+  return Hasher().update(bytes).hex();
+}
+
+}  // namespace deepmc::serve

@@ -1,0 +1,59 @@
+// Length-prefixed request/response framing for `deepmc serve`
+// (docs/SERVER.md). One frame layout each way, over any byte stream — a
+// Unix-domain socket connection or a pipe/file pair in --stdin mode:
+//
+//   request:   'DMRQ'  u32 version  u32 header_len  u32 body_len
+//              header (flat JSON)   body (raw MIR text)
+//   response:  'DMRS'  u32 version  u32 status      u32 meta_len
+//              u32 body_len         meta (flat JSON)  body (report)
+//
+// All integers little-endian. status 0 = ok, 1 = error (meta carries
+// "error"). Header/meta are single-level JSON objects of string, number,
+// and boolean fields — parsed here with a small scanner, no JSON library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace deepmc::serve {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kMaxHeaderBytes = 1u << 20;   ///< 1 MiB
+inline constexpr size_t kMaxBodyBytes = 256u << 20;   ///< 256 MiB
+
+struct RequestFrame {
+  std::string header;  ///< flat JSON: op/name/model/format/timing/corpus
+  std::string body;    ///< MIR text for op "analyze"
+};
+
+struct ResponseFrame {
+  uint32_t status = 0;  ///< 0 ok, 1 error
+  std::string meta;     ///< flat JSON: exit/cache/failed/degraded/warnings
+  std::string body;     ///< rendered report
+};
+
+/// Blocking, EINTR-safe whole-buffer I/O on a file descriptor. read_exact
+/// returns 1 on success, 0 on clean EOF before the first byte, -1 on
+/// error or truncation.
+int read_exact(int fd, void* buf, size_t n);
+bool write_exact(int fd, const void* buf, size_t n);
+
+/// Frame I/O. Readers return 1 ok / 0 clean EOF / -1 malformed or I/O
+/// error; writers return false on I/O error.
+int read_request(int fd, RequestFrame* out);
+bool write_request(int fd, const RequestFrame& frame);
+int read_response(int fd, ResponseFrame* out);
+bool write_response(int fd, const ResponseFrame& frame);
+
+/// Flat-JSON field access for headers/meta. Strings are unescaped;
+/// absent keys (or type mismatches) return nullopt.
+std::optional<std::string> json_string_field(std::string_view json,
+                                             std::string_view key);
+std::optional<double> json_num_field(std::string_view json,
+                                     std::string_view key);
+std::optional<bool> json_bool_field(std::string_view json,
+                                    std::string_view key);
+
+}  // namespace deepmc::serve

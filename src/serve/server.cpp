@@ -1,0 +1,429 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/report.h"
+#include "corpus/corpus.h"
+#include "ir/printer.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "support/faultpoint.h"
+
+namespace deepmc::serve {
+
+namespace {
+
+ResponseFrame error_response(const std::string& message) {
+  ResponseFrame resp;
+  resp.status = 1;
+  resp.meta = "{\"error\": " + core::json_quote(message) + "}";
+  return resp;
+}
+
+std::string analyze_meta(const ServeResult& r) {
+  std::ostringstream os;
+  os << "{\"exit\": " << r.exit_code
+     << ", \"cache\": " << core::json_quote(r.cache)
+     << ", \"failed\": " << (r.failed ? "true" : "false")
+     << ", \"degraded\": " << (r.degraded ? "true" : "false")
+     << ", \"warnings\": " << r.warnings << "}";
+  return os.str();
+}
+
+/// One analyze request: resolve corpus/body input and per-request options
+/// from the header, run the service, frame the response.
+ResponseFrame handle_analyze(AnalysisService& service,
+                             const RequestFrame& req) {
+  RequestOptions ropts;
+  if (auto model = json_string_field(req.header, "model")) {
+    auto parsed = core::parse_model_flag(*model);
+    if (!parsed) return error_response("unknown model '" + *model + "'");
+    ropts.model = *parsed;
+  }
+  if (auto format = json_string_field(req.header, "format")) {
+    if (*format == "text") ropts.format = core::ReportFormat::kText;
+    else if (*format == "json") ropts.format = core::ReportFormat::kJson;
+    else return error_response("unknown format '" + *format + "'");
+  }
+  ropts.include_timing = json_bool_field(req.header, "timing").value_or(false);
+
+  std::string name =
+      json_string_field(req.header, "name").value_or("<request>");
+  std::string text;
+  if (auto corpus_name = json_string_field(req.header, "corpus")) {
+    // The server owns the corpus registry; the client just names a module.
+    // Framework model is forced exactly like the one-shot CLI does.
+    try {
+      corpus::CorpusModule cm = corpus::build_module(*corpus_name);
+      text = ir::to_string(*cm.module);
+      name = *corpus_name;
+      ropts.model = corpus::framework_model(cm.framework);
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+  } else {
+    text = req.body;
+  }
+
+  ServeResult r;
+  try {
+    r = service.analyze_report(name, text, ropts);
+  } catch (const std::exception& e) {
+    return error_response(std::string("analysis error: ") + e.what());
+  }
+  ResponseFrame resp;
+  resp.status = 0;
+  resp.meta = analyze_meta(r);
+  resp.body = std::move(r.body);
+  return resp;
+}
+
+}  // namespace
+
+int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
+  // One fault scope for the whole session: "serve.accept:N" trips on the
+  // N-th request of this stream and stays tripped (sticky), while
+  // cache.read/cache.write trips are absorbed inside DiskCache.
+  support::FaultScope faults;
+  support::FaultActivation activation(&faults);
+  while (true) {
+    RequestFrame req;
+    const int rc = read_request(in_fd, &req);
+    if (rc == 0) return 0;  // clean EOF
+    if (rc < 0) {
+      // Malformed frame: the stream is unsynchronized, so answer once
+      // (best effort) and drop the connection rather than guess.
+      write_response(out_fd, error_response("malformed request frame"));
+      return 0;
+    }
+    try {
+      DEEPMC_FAULTPOINT("serve.accept");
+    } catch (const support::FaultInjected& e) {
+      if (!write_response(out_fd, error_response(e.what()))) return 0;
+      continue;
+    }
+    const std::string op =
+        json_string_field(req.header, "op").value_or("analyze");
+    ResponseFrame resp;
+    bool shutdown = false;
+    if (op == "ping") {
+      resp.meta = "{\"pong\": true}";
+    } else if (op == "stats") {
+      resp.meta = "{\"ok\": true}";
+      resp.body = service.stats_json();
+    } else if (op == "shutdown") {
+      resp.meta = "{\"shutdown\": true}";
+      shutdown = true;
+    } else if (op == "analyze") {
+      resp = handle_analyze(service, req);
+    } else {
+      resp = error_response("unknown op '" + op + "'");
+    }
+    if (!write_response(out_fd, resp)) return 0;
+    if (shutdown) return 1;
+  }
+}
+
+int serve_unix_socket(AnalysisService& service, const std::string& path) {
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "deepmc serve: socket path too long: %s\n",
+                 path.c_str());
+    return 65;
+  }
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("deepmc serve: socket");
+    return 65;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    std::perror("deepmc serve: bind/listen");
+    ::close(fd);
+    return 65;
+  }
+  std::printf("deepmc-serve: listening on %s\n", path.c_str());
+  std::fflush(stdout);
+  int rc = 0;
+  while (true) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::perror("deepmc serve: accept");
+      rc = 65;
+      break;
+    }
+    const int stream_rc = serve_stream(service, conn, conn);
+    ::close(conn);
+    if (stream_rc == 1) break;  // clean shutdown request
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  return rc;
+}
+
+namespace {
+
+int usage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: deepmc serve --socket PATH | --stdin    (daemon)\n"
+      "       deepmc serve --connect PATH [...]       (client)\n"
+      "\n"
+      "daemon options:\n"
+      "  --socket PATH        listen on a Unix-domain socket\n"
+      "  --stdin              serve one framed stream on stdin/stdout\n"
+      "  --cache-dir DIR      persist per-function results under DIR\n"
+      "  --cache-version N    override the cache entry format version\n"
+      "  --jobs N             analysis threads (0 = hardware)\n"
+      "  -strict|-epoch|-strand   default persistency model\n"
+      "  --field-insensitive  disable DSA field sensitivity\n"
+      "\n"
+      "client options:\n"
+      "  --connect PATH       connect to a serving daemon\n"
+      "  file.mir...          analyze files (framed as requests)\n"
+      "  --corpus NAME        analyze a built-in corpus module\n"
+      "  --format text|json   response rendering (default json)\n"
+      "  --timing             include per-unit elapsed_ms\n"
+      "  -strict|-epoch|-strand   request model override\n"
+      "  --ping               round-trip check\n"
+      "  --cache-stats        print server cache statistics\n"
+      "  --shutdown           ask the daemon to exit (after other work)\n");
+  return out == stderr ? 64 : 0;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct ClientJob {
+  bool corpus = false;
+  std::string name;  ///< file path or corpus module name
+};
+
+std::string analyze_header(const ClientJob& job, const std::string& model,
+                           const std::string& format, bool timing) {
+  std::ostringstream os;
+  os << "{\"op\": \"analyze\"";
+  if (job.corpus)
+    os << ", \"corpus\": " << core::json_quote(job.name);
+  else
+    os << ", \"name\": " << core::json_quote(job.name);
+  if (!model.empty()) os << ", \"model\": " << core::json_quote(model);
+  os << ", \"format\": " << core::json_quote(format)
+     << ", \"timing\": " << (timing ? "true" : "false") << "}";
+  return os.str();
+}
+
+/// One request/response round trip; returns false on a transport error.
+bool round_trip(int fd, const RequestFrame& req, ResponseFrame* resp) {
+  return write_request(fd, req) && read_response(fd, resp) == 1;
+}
+
+int client_main(const std::string& socket_path,
+                const std::vector<ClientJob>& jobs, const std::string& model,
+                const std::string& format, bool timing, bool ping,
+                bool cache_stats, bool shutdown) {
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "deepmc serve: cannot connect to %s\n",
+                 socket_path.c_str());
+    return 65;
+  }
+  bool any_failed = false;
+  bool any_degraded = false;
+  bool transport_error = false;
+  uint64_t warnings = 0;
+  ResponseFrame resp;
+  if (ping) {
+    RequestFrame req;
+    req.header = "{\"op\": \"ping\"}";
+    if (round_trip(fd, req, &resp) && resp.status == 0 &&
+        json_bool_field(resp.meta, "pong").value_or(false)) {
+      std::printf("pong\n");
+    } else {
+      std::fprintf(stderr, "deepmc serve: ping failed\n");
+      transport_error = true;
+    }
+  }
+  for (const ClientJob& job : jobs) {
+    if (transport_error) break;
+    RequestFrame req;
+    req.header = analyze_header(job, model, format, timing);
+    if (!job.corpus) {
+      std::ifstream in(job.name, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "deepmc serve: cannot read %s\n",
+                     job.name.c_str());
+        any_failed = true;
+        continue;
+      }
+      std::ostringstream body;
+      body << in.rdbuf();
+      req.body = body.str();
+    }
+    if (!round_trip(fd, req, &resp)) {
+      transport_error = true;
+      break;
+    }
+    if (resp.status != 0) {
+      std::fprintf(stderr, "deepmc serve: %s: %s\n", job.name.c_str(),
+                   json_string_field(resp.meta, "error")
+                       .value_or("request failed")
+                       .c_str());
+      any_failed = true;
+      continue;
+    }
+    std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
+    if (json_bool_field(resp.meta, "failed").value_or(false))
+      any_failed = true;
+    if (json_bool_field(resp.meta, "degraded").value_or(false))
+      any_degraded = true;
+    warnings += static_cast<uint64_t>(
+        json_num_field(resp.meta, "warnings").value_or(0));
+  }
+  if (cache_stats && !transport_error) {
+    RequestFrame req;
+    req.header = "{\"op\": \"stats\"}";
+    if (round_trip(fd, req, &resp) && resp.status == 0) {
+      std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
+      std::printf("\n");
+    } else {
+      transport_error = true;
+    }
+  }
+  if (shutdown && !transport_error) {
+    RequestFrame req;
+    req.header = "{\"op\": \"shutdown\"}";
+    if (!round_trip(fd, req, &resp) || resp.status != 0)
+      transport_error = true;
+  }
+  std::fflush(stdout);
+  ::close(fd);
+  if (transport_error) {
+    std::fprintf(stderr, "deepmc serve: connection to %s failed\n",
+                 socket_path.c_str());
+    return 65;
+  }
+  // Same precedence as the one-shot CLI: failed > degraded > warning count.
+  if (any_failed) return 65;
+  if (any_degraded) return 66;
+  return static_cast<int>(warnings > 63 ? 63 : warnings);
+}
+
+}  // namespace
+
+int serve_cli(int argc, char** argv) {
+  std::string socket_path;
+  std::string connect_path;
+  bool use_stdin = false;
+  ServeOptions sopts;
+  std::string client_model;
+  std::string format = "json";
+  bool timing = false;
+  bool ping = false;
+  bool cache_stats = false;
+  bool shutdown = false;
+  std::vector<ClientJob> jobs;
+
+  auto need_value = [&](int i) { return i + 1 < argc; };
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--socket") {
+      if (!need_value(i)) return usage(stderr);
+      socket_path = argv[++i];
+    } else if (arg == "--stdin") {
+      use_stdin = true;
+    } else if (arg == "--connect") {
+      if (!need_value(i)) return usage(stderr);
+      connect_path = argv[++i];
+    } else if (arg == "--cache-dir") {
+      if (!need_value(i)) return usage(stderr);
+      sopts.cache_dir = argv[++i];
+    } else if (arg == "--cache-version") {
+      if (!need_value(i)) return usage(stderr);
+      sopts.cache_version = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--jobs") {
+      if (!need_value(i)) return usage(stderr);
+      sopts.driver.jobs = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--field-insensitive") {
+      sopts.driver.checker.field_sensitive = false;
+    } else if (arg == "--format") {
+      if (!need_value(i)) return usage(stderr);
+      format = argv[++i];
+      if (format != "text" && format != "json") return usage(stderr);
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--corpus") {
+      if (!need_value(i)) return usage(stderr);
+      jobs.push_back({true, argv[++i]});
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--cache-stats") {
+      cache_stats = true;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else if (auto model = core::parse_model_flag(arg)) {
+      sopts.driver.model = *model;
+      client_model = core::model_name(*model);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "deepmc serve: unknown flag %s\n", arg.c_str());
+      return 64;
+    } else {
+      jobs.push_back({false, arg});
+    }
+  }
+
+  if (!connect_path.empty()) {
+    if (!socket_path.empty() || use_stdin) return usage(stderr);
+    if (jobs.empty() && !ping && !cache_stats && !shutdown)
+      return usage(stderr);
+    return client_main(connect_path, jobs, client_model, format, timing, ping,
+                       cache_stats, shutdown);
+  }
+  if (socket_path.empty() == !use_stdin) return usage(stderr);  // exactly one
+  if (!jobs.empty() || ping || cache_stats || shutdown || timing)
+    return usage(stderr);  // client-only flags without --connect
+
+  std::string fault_error;
+  if (!support::arm_faults_from_env(&fault_error)) {
+    std::fprintf(stderr, "deepmc serve: %s\n", fault_error.c_str());
+    return 64;
+  }
+  AnalysisService service(std::move(sopts));
+  if (use_stdin) {
+    serve_stream(service, STDIN_FILENO, STDOUT_FILENO);
+    return 0;
+  }
+  return serve_unix_socket(service, socket_path);
+}
+
+}  // namespace deepmc::serve

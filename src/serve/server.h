@@ -1,0 +1,27 @@
+// `deepmc serve` entry points: the daemon loop over a Unix-domain
+// socket, the single-stream loop used by --stdin mode and the tests, and
+// the thin client that frames files/corpus modules into requests.
+#pragma once
+
+#include <string>
+
+namespace deepmc::serve {
+
+class AnalysisService;
+
+/// Serve one framed request stream (one connection, or stdin/stdout in
+/// --stdin mode). Holds one fault-injection scope for the whole session,
+/// so an armed "serve.accept:N" trips on the N-th request and stays
+/// tripped — each affected request gets an error response and the stream
+/// keeps going. Returns 0 on clean EOF / stream error, 1 when a shutdown
+/// request was served.
+int serve_stream(AnalysisService& service, int in_fd, int out_fd);
+
+/// Bind `path`, accept connections sequentially, serve each with
+/// serve_stream until a shutdown request. Returns a CLI exit code.
+int serve_unix_socket(AnalysisService& service, const std::string& path);
+
+/// `deepmc serve ...`: daemon (--socket / --stdin) or client (--connect).
+int serve_cli(int argc, char** argv);
+
+}  // namespace deepmc::serve

@@ -1,0 +1,233 @@
+#include "serve/service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "ir/parser.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "serve/fingerprint.h"
+#include "serve/wire.h"
+
+namespace deepmc::serve {
+
+namespace {
+
+// Lazily registered so a binary that never serves keeps the default
+// metrics exposition (and its goldens) unchanged.
+obs::Counter& requests_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.requests_total", obs::Volatility::kStable,
+      "analysis requests served");
+  return c;
+}
+obs::Counter& unit_hits_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.cache.unit_hits_total", obs::Volatility::kVolatile,
+      "whole-unit cache hits (report replayed without analysis)");
+  return c;
+}
+obs::Counter& unit_misses_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.cache.unit_misses_total", obs::Volatility::kVolatile,
+      "whole-unit cache misses");
+  return c;
+}
+obs::Counter& root_hits_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.cache.root_hits_total", obs::Volatility::kVolatile,
+      "per-root cache hits seeded into the driver");
+  return c;
+}
+obs::Counter& root_misses_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.cache.root_misses_total", obs::Volatility::kVolatile,
+      "per-root cache misses (the dirty cone)");
+  return c;
+}
+obs::Histogram& dirty_cone_hist() {
+  static obs::Histogram h = obs::registry().histogram(
+      "serve.dirty_cone_roots", obs::Volatility::kVolatile,
+      "roots recomputed per planned request",
+      {0, 1, 2, 4, 8, 16, 32, 64});
+  return h;
+}
+
+/// Options the wire format cannot represent faithfully disable caching
+/// for the whole request (dynamic findings, crashsim blocks, dumps,
+/// suggestion text, suppression accounting, and budget-degraded rungs all
+/// live outside the encoded payload).
+bool cache_safe(const core::DriverOptions& o) {
+  return !o.dynamic_run && !o.crashsim && !o.dump_ir && !o.dump_dsg &&
+         !o.dump_traces && !o.suggest && o.suppressions.size() == 0 &&
+         !o.budgets.any();
+}
+
+int exit_code_for(const core::Report& report) {
+  if (report.any_failed()) return 65;
+  if (report.any_degraded()) return 66;
+  const size_t warnings = report.total_warnings();
+  return static_cast<int>(warnings > 63 ? 63 : warnings);
+}
+
+std::string render(const core::Report& report, const RequestOptions& req) {
+  return req.format == core::ReportFormat::kJson
+             ? report.json(req.include_timing)
+             : report.text();
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(ServeOptions opts)
+    : opts_(std::move(opts)),
+      pool_([&] {
+        const size_t jobs = opts_.driver.jobs == 0
+                                ? support::ThreadPool::default_concurrency()
+                                : opts_.driver.jobs;
+        return jobs <= 1 ? 0 : jobs;
+      }()),
+      cache_(opts_.cache_dir, opts_.cache_version) {}
+
+ServeResult AnalysisService::analyze_report(const std::string& name,
+                                            const std::string& text,
+                                            const RequestOptions& req) {
+  obs::Span span("serve.request", "serve", obs::span_arg("unit", name));
+  requests_total().inc();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+
+  core::DriverOptions dopts = opts_.driver;
+  if (req.model) dopts.model = *req.model;
+  const bool eligible = cache_.enabled() && cache_safe(dopts);
+  const std::string options_fp = options_fingerprint(dopts);
+  const std::string ukey = unit_key(options_fp, name, text);
+
+  ServeResult res;
+  res.cache = eligible ? "cold" : "off";
+
+  // Level 1: whole-unit replay — identical text under identical options
+  // skips parse, DSA, and checking entirely.
+  if (eligible) {
+    if (auto payload = cache_.get(ukey)) {
+      core::UnitReport unit;
+      if (decode_unit_report(*payload, &unit)) {
+        unit_hits_total().inc();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.unit_hits;
+        }
+        std::vector<core::UnitReport> units;
+        units.push_back(std::move(unit));
+        const core::Report report = core::Report::from_units(std::move(units));
+        res.body = render(report, req);
+        res.exit_code = exit_code_for(report);
+        res.failed = false;
+        res.degraded = false;
+        res.warnings = report.total_warnings();
+        res.cache = "unit-hit";
+        return res;
+      }
+    }
+    unit_misses_total().inc();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.unit_misses;
+  }
+
+  // Level 2: plan per-root keys from a private parse and seed every clean
+  // root. The parse here is for planning only — the driver always builds
+  // its own module from the raw text, so a parse failure below simply
+  // means "no plan" and the driver reports the error the one-shot way.
+  ModulePlan plan;
+  bool plan_ok = false;
+  if (eligible) {
+    try {
+      const std::unique_ptr<ir::Module> module = ir::parse_module(text);
+      plan = plan_module(*module, options_fp);
+      plan_ok = true;
+    } catch (const std::exception&) {
+      plan_ok = false;
+    }
+  }
+
+  std::map<std::string, core::CheckResult> seeded;
+  size_t dirty = 0;
+  if (plan_ok) {
+    for (const RootPlan& root : plan.roots) {
+      if (auto payload = cache_.get(root.key)) {
+        core::CheckResult result;
+        if (decode_check_result(*payload, &result)) {
+          seeded.emplace(root.name, std::move(result));
+          continue;
+        }
+      }
+      ++dirty;
+    }
+    root_hits_total().inc(seeded.size());
+    root_misses_total().inc(dirty);
+    dirty_cone_hist().observe(dirty);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.root_hits += seeded.size();
+      stats_.root_misses += dirty;
+      stats_.last_dirty_roots = dirty;
+    }
+    if (!seeded.empty()) res.cache = "warm";
+  }
+
+  if (!seeded.empty()) dopts.seeded_roots = &seeded;
+  dopts.collect_root_results = plan_ok;
+  core::AnalysisDriver driver(dopts);
+  std::vector<core::AnalysisUnit> units;
+  units.push_back(core::make_source_unit(name, text, req.model));
+  core::Report report = driver.run(units, pool_);
+
+  const core::UnitReport& u = report.units().front();
+  if (plan_ok && !u.failed && u.status == core::UnitStatus::kOk) {
+    std::map<std::string, const std::string*> key_of;
+    for (const RootPlan& root : plan.roots) key_of[root.name] = &root.key;
+    for (const auto& [root_name, result] : u.root_results) {
+      auto it = key_of.find(root_name);
+      if (it != key_of.end())
+        cache_.put(*it->second, encode_check_result(result));
+    }
+    core::UnitReport to_store = u;
+    to_store.root_results.clear();
+    to_store.stats.elapsed_ms = 0;
+    cache_.put(ukey, encode_unit_report(to_store));
+  }
+
+  res.body = render(report, req);
+  res.exit_code = exit_code_for(report);
+  res.failed = report.any_failed();
+  res.degraded = report.any_degraded();
+  res.warnings = report.total_warnings();
+  return res;
+}
+
+AnalysisService::Stats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string AnalysisService::stats_json() const {
+  const Stats s = stats();
+  const DiskCache::Stats c = cache_.stats();
+  std::ostringstream os;
+  os << "{\"requests\": " << s.requests
+     << ", \"unit_hits\": " << s.unit_hits
+     << ", \"unit_misses\": " << s.unit_misses
+     << ", \"root_hits\": " << s.root_hits
+     << ", \"root_misses\": " << s.root_misses
+     << ", \"last_dirty_roots\": " << s.last_dirty_roots
+     << ", \"cache_enabled\": " << (cache_.enabled() ? "true" : "false")
+     << ", \"disk_hits\": " << c.hits << ", \"disk_misses\": " << c.misses
+     << ", \"disk_corrupt\": " << c.corrupt
+     << ", \"read_faults\": " << c.read_faults
+     << ", \"write_faults\": " << c.write_faults
+     << ", \"write_errors\": " << c.write_errors << "}";
+  return os.str();
+}
+
+}  // namespace deepmc::serve

@@ -1,0 +1,83 @@
+// The analysis service behind `deepmc serve`: one long-lived object that
+// owns the warm thread pool and the on-disk cache, shared by every
+// request on every connection.
+//
+// Byte-identity contract: a response body is identical to what a fresh
+// one-shot `deepmc` run over the same input and options prints (modulo
+// elapsed_ms, which the server omits by default). Cached unit replays go
+// through Report::from_units into the exact print paths a fresh run
+// uses; cached per-root results are merged by the driver in
+// trace_roots() order, exactly where a fresh check_root result would be.
+//
+// Cache safety: results are only cached/replayed for configurations the
+// wire format can represent faithfully — static analysis without
+// dynamic/crashsim stages, dumps, suggestions, suppressions, or budgets.
+// Anything else runs fresh every time ("off" outcome).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/analysis_driver.h"
+#include "serve/cache.h"
+#include "support/thread_pool.h"
+
+namespace deepmc::serve {
+
+struct ServeOptions {
+  core::DriverOptions driver;
+  std::string cache_dir;  ///< empty = caching off (every request "off")
+  uint32_t cache_version = DiskCache::kFormatVersion;
+};
+
+/// Per-request knobs (the analyze header fields, docs/SERVER.md).
+struct RequestOptions {
+  std::optional<core::PersistencyModel> model;  ///< override driver model
+  core::ReportFormat format = core::ReportFormat::kJson;
+  bool include_timing = false;
+};
+
+struct ServeResult {
+  std::string body;      ///< rendered report (text or JSON)
+  int exit_code = 0;     ///< same scheme as the one-shot CLI
+  bool failed = false;
+  bool degraded = false;
+  uint64_t warnings = 0;
+  std::string cache;     ///< "unit-hit" | "warm" | "cold" | "off"
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServeOptions opts);
+
+  /// Analyze one named MIR text and render the response.
+  ServeResult analyze_report(const std::string& name, const std::string& text,
+                             const RequestOptions& req);
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t unit_hits = 0;
+    uint64_t unit_misses = 0;
+    uint64_t root_hits = 0;
+    uint64_t root_misses = 0;
+    uint64_t last_dirty_roots = 0;  ///< dirty-cone size of the last plan
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] DiskCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Flat JSON object for the `stats` op and `--cache-stats`.
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+
+ private:
+  ServeOptions opts_;
+  support::ThreadPool pool_;
+  DiskCache cache_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace deepmc::serve

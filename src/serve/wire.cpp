@@ -1,0 +1,156 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "core/report.h"
+
+namespace deepmc::serve {
+
+namespace {
+
+// Upper bounds for enum validation on decode. Serialized entries come off
+// disk; a stale or hand-edited entry must not smuggle an impossible enum
+// value into the report renderer.
+constexpr uint32_t kMaxCategory =
+    static_cast<uint32_t>(core::BugCategory::kEmptyDurableTx);
+constexpr uint32_t kMaxModel =
+    static_cast<uint32_t>(core::PersistencyModel::kStrand);
+
+}  // namespace
+
+bool WireReader::u32(uint32_t* v) {
+  if (bad_ || data_.size() - pos_ < 4) {
+    bad_ = true;
+    return false;
+  }
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i)
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (i * 8);
+  pos_ += 4;
+  *v = r;
+  return true;
+}
+
+bool WireReader::u64(uint64_t* v) {
+  if (bad_ || data_.size() - pos_ < 8) {
+    bad_ = true;
+    return false;
+  }
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i)
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (i * 8);
+  pos_ += 8;
+  *v = r;
+  return true;
+}
+
+bool WireReader::str(std::string* s) {
+  uint64_t len = 0;
+  if (!u64(&len)) return false;
+  if (len > data_.size() - pos_) {
+    bad_ = true;
+    return false;
+  }
+  s->assign(data_.data() + pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return true;
+}
+
+std::string encode_check_result(const core::CheckResult& r) {
+  WireWriter w;
+  w.u64(r.warnings().size());
+  for (const core::Warning& warning : r.warnings()) {
+    w.str(warning.rule);
+    w.u32(static_cast<uint32_t>(warning.category));
+    w.u32(static_cast<uint32_t>(warning.model));
+    w.str(warning.loc.file);
+    w.u32(warning.loc.line);
+    w.str(warning.function);
+    w.str(warning.message);
+  }
+  w.u64(r.traces_checked);
+  w.u64(r.functions_checked);
+  return w.take();
+}
+
+bool decode_check_result(std::string_view data, core::CheckResult* out) {
+  WireReader r(data);
+  uint64_t count = 0;
+  if (!r.u64(&count)) return false;
+  core::CheckResult result;
+  for (uint64_t i = 0; i < count; ++i) {
+    core::Warning w;
+    uint32_t category = 0;
+    uint32_t model = 0;
+    uint32_t line = 0;
+    if (!r.str(&w.rule) || !r.u32(&category) || !r.u32(&model) ||
+        !r.str(&w.loc.file) || !r.u32(&line) || !r.str(&w.function) ||
+        !r.str(&w.message))
+      return false;
+    if (category > kMaxCategory || model > kMaxModel) return false;
+    w.category = static_cast<core::BugCategory>(category);
+    w.model = static_cast<core::PersistencyModel>(model);
+    w.loc.line = line;
+    // Stored vectors are already unique on add()'s (rule, loc) key, so
+    // re-adding reproduces the encoded vector exactly.
+    result.add(std::move(w));
+  }
+  uint64_t traces = 0;
+  uint64_t functions = 0;
+  if (!r.u64(&traces) || !r.u64(&functions) || !r.done()) return false;
+  result.traces_checked = static_cast<size_t>(traces);
+  result.functions_checked = static_cast<size_t>(functions);
+  *out = std::move(result);
+  return true;
+}
+
+std::string encode_unit_report(const core::UnitReport& u) {
+  WireWriter w;
+  w.str(u.name);
+  w.u32(static_cast<uint32_t>(u.model));
+  w.u64(u.suppressed);
+  w.str(u.text);
+  w.u64(u.stats.trace_roots);
+  w.u64(u.stats.functions_checked);
+  w.u64(u.stats.traces_checked);
+  w.u64(u.stats.dsa_nodes);
+  w.u64(u.stats.persistent_dsa_nodes);
+  w.str(encode_check_result(u.result));
+  return w.take();
+}
+
+bool decode_unit_report(std::string_view data, core::UnitReport* out) {
+  WireReader r(data);
+  core::UnitReport u;
+  uint32_t model = 0;
+  uint64_t suppressed = 0;
+  uint64_t trace_roots = 0;
+  uint64_t functions_checked = 0;
+  uint64_t traces_checked = 0;
+  uint64_t dsa_nodes = 0;
+  uint64_t persistent_dsa_nodes = 0;
+  std::string result_blob;
+  if (!r.str(&u.name) || !r.u32(&model) || !r.u64(&suppressed) ||
+      !r.str(&u.text) || !r.u64(&trace_roots) || !r.u64(&functions_checked) ||
+      !r.u64(&traces_checked) || !r.u64(&dsa_nodes) ||
+      !r.u64(&persistent_dsa_nodes) || !r.str(&result_blob) || !r.done())
+    return false;
+  if (model > kMaxModel) return false;
+  if (!decode_check_result(result_blob, &u.result)) return false;
+  u.model = static_cast<core::PersistencyModel>(model);
+  u.suppressed = static_cast<size_t>(suppressed);
+  u.stats.trace_roots = static_cast<size_t>(trace_roots);
+  u.stats.functions_checked = static_cast<size_t>(functions_checked);
+  u.stats.traces_checked = static_cast<size_t>(traces_checked);
+  u.stats.dsa_nodes = static_cast<size_t>(dsa_nodes);
+  u.stats.persistent_dsa_nodes = static_cast<size_t>(persistent_dsa_nodes);
+  u.stats.elapsed_ms = 0;  // cache hits have no meaningful timing
+  u.status = core::UnitStatus::kOk;
+  u.failed = false;
+  *out = std::move(u);
+  return true;
+}
+
+}  // namespace deepmc::serve

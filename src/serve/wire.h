@@ -1,0 +1,77 @@
+// Binary (de)serialization of analysis results for the serve cache.
+//
+// Little-endian, length-prefixed, no framing of its own — the payload is
+// wrapped by the cache entry header (src/serve/cache.h), which carries
+// the format version and a payload hash, so this layer can assume intact
+// bytes and still refuses structurally impossible input (every decode
+// returns false instead of throwing or reading out of bounds).
+//
+// What round-trips is exactly what rendering reads: a decoded CheckResult
+// merges byte-identically to the fresh one it was encoded from (warnings
+// are already unique on CheckResult::add's (rule, loc) key, so re-adding
+// reproduces the same vector), and a decoded UnitReport feeds
+// Report::print_text / print_json with every field those paths touch for
+// an ok, non-crashsim, non-dynamic unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/analysis_driver.h"
+
+namespace deepmc::serve {
+
+/// Append-only little-endian writer.
+class WireWriter {
+ public:
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<char>(v >> (i * 8)));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<char>(v >> (i * 8)));
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader; once a read fails, every later read fails too.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool u32(uint32_t* v);
+  bool u64(uint64_t* v);
+  bool str(std::string* s);
+
+  [[nodiscard]] bool ok() const { return !bad_; }
+  /// True when every byte was consumed and nothing failed.
+  [[nodiscard]] bool done() const { return !bad_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool bad_ = false;
+};
+
+/// Raw per-root CheckResult (unfolded, unsorted), counters included.
+std::string encode_check_result(const core::CheckResult& r);
+bool decode_check_result(std::string_view data, core::CheckResult* out);
+
+/// Unit-level payload: everything report rendering reads for an ok,
+/// non-crashsim, non-dynamic unit. elapsed_ms is stored as written by the
+/// caller (the service zeroes it — a cache hit has no meaningful timing).
+std::string encode_unit_report(const core::UnitReport& u);
+bool decode_unit_report(std::string_view data, core::UnitReport* out);
+
+}  // namespace deepmc::serve

@@ -16,6 +16,9 @@ const std::vector<std::string>& point_names() {
       "checker.root",    // static checker per-root entry
       "enum.image",      // crash-image emission in the enumerator
       "interp.step",     // interpreter instruction step
+      "serve.accept",    // request acceptance in the analysis server
+      "cache.read",      // serve-cache entry read (trip = treated as miss)
+      "cache.write",     // serve-cache entry write (trip = entry dropped)
   };
   return kPoints;
 }

@@ -45,6 +45,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -54,6 +55,7 @@
 #include "gen/generator.h"
 #include "gen/score.h"
 #include "ir/parser.h"
+#include "serve/service.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 
@@ -70,10 +72,12 @@ void usage() {
       stderr,
       "usage: deepmc-corpus gen --seed N [--framework F] [--clean]\n"
       "                         [--manifest] [--mutate N] [--mutate-seed M]\n"
+      "                         [--touch-function S]\n"
       "       deepmc-corpus run --count N [--seed-start S] [--jobs J]\n"
       "                         [--clean-every K] [--crashsim-sample K]\n"
       "                         [--min-recall R] [--min-precision P]\n"
-      "                         [--baseline FILE] [--out FILE]\n");
+      "                         [--baseline FILE] [--out FILE]\n"
+      "                         [--serve [--serve-cache DIR]]\n");
 }
 
 bool num_flag(const std::string& flag, const std::string& arg, int argc,
@@ -148,6 +152,8 @@ int cmd_gen(int argc, char** argv) {
   uint64_t mutate = 0;
   uint64_t mutate_seed = 0;
   bool have_mutate_seed = false;
+  uint64_t touch_salt = 0;
+  bool have_touch = false;
   std::optional<corpus::Framework> framework;
 
   for (int i = 0; i < argc; ++i) {
@@ -163,6 +169,10 @@ int cmd_gen(int argc, char** argv) {
                         &ok)) {
       if (!ok) return usage(), kExitUsage;
       have_mutate_seed = true;
+    } else if (num_flag("--touch-function", arg, argc, argv, i, &touch_salt,
+                        &ok)) {
+      if (!ok) return usage(), kExitUsage;
+      have_touch = true;
     } else if (file_flag("--framework", arg, argc, argv, i, &text)) {
       framework = parse_framework(text);
       if (!framework) {
@@ -197,6 +207,12 @@ int cmd_gen(int argc, char** argv) {
     std::fputs(gen::mutate_text(prog.text, mseed, mutate).c_str(), stdout);
     return 0;
   }
+  if (have_touch) {
+    // Single-function variant for analysis-server resubmission streams:
+    // same program, one function's content changed.
+    std::fputs(gen::touch_function(prog.text, touch_salt).c_str(), stdout);
+    return 0;
+  }
   std::fputs(prog.text.c_str(), stdout);
   return 0;
 }
@@ -213,10 +229,12 @@ struct SeedResult {
   std::string error;
   size_t parse_diagnostics = 0;  ///< tolerant round-trip diagnostics (must be 0)
   bool crashsim_ran = false;
+  bool serve_checked = false;  ///< daemon-path byte-identity verified
 };
 
 SeedResult analyze_seed(uint64_t seed, uint64_t clean_every,
-                        uint64_t crashsim_sample, uint64_t index) {
+                        uint64_t crashsim_sample, uint64_t index,
+                        serve::AnalysisService* service) {
   SeedResult out;
   try {
     gen::GenOptions gopts;
@@ -265,6 +283,32 @@ SeedResult analyze_seed(uint64_t seed, uint64_t clean_every,
       }
     }
     out.score = gen::score_program(prog.manifest, gen::warnings_of(unit));
+
+    // Serve cross-check: the incremental server must answer with the
+    // exact bytes of the one-shot run above, cold (fresh cache entry)
+    // and warm (replayed entry). Crashsim-sampled seeds are skipped —
+    // crashsim is outside the serve cache's representable configuration.
+    if (service != nullptr && !out.crashsim_ran) {
+      const std::string expect = report.json(false);
+      serve::RequestOptions ropts;
+      ropts.model = prog.model;
+      ropts.format = core::ReportFormat::kJson;
+      const serve::ServeResult cold =
+          service->analyze_report(prog.name, prog.text, ropts);
+      const serve::ServeResult warm =
+          service->analyze_report(prog.name, prog.text, ropts);
+      if (cold.body != expect || warm.body != expect) {
+        out.failed = true;
+        out.error = strformat(
+            "seed %llu: serve response diverged from one-shot run "
+            "(cold %s, warm %s)",
+            static_cast<unsigned long long>(seed),
+            cold.body == expect ? "ok" : "mismatch",
+            warm.body == expect ? "ok" : "mismatch");
+        return out;
+      }
+      out.serve_checked = true;
+    }
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = strformat("seed %llu: %s",
@@ -276,6 +320,7 @@ SeedResult analyze_seed(uint64_t seed, uint64_t clean_every,
 std::string corpus_json(const gen::Score& s, uint64_t count,
                         uint64_t seed_start, uint64_t failures,
                         uint64_t parse_diagnostics, uint64_t crashsim_sampled,
+                        bool serve_mode, uint64_t serve_checked,
                         uint64_t jobs, double elapsed_ms) {
   std::string out;
   out += "{\n";
@@ -304,6 +349,12 @@ std::string corpus_json(const gen::Score& s, uint64_t count,
                    static_cast<unsigned long long>(s.rule_mismatches));
   out += strformat("    \"precision\": %.6f,\n", s.precision());
   out += strformat("    \"recall\": %.6f,\n", s.recall());
+  if (serve_mode) {
+    // Per-seed counts only: daemon throughput belongs in the volatile
+    // section, but these totals are deterministic at any --jobs.
+    out += strformat("    \"serve\": {\"checked\": %llu},\n",
+                     static_cast<unsigned long long>(serve_checked));
+  }
   out += "    \"by_kind\": [\n";
   for (size_t i = 0; i < gen::kBugKindCount; ++i) {
     out += strformat(
@@ -364,6 +415,8 @@ int cmd_run(int argc, char** argv) {
   double min_precision = 0;
   std::string baseline_path;
   std::string out_path;
+  bool serve_mode = false;
+  std::string serve_cache;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -379,8 +432,11 @@ int cmd_run(int argc, char** argv) {
                   &ok)) {
       if (!ok) return usage(), kExitUsage;
     } else if (file_flag("--baseline", arg, argc, argv, i, &baseline_path) ||
-               file_flag("--out", arg, argc, argv, i, &out_path)) {
+               file_flag("--out", arg, argc, argv, i, &out_path) ||
+               file_flag("--serve-cache", arg, argc, argv, i, &serve_cache)) {
       // handled
+    } else if (arg == "--serve") {
+      serve_mode = true;
     } else {
       std::fprintf(stderr, "deepmc-corpus: unknown run option '%s'\n",
                    arg.c_str());
@@ -390,21 +446,35 @@ int cmd_run(int argc, char** argv) {
   if (count == 0) return usage(), kExitUsage;
 
   const auto t0 = std::chrono::steady_clock::now();
+  // One in-process service shared by every seed, like the daemon shares
+  // one across connections. Its inner driver stays serial (jobs=1 →
+  // inline pool, safe to call from many outer workers at once); the
+  // outer pool provides the parallelism.
+  std::unique_ptr<serve::AnalysisService> service;
+  if (serve_mode) {
+    serve::ServeOptions sopts;
+    sopts.driver.jobs = 1;
+    sopts.cache_dir = serve_cache;
+    service = std::make_unique<serve::AnalysisService>(std::move(sopts));
+  }
   // jobs=1 means serial: a 0-thread pool runs every task inline.
   support::ThreadPool pool(jobs <= 1 ? 0 : static_cast<size_t>(jobs));
   std::vector<std::future<SeedResult>> futures;
   futures.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t seed = seed_start + i;
-    futures.push_back(pool.submit([seed, clean_every, crashsim_sample, i] {
-      return analyze_seed(seed, clean_every, crashsim_sample, i);
-    }));
+    futures.push_back(
+        pool.submit([seed, clean_every, crashsim_sample, i, &service] {
+          return analyze_seed(seed, clean_every, crashsim_sample, i,
+                              service.get());
+        }));
   }
 
   gen::Score total;
   uint64_t failures = 0;
   uint64_t parse_diagnostics = 0;
   uint64_t crashsim_sampled = 0;
+  uint64_t serve_checked = 0;
   for (auto& fut : futures) {
     SeedResult r = pool.await(std::move(fut));
     if (r.failed) {
@@ -414,6 +484,7 @@ int cmd_run(int argc, char** argv) {
     }
     parse_diagnostics += r.parse_diagnostics;
     if (r.crashsim_ran) ++crashsim_sampled;
+    if (r.serve_checked) ++serve_checked;
     total.merge(r.score);
   }
   const double elapsed_ms =
@@ -423,7 +494,8 @@ int cmd_run(int argc, char** argv) {
 
   const std::string json =
       corpus_json(total, count, seed_start, failures, parse_diagnostics,
-                  crashsim_sampled, jobs, elapsed_ms);
+                  crashsim_sampled, serve_mode, serve_checked, jobs,
+                  elapsed_ms);
   if (out_path.empty()) {
     std::fputs(json.c_str(), stdout);
   } else {

@@ -67,6 +67,7 @@
 
 #include "core/analysis_driver.h"
 #include "corpus/corpus.h"
+#include "serve/server.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "support/faultpoint.h"
@@ -98,7 +99,9 @@ void usage() {
                "              [--budget-wall-ms N] [--keep-going|--fail-fast]\n"
                "              [--inject-fault NAME:COUNT] "
                "[--list-fault-points]\n"
-               "              [--corpus NAME] [--list-corpus] file.mir...\n");
+               "              [--corpus NAME] [--list-corpus] file.mir...\n"
+               "       deepmc serve ...   incremental analysis server "
+               "(deepmc serve --help)\n");
 }
 
 /// Accepts `--flag N` and `--flag=N` for a non-negative integer operand;
@@ -156,6 +159,10 @@ core::AnalysisUnit corpus_unit(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `deepmc serve ...` is its own sub-CLI (src/serve/): a long-running
+  // daemon / framed client, not a batch run.
+  if (argc >= 2 && std::string(argv[1]) == "serve")
+    return serve::serve_cli(argc - 2, argv + 2);
   core::DriverOptions opts;
   core::ReportFormat format = core::ReportFormat::kText;
   std::vector<std::string> files;

@@ -1,0 +1,598 @@
+// Incremental analysis server tests (src/serve/).
+//
+// The load-bearing property is byte-identity: whatever mix of cache
+// hits, seeded roots, version mismatches, corrupted entries, or injected
+// faults a request hits, the response body is exactly what a fresh
+// one-shot driver run over the same input prints. Everything else —
+// dirty-cone scoping, protocol framing, degraded-mode recovery — is
+// tested against that oracle.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis_driver.h"
+#include "core/report.h"
+#include "corpus/corpus.h"
+#include "gen/generator.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "serve/cache.h"
+#include "serve/fingerprint.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "support/faultpoint.h"
+
+namespace deepmc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::AnalysisService;
+using serve::DiskCache;
+using serve::RequestFrame;
+using serve::RequestOptions;
+using serve::ResponseFrame;
+using serve::ServeOptions;
+using serve::ServeResult;
+
+class FaultGuard {
+ public:
+  FaultGuard() { support::clear_faults(); }
+  ~FaultGuard() { support::clear_faults(); }
+};
+
+/// Fresh per-test cache directory (tests run as parallel ctest
+/// processes, so the tag must be unique per test).
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "deepmc_serve_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+ServeOptions cached_opts(const std::string& dir, size_t jobs = 1) {
+  ServeOptions opts;
+  opts.driver.jobs = jobs;
+  opts.cache_dir = dir;
+  return opts;
+}
+
+/// The oracle: a fresh one-shot driver run, rendered without timing.
+std::string oneshot_json(const std::string& name, const std::string& text,
+                         std::optional<core::PersistencyModel> model = {}) {
+  core::DriverOptions opts;
+  if (model) opts.model = *model;
+  opts.jobs = 1;
+  core::AnalysisDriver driver(opts);
+  return driver.run({core::make_source_unit(name, text, model)}).json(false);
+}
+
+std::string oneshot_text(const std::string& name, const std::string& text,
+                         std::optional<core::PersistencyModel> model = {}) {
+  core::DriverOptions opts;
+  if (model) opts.model = *model;
+  opts.jobs = 1;
+  core::AnalysisDriver driver(opts);
+  return driver.run({core::make_source_unit(name, text, model)}).text();
+}
+
+// Two independent roots with no shared callees: two coupling groups, so
+// editing one function must leave the other root's cache entry valid.
+constexpr const char* kTwoRoots = R"(module "tworoots"
+struct %rec { i64, i64 }
+
+define void @alpha() {
+entry:
+  %r = pm.alloc %rec
+  %f = gep %r, 0
+  store i64 1, %f !loc("alpha.c", 5)
+  pm.flush %f, 8
+  pm.fence
+  ret
+}
+
+define void @beta() {
+entry:
+  %r = pm.alloc %rec
+  %f = gep %r, 1
+  store i64 2, %f !loc("beta.c", 5)
+  ret
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Byte-identity: cold, warm, across jobs, corpus modules, text format
+// ---------------------------------------------------------------------------
+
+TEST(ServeIdentity, ColdAndWarmMatchOneShotAcrossJobs) {
+  for (size_t jobs : {1u, 4u, 16u}) {
+    SCOPED_TRACE(jobs);
+    AnalysisService service(
+        cached_opts(fresh_dir("identity_j" + std::to_string(jobs)), jobs));
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      SCOPED_TRACE(seed);
+      gen::GenOptions gopts;
+      gopts.seed = seed;
+      gen::GeneratedProgram prog = gen::generate_program(gopts);
+      const std::string expect = oneshot_json(prog.name, prog.text, prog.model);
+
+      RequestOptions req;
+      req.model = prog.model;
+      const ServeResult cold =
+          service.analyze_report(prog.name, prog.text, req);
+      EXPECT_EQ(cold.body, expect);
+      EXPECT_EQ(cold.cache, "cold");
+      const ServeResult warm =
+          service.analyze_report(prog.name, prog.text, req);
+      EXPECT_EQ(warm.body, expect);
+      EXPECT_EQ(warm.cache, "unit-hit");
+      EXPECT_EQ(cold.exit_code, warm.exit_code);
+      EXPECT_EQ(cold.warnings, warm.warnings);
+    }
+  }
+}
+
+TEST(ServeIdentity, CorpusModulesRoundTripThroughPrintedText) {
+  // The daemon serves corpus modules from their printed text; the
+  // response must match a one-shot run of the same text under the
+  // framework's forced model, cold and warm.
+  AnalysisService service(cached_opts(fresh_dir("corpus")));
+  for (const std::string& name : corpus::module_names()) {
+    SCOPED_TRACE(name);
+    corpus::CorpusModule cm = corpus::build_module(name);
+    const std::string text = ir::to_string(*cm.module);
+    const auto model = corpus::framework_model(cm.framework);
+    const std::string expect = oneshot_json(name, text, model);
+
+    RequestOptions req;
+    req.model = model;
+    EXPECT_EQ(service.analyze_report(name, text, req).body, expect);
+    const ServeResult warm = service.analyze_report(name, text, req);
+    EXPECT_EQ(warm.body, expect);
+    EXPECT_EQ(warm.cache, "unit-hit");
+  }
+}
+
+TEST(ServeIdentity, TextFormatAndParseErrorsMatchOneShot) {
+  AnalysisService service(cached_opts(fresh_dir("textfmt")));
+  RequestOptions req;
+  req.format = core::ReportFormat::kText;
+  EXPECT_EQ(service.analyze_report("tworoots", kTwoRoots, req).body,
+            oneshot_text("tworoots", kTwoRoots));
+
+  // A parse error is ineligible for caching but must still render the
+  // one-shot way (failed unit, exit 65) and never poison the cache.
+  RequestOptions jreq;
+  const std::string broken = "module \"broken\"\ndefine @@@\n";
+  for (int round = 0; round < 2; ++round) {
+    const ServeResult r = service.analyze_report("broken", broken, jreq);
+    EXPECT_EQ(r.body, oneshot_json("broken", broken));
+    EXPECT_TRUE(r.failed);
+    EXPECT_EQ(r.exit_code, 65);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-cone recomputation
+// ---------------------------------------------------------------------------
+
+TEST(ServeDirtyCone, SingleFunctionEditRecomputesOnlyItsCone) {
+  AnalysisService service(cached_opts(fresh_dir("dirtycone")));
+  RequestOptions req;
+  const ServeResult cold = service.analyze_report("tworoots", kTwoRoots, req);
+  EXPECT_EQ(cold.cache, "cold");
+  EXPECT_EQ(service.stats().last_dirty_roots, 2u);
+
+  // Edit @alpha only: beta's group is untouched, so exactly one root is
+  // recomputed and one is seeded from the cache.
+  std::string touched = kTwoRoots;
+  const size_t at = touched.find("store i64 1,");
+  ASSERT_NE(at, std::string::npos);
+  touched.replace(at, 12, "store i64 9,");
+
+  const AnalysisService::Stats before = service.stats();
+  const ServeResult warm = service.analyze_report("tworoots", touched, req);
+  EXPECT_EQ(warm.body, oneshot_json("tworoots", touched));
+  EXPECT_EQ(warm.cache, "warm");
+  const AnalysisService::Stats after = service.stats();
+  EXPECT_EQ(after.root_hits - before.root_hits, 1u);
+  EXPECT_EQ(after.root_misses - before.root_misses, 1u);
+  EXPECT_EQ(after.last_dirty_roots, 1u);
+}
+
+TEST(ServeDirtyCone, SharedCalleeCouplesBothRoots) {
+  // Both roots call @shared, so they form one coupling group: editing
+  // either root (or the callee) must dirty both. Seeding beta's stale
+  // result here would be unsound — DSA flows facts through @shared.
+  constexpr const char* kShared = R"(module "shared"
+struct %rec { i64, i64 }
+
+define void @shared(%rec* %r) {
+entry:
+  %f = gep %r, 0
+  store i64 1, %f !loc("shared.c", 4)
+  ret
+}
+
+define void @alpha() {
+entry:
+  %r = pm.alloc %rec
+  call @shared(%r)
+  pm.fence
+  ret
+}
+
+define void @beta() {
+entry:
+  %r = pm.alloc %rec
+  call @shared(%r)
+  ret
+}
+)";
+  AnalysisService service(cached_opts(fresh_dir("coupled")));
+  RequestOptions req;
+  service.analyze_report("shared", kShared, req);
+
+  std::string touched = kShared;
+  const size_t at = touched.find("store i64 1,");
+  ASSERT_NE(at, std::string::npos);
+  touched.replace(at, 12, "store i64 7,");
+  const ServeResult r = service.analyze_report("shared", touched, req);
+  EXPECT_EQ(r.body, oneshot_json("shared", touched));
+  EXPECT_EQ(r.cache, "cold");  // no root survived: whole group dirty
+  EXPECT_EQ(service.stats().last_dirty_roots, 2u);
+}
+
+TEST(ServeDirtyCone, PlanGroupsIndependentRootsSeparately) {
+  const auto module = ir::parse_module(kTwoRoots);
+  const serve::ModulePlan plan = serve::plan_module(*module, "fp");
+  ASSERT_EQ(plan.roots.size(), 2u);
+  EXPECT_EQ(plan.groups, 2u);
+  EXPECT_EQ(plan.roots[0].name, "alpha");
+  EXPECT_EQ(plan.roots[1].name, "beta");
+  EXPECT_NE(plan.roots[0].key, plan.roots[1].key);
+}
+
+// ---------------------------------------------------------------------------
+// touch_function: the tiny-diff resubmission generator
+// ---------------------------------------------------------------------------
+
+TEST(ServeTouchFunction, DeterministicSingleFunctionDiff) {
+  gen::GenOptions gopts;
+  gopts.seed = 7;
+  gen::GeneratedProgram prog = gen::generate_program(gopts);
+  const std::string a = gen::touch_function(prog.text, 1);
+  EXPECT_EQ(a, gen::touch_function(prog.text, 1));  // deterministic
+  ASSERT_NE(a, prog.text);
+
+  // The diff is exactly one line, inside exactly one function.
+  std::istringstream sa(a), sb(prog.text);
+  std::string la, lb;
+  size_t diffs = 0;
+  while (std::getline(sa, la) && std::getline(sb, lb))
+    if (la != lb) ++diffs;
+  EXPECT_EQ(diffs, 1u);
+
+  // Still a valid program.
+  EXPECT_NO_THROW(ir::parse_module(a));
+
+  // Different salts eventually pick different functions/sites.
+  bool any_other = false;
+  for (uint64_t salt = 0; salt < 8 && !any_other; ++salt)
+    any_other = gen::touch_function(prog.text, salt) != a;
+  EXPECT_TRUE(any_other);
+}
+
+TEST(ServeTouchFunction, IdentityWhenNoConstantStores) {
+  const std::string none = "module \"none\"\ndeclare void @ext()\n";
+  EXPECT_EQ(gen::touch_function(none, 3), none);
+}
+
+// ---------------------------------------------------------------------------
+// Cache durability: version mismatches, corruption, wire round trips
+// ---------------------------------------------------------------------------
+
+TEST(ServeCache, VersionMismatchFallsBackToFullRecompute) {
+  const std::string dir = fresh_dir("version");
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  RequestOptions req;
+  {
+    AnalysisService v1(cached_opts(dir));
+    EXPECT_EQ(v1.analyze_report("tworoots", kTwoRoots, req).body, expect);
+  }
+  // Same directory, bumped entry format: every old entry reads as a
+  // miss (corrupt counter), result stays correct, and the new entries
+  // warm the cache at the new version.
+  ServeOptions sopts = cached_opts(dir);
+  sopts.cache_version = DiskCache::kFormatVersion + 1;
+  AnalysisService v2(std::move(sopts));
+  const ServeResult cold = v2.analyze_report("tworoots", kTwoRoots, req);
+  EXPECT_EQ(cold.body, expect);
+  EXPECT_EQ(cold.cache, "cold");
+  EXPECT_GT(v2.cache_stats().corrupt, 0u);
+  const ServeResult warm = v2.analyze_report("tworoots", kTwoRoots, req);
+  EXPECT_EQ(warm.body, expect);
+  EXPECT_EQ(warm.cache, "unit-hit");
+}
+
+TEST(ServeCache, CorruptedEntriesRecoverToFullRecompute) {
+  const std::string dir = fresh_dir("corrupt");
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  RequestOptions req;
+  AnalysisService service(cached_opts(dir));
+  service.analyze_report("tworoots", kTwoRoots, req);
+
+  // Trash every entry: truncated headers, flipped payload bytes.
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    std::ofstream f(e.path(), std::ios::binary | std::ios::trunc);
+    f << (entries % 2 == 0 ? "garbage\n" : "deepmc-cache-v1 00 bad\n");
+    ++entries;
+  }
+  ASSERT_GT(entries, 0u);
+
+  const ServeResult r = service.analyze_report("tworoots", kTwoRoots, req);
+  EXPECT_EQ(r.body, expect);
+  EXPECT_EQ(r.cache, "cold");
+  EXPECT_GT(service.cache_stats().corrupt, 0u);
+  // Corrupt entries were removed and rewritten; the next request hits.
+  EXPECT_EQ(service.analyze_report("tworoots", kTwoRoots, req).cache,
+            "unit-hit");
+}
+
+TEST(ServeCache, DiskCacheRejectsTamperedPayload) {
+  const std::string dir = fresh_dir("tamper");
+  DiskCache cache(dir);
+  cache.put("aaaa", "payload-bytes");
+  ASSERT_TRUE(cache.get("aaaa").has_value());
+
+  // Flip one payload byte behind the hash's back.
+  const std::string path = dir + "/aaaa.dmc";
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-1, std::ios::end);
+  f.put('X');
+  f.close();
+  EXPECT_FALSE(cache.get("aaaa").has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_FALSE(fs::exists(path));  // removed, not retried forever
+}
+
+TEST(ServeWire, CheckResultRoundTrip) {
+  core::CheckResult r;
+  core::Warning w;
+  w.rule = "strict.unflushed-write";
+  w.category = core::BugCategory::kUnflushedWrite;
+  w.model = core::PersistencyModel::kStrict;
+  w.loc = {"a.c", 42};
+  w.function = "alpha";
+  w.message = "store to \"field\" never flushed";
+  r.add(w);
+  w.rule = "epoch.missing-barrier";
+  w.category = core::BugCategory::kMissingBarrier;
+  w.model = core::PersistencyModel::kEpoch;
+  w.loc = {"b.c", 7};
+  r.add(w);
+  r.traces_checked = 11;
+  r.functions_checked = 3;
+
+  core::CheckResult back;
+  ASSERT_TRUE(serve::decode_check_result(serve::encode_check_result(r), &back));
+  ASSERT_EQ(back.count(), r.count());
+  for (size_t i = 0; i < r.count(); ++i) {
+    EXPECT_EQ(back.warnings()[i].rule, r.warnings()[i].rule);
+    EXPECT_EQ(back.warnings()[i].category, r.warnings()[i].category);
+    EXPECT_EQ(back.warnings()[i].model, r.warnings()[i].model);
+    EXPECT_EQ(back.warnings()[i].loc, r.warnings()[i].loc);
+    EXPECT_EQ(back.warnings()[i].function, r.warnings()[i].function);
+    EXPECT_EQ(back.warnings()[i].message, r.warnings()[i].message);
+  }
+  EXPECT_EQ(back.traces_checked, r.traces_checked);
+  EXPECT_EQ(back.functions_checked, r.functions_checked);
+}
+
+TEST(ServeWire, DecodeRejectsGarbageAndTruncation) {
+  core::CheckResult r;
+  EXPECT_FALSE(serve::decode_check_result("not a payload", &r));
+  core::UnitReport u;
+  EXPECT_FALSE(serve::decode_unit_report("", &u));
+  EXPECT_FALSE(serve::decode_unit_report("\x01\x02\x03", &u));
+
+  core::CheckResult full;
+  core::Warning w;
+  w.rule = "r";
+  w.category = core::BugCategory::kUnflushedWrite;
+  w.model = core::PersistencyModel::kStrict;
+  w.loc = {"f.c", 1};
+  full.add(w);
+  const std::string enc = serve::encode_check_result(full);
+  for (size_t cut : {size_t{1}, enc.size() / 2, enc.size() - 1})
+    EXPECT_FALSE(serve::decode_check_result(enc.substr(0, cut), &r));
+  // Trailing junk is also a decode failure, not silently ignored.
+  EXPECT_FALSE(serve::decode_check_result(enc + "x", &r));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol framing + fault injection through serve_stream
+// ---------------------------------------------------------------------------
+
+/// Run a framed session through serve_stream over temp files (regular
+/// files never block, unlike pipes). `raw_prefix` is prepended verbatim
+/// for malformed-frame tests.
+std::vector<ResponseFrame> run_stream(AnalysisService& service,
+                                      const std::vector<RequestFrame>& reqs,
+                                      const std::string& tag,
+                                      int* stream_rc = nullptr,
+                                      const std::string& raw_prefix = "") {
+  const std::string in_path = ::testing::TempDir() + "serve_in_" + tag;
+  const std::string out_path = ::testing::TempDir() + "serve_out_" + tag;
+  int wfd = ::open(in_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  EXPECT_GE(wfd, 0);
+  if (!raw_prefix.empty())
+    serve::write_exact(wfd, raw_prefix.data(), raw_prefix.size());
+  for (const RequestFrame& req : reqs) serve::write_request(wfd, req);
+  ::close(wfd);
+
+  const int in_fd = ::open(in_path.c_str(), O_RDONLY);
+  const int out_fd =
+      ::open(out_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  const int rc = serve::serve_stream(service, in_fd, out_fd);
+  if (stream_rc != nullptr) *stream_rc = rc;
+  ::close(in_fd);
+  ::close(out_fd);
+
+  std::vector<ResponseFrame> out;
+  const int rfd = ::open(out_path.c_str(), O_RDONLY);
+  ResponseFrame resp;
+  while (serve::read_response(rfd, &resp) == 1) out.push_back(resp);
+  ::close(rfd);
+  fs::remove(in_path);
+  fs::remove(out_path);
+  return out;
+}
+
+RequestFrame analyze_frame(const std::string& name, const std::string& body) {
+  RequestFrame req;
+  req.header = "{\"op\": \"analyze\", \"name\": " + core::json_quote(name) +
+               ", \"format\": \"json\"}";
+  req.body = body;
+  return req;
+}
+
+TEST(ServeProtocol, PingStatsShutdownAndUnknownOp) {
+  AnalysisService service(cached_opts(fresh_dir("protocol")));
+  RequestFrame ping, stats, bad, shutdown;
+  ping.header = "{\"op\": \"ping\"}";
+  stats.header = "{\"op\": \"stats\"}";
+  bad.header = "{\"op\": \"transmogrify\"}";
+  shutdown.header = "{\"op\": \"shutdown\"}";
+
+  int rc = -1;
+  const auto resps =
+      run_stream(service, {ping, stats, bad, shutdown}, "ops", &rc);
+  ASSERT_EQ(resps.size(), 4u);
+  EXPECT_EQ(rc, 1);  // shutdown requested
+  EXPECT_EQ(resps[0].status, 0u);
+  EXPECT_TRUE(serve::json_bool_field(resps[0].meta, "pong").value_or(false));
+  EXPECT_EQ(resps[1].status, 0u);
+  EXPECT_NE(resps[1].body.find("\"requests\""), std::string::npos);
+  EXPECT_EQ(resps[2].status, 1u);
+  EXPECT_NE(serve::json_string_field(resps[2].meta, "error")
+                .value_or("")
+                .find("unknown op"),
+            std::string::npos);
+  EXPECT_TRUE(
+      serve::json_bool_field(resps[3].meta, "shutdown").value_or(false));
+}
+
+TEST(ServeProtocol, AnalyzeFrameMatchesOneShot) {
+  AnalysisService service(cached_opts(fresh_dir("frame")));
+  const auto resps = run_stream(
+      service, {analyze_frame("tworoots", kTwoRoots)}, "analyze");
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].status, 0u);
+  EXPECT_EQ(resps[0].body, oneshot_json("tworoots", kTwoRoots));
+  const auto exit = serve::json_num_field(resps[0].meta, "exit");
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_EQ(static_cast<int>(*exit), 1);  // beta's unflushed write
+}
+
+TEST(ServeProtocol, MalformedFrameGetsErrorThenClose) {
+  AnalysisService service(cached_opts(""));
+  int rc = -1;
+  // Valid request after the garbage must NOT be served: the stream is
+  // unsynchronized after a bad frame.
+  const auto resps =
+      run_stream(service, {analyze_frame("tworoots", kTwoRoots)}, "malformed",
+                 &rc, "GARBAGE-NOT-A-FRAME");
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(resps[0].status, 1u);
+  EXPECT_NE(serve::json_string_field(resps[0].meta, "error")
+                .value_or("")
+                .find("malformed"),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, JsonFieldHelpers) {
+  const std::string json =
+      "{\"name\": \"a \\\"b\\\"\\n\", \"n\": -3.5, \"yes\": true, "
+      "\"no\": false}";
+  EXPECT_EQ(serve::json_string_field(json, "name").value_or(""), "a \"b\"\n");
+  EXPECT_EQ(serve::json_num_field(json, "n").value_or(0), -3.5);
+  EXPECT_TRUE(serve::json_bool_field(json, "yes").value_or(false));
+  EXPECT_FALSE(serve::json_bool_field(json, "no").value_or(true));
+  EXPECT_FALSE(serve::json_string_field(json, "absent").has_value());
+  EXPECT_FALSE(serve::json_num_field(json, "name").has_value());
+}
+
+TEST(ServeFaults, AcceptTripsStickyPerSession) {
+  FaultGuard guard;
+  support::arm_fault("serve.accept:2");
+  AnalysisService service(cached_opts(fresh_dir("faultaccept")));
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  const auto frame = analyze_frame("tworoots", kTwoRoots);
+  const auto resps =
+      run_stream(service, {frame, frame, frame}, "faultaccept");
+  ASSERT_EQ(resps.size(), 3u);
+  // Request 1 is served; request 2 trips; the trip is sticky for the
+  // session, so request 3 errors too — but the stream never dies.
+  EXPECT_EQ(resps[0].status, 0u);
+  EXPECT_EQ(resps[0].body, expect);
+  EXPECT_EQ(resps[1].status, 1u);
+  EXPECT_NE(serve::json_string_field(resps[1].meta, "error")
+                .value_or("")
+                .find("serve.accept"),
+            std::string::npos);
+  EXPECT_EQ(resps[2].status, 1u);
+
+  // A fresh session gets a fresh scope: trips again at its own 2nd.
+  const auto again = run_stream(service, {frame, frame}, "faultaccept2");
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].status, 0u);
+  EXPECT_EQ(again[0].body, expect);
+  EXPECT_EQ(again[1].status, 1u);
+}
+
+TEST(ServeFaults, CacheReadTripDegradesToMissWithIdenticalBytes) {
+  FaultGuard guard;
+  AnalysisService service(cached_opts(fresh_dir("faultread")));
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  const auto frame = analyze_frame("tworoots", kTwoRoots);
+  // Warm the cache first, fault-free.
+  run_stream(service, {frame}, "faultread_warm");
+
+  support::arm_fault("cache.read:1");
+  const auto resps = run_stream(service, {frame, frame}, "faultread");
+  ASSERT_EQ(resps.size(), 2u);
+  for (const auto& r : resps) {
+    EXPECT_EQ(r.status, 0u);
+    EXPECT_EQ(r.body, expect);  // degraded to recompute, identical bytes
+  }
+  EXPECT_GT(service.cache_stats().read_faults, 0u);
+}
+
+TEST(ServeFaults, CacheWriteTripDropsEntryWithIdenticalBytes) {
+  FaultGuard guard;
+  support::arm_fault("cache.write:1");
+  AnalysisService service(cached_opts(fresh_dir("faultwrite")));
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  const auto frame = analyze_frame("tworoots", kTwoRoots);
+  const auto resps = run_stream(service, {frame, frame}, "faultwrite");
+  ASSERT_EQ(resps.size(), 2u);
+  for (const auto& r : resps) {
+    EXPECT_EQ(r.status, 0u);
+    EXPECT_EQ(r.body, expect);
+  }
+  EXPECT_GT(service.cache_stats().write_faults, 0u);
+}
+
+}  // namespace
+}  // namespace deepmc
