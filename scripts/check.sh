@@ -44,9 +44,10 @@ run_tsan() {
   # driver (with and without crash-state enumeration), and the binary
   # the golden/CLI tests drive.
   cmake --build build-tsan -j "$jobs" \
-    --target thread_pool_test driver_test crash_test obs_test deepmc
+    --target thread_pool_test driver_test crash_test obs_test \
+             runtime_concurrency_test deepmc
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Driver|Crashsim|ObsRegistry'
+    -R 'ThreadPool|Driver|Crashsim|ObsRegistry|RuntimeConcurrency'
 }
 
 run_san() {
@@ -192,8 +193,39 @@ run_resilience() {
   fi
 
   echo "== resilience: every registered fault point fails its unit =="
+  # Driver-stage points fire inside a one-shot deepmc run. Serve-layer
+  # points (serve.*, cache.*) only fire inside `deepmc serve` and are
+  # covered by serve_test; load-engine points (load.*) fire inside
+  # deepmc-load workers and are driven below.
+  cmake --build build -j "$jobs" --target deepmc-load
+  local loadbin=build/src/tools/deepmc-load
   local point
   while IFS= read -r point; do
+    case "$point" in
+      serve.*|cache.*) continue ;;
+      load.crash)
+        rc=0
+        "$loadbin" --framework pmdk_mini --threads 1 --ops 500 --checker off \
+          --crash-at 50 --inject-fault "$point:1" \
+          > "$tmp/fault_$point.out" 2>/dev/null || rc=$?
+        if [[ "$rc" -ne 65 ]]; then
+          echo "resilience: deepmc-load --inject-fault $point:1 exited $rc," \
+               "want 65" >&2
+          return 1
+        fi
+        continue ;;
+      load.*)
+        rc=0
+        "$loadbin" --framework pmdk_mini --threads 1 --ops 500 --checker off \
+          --inject-fault "$point:1" > "$tmp/fault_$point.out" 2>/dev/null \
+          || rc=$?
+        if [[ "$rc" -ne 65 ]]; then
+          echo "resilience: deepmc-load --inject-fault $point:1 exited $rc," \
+               "want 65" >&2
+          return 1
+        fi
+        continue ;;
+    esac
     rc=0
     "$bin" --dynamic --crashsim --format json --inject-fault "$point:1" \
       examples/mir/crash_enum.mir > "$tmp/fault_$point.out" 2>/dev/null || rc=$?

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Load-engine smoke harness (docs/LOAD.md): a short deepmc-load run per
+# mini framework proving the workload engine's core contracts hold on
+# this machine —
+#
+#   * every framework sustains the multi-threaded op stream cleanly
+#     (exit 0, "ok": true, zero races on a clean workload);
+#   * the schedule hash is identical with the checker off and on (the
+#     instrumentation never changes the workload), and identical across
+#     frameworks (it fingerprints the spec, not the substrate);
+#   * a crash-at-random-op cycle recovers consistently;
+#   * the seeded-bug injectors light the checker up (nonzero warnings).
+#
+#   scripts/run_load.sh [threads] [ops-per-thread]     (default 4 x 5000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threads="${1:-4}"
+ops="${2:-5000}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j "$jobs" --target deepmc-load
+bin=build/src/tools/deepmc-load
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+hash_of() {  # json file -> schedule hash field
+  grep -o '"schedule_hash": "[0-9a-f]*"' "$1" | head -1 | cut -d'"' -f4
+}
+
+expected_hash="$("$bin" --threads "$threads" --ops "$ops" --schedule-hash)"
+echo "schedule hash for seed 42, ${threads}x${ops}: $expected_hash"
+
+status=0
+for fw in pmdk_mini mnemosyne_mini pmfs_mini nvmdirect_mini; do
+  echo "== $fw =="
+  for checker in off shared; do
+    if ! "$bin" --framework "$fw" --threads "$threads" --ops "$ops" \
+        --checker "$checker" --json > "$tmp/${fw}_${checker}.json"; then
+      echo "load-smoke: $fw checker=$checker failed" >&2
+      status=1
+      continue
+    fi
+    got="$(hash_of "$tmp/${fw}_${checker}.json")"
+    if [[ "$got" != "$expected_hash" ]]; then
+      echo "load-smoke: $fw checker=$checker schedule hash $got !=" \
+           "$expected_hash" >&2
+      status=1
+    fi
+    if ! grep -q '"ok": true' "$tmp/${fw}_${checker}.json"; then
+      echo "load-smoke: $fw checker=$checker not ok" >&2
+      status=1
+    fi
+  done
+  if ! grep -q '"races": 0,' "$tmp/${fw}_shared.json"; then
+    echo "load-smoke: $fw clean workload raced" >&2
+    status=1
+  fi
+
+  # One crash-recovery cycle must classify consistent.
+  if ! "$bin" --framework "$fw" --threads "$threads" --ops "$ops" \
+      --checker off --crash-random --json > "$tmp/${fw}_crash.json"; then
+    echo "load-smoke: $fw crash-recovery run failed" >&2
+    status=1
+  elif ! grep -q '"crashes": 1, "recoveries_consistent": 1, "verify_failures": 0' \
+      "$tmp/${fw}_crash.json"; then
+    echo "load-smoke: $fw crash cycle not consistent:" >&2
+    grep '"crashes"' "$tmp/${fw}_crash.json" >&2 || true
+    status=1
+  fi
+done
+
+# Seeded deep bugs must be detected (per-shard mode is deterministic).
+if ! "$bin" --framework pmdk_mini --threads 2 --ops "$ops" \
+    --checker per-shard --seed-bugs --json > "$tmp/seeded.json"; then
+  echo "load-smoke: seeded-bug run failed" >&2
+  status=1
+elif grep -q '"warnings": 0,' "$tmp/seeded.json"; then
+  echo "load-smoke: seeded bugs produced no warnings" >&2
+  status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then echo "load-smoke: OK"; fi
+exit "$status"

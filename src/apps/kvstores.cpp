@@ -254,28 +254,28 @@ void NstoreMini::insert(uint64_t key, uint64_t value) {
   // low-level persistence idiom).
   const uint64_t t = tuple_off(key % capacity_);
   pool_->store_val<uint64_t>(t + 8, key);
-  if (rt_) rt_->on_write(0, t + 8, 8, {});
+  if (rt_) rt_->on_write(rt::current_strand(), t + 8, 8, {});
   pool_->persist(t + 8, 8);
   for (int f = 0; f < 4; ++f) {
     pool_->store_val<uint64_t>(t + 16 + f * 8, value + static_cast<uint64_t>(f));
-    if (rt_) rt_->on_write(0, t + 16 + f * 8, 8, {});
+    if (rt_) rt_->on_write(rt::current_strand(), t + 16 + f * 8, 8, {});
     pool_->persist(t + 16 + f * 8, 8);
   }
   pool_->store_val<uint64_t>(t, 1);
-  if (rt_) rt_->on_write(0, t, 8, {});
+  if (rt_) rt_->on_write(rt::current_strand(), t, 8, {});
   pool_->persist(t, 8);
 }
 
 void NstoreMini::update(uint64_t key, uint64_t value) {
   const uint64_t t = tuple_off(key % capacity_);
   pool_->store_val<uint64_t>(t + 16, value);
-  if (rt_) rt_->on_write(0, t + 16, 8, {});
+  if (rt_) rt_->on_write(rt::current_strand(), t + 16, 8, {});
   pool_->persist(t + 16, 8);
 }
 
 std::optional<uint64_t> NstoreMini::read(uint64_t key) const {
   const uint64_t t = tuple_off(key % capacity_);
-  if (rt_) rt_->on_read(0, t, kTupleBytes, {});
+  if (rt_) rt_->on_read(rt::current_strand(), t, kTupleBytes, {});
   if (pool_->load_val<uint64_t>(t) != 1) return std::nullopt;
   return pool_->load_val<uint64_t>(t + 16);
 }

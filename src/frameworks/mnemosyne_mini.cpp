@@ -46,12 +46,12 @@ void Mnemosyne::pfree(uint64_t off) {
 }
 
 uint64_t Mnemosyne::read_word(uint64_t off) const {
-  if (rt_) rt_->on_read(0, off, 8, {});
+  if (rt_) rt_->on_read(rt::current_strand(), off, 8, {});
   return pool_->load_val<uint64_t>(off);
 }
 
 void Mnemosyne::read(uint64_t off, void* dst, uint64_t size) const {
-  if (rt_) rt_->on_read(0, off, size, {});
+  if (rt_) rt_->on_read(rt::current_strand(), off, size, {});
   pool_->load(off, dst, size);
 }
 
@@ -88,7 +88,7 @@ DurableTx::~DurableTx() {
 void DurableTx::write_word(uint64_t off, uint64_t value) {
   if (!open_) throw std::logic_error("write_word on closed transaction");
   words_.push_back({off, value});
-  if (m_.runtime()) m_.runtime()->on_write(0, off, 8, {});
+  if (m_.runtime()) m_.runtime()->on_write(rt::current_strand(), off, 8, {});
   if (m_.bugs().persist_per_write) {
     // chhash.c pattern: each word write is persisted home immediately,
     // defeating the epoch batching (and the redo log's atomicity budget).
@@ -130,7 +130,7 @@ void DurableTx::commit() {
   pm.persist(log + kCommittedOff, 8);
 
   if (m_.runtime()) {
-    m_.runtime()->on_fence(0);
+    m_.runtime()->on_fence(rt::current_strand());
     m_.runtime()->epoch_end();
   }
 }

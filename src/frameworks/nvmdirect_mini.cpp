@@ -42,12 +42,12 @@ NvmRegion NvmRegion::attach(pmem::PmPool& pool, PerfBugConfig bugs,
 
 void NvmRegion::persist1(uint64_t off, uint64_t size) {
   pool_->persist(off, size);
-  if (rt_) rt_->on_fence(0);
+  if (rt_) rt_->on_fence(rt::current_strand());
 }
 
 void NvmRegion::write_persist1(uint64_t off, uint64_t value) {
   pool_->store_val<uint64_t>(off, value);
-  if (rt_) rt_->on_write(0, off, 8, {});
+  if (rt_) rt_->on_write(rt::current_strand(), off, 8, {});
   persist1(off, 8);
 }
 
@@ -84,13 +84,13 @@ void NvmRegion::heap_free(uint64_t off, uint64_t size) {
   // nvm_free_blk: scrub and flush the block...
   pm.store_val<uint64_t>(off, pm.load_val<uint64_t>(header_ + 8));  // next
   pm.store_val<uint64_t>(off + 8, std::max<uint64_t>(size, 16));
-  if (rt_) rt_->on_write(0, off, 16, {});
+  if (rt_) rt_->on_write(rt::current_strand(), off, 16, {});
   pm.flush(off, 16);
   // ...Figure 6: the caller (nvm_free_callback) flushes the same block
   // again before fencing.
   if (bugs_.redundant_free_flush) pm.flush(off, 16);
   pm.fence();
-  if (rt_) rt_->on_fence(0);
+  if (rt_) rt_->on_fence(rt::current_strand());
   write_persist1(header_ + 8, off);
 }
 
@@ -132,17 +132,17 @@ void NvmRegion::mutex_unlock(uint64_t m) {
     // record although nothing below modifies it on this path.
     pool_->flush(m, kMutexBytes);
     pool_->fence();
-    if (rt_) rt_->on_fence(0);
+    if (rt_) rt_->on_fence(rt::current_strand());
   }
   const uint64_t owners = pool_->load_val<uint64_t>(m + 8);
   if (owners == 0) throw std::logic_error("nvmdirect: unlock of free mutex");
   if (bugs_.flush_whole_lock) {
     // nvm_locks.c:1411: one field changes, the whole record is persisted.
     pool_->store_val<uint64_t>(m + 8, owners - 1);
-    if (rt_) rt_->on_write(0, m + 8, 8, {});
+    if (rt_) rt_->on_write(rt::current_strand(), m + 8, 8, {});
     persist1(m, kMutexBytes);
     pool_->store_val<uint64_t>(m, 0);
-    if (rt_) rt_->on_write(0, m, 8, {});
+    if (rt_) rt_->on_write(rt::current_strand(), m, 8, {});
     persist1(m, kMutexBytes);
   } else {
     write_persist1(m + 8, owners - 1);

@@ -31,12 +31,12 @@ void ObjPool::free(uint64_t off) {
 
 void ObjPool::write(uint64_t off, const void* src, uint64_t size) {
   pool_->store(off, src, size);
-  if (rt_) rt_->on_write(0, off, size, {});
+  if (rt_) rt_->on_write(rt::current_strand(), off, size, {});
 }
 
 void ObjPool::read(uint64_t off, void* dst, uint64_t size) const {
   pool_->load(off, dst, size);
-  if (rt_) rt_->on_read(0, off, size, {});
+  if (rt_) rt_->on_read(rt::current_strand(), off, size, {});
 }
 
 void ObjPool::persist(uint64_t off, uint64_t size) {
@@ -52,14 +52,14 @@ void ObjPool::persist(uint64_t off, uint64_t size) {
   pool_->flush(off, size);
   if (bugs_.redundant_flush) pool_->flush(off, size);  // Figure 6 pattern
   pool_->fence();
-  if (rt_) rt_->on_fence(0);
+  if (rt_) rt_->on_fence(rt::current_strand());
 }
 
 void ObjPool::memset_persist(uint64_t off, uint8_t byte, uint64_t size) {
   pool_->memset_persist(off, byte, size);
   if (rt_) {
-    rt_->on_write(0, off, size, {});
-    rt_->on_fence(0);
+    rt_->on_write(rt::current_strand(), off, size, {});
+    rt_->on_fence(rt::current_strand());
   }
 }
 
@@ -122,7 +122,7 @@ void Tx::write(uint64_t off, const void* src, uint64_t size) {
   for (Range& r : ranges_) {
     if (off >= r.off && off + size <= r.off + r.size) {
       pool_.pm().store(off, src, size);
-      if (pool_.runtime()) pool_.runtime()->on_write(0, off, size, {});
+      if (pool_.runtime()) pool_.runtime()->on_write(rt::current_strand(), off, size, {});
       r.written = true;
       return;
     }
@@ -148,7 +148,7 @@ void Tx::commit() {
     if (pool_.bugs().redundant_flush) pm.flush(r.off, r.size);
   }
   pm.fence();
-  if (pool_.runtime()) pool_.runtime()->on_fence(0);
+  if (pool_.runtime()) pool_.runtime()->on_fence(rt::current_strand());
 
   // Truncate the log: the transaction is now committed.
   pm.store_val<uint64_t>(log + kCountOff, 0);

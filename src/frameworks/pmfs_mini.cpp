@@ -183,7 +183,7 @@ void Pmfs::journal_write(uint64_t off, const void* src, uint64_t size) {
   if (!covered)
     throw std::logic_error("pmfs: journaled write to unlogged range");
   pool_->store(off, src, size);
-  if (rt_) rt_->on_write(0, off, size, {});
+  if (rt_) rt_->on_write(rt::current_strand(), off, size, {});
 }
 
 void Pmfs::journal_commit() {
@@ -195,7 +195,7 @@ void Pmfs::journal_commit() {
   pm.fence();
   pm.store_val<uint64_t>(jrn_.off, 0);
   pm.persist(jrn_.off, 8);
-  if (rt_) rt_->on_fence(0);
+  if (rt_) rt_->on_fence(rt::current_strand());
 }
 
 uint64_t Pmfs::journal_recover() {
@@ -384,7 +384,7 @@ void Pmfs::write_file(uint32_t ino, const void* data, uint64_t size) {
     const uint64_t chunk = std::min(kBlockBytes, size - b * kBlockBytes);
     pm.store(block_off(static_cast<uint32_t>(blocks[b])), bytes + b * kBlockBytes,
              chunk);
-    if (rt_) rt_->on_write(0, block_off(static_cast<uint32_t>(blocks[b])),
+    if (rt_) rt_->on_write(rt::current_strand(), block_off(static_cast<uint32_t>(blocks[b])),
                            chunk, {});
     pm.flush(block_off(static_cast<uint32_t>(blocks[b])), chunk);
     if (bugs_.double_flush_data)  // xips.c: flush the same buffer again
@@ -419,7 +419,7 @@ std::vector<uint8_t> Pmfs::read_file(uint32_t ino) const {
     pm.load(block_off(static_cast<uint32_t>(blk)), out.data() + b * kBlockBytes,
             chunk);
     if (rt_)
-      rt_->on_read(0, block_off(static_cast<uint32_t>(blk)), chunk, {});
+      rt_->on_read(rt::current_strand(), block_off(static_cast<uint32_t>(blk)), chunk, {});
   }
   return out;
 }

@@ -1,0 +1,308 @@
+#include "load/shards.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+
+#include "frameworks/mnemosyne_mini.h"
+#include "frameworks/nvmdirect_mini.h"
+#include "frameworks/pmdk_mini.h"
+#include "frameworks/pmfs_mini.h"
+
+namespace deepmc::load {
+
+namespace {
+
+// Seeded-bug locations: stable strings so tests can pick the injected
+// reports out of whatever the frameworks themselves produce.
+const SourceLoc kSeedRaceFirst{"load-seed.race", 1};
+const SourceLoc kSeedRaceSecond{"load-seed.race", 2};
+const SourceLoc kSeedFlush{"load-seed.flush", 1};
+const SourceLoc kSeedEpochA{"load-seed.epoch", 1};
+const SourceLoc kSeedEpochB{"load-seed.epoch", 2};
+
+// Slot-table shards: keep the table comfortably inside the pool (the rest
+// is needed for logs/journals and the pool header/undo machinery).
+uint64_t table_slots(const ShardConfig& cfg) {
+  const uint64_t fit = cfg.pool_bytes / 64;
+  return std::min<uint64_t>(cfg.keys, std::min<uint64_t>(fit, 1ull << 16));
+}
+
+}  // namespace
+
+KvShard::KvShard(const ShardConfig& cfg, uint64_t capacity)
+    : pool_(cfg.pool_bytes), cfg_(cfg), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void KvShard::init_scratch() {
+  if (!cfg_.seed_bugs) return;
+  scratch_ = pool_.alloc(64);
+  if (cfg_.rt != nullptr) cfg_.rt->on_alloc(scratch_, 64);
+  pool_.memset_persist(scratch_, 0, 64);
+}
+
+void KvShard::maybe_seed_bug(uint64_t i) {
+  if (!cfg_.seed_bugs || cfg_.rt == nullptr || scratch_ == 0) return;
+  rt::RuntimeChecker* rt = cfg_.rt;
+
+  if (i % 64 == 0) {
+    // WAW strand race: two strands write the same scratch word with no
+    // persist barrier between them, so neither is ordered before the other.
+    {
+      rt::StrandScope s1(rt);
+      pool_.store_val<uint64_t>(scratch_, i);
+      rt->on_write(rt::current_strand(), scratch_, 8, kSeedRaceFirst);
+    }
+    {
+      rt::StrandScope s2(rt);
+      pool_.store_val<uint64_t>(scratch_, i + 1);
+      rt->on_write(rt::current_strand(), scratch_, 8, kSeedRaceSecond);
+    }
+    pool_.persist(scratch_, 8);
+    rt->on_fence(rt::current_strand());
+  }
+
+  if (i % 97 == 0) {
+    // Redundant write-back: flush a line the previous flush already wrote
+    // back. The pool is the ground truth (flush() returns "redundant").
+    pool_.store_val<uint64_t>(scratch_ + 8, i + 1);
+    pool_.flush(scratch_ + 8, 8);
+    if (pool_.flush(scratch_ + 8, 8))
+      rt->report_redundant_flush(kSeedFlush, scratch_ + 8);
+    pool_.fence();
+    rt->on_fence(rt::current_strand());
+  }
+
+  if (i % 129 == 0) {
+    // Inter-epoch mismatch: two consecutive epochs persist disjoint words
+    // of the scratch object (the update protocol "forgot" half the object).
+    rt->epoch_begin();
+    pool_.store_val<uint64_t>(scratch_ + 16, i + 1);
+    rt->on_write(rt::current_strand(), scratch_ + 16, 8, kSeedEpochA);
+    rt->epoch_end();
+    rt->epoch_begin();
+    pool_.store_val<uint64_t>(scratch_ + 24, i + 1);
+    rt->on_write(rt::current_strand(), scratch_ + 24, 8, kSeedEpochB);
+    rt->epoch_end();
+    pool_.persist(scratch_ + 16, 16);
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// pmdk_mini: slot table updated under undo-log transactions
+// ---------------------------------------------------------------------------
+
+class PmdkShard final : public KvShard {
+ public:
+  explicit PmdkShard(const ShardConfig& cfg)
+      : KvShard(cfg, table_slots(cfg)),
+        op_(pool_, pmdk::PerfBugConfig::clean(), cfg.rt) {
+    table_ = op_.alloc(capacity_ * 8);
+    op_.memset_persist(table_, 0, capacity_ * 8);
+    op_.set_root(table_);
+    init_scratch();
+  }
+
+  [[nodiscard]] std::string framework() const override { return "pmdk_mini"; }
+
+  void put(uint64_t slot, uint64_t value) override {
+    pmdk::Tx tx(op_);
+    tx.add(slot_off(slot), 8);
+    tx.write_val<uint64_t>(slot_off(slot), value);
+    tx.commit();
+  }
+
+  [[nodiscard]] uint64_t get(uint64_t slot) override {
+    return op_.read_val<uint64_t>(slot_off(slot));
+  }
+
+  void del(uint64_t slot) override { put(slot, 0); }
+
+  void recover() override {
+    pmdk::recover(op_);
+    table_ = op_.root();
+  }
+
+ private:
+  [[nodiscard]] uint64_t slot_off(uint64_t slot) const {
+    return table_ + slot * 8;
+  }
+  pmdk::ObjPool op_;
+  uint64_t table_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// mnemosyne_mini: slot table updated under durable (redo-log) transactions
+// ---------------------------------------------------------------------------
+
+class MnemosyneShard final : public KvShard {
+ public:
+  explicit MnemosyneShard(const ShardConfig& cfg)
+      : KvShard(cfg, table_slots(cfg)),
+        m_(pool_, mnemosyne::PerfBugConfig::clean(), cfg.rt) {
+    table_ = m_.pmalloc(capacity_ * 8);
+    // Zero-init straight through the pool: one bulk persist instead of a
+    // capacity-sized redo log.
+    pool_.memset_persist(table_, 0, capacity_ * 8);
+    pool_.set_root(table_);
+    init_scratch();
+  }
+
+  [[nodiscard]] std::string framework() const override {
+    return "mnemosyne_mini";
+  }
+
+  void put(uint64_t slot, uint64_t value) override {
+    mnemosyne::DurableTx tx(m_);
+    tx.write_word(slot_off(slot), value);
+    tx.commit();
+  }
+
+  [[nodiscard]] uint64_t get(uint64_t slot) override {
+    return m_.read_word(slot_off(slot));
+  }
+
+  void del(uint64_t slot) override { put(slot, 0); }
+
+  void recover() override {
+    m_.recover();
+    table_ = pool_.root();
+  }
+
+ private:
+  [[nodiscard]] uint64_t slot_off(uint64_t slot) const {
+    return table_ + slot * 8;
+  }
+  mnemosyne::Mnemosyne m_;
+  uint64_t table_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// pmfs_mini: one file per live key
+// ---------------------------------------------------------------------------
+
+class PmfsShard final : public KvShard {
+ public:
+  // Every live key is a whole file (inode + data block + dirent scan), so
+  // clamp the slot count well below the table-based shards.
+  static constexpr uint64_t kMaxSlots = 64;
+
+  explicit PmfsShard(const ShardConfig& cfg)
+      : KvShard(cfg, std::min<uint64_t>(cfg.keys, kMaxSlots)) {
+    pmfs::Geometry geo;
+    geo.inodes = static_cast<uint32_t>(capacity_ + 8);
+    geo.blocks = static_cast<uint32_t>(capacity_ + 16);
+    fs_ = pmfs::Pmfs::mkfs(pool_, geo, pmfs::PerfBugConfig::clean(), cfg_.rt);
+    init_scratch();
+  }
+
+  [[nodiscard]] std::string framework() const override { return "pmfs_mini"; }
+
+  void put(uint64_t slot, uint64_t value) override {
+    const std::string name = file_name(slot);
+    uint32_t ino = fs_->lookup(name);
+    if (ino == pmfs::Pmfs::kNoInode) ino = fs_->create(name);
+    fs_->write_file(ino, &value, 8);
+  }
+
+  [[nodiscard]] uint64_t get(uint64_t slot) override {
+    const uint32_t ino = fs_->lookup(file_name(slot));
+    if (ino == pmfs::Pmfs::kNoInode) return 0;
+    const std::vector<uint8_t> data = fs_->read_file(ino);
+    if (data.size() < 8) return 0;
+    uint64_t v = 0;
+    std::memcpy(&v, data.data(), 8);
+    return v;
+  }
+
+  void del(uint64_t slot) override {
+    const std::string name = file_name(slot);
+    if (fs_->lookup(name) != pmfs::Pmfs::kNoInode) fs_->unlink(name);
+  }
+
+  void recover() override {
+    fs_ = pmfs::Pmfs::mount(pool_, pmfs::PerfBugConfig::clean(), cfg_.rt);
+  }
+
+ private:
+  [[nodiscard]] static std::string file_name(uint64_t slot) {
+    std::string name = "k";
+    name += std::to_string(slot);
+    return name;
+  }
+  std::optional<pmfs::Pmfs> fs_;
+};
+
+// ---------------------------------------------------------------------------
+// nvmdirect_mini: strict persistency, one write_persist1 per update
+// ---------------------------------------------------------------------------
+
+class NvmdirectShard final : public KvShard {
+ public:
+  explicit NvmdirectShard(const ShardConfig& cfg) : KvShard(cfg, table_slots(cfg)) {
+    region_ = nvmdirect::NvmRegion::create(
+        pool_, nvmdirect::PerfBugConfig::clean(), cfg_.rt);
+    table_ = region_->heap_alloc(capacity_ * 8);
+    pool_.memset_persist(table_, 0, capacity_ * 8);
+    // The region header (the pool root) uses offsets 0/8/16; stash the
+    // table offset in the spare word so attach() can find it post-crash.
+    region_->write_persist1(pool_.root() + 24, table_);
+    init_scratch();
+  }
+
+  [[nodiscard]] std::string framework() const override {
+    return "nvmdirect_mini";
+  }
+
+  void put(uint64_t slot, uint64_t value) override {
+    // A single persisted word per key: atomic under strict persistency.
+    region_->write_persist1(slot_off(slot), value);
+  }
+
+  [[nodiscard]] uint64_t get(uint64_t slot) override {
+    const uint64_t v = pool_.load_val<uint64_t>(slot_off(slot));
+    if (cfg_.rt != nullptr)
+      cfg_.rt->on_read(rt::current_strand(), slot_off(slot), 8, {});
+    return v;
+  }
+
+  void del(uint64_t slot) override { put(slot, 0); }
+
+  void recover() override {
+    region_ = nvmdirect::NvmRegion::attach(
+        pool_, nvmdirect::PerfBugConfig::clean(), cfg_.rt);
+    table_ = pool_.load_val<uint64_t>(pool_.root() + 24);
+  }
+
+ private:
+  [[nodiscard]] uint64_t slot_off(uint64_t slot) const {
+    return table_ + slot * 8;
+  }
+  std::optional<nvmdirect::NvmRegion> region_;
+  uint64_t table_ = 0;
+};
+
+}  // namespace
+
+const std::vector<std::string>& framework_names() {
+  static const std::vector<std::string> kNames = {
+      "pmdk_mini", "mnemosyne_mini", "pmfs_mini", "nvmdirect_mini"};
+  return kNames;
+}
+
+std::unique_ptr<KvShard> make_shard(const std::string& framework,
+                                    const ShardConfig& cfg) {
+  if (framework == "pmdk_mini") return std::make_unique<PmdkShard>(cfg);
+  if (framework == "mnemosyne_mini")
+    return std::make_unique<MnemosyneShard>(cfg);
+  if (framework == "pmfs_mini") return std::make_unique<PmfsShard>(cfg);
+  if (framework == "nvmdirect_mini")
+    return std::make_unique<NvmdirectShard>(cfg);
+  throw std::invalid_argument("unknown framework '" + framework +
+                              "' (expected pmdk_mini, mnemosyne_mini, "
+                              "pmfs_mini or nvmdirect_mini)");
+}
+
+}  // namespace deepmc::load

@@ -1,0 +1,98 @@
+// KV shard adapters: one uniform keyed put/get/delete surface per mini
+// framework, so the load engine (engine.h) can hammer pmdk_mini,
+// mnemosyne_mini, pmfs_mini and nvmdirect_mini with the same op streams.
+//
+// Each shard owns its PmPool (workers never share a pool — the emulation
+// substrate is deliberately single-threaded, concurrency lives in the
+// checker) and maps a key to a fixed slot, one 64-bit value per slot with
+// 0 meaning "absent" (the workload generator never emits value 0). That
+// single-word-per-key layout keeps every framework's update atomic under
+// its own protocol:
+//
+//   pmdk_mini       slot table updated under a Tx (undo log rolls back)
+//   mnemosyne_mini  slot table updated under a DurableTx (redo log)
+//   pmfs_mini       one file per live key ("k<slot>"), unlink on delete
+//   nvmdirect_mini  write_persist1 on the slot word (strict persistency)
+//
+// recover() re-runs the framework's post-crash entry point and re-binds
+// the handle, matching what the crash/ recovery oracles replay; the engine
+// calls it from inside an oracle invariant after a crash-at-random-op.
+//
+// When ShardConfig::seed_bugs is set, maybe_seed_bug(i) injects the three
+// deep-bug patterns the runtime checker hunts at deterministic op indexes
+// (WAW strand race, redundant write-back, inter-epoch mismatch) against a
+// private scratch object — ground truth for the sampled-subset tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmem/pool.h"
+#include "runtime/dynamic_checker.h"
+
+namespace deepmc::load {
+
+struct ShardConfig {
+  uint64_t keys = 1024;  ///< requested key space (capacity() may clamp)
+  rt::RuntimeChecker* rt = nullptr;  ///< checker to instrument against
+  bool seed_bugs = false;            ///< arm maybe_seed_bug()
+  uint64_t pool_bytes = 8ull << 20;  ///< per-shard pool size
+};
+
+class KvShard {
+ public:
+  virtual ~KvShard() = default;
+  KvShard(const KvShard&) = delete;
+  KvShard& operator=(const KvShard&) = delete;
+
+  [[nodiscard]] virtual std::string framework() const = 0;
+
+  /// Number of key slots actually backed by storage; keys map onto slots
+  /// with slot_of(). pmfs clamps harder than the table-based shards (each
+  /// live key is a whole file there).
+  [[nodiscard]] uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] uint64_t slot_of(uint64_t key) const {
+    return key % capacity_;
+  }
+
+  virtual void put(uint64_t slot, uint64_t value) = 0;
+  /// Value at `slot`; 0 = absent.
+  [[nodiscard]] virtual uint64_t get(uint64_t slot) = 0;
+  virtual void del(uint64_t slot) = 0;
+
+  /// Re-run the framework's post-crash recovery and re-bind this handle.
+  virtual void recover() = 0;
+
+  [[nodiscard]] pmem::PmPool& pool() { return pool_; }
+
+  /// Deterministically inject the seeded deep-bug patterns for op index
+  /// `i` (see file header). No-op unless ShardConfig::seed_bugs and a
+  /// checker are set. Call between ops, outside any ambient strand.
+  void maybe_seed_bug(uint64_t i);
+
+ protected:
+  KvShard(const ShardConfig& cfg, uint64_t capacity);
+
+  /// Allocate + register the seeded-bug scratch object. Derived ctors call
+  /// this after their framework is initialized (so allocation instruments
+  /// through the same checker the workload will use).
+  void init_scratch();
+
+  pmem::PmPool pool_;
+  ShardConfig cfg_;
+  uint64_t capacity_;
+  uint64_t scratch_ = 0;  ///< 64B scratch object for seeded bugs
+};
+
+/// Framework tags make_shard() accepts, in canonical order:
+/// pmdk_mini, mnemosyne_mini, pmfs_mini, nvmdirect_mini.
+[[nodiscard]] const std::vector<std::string>& framework_names();
+
+/// Build a fresh shard for `framework` (throws std::invalid_argument on an
+/// unknown tag).
+[[nodiscard]] std::unique_ptr<KvShard> make_shard(const std::string& framework,
+                                                  const ShardConfig& cfg);
+
+}  // namespace deepmc::load

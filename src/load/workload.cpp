@@ -1,0 +1,67 @@
+#include "load/workload.h"
+
+namespace deepmc::load {
+
+Rng thread_rng(const WorkloadSpec& spec, uint32_t thread) {
+  // splitmix of (seed, thread) so adjacent threads get unrelated streams.
+  uint64_t z = spec.seed ^ (0x9e3779b97f4a7c15ull * (thread + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return Rng(z);
+}
+
+LoadOp next_op(Rng& rng, const WorkloadSpec& spec) {
+  LoadOp op;
+  const uint64_t roll = rng.below(100);
+  if (roll < spec.mix.get_pct) {
+    op.kind = OpKind::kGet;
+  } else if (roll < spec.mix.get_pct + spec.mix.put_pct) {
+    op.kind = OpKind::kPut;
+  } else {
+    op.kind = OpKind::kDel;
+  }
+
+  const uint64_t keys = spec.keys == 0 ? 1 : spec.keys;
+  uint64_t hot = static_cast<uint64_t>(static_cast<double>(keys) *
+                                       spec.hot_frac);
+  if (hot == 0) hot = 1;
+  if (hot > keys) hot = keys;
+  // Two draws, always: one for hot-vs-cold, one for the key, so every op
+  // consumes the same amount of randomness.
+  const bool in_hot = rng.uniform() < spec.hot_prob;
+  op.key = in_hot ? rng.below(hot) : rng.below(keys);
+
+  op.value = rng.next() | 1;  // puts never store 0 (0 = "absent" sentinel)
+  return op;
+}
+
+uint64_t schedule_hash(const WorkloadSpec& spec) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (uint32_t t = 0; t < spec.threads; ++t) {
+    Rng rng = thread_rng(spec, t);
+    mix(t);
+    for (uint64_t i = 0; i < spec.ops_per_thread; ++i) {
+      const LoadOp op = next_op(rng, spec);
+      mix(static_cast<uint64_t>(op.kind));
+      mix(op.key);
+      mix(op.value);
+    }
+  }
+  return h;
+}
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGet: return "get";
+    case OpKind::kPut: return "put";
+    case OpKind::kDel: return "del";
+  }
+  return "?";
+}
+
+}  // namespace deepmc::load

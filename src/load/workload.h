@@ -1,0 +1,68 @@
+// Deterministic keyed-KV workload streams for the load engine.
+//
+// The engine (engine.h) hammers the mini frameworks with millions of
+// put/get/delete ops from many threads; everything observable about the
+// schedule — which thread issues which op against which key with which
+// value — is a pure function of (spec, thread index). That is what makes
+// a fixed seed reproduce an identical workload at any checker mode, and
+// what schedule_hash() fingerprints for the determinism tests.
+//
+// Key popularity follows a YCSB-style hot-set skew: a configurable
+// fraction of the key space (hot_frac) absorbs a configurable share of
+// accesses (hot_prob) — the zipfian-ish shape server caches live under.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.h"
+
+namespace deepmc::load {
+
+enum class OpKind : uint8_t { kGet, kPut, kDel };
+
+struct LoadOp {
+  OpKind kind = OpKind::kGet;
+  uint64_t key = 0;
+  uint64_t value = 0;  ///< payload for puts (already mixed from the stream)
+};
+
+/// Percentage op mix; must sum to 100.
+struct OpMix {
+  uint32_t get_pct = 50;
+  uint32_t put_pct = 40;
+  uint32_t del_pct = 10;
+
+  [[nodiscard]] bool valid() const {
+    return get_pct + put_pct + del_pct == 100;
+  }
+};
+
+struct WorkloadSpec {
+  uint32_t threads = 8;
+  uint64_t ops_per_thread = 100000;
+  uint64_t keys = 1024;      ///< key space per shard
+  OpMix mix;
+  double hot_frac = 0.2;     ///< fraction of keys forming the hot set
+  double hot_prob = 0.8;     ///< probability an access hits the hot set
+  uint64_t seed = 42;
+  double duration_s = 0;     ///< >0: stop on wall clock instead of op count
+                             ///< (schedule determinism holds in ops mode)
+};
+
+/// The rng driving thread `t`'s op stream: seeded purely from (spec.seed,
+/// t), so streams are independent and reproducible per thread.
+[[nodiscard]] Rng thread_rng(const WorkloadSpec& spec, uint32_t thread);
+
+/// The next op of a stream. Pure: consumes exactly three rng draws per op
+/// regardless of kind, so op index i of thread t is position-independent.
+[[nodiscard]] LoadOp next_op(Rng& rng, const WorkloadSpec& spec);
+
+/// FNV-1a fingerprint over every thread's full op stream, in thread order.
+/// Identical across runs, checker modes, and interleavings by construction;
+/// the determinism tests and the CI smoke job compare it between runs.
+[[nodiscard]] uint64_t schedule_hash(const WorkloadSpec& spec);
+
+[[nodiscard]] const char* op_name(OpKind kind);
+
+}  // namespace deepmc::load

@@ -1,9 +1,65 @@
 #include "runtime/dynamic_checker.h"
 
+#include <unordered_map>
+
 #include "obs/metrics.h"
 #include "support/str.h"
 
 namespace deepmc::rt {
+
+// --- ambient per-thread context ------------------------------------------
+
+namespace {
+thread_local StrandId tl_strand = 0;
+thread_local uint64_t tl_addr_tag = 0;
+std::atomic<uint64_t> g_checker_ids{1};
+}  // namespace
+
+StrandId current_strand() { return tl_strand; }
+uint64_t current_addr_tag() { return tl_addr_tag; }
+
+StrandScope::StrandScope(RuntimeChecker* rt) : rt_(rt), prev_(tl_strand) {
+  if (rt_ != nullptr) s_ = rt_->strand_begin();
+  tl_strand = s_;
+}
+
+StrandScope::~StrandScope() {
+  if (rt_ != nullptr && s_ != 0) rt_->strand_end(s_);
+  tl_strand = prev_;
+}
+
+AddrSpaceScope::AddrSpaceScope(uint64_t tag) : prev_(tl_addr_tag) {
+  tl_addr_tag = tag;
+}
+
+AddrSpaceScope::~AddrSpaceScope() { tl_addr_tag = prev_; }
+
+// --- scalable-path plumbing ----------------------------------------------
+
+/// One thread's pending instrumented writes for one checker. Owned by the
+/// checker (bufs_), reached through a thread-local map keyed by the
+/// checker's unique id — ids are never reused, so a stale map entry for a
+/// destroyed checker is never dereferenced. The buffer has its own mutex
+/// so drain() can flush every thread's buffer from one thread.
+struct RuntimeChecker::ThreadBuf {
+  struct Op {
+    uint64_t addr;
+    uint32_t size;
+    StrandId strand;
+    SourceLoc loc;
+  };
+  std::mutex mu;
+  std::vector<Op> ops;
+};
+
+namespace {
+std::unordered_map<uint64_t, RuntimeChecker::ThreadBuf*>& buf_map() {
+  // The map holds only non-owning pointers; ThreadBuf storage belongs to
+  // the checker and dies with it.
+  thread_local std::unordered_map<uint64_t, RuntimeChecker::ThreadBuf*> m;
+  return m;
+}
+}  // namespace
 
 std::string RaceReport::str() const {
   return strformat(
@@ -34,7 +90,167 @@ std::string RuntimeBarrierReport::str() const {
          " begins while earlier flushes await a persist barrier";
 }
 
+RuntimeChecker::RuntimeChecker(core::PersistencyModel model,
+                               const RtOptions& opts)
+    : model_(model),
+      scalable_(true),
+      opts_(opts),
+      checker_id_(g_checker_ids.fetch_add(1, std::memory_order_relaxed)),
+      sharded_(std::make_unique<ShardedShadowSegment>(
+          opts.shadow_shards == 0 ? 1 : opts.shadow_shards)) {
+  if (opts_.sample_period == 0) opts_.sample_period = 1;
+  if (opts_.buffer_ops == 0) opts_.buffer_ops = 1;
+}
+
+RuntimeChecker::RuntimeChecker(core::PersistencyModel model)
+    : model_(model) {}
+
+RuntimeChecker::~RuntimeChecker() = default;
+
+RuntimeChecker::ThreadBuf* RuntimeChecker::my_buf() {
+  auto& m = buf_map();
+  auto it = m.find(checker_id_);
+  if (it != m.end()) return it->second;
+  auto fresh = std::make_unique<ThreadBuf>();
+  ThreadBuf* raw = fresh.get();
+  {
+    std::lock_guard<std::mutex> lock(bufs_mu_);
+    bufs_.push_back(std::move(fresh));
+  }
+  m.emplace(checker_id_, raw);
+  return raw;
+}
+
+void RuntimeChecker::flush_buf(ThreadBuf* buf) {
+  std::lock_guard<std::mutex> lock(buf->mu);
+  process_ops_locked(buf);
+}
+
+void RuntimeChecker::process_ops_locked(ThreadBuf* buf) {
+  for (const ThreadBuf::Op& op : buf->ops)
+    scal_write(op.strand, op.addr, op.size, op.loc);
+  buf->ops.clear();
+}
+
+void RuntimeChecker::record_race_scalable(RaceKind kind, uint64_t addr,
+                                          StrandId first,
+                                          const SourceLoc& first_loc,
+                                          StrandId second,
+                                          const SourceLoc& second_loc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Under sustained load every op opens a fresh strand, so the legacy
+  // (kind, addr, strand-pair) dedup would grow one report per op pair;
+  // dedup by (kind, addr) instead — the site, not the instance.
+  if (!race_keys_.insert(addr * 2 + static_cast<uint64_t>(kind)).second)
+    return;
+  RaceReport r;
+  r.kind = kind;
+  r.addr = addr;
+  r.first_strand = first;
+  r.second_strand = second;
+  r.first_loc = first_loc;
+  r.second_loc = second_loc;
+  races_.push_back(std::move(r));
+}
+
+void RuntimeChecker::epoch_note_write(uint64_t addr, uint64_t size,
+                                      const SourceLoc& loc) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (!in_epoch_) return;
+  uint64_t base = 0;
+  {
+    std::lock_guard<std::mutex> olock(objects_mu_);
+    base = object_of(addr);
+  }
+  const uint64_t key = base ? base : addr;
+  auto [it, inserted] = current_epoch_.objects_written.try_emplace(key);
+  if (inserted) it->second.first_loc = loc;
+  for (uint64_t a = addr / 8 * 8; a < addr + size; a += 8)
+    it->second.words.insert(a);
+}
+
+void RuntimeChecker::scal_write(StrandId s, uint64_t addr, uint64_t size,
+                                const SourceLoc& loc) {
+  const uint64_t tick = check_tick_.fetch_add(1, std::memory_order_relaxed);
+  const bool check =
+      opts_.sample_period <= 1 || tick % opts_.sample_period == 0;
+  sharded_->for_each_word(
+      addr, size, [&](uint64_t word, ShardedShadowSegment::Cell& cell) {
+        if (check && cell.written &&
+            !clocks_.ordered_before(cell.last_strand, s)) {
+          record_race_scalable(RaceKind::kWaw, word, cell.last_strand,
+                               cell.last_loc, s, loc);
+        }
+        cell.written = true;
+        cell.last_strand = s;
+        cell.last_loc = loc;
+      });
+  epoch_note_write(addr, size, loc);
+}
+
+void RuntimeChecker::scal_read(StrandId s, uint64_t addr, uint64_t size,
+                               const SourceLoc& loc) {
+  if (s == 0) return;  // reads outside strands cannot race
+  const uint64_t tick = check_tick_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.sample_period > 1 && tick % opts_.sample_period != 0) return;
+  sharded_->for_each_word(
+      addr, size, [&](uint64_t word, ShardedShadowSegment::Cell& cell) {
+        if (cell.written && !clocks_.ordered_before(cell.last_strand, s)) {
+          record_race_scalable(RaceKind::kRaw, word, cell.last_strand,
+                               cell.last_loc, s, loc);
+        }
+      });
+}
+
+void RuntimeChecker::scal_epoch_end() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (!in_epoch_) return;
+  in_epoch_ = false;
+  const uint64_t tick = epoch_tick_.fetch_add(1, std::memory_order_relaxed);
+  const bool check =
+      opts_.sample_period <= 1 || tick % opts_.sample_period == 0;
+  if (check && have_previous_epoch_) {
+    for (const auto& [base, rec] : current_epoch_.objects_written) {
+      auto prev = previous_epoch_.objects_written.find(base);
+      if (prev == previous_epoch_.objects_written.end()) continue;
+      bool overlap = false;
+      for (uint64_t w : rec.words)
+        if (prev->second.words.count(w)) overlap = true;
+      if (overlap) continue;
+      std::lock_guard<std::mutex> rlock(mu_);
+      bool dup = false;
+      for (const EpochMismatchReport& e : epoch_mismatches_)
+        if (e.object_base == base && e.second_loc == rec.first_loc) dup = true;
+      if (!dup) {
+        EpochMismatchReport r;
+        r.object_base = base;
+        r.first_loc = prev->second.first_loc;
+        r.second_loc = rec.first_loc;
+        epoch_mismatches_.push_back(std::move(r));
+      }
+    }
+  }
+  // The previous epoch always rotates, checked or not: state evolution is
+  // identical at every sampling period, which is what makes the sampled
+  // warning set a subset of the full one.
+  previous_epoch_ = std::move(current_epoch_);
+  current_epoch_ = EpochRecord{};
+  have_previous_epoch_ = true;
+}
+
+void RuntimeChecker::drain() {
+  if (!scalable_) return;
+  std::vector<ThreadBuf*> bufs;
+  {
+    std::lock_guard<std::mutex> lock(bufs_mu_);
+    bufs.reserve(bufs_.size());
+    for (const auto& b : bufs_) bufs.push_back(b.get());
+  }
+  for (ThreadBuf* b : bufs) flush_buf(b);
+}
+
 void RuntimeChecker::report_redundant_flush(SourceLoc loc, uint64_t addr) {
+  addr += tl_addr_tag;
   std::lock_guard<std::mutex> lock(mu_);
   for (const RuntimeFlushReport& r : redundant_flushes_)
     if (r.loc == loc) return;
@@ -49,12 +265,14 @@ void RuntimeChecker::report_unfenced_tx_begin(SourceLoc loc) {
 }
 
 void RuntimeChecker::on_alloc(uint64_t base, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base += tl_addr_tag;
+  std::lock_guard<std::mutex> lock(scalable_ ? objects_mu_ : mu_);
   objects_[base] = size;
 }
 
 void RuntimeChecker::on_free(uint64_t base) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base += tl_addr_tag;
+  std::lock_guard<std::mutex> lock(scalable_ ? objects_mu_ : mu_);
   objects_.erase(base);
 }
 
@@ -68,6 +286,11 @@ uint64_t RuntimeChecker::object_of(uint64_t addr) const {
 
 StrandId RuntimeChecker::strand_begin() {
   active_strands_.fetch_add(1, std::memory_order_relaxed);
+  if (scalable_) {
+    // Epoch-batched clock: a strand's whole happens-before identity is
+    // (birth fence-seq, end fence-seq) — O(1) instead of a clock copy.
+    return clocks_.begin(fence_seq_.load(std::memory_order_acquire));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const StrandId s = next_strand_++;
   VectorClock vc = barrier_clock_;  // happens-after pre-barrier strands
@@ -78,6 +301,11 @@ StrandId RuntimeChecker::strand_begin() {
 }
 
 void RuntimeChecker::strand_end(StrandId s) {
+  if (scalable_) {
+    clocks_.end(s, fence_seq_.load(std::memory_order_acquire));
+    active_strands_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = strand_clocks_.find(s);
   if (it == strand_clocks_.end()) return;
@@ -86,6 +314,14 @@ void RuntimeChecker::strand_end(StrandId s) {
 
 void RuntimeChecker::epoch_begin() {
   epoch_open_.store(true, std::memory_order_relaxed);
+  if (scalable_) {
+    epochs_opened_.fetch_add(1, std::memory_order_relaxed);
+    flush_buf(my_buf());  // writes before the epoch stay outside it
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    in_epoch_ = true;
+    current_epoch_ = EpochRecord{};
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   in_epoch_ = true;
   current_epoch_ = EpochRecord{};
@@ -94,6 +330,11 @@ void RuntimeChecker::epoch_begin() {
 
 void RuntimeChecker::epoch_end() {
   epoch_open_.store(false, std::memory_order_relaxed);
+  if (scalable_) {
+    flush_buf(my_buf());  // epoch boundary: pending writes belong to it
+    scal_epoch_end();
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (!in_epoch_) return;
   in_epoch_ = false;
@@ -144,7 +385,17 @@ void RuntimeChecker::record_race(RaceKind kind, uint64_t addr,
 
 void RuntimeChecker::on_write(StrandId s, uint64_t addr, uint64_t size,
                               SourceLoc loc) {
+  addr += tl_addr_tag;
   writes_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (scalable_) {
+    // Record into this thread's buffer; the shadow/epoch work happens at
+    // the next flush (buffer full, epoch boundary, fence, or drain()).
+    ThreadBuf* buf = my_buf();
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->ops.push_back({addr, static_cast<uint32_t>(size), s, std::move(loc)});
+    if (buf->ops.size() >= opts_.buffer_ops) process_ops_locked(buf);
+    return;
+  }
   // Fast path: with no live strand and no open epoch there is nothing the
   // shadow segment or the epoch tracker could learn from this write.
   if (active_strands_.load(std::memory_order_relaxed) == 0 &&
@@ -183,7 +434,12 @@ void RuntimeChecker::on_write(StrandId s, uint64_t addr, uint64_t size,
 
 void RuntimeChecker::on_read(StrandId s, uint64_t addr, uint64_t size,
                              SourceLoc loc) {
+  addr += tl_addr_tag;
   reads_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (scalable_) {
+    scal_read(s, addr, size, loc);
+    return;
+  }
   // Reads feed RAW detection only; without live strands they are inert.
   if (active_strands_.load(std::memory_order_relaxed) == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -206,6 +462,15 @@ void RuntimeChecker::on_flush(StrandId, uint64_t, uint64_t) {
 }
 
 void RuntimeChecker::on_fence(StrandId) {
+  if (scalable_) {
+    // A persist barrier is one atomic increment of the global fence
+    // sequence; the happens-before join is implicit in the scalar rule
+    // (end_seq < birth_seq). The calling thread's buffer flushes here so
+    // pending writes are checked against pre-barrier clock state.
+    flush_buf(my_buf());
+    fence_seq_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fences;
   // Strands that ended before this barrier happen-before strands created
@@ -219,6 +484,7 @@ void RuntimeChecker::clear_reports() {
   epoch_mismatches_.clear();
   redundant_flushes_.clear();
   barrier_violations_.clear();
+  race_keys_.clear();
 }
 
 void RuntimeChecker::publish_obs() const {

@@ -25,9 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/model.h"
@@ -90,10 +92,31 @@ struct RuntimeStats {
 // and writes only feed the shadow segment / epoch-object tracking when a
 // strand or epoch is open.
 
+/// Tuning for the scalable runtime path (high-traffic workloads,
+/// src/load/). Constructing a RuntimeChecker with RtOptions switches it
+/// from the legacy exact path (one global lock, full vector clocks) to the
+/// scalable one: sharded shadow memory, per-thread write buffers that
+/// flush at epoch boundaries, epoch-batched scalar clocks
+/// (EpochClockTable), and optional event sampling. The hook API is
+/// identical; only the cost model changes.
+struct RtOptions {
+  uint32_t shadow_shards = 64;  ///< shadow sub-segments (rounded to 2^k)
+  uint32_t sample_period = 1;   ///< run checks every Nth event (1 = all)
+  uint32_t buffer_ops = 128;    ///< per-thread write-buffer capacity
+};
+
 class RuntimeChecker {
  public:
-  explicit RuntimeChecker(core::PersistencyModel model)
-      : model_(model) {}
+  explicit RuntimeChecker(core::PersistencyModel model);
+
+  /// Scalable-path constructor (see RtOptions). Sampling trades detection
+  /// latency for throughput: every event is still *recorded* into the
+  /// shadow state, only the race/epoch comparisons run every Nth event, so
+  /// the sampled warning set is a subset of the full-checking one on the
+  /// same execution.
+  RuntimeChecker(core::PersistencyModel model, const RtOptions& opts);
+
+  ~RuntimeChecker();  ///< out-of-line: ThreadBuf is incomplete here
 
   // --- object registry (from pm.alloc instrumentation) --------------------
   void on_alloc(uint64_t base, uint64_t size);
@@ -141,21 +164,52 @@ class RuntimeChecker {
     RuntimeStats s = stats_;
     s.writes_tracked = writes_seen_.load(std::memory_order_relaxed);
     s.reads_tracked = reads_seen_.load(std::memory_order_relaxed);
+    if (scalable_) {
+      s.strands_opened = clocks_.strands();
+      s.epochs_opened = epochs_opened_.load(std::memory_order_relaxed);
+      s.fences = fence_seq_.load(std::memory_order_relaxed);
+    }
     return s;
   }
-  [[nodiscard]] size_t tracked_words() const { return shadow_.tracked_words(); }
+  [[nodiscard]] size_t tracked_words() const {
+    return scalable_ ? sharded_->tracked_words() : shadow_.tracked_words();
+  }
   void clear_reports();
+
+  [[nodiscard]] bool scalable() const { return scalable_; }
+  [[nodiscard]] const RtOptions& options() const { return opts_; }
+
+  /// Scalable path: flush every thread's pending write buffer and run the
+  /// deferred checks. Call after workers quiesce, before reading reports.
+  /// No-op on the legacy path (nothing is ever buffered there).
+  void drain();
 
   /// Fold this checker's instrumented-event and shadow-memory counts into
   /// the observability registry (rt.* metrics, the Figure 12 overhead
   /// accounting). No-op with observability disabled; call after a run.
   void publish_obs() const;
 
+  struct ThreadBuf;  ///< per-thread pending-write buffer (scalable path)
+
  private:
   /// Base offset of the registered object containing `addr` (0 if unknown).
   uint64_t object_of(uint64_t addr) const;
   void record_race(RaceKind kind, uint64_t addr, const ShadowCell::Access& a,
                    StrandId s, const SourceLoc& loc);
+
+  // --- scalable-path internals --------------------------------------------
+  ThreadBuf* my_buf();
+  void flush_buf(ThreadBuf* buf);
+  void process_ops_locked(ThreadBuf* buf);
+  void record_race_scalable(RaceKind kind, uint64_t addr, StrandId first,
+                            const SourceLoc& first_loc, StrandId second,
+                            const SourceLoc& second_loc);
+  void epoch_note_write(uint64_t addr, uint64_t size, const SourceLoc& loc);
+  void scal_write(StrandId s, uint64_t addr, uint64_t size,
+                  const SourceLoc& loc);
+  void scal_read(StrandId s, uint64_t addr, uint64_t size,
+                 const SourceLoc& loc);
+  void scal_epoch_end();
 
   core::PersistencyModel model_;
   mutable std::mutex mu_;
@@ -190,6 +244,71 @@ class RuntimeChecker {
   std::atomic<uint64_t> reads_seen_{0};
   std::atomic<uint32_t> active_strands_{0};
   std::atomic<bool> epoch_open_{false};
+
+  // --- scalable-path state (unused on the legacy path) --------------------
+  bool scalable_ = false;
+  RtOptions opts_;
+  uint64_t checker_id_ = 0;  ///< key into the thread-local buffer map
+  std::unique_ptr<ShardedShadowSegment> sharded_;
+  EpochClockTable clocks_;
+  std::atomic<uint64_t> fence_seq_{0};    ///< global persist-barrier counter
+  std::atomic<uint64_t> check_tick_{0};   ///< sampling counter (events)
+  std::atomic<uint64_t> epoch_tick_{0};   ///< sampling counter (epochs)
+  std::atomic<uint64_t> epochs_opened_{0};
+  std::mutex bufs_mu_;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;  ///< owns thread buffers
+  std::mutex epoch_mu_;     ///< guards the epoch records in scalable mode
+  std::mutex objects_mu_;   ///< guards objects_ in scalable mode
+  std::unordered_set<uint64_t> race_keys_;  ///< (kind, addr) dedup, under mu_
+};
+
+// --- ambient per-thread context ------------------------------------------
+//
+// The mini frameworks report events with whatever strand id their caller
+// established; single-stream callers never open strands, so their hooks
+// historically passed the literal 0 ("no strand"). The workload engine
+// needs every framework op attributed to a per-op strand *without*
+// changing the framework APIs, so the strand travels thread-locally:
+// frameworks call current_strand(), and the engine brackets each op in a
+// StrandScope. With no scope active the value is 0 — existing behavior.
+
+/// The calling thread's ambient strand id (0 when no StrandScope is open).
+[[nodiscard]] StrandId current_strand();
+
+/// RAII: opens a strand on `rt` (when non-null) and installs it as the
+/// thread's ambient strand; closes and restores on destruction.
+class StrandScope {
+ public:
+  explicit StrandScope(RuntimeChecker* rt);
+  ~StrandScope();
+  StrandScope(const StrandScope&) = delete;
+  StrandScope& operator=(const StrandScope&) = delete;
+
+  [[nodiscard]] StrandId id() const { return s_; }
+
+ private:
+  RuntimeChecker* rt_;
+  StrandId s_ = 0;
+  StrandId prev_;
+};
+
+/// The calling thread's ambient address-space tag, added to every address
+/// a RuntimeChecker hook receives. Lets independent PmPools (whose offsets
+/// all start at the same small values) share one checker without false
+/// aliasing: give each pool's worker a distinct tag.
+[[nodiscard]] uint64_t current_addr_tag();
+
+/// RAII address-space tag installer. Tags should be multiples of a power
+/// of two far above any pool size, e.g. `uint64_t(worker + 1) << 44`.
+class AddrSpaceScope {
+ public:
+  explicit AddrSpaceScope(uint64_t tag);
+  ~AddrSpaceScope();
+  AddrSpaceScope(const AddrSpaceScope&) = delete;
+  AddrSpaceScope& operator=(const AddrSpaceScope&) = delete;
+
+ private:
+  uint64_t prev_;
 };
 
 }  // namespace deepmc::rt

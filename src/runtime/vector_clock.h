@@ -7,8 +7,13 @@
 // strands.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 namespace deepmc::rt {
 
@@ -46,6 +51,104 @@ class VectorClock {
 
  private:
   std::map<StrandId, uint64_t> c_;
+};
+
+/// Epoch-batched strand clocks for the scalable runtime path.
+///
+/// The full VectorClock machinery above is O(live strands) per clock copy,
+/// which blows up quadratically when a server workload opens one strand per
+/// request. But under the checker's happens-before model every strand's
+/// clock ticks exactly once (at strand_begin), so the whole relation
+/// collapses to two scalars against the global fence counter F:
+///
+///   birth_seq(S) = F at strand_begin(S)
+///   end_seq(T)   = F at strand_end(T)     (kNeverEnded while live)
+///
+///   T happens-before S  <=>  end_seq(T) < birth_seq(S)
+///
+/// (T is joined into barrier_clock_ by the first fence after its end;
+/// S's birth clock sees exactly the fences before its birth.) This table
+/// stores those two scalars per strand in append-only chunks: strand
+/// creation is an atomic counter bump plus two stores, ordering queries are
+/// two loads, and fences are free — O(1) per event instead of O(history).
+///
+/// Thread safety: id allocation and chunk growth are internally
+/// synchronized. A strand's entry may be read by other threads only after
+/// its id was published through some external happens-before edge (the
+/// shadow-shard mutex in the checker), which also publishes the birth
+/// store; end_seq is atomic because it changes after publication.
+class EpochClockTable {
+ public:
+  static constexpr uint64_t kNeverEnded = UINT64_MAX;
+
+  /// Allocate the next strand id with the given birth fence-sequence.
+  StrandId begin(uint64_t birth_seq) {
+    const uint32_t id = next_.fetch_add(1, std::memory_order_relaxed);
+    Entry& e = entry_for(id);
+    e.birth = birth_seq;
+    e.end.store(kNeverEnded, std::memory_order_release);
+    return id + 1;  // strand ids are 1-based; 0 means "no strand"
+  }
+
+  void end(StrandId s, uint64_t end_seq) {
+    if (s == 0 || s > next_.load(std::memory_order_relaxed)) return;
+    entry_for(s - 1).end.store(end_seq, std::memory_order_release);
+  }
+
+  [[nodiscard]] uint64_t birth_seq(StrandId s) const {
+    return s == 0 ? 0 : entry_for(s - 1).birth;
+  }
+  [[nodiscard]] uint64_t end_seq(StrandId s) const {
+    return s == 0 ? kNeverEnded
+                  : entry_for(s - 1).end.load(std::memory_order_acquire);
+  }
+
+  /// True when strand `t` is ordered before strand `s` (t ended before a
+  /// fence that precedes s's birth). Strand 0 is "outside any strand" and
+  /// is ordered with everything by program order.
+  [[nodiscard]] bool ordered_before(StrandId t, StrandId s) const {
+    if (t == 0 || s == 0 || t == s) return true;
+    const uint64_t te = end_seq(t);
+    return te != kNeverEnded && te < birth_seq(s);
+  }
+
+  [[nodiscard]] uint64_t strands() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    uint64_t birth = 0;
+    std::atomic<uint64_t> end{kNeverEnded};
+  };
+  static constexpr size_t kChunkBits = 12;  // 4096 entries per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = 1 << 12;  // ~16M strands
+
+  Entry& entry_for(uint32_t idx) {
+    return const_cast<Entry&>(
+        static_cast<const EpochClockTable*>(this)->entry_for(idx));
+  }
+  const Entry& entry_for(uint32_t idx) const {
+    const size_t chunk = idx >> kChunkBits;
+    Entry* p = chunks_[chunk].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<std::mutex> lock(grow_mu_);
+      p = chunks_[chunk].load(std::memory_order_relaxed);
+      if (p == nullptr) {
+        auto fresh = std::make_unique<Entry[]>(kChunkSize);
+        p = fresh.get();
+        storage_.push_back(std::move(fresh));
+        chunks_[chunk].store(p, std::memory_order_release);
+      }
+    }
+    return p[idx & (kChunkSize - 1)];
+  }
+
+  std::atomic<uint32_t> next_{0};
+  mutable std::array<std::atomic<Entry*>, kMaxChunks> chunks_{};
+  mutable std::mutex grow_mu_;
+  mutable std::vector<std::unique_ptr<Entry[]>> storage_;
 };
 
 }  // namespace deepmc::rt

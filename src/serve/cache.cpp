@@ -1,9 +1,12 @@
 #include "serve/cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "serve/hash.h"
 #include "support/faultpoint.h"
@@ -13,15 +16,95 @@ namespace deepmc::serve {
 namespace fs = std::filesystem;
 
 DiskCache::DiskCache(std::string dir, uint32_t version)
-    : dir_(std::move(dir)), version_(version) {
+    : DiskCache(std::move(dir), version, Limits{}) {}
+
+DiskCache::DiskCache(std::string dir, uint32_t version, Limits limits)
+    : dir_(std::move(dir)), version_(version), limits_(limits) {
   if (dir_.empty()) return;
   std::error_code ec;
   fs::create_directories(dir_, ec);
-  if (ec) dir_.clear();  // unusable directory disables the cache
+  if (ec) {
+    dir_.clear();  // unusable directory disables the cache
+    return;
+  }
+  if (limits_.max_entries > 0 || limits_.max_bytes > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    scan_dir();
+    evict_locked();
+  }
 }
 
 std::string DiskCache::path_for(const std::string& key) const {
   return dir_ + "/" + key + ".dmc";
+}
+
+void DiskCache::scan_dir() {
+  // Seed the LRU index from what a previous server left behind, oldest
+  // mtime = least recent, so restart does not forget the bound.
+  std::error_code ec;
+  std::vector<std::pair<fs::file_time_type, std::pair<std::string, uint64_t>>>
+      found;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (p.extension() != ".dmc") continue;
+    std::error_code sec;
+    const uint64_t bytes = fs::file_size(p, sec);
+    if (sec) continue;
+    const fs::file_time_type mtime = fs::last_write_time(p, sec);
+    if (sec) continue;
+    found.emplace_back(mtime,
+                       std::make_pair(p.stem().string(), bytes));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [mtime, entry] : found)
+    index_insert_locked(entry.first, entry.second);
+}
+
+void DiskCache::touch_locked(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second.pos);
+}
+
+void DiskCache::index_insert_locked(const std::string& key, uint64_t bytes) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    total_bytes_ -= it->second.bytes;
+    total_bytes_ += bytes;
+    it->second.bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return;
+  }
+  lru_.push_front(key);
+  index_[key] = Entry{lru_.begin(), bytes};
+  total_bytes_ += bytes;
+}
+
+void DiskCache::index_erase_locked(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  total_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.pos);
+  index_.erase(it);
+}
+
+void DiskCache::evict_locked() {
+  const bool bound_entries = limits_.max_entries > 0;
+  const bool bound_bytes = limits_.max_bytes > 0;
+  if (!bound_entries && !bound_bytes) return;
+  while (!lru_.empty() &&
+         ((bound_entries && index_.size() > limits_.max_entries) ||
+          (bound_bytes && total_bytes_ > limits_.max_bytes))) {
+    const std::string victim = lru_.back();
+    const uint64_t bytes = index_[victim].bytes;
+    std::error_code ec;
+    fs::remove(path_for(victim), ec);  // best effort; index forgets anyway
+    index_erase_locked(victim);
+    ++stats_.evictions;
+    stats_.evicted_bytes += bytes;
+  }
 }
 
 std::optional<std::string> DiskCache::get(const std::string& key) {
@@ -38,6 +121,7 @@ std::optional<std::string> DiskCache::get(const std::string& key) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::lock_guard<std::mutex> lock(mu_);
+    index_erase_locked(key);  // vanished externally, if we knew it at all
     ++stats_.misses;
     return std::nullopt;
   }
@@ -65,11 +149,13 @@ std::optional<std::string> DiskCache::get(const std::string& key) {
     std::error_code ec;
     fs::remove(path, ec);  // don't trip over the same entry again
     std::lock_guard<std::mutex> lock(mu_);
+    index_erase_locked(key);
     ++stats_.corrupt;
     ++stats_.misses;
     return std::nullopt;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  touch_locked(key);
   ++stats_.hits;
   return payload;
 }
@@ -90,16 +176,21 @@ void DiskCache::put(const std::string& key, std::string_view payload) {
   }
   const std::string path = path_for(key);
   const std::string tmp = path + ".tmp" + std::to_string(seq);
+  uint64_t entry_bytes = 0;
   bool ok = false;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (out) {
-      out << "deepmc-cache-v" << version_ << ' ' << hash_bytes(payload) << ' '
-          << payload.size() << '\n';
+      std::ostringstream header;
+      header << "deepmc-cache-v" << version_ << ' ' << hash_bytes(payload)
+             << ' ' << payload.size() << '\n';
+      const std::string h = header.str();
+      out << h;
       out.write(payload.data(),
                 static_cast<std::streamsize>(payload.size()));
       out.flush();
       ok = out.good();
+      entry_bytes = h.size() + payload.size();
     }
   }
   if (ok) {
@@ -112,12 +203,19 @@ void DiskCache::put(const std::string& key, std::string_view payload) {
     fs::remove(tmp, ec);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.write_errors;
+    return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  index_insert_locked(key, entry_bytes);
+  evict_locked();
 }
 
 DiskCache::Stats DiskCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.entries = index_.size();
+  s.bytes = total_bytes_;
+  return s;
 }
 
 }  // namespace deepmc::serve

@@ -14,13 +14,21 @@
 // "cache.write" (src/support/faultpoint.h) — degrades to a miss or a
 // dropped write and bumps a counter. The server stays up and falls back
 // to full recomputation.
+//
+// Bounded mode: Limits caps the entry count and/or total on-disk bytes.
+// An in-memory LRU index (seeded from file mtimes at startup, so bounds
+// survive restarts) evicts least-recently-used entries after each store;
+// get() refreshes recency. Limits of 0 mean unbounded, the historical
+// behavior.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace deepmc::serve {
 
@@ -30,6 +38,12 @@ class DiskCache {
   /// Bump when the wire encoding changes; old entries then read as misses.
   static constexpr uint32_t kFormatVersion = 1;
 
+  /// Capacity bounds; 0 = unbounded.
+  struct Limits {
+    uint64_t max_entries = 0;
+    uint64_t max_bytes = 0;  ///< total on-disk entry bytes (header+payload)
+  };
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -37,12 +51,18 @@ class DiskCache {
     uint64_t read_faults = 0;   ///< injected "cache.read" trips
     uint64_t write_faults = 0;  ///< injected "cache.write" trips
     uint64_t write_errors = 0;  ///< I/O failures while storing
+    uint64_t evictions = 0;     ///< entries removed by the LRU bound
+    uint64_t evicted_bytes = 0; ///< on-disk bytes those entries held
+    uint64_t entries = 0;       ///< entries currently indexed
+    uint64_t bytes = 0;         ///< on-disk bytes currently indexed
   };
 
   /// An empty `dir` disables the cache: every get misses, every put is a
   /// no-op. `version` overrides the header version (tests use this to
   /// exercise version-mismatch recovery).
   explicit DiskCache(std::string dir, uint32_t version = kFormatVersion);
+  /// Bounded variant; see Limits.
+  DiskCache(std::string dir, uint32_t version, Limits limits);
 
   [[nodiscard]] bool enabled() const { return !dir_.empty(); }
 
@@ -56,12 +76,29 @@ class DiskCache {
 
  private:
   [[nodiscard]] std::string path_for(const std::string& key) const;
+  /// Index maintenance (all under mu_). `touch` moves to most-recent;
+  /// `index_insert` (re)binds a key and its size; `index_erase` forgets a
+  /// key; `evict_locked` enforces Limits by deleting LRU entry files.
+  void touch_locked(const std::string& key);
+  void index_insert_locked(const std::string& key, uint64_t bytes);
+  void index_erase_locked(const std::string& key);
+  void evict_locked();
+  void scan_dir();
+
+  struct Entry {
+    std::list<std::string>::iterator pos;  ///< position in lru_
+    uint64_t bytes = 0;
+  };
 
   std::string dir_;
   uint32_t version_;
+  Limits limits_;
   mutable std::mutex mu_;
   Stats stats_;
   uint64_t tmp_seq_ = 0;  ///< suffix for unique temp names (under mu_)
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> index_;
+  uint64_t total_bytes_ = 0;
 };
 
 }  // namespace deepmc::serve

@@ -191,6 +191,8 @@ int usage(FILE* out) {
       "  --stdin              serve one framed stream on stdin/stdout\n"
       "  --cache-dir DIR      persist per-function results under DIR\n"
       "  --cache-version N    override the cache entry format version\n"
+      "  --cache-max-entries N  LRU bound on cached entries (0 = unbounded)\n"
+      "  --cache-max-bytes N    LRU bound on cached bytes (0 = unbounded)\n"
       "  --jobs N             analysis threads (0 = hardware)\n"
       "  -strict|-epoch|-strand   default persistency model\n"
       "  --field-insensitive  disable DSA field sensitivity\n"
@@ -371,6 +373,14 @@ int serve_cli(int argc, char** argv) {
     } else if (arg == "--cache-version") {
       if (!need_value(i)) return usage(stderr);
       sopts.cache_version = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--cache-max-entries") {
+      if (!need_value(i)) return usage(stderr);
+      sopts.cache_limits.max_entries =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--cache-max-bytes") {
+      if (!need_value(i)) return usage(stderr);
+      sopts.cache_limits.max_bytes =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--jobs") {
       if (!need_value(i)) return usage(stderr);
       sopts.driver.jobs = static_cast<size_t>(std::atoi(argv[++i]));

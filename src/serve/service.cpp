@@ -86,7 +86,7 @@ AnalysisService::AnalysisService(ServeOptions opts)
                                 : opts_.driver.jobs;
         return jobs <= 1 ? 0 : jobs;
       }()),
-      cache_(opts_.cache_dir, opts_.cache_version) {}
+      cache_(opts_.cache_dir, opts_.cache_version, opts_.cache_limits) {}
 
 ServeResult AnalysisService::analyze_report(const std::string& name,
                                             const std::string& text,
@@ -226,7 +226,10 @@ std::string AnalysisService::stats_json() const {
      << ", \"disk_corrupt\": " << c.corrupt
      << ", \"read_faults\": " << c.read_faults
      << ", \"write_faults\": " << c.write_faults
-     << ", \"write_errors\": " << c.write_errors << "}";
+     << ", \"write_errors\": " << c.write_errors
+     << ", \"evictions\": " << c.evictions
+     << ", \"evicted_bytes\": " << c.evicted_bytes
+     << ", \"entries\": " << c.entries << ", \"bytes\": " << c.bytes << "}";
   return os.str();
 }
 

@@ -31,6 +31,7 @@ struct ServeOptions {
   core::DriverOptions driver;
   std::string cache_dir;  ///< empty = caching off (every request "off")
   uint32_t cache_version = DiskCache::kFormatVersion;
+  DiskCache::Limits cache_limits;  ///< LRU bounds; 0 = unbounded
 };
 
 /// Per-request knobs (the analyze header fields, docs/SERVER.md).

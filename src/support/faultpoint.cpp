@@ -19,6 +19,8 @@ const std::vector<std::string>& point_names() {
       "serve.accept",    // request acceptance in the analysis server
       "cache.read",      // serve-cache entry read (trip = treated as miss)
       "cache.write",     // serve-cache entry write (trip = entry dropped)
+      "load.op",         // workload-engine operation dispatch (deepmc-load)
+      "load.crash",      // workload-engine crash-recovery entry
   };
   return kPoints;
 }

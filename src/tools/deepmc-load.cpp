@@ -1,0 +1,329 @@
+// deepmc-load — high-traffic concurrent workload engine CLI.
+//
+// Hammers one (or all) of the mini frameworks with a deterministic
+// multi-threaded keyed put/get/delete stream, optionally under the
+// scalable dynamic checker, optionally with seeded deep bugs and a
+// crash-at-random-op recovery cycle. See docs/LOAD.md.
+//
+// Exit codes follow the repo convention: 0 success, 64 usage error,
+// 65 runtime failure (worker error, verification failure, injected fault).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "load/engine.h"
+#include "load/shards.h"
+#include "support/faultpoint.h"
+
+using namespace deepmc;
+
+namespace {
+
+constexpr int kExitUsage = 64;
+constexpr int kExitError = 65;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: deepmc-load [--framework F|all] [--threads N] [--ops N]\n"
+      "                   [--keys N] [--duration SEC] [--mix GET:PUT:DEL]\n"
+      "                   [--hot-frac F] [--hot-prob P] [--seed N]\n"
+      "                   [--checker off|shared|per-shard] [--sample N]\n"
+      "                   [--rt-shards N] [--rt-buffer N] [--seed-bugs]\n"
+      "                   [--crash-at N | --crash-random] [--pool-bytes N]\n"
+      "                   [--schedule-hash] [--json]\n"
+      "                   [--inject-fault NAME:COUNT] [--list-fault-points]\n"
+      "\n"
+      "frameworks: pmdk_mini mnemosyne_mini pmfs_mini nvmdirect_mini\n");
+}
+
+bool num_flag(const std::string& flag, const std::string& arg, int argc,
+              char** argv, int& i, uint64_t* out, bool* ok) {
+  std::string text;
+  if (arg == flag) {
+    if (++i < argc) text = argv[i];
+  } else if (arg.size() > flag.size() + 1 &&
+             arg.compare(0, flag.size(), flag) == 0 &&
+             arg[flag.size()] == '=') {
+    text = arg.substr(flag.size() + 1);
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+  *ok = !text.empty() && end == text.c_str() + text.size();
+  if (*ok) *out = static_cast<uint64_t>(n);
+  return true;
+}
+
+bool dbl_flag(const std::string& flag, const std::string& arg, int argc,
+              char** argv, int& i, double* out, bool* ok) {
+  std::string text;
+  if (arg == flag) {
+    if (++i < argc) text = argv[i];
+  } else if (arg.size() > flag.size() + 1 &&
+             arg.compare(0, flag.size(), flag) == 0 &&
+             arg[flag.size()] == '=') {
+    text = arg.substr(flag.size() + 1);
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  *ok = !text.empty() && end == text.c_str() + text.size();
+  if (*ok) *out = v;
+  return true;
+}
+
+bool str_flag(const std::string& flag, const std::string& arg, int argc,
+              char** argv, int& i, std::string* out) {
+  if (arg == flag) {
+    if (++i < argc) *out = argv[i];
+    return true;
+  }
+  if (arg.size() > flag.size() + 1 && arg.compare(0, flag.size(), flag) == 0 &&
+      arg[flag.size()] == '=') {
+    *out = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+void print_json(const std::vector<load::EngineResult>& results) {
+  std::printf("[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const load::EngineResult& r = results[i];
+    std::printf("  {\n");
+    std::printf("    \"framework\": \"%s\",\n", r.framework.c_str());
+    std::printf("    \"total_ops\": %llu,\n",
+                static_cast<unsigned long long>(r.total_ops));
+    std::printf("    \"gets\": %llu, \"puts\": %llu, \"dels\": %llu,\n",
+                static_cast<unsigned long long>(r.gets),
+                static_cast<unsigned long long>(r.puts),
+                static_cast<unsigned long long>(r.dels));
+    std::printf("    \"seconds\": %.6f,\n", r.seconds);
+    std::printf("    \"ops_per_sec\": %.1f,\n", r.ops_per_sec);
+    std::printf("    \"schedule_hash\": \"%llx\",\n",
+                static_cast<unsigned long long>(r.schedule_hash));
+    std::printf("    \"races\": %llu, \"epoch_mismatches\": %llu,\n",
+                static_cast<unsigned long long>(r.races),
+                static_cast<unsigned long long>(r.epoch_mismatches));
+    std::printf(
+        "    \"redundant_flushes\": %llu, \"barrier_violations\": %llu,\n",
+        static_cast<unsigned long long>(r.redundant_flushes),
+        static_cast<unsigned long long>(r.barrier_violations));
+    std::printf("    \"warnings\": %llu,\n",
+                static_cast<unsigned long long>(r.warning_keys.size()));
+    std::printf("    \"strands\": %llu, \"fences\": %llu, "
+                "\"tracked_words\": %llu,\n",
+                static_cast<unsigned long long>(r.strands),
+                static_cast<unsigned long long>(r.fences),
+                static_cast<unsigned long long>(r.tracked_words));
+    std::printf("    \"crashes\": %llu, \"recoveries_consistent\": %llu, "
+                "\"verify_failures\": %llu,\n",
+                static_cast<unsigned long long>(r.crashes),
+                static_cast<unsigned long long>(r.recoveries_consistent),
+                static_cast<unsigned long long>(r.verify_failures));
+    std::printf("    \"ok\": %s\n", r.ok ? "true" : "false");
+    std::printf("  }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+void print_text(const load::EngineResult& r, load::CheckerMode mode) {
+  std::printf("%-15s checker=%-9s %10llu ops in %6.2fs  %12.0f ops/s\n",
+              r.framework.c_str(), load::checker_mode_name(mode),
+              static_cast<unsigned long long>(r.total_ops), r.seconds,
+              r.ops_per_sec);
+  std::printf("  mix: %llu get / %llu put / %llu del   schedule=%llx\n",
+              static_cast<unsigned long long>(r.gets),
+              static_cast<unsigned long long>(r.puts),
+              static_cast<unsigned long long>(r.dels),
+              static_cast<unsigned long long>(r.schedule_hash));
+  if (mode != load::CheckerMode::kOff)
+    std::printf("  checker: %llu strand race(s), %llu epoch mismatch(es), "
+                "%llu redundant flush(es), %llu unfenced tx, "
+                "%llu tracked words\n",
+                static_cast<unsigned long long>(r.races),
+                static_cast<unsigned long long>(r.epoch_mismatches),
+                static_cast<unsigned long long>(r.redundant_flushes),
+                static_cast<unsigned long long>(r.barrier_violations),
+                static_cast<unsigned long long>(r.tracked_words));
+  if (r.crashes > 0)
+    std::printf("  crash: %llu cycle(s), %llu consistent, "
+                "%llu verify failure(s)\n",
+                static_cast<unsigned long long>(r.crashes),
+                static_cast<unsigned long long>(r.recoveries_consistent),
+                static_cast<unsigned long long>(r.verify_failures));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  load::EngineConfig cfg;
+  std::string framework = "pmdk_mini";
+  std::string checker = "shared";
+  std::string mix;
+  bool json = false;
+  bool hash_only = false;
+  uint64_t sample = 1, rt_shards = 64, rt_buffer = 128;
+  uint64_t crash_at = 0;
+  bool have_crash_at = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool ok = false;
+    uint64_t threads = 0, ops = 0, keys = 0, seed = 0, pool_bytes = 0;
+    if (str_flag("--framework", arg, argc, argv, i, &framework) ||
+        str_flag("--checker", arg, argc, argv, i, &checker) ||
+        str_flag("--mix", arg, argc, argv, i, &mix)) {
+      continue;
+    } else if (num_flag("--threads", arg, argc, argv, i, &threads, &ok)) {
+      if (ok) cfg.spec.threads = static_cast<uint32_t>(threads);
+    } else if (num_flag("--ops", arg, argc, argv, i, &ops, &ok)) {
+      if (ok) cfg.spec.ops_per_thread = ops;
+    } else if (num_flag("--keys", arg, argc, argv, i, &keys, &ok)) {
+      if (ok) cfg.spec.keys = keys;
+    } else if (num_flag("--seed", arg, argc, argv, i, &seed, &ok)) {
+      if (ok) cfg.spec.seed = seed;
+    } else if (num_flag("--sample", arg, argc, argv, i, &sample, &ok)) {
+    } else if (num_flag("--rt-shards", arg, argc, argv, i, &rt_shards, &ok)) {
+    } else if (num_flag("--rt-buffer", arg, argc, argv, i, &rt_buffer, &ok)) {
+    } else if (num_flag("--crash-at", arg, argc, argv, i, &crash_at, &ok)) {
+      if (ok) have_crash_at = true;
+    } else if (num_flag("--pool-bytes", arg, argc, argv, i, &pool_bytes,
+                        &ok)) {
+      if (ok) cfg.pool_bytes = pool_bytes;
+    } else if (dbl_flag("--duration", arg, argc, argv, i,
+                        &cfg.spec.duration_s, &ok) ||
+               dbl_flag("--hot-frac", arg, argc, argv, i, &cfg.spec.hot_frac,
+                        &ok) ||
+               dbl_flag("--hot-prob", arg, argc, argv, i, &cfg.spec.hot_prob,
+                        &ok)) {
+    } else if (arg == "--seed-bugs") {
+      cfg.seed_bugs = true;
+      ok = true;
+    } else if (arg == "--crash-random") {
+      cfg.crash_random = true;
+      ok = true;
+    } else if (arg == "--json") {
+      json = true;
+      ok = true;
+    } else if (arg == "--schedule-hash") {
+      hash_only = true;
+      ok = true;
+    } else if (arg == "--list-fault-points") {
+      for (const std::string& n : support::registered_fault_points())
+        std::printf("%s\n", n.c_str());
+      return 0;
+    } else if (arg == "--inject-fault" ||
+               arg.compare(0, 15, "--inject-fault=") == 0) {
+      std::string spec;
+      if (arg == "--inject-fault") {
+        if (++i >= argc) {
+          usage();
+          return kExitUsage;
+        }
+        spec = argv[i];
+      } else {
+        spec = arg.substr(15);
+      }
+      try {
+        support::arm_fault(spec);
+        ok = true;
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "deepmc-load: %s\n", e.what());
+        return kExitUsage;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "deepmc-load: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return kExitUsage;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "deepmc-load: invalid value for %s\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+
+  if (std::string env_err; !support::arm_faults_from_env(&env_err)) {
+    std::fprintf(stderr, "deepmc-load: %s\n", env_err.c_str());
+    return kExitUsage;
+  }
+
+  if (!mix.empty()) {
+    unsigned g = 0, p = 0, d = 0;
+    if (std::sscanf(mix.c_str(), "%u:%u:%u", &g, &p, &d) != 3 ||
+        g + p + d != 100) {
+      std::fprintf(stderr,
+                   "deepmc-load: --mix expects GET:PUT:DEL summing to 100\n");
+      return kExitUsage;
+    }
+    cfg.spec.mix = {g, p, d};
+  }
+
+  if (checker == "off") {
+    cfg.checker = load::CheckerMode::kOff;
+  } else if (checker == "shared") {
+    cfg.checker = load::CheckerMode::kShared;
+  } else if (checker == "per-shard") {
+    cfg.checker = load::CheckerMode::kPerShard;
+  } else {
+    std::fprintf(stderr, "deepmc-load: --checker must be off, shared or "
+                         "per-shard\n");
+    return kExitUsage;
+  }
+  cfg.rt_opts.sample_period = static_cast<uint32_t>(sample);
+  cfg.rt_opts.shadow_shards = static_cast<uint32_t>(rt_shards);
+  cfg.rt_opts.buffer_ops = static_cast<uint32_t>(rt_buffer);
+  if (have_crash_at) cfg.crash_at = static_cast<int64_t>(crash_at);
+
+  if (hash_only) {
+    std::printf("%llx\n", static_cast<unsigned long long>(
+                              load::schedule_hash(cfg.spec)));
+    return 0;
+  }
+
+  std::vector<std::string> frameworks;
+  if (framework == "all")
+    frameworks = load::framework_names();
+  else
+    frameworks.push_back(framework);
+
+  std::vector<load::EngineResult> results;
+  int exit_code = 0;
+  for (const std::string& fw : frameworks) {
+    cfg.framework = fw;
+    try {
+      load::EngineResult r = load::run_load(cfg);
+      if (!r.fault_tripped.empty()) {
+        std::fprintf(stderr, "deepmc-load: fault injected: %s\n",
+                     r.fault_tripped.c_str());
+        exit_code = kExitError;
+      } else if (!r.ok) {
+        std::fprintf(stderr,
+                     "deepmc-load: %s failed verification "
+                     "(%llu verify failures, %llu/%llu recoveries)\n",
+                     fw.c_str(),
+                     static_cast<unsigned long long>(r.verify_failures),
+                     static_cast<unsigned long long>(r.recoveries_consistent),
+                     static_cast<unsigned long long>(r.crashes));
+        exit_code = kExitError;
+      }
+      if (!json) print_text(r, cfg.checker);
+      results.push_back(std::move(r));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "deepmc-load: %s: %s\n", fw.c_str(), e.what());
+      return kExitError;
+    }
+  }
+  if (json) print_json(results);
+  return exit_code;
+}

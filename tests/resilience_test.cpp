@@ -236,10 +236,13 @@ TEST(ResilienceFaults, EveryRegisteredPointHasInjectionCoverage) {
   // One unit whose pipeline crosses every driver-stage point; injecting
   // any of them must fail exactly that unit with a machine-readable
   // reason. Serve-layer points (serve.*, cache.*) trip outside the
-  // driver and are covered by tests/serve_test.cpp instead.
+  // driver and are covered by tests/serve_test.cpp instead; load-engine
+  // points (load.*) trip inside deepmc-load workers and are covered by
+  // tests/load_test.cpp.
   for (const std::string& point : support::registered_fault_points()) {
     SCOPED_TRACE(point);
-    if (point.rfind("serve.", 0) == 0 || point.rfind("cache.", 0) == 0)
+    if (point.rfind("serve.", 0) == 0 || point.rfind("cache.", 0) == 0 ||
+        point.rfind("load.", 0) == 0)
       continue;
     FaultGuard guard;
     support::arm_fault(point + ":1");

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -363,6 +364,118 @@ TEST(ServeCache, DiskCacheRejectsTamperedPayload) {
   EXPECT_FALSE(cache.get("aaaa").has_value());
   EXPECT_EQ(cache.stats().corrupt, 1u);
   EXPECT_FALSE(fs::exists(path));  // removed, not retried forever
+}
+
+// ---------------------------------------------------------------------------
+// Bounded cache: LRU eviction (DiskCache::Limits)
+// ---------------------------------------------------------------------------
+
+TEST(ServeCacheLru, EvictsByEntryCountInRecencyOrder) {
+  const std::string dir = fresh_dir("lru_count");
+  DiskCache cache(dir, DiskCache::kFormatVersion,
+                  DiskCache::Limits{.max_entries = 2});
+  cache.put("aa", "one");
+  cache.put("bb", "two");
+  cache.put("cc", "three");  // evicts aa, the least recent
+  EXPECT_FALSE(fs::exists(dir + "/aa.dmc"));
+  EXPECT_TRUE(cache.get("bb").has_value());  // refreshes bb's recency
+  cache.put("dd", "four");                   // now cc is the LRU victim
+  EXPECT_FALSE(fs::exists(dir + "/cc.dmc"));
+  EXPECT_TRUE(cache.get("bb").has_value());
+  EXPECT_TRUE(cache.get("dd").has_value());
+  EXPECT_FALSE(cache.get("aa").has_value());
+
+  const DiskCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_GT(s.evicted_bytes, 0u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ServeCacheLru, EvictsByTotalBytes) {
+  const std::string dir = fresh_dir("lru_bytes");
+  // Each entry is ~40 header bytes + 100 payload bytes; four of them
+  // cannot fit under 400 total bytes.
+  DiskCache cache(dir, DiskCache::kFormatVersion,
+                  DiskCache::Limits{.max_bytes = 400});
+  const std::string payload(100, 'x');
+  for (const std::string key : {"k1", "k2", "k3", "k4"})
+    cache.put(key, payload);
+  const DiskCache::Stats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.bytes, 400u);
+  EXPECT_GT(s.evicted_bytes, 0u);
+  EXPECT_FALSE(cache.get("k1").has_value()) << "oldest entry must go first";
+  EXPECT_TRUE(cache.get("k4").has_value());
+}
+
+TEST(ServeCacheLru, RewritingAKeyDoesNotDuplicateIt) {
+  const std::string dir = fresh_dir("lru_rewrite");
+  DiskCache cache(dir, DiskCache::kFormatVersion,
+                  DiskCache::Limits{.max_entries = 2});
+  cache.put("aa", "one");
+  cache.put("aa", "one-rewritten-longer");
+  cache.put("bb", "two");
+  const DiskCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(*cache.get("aa"), "one-rewritten-longer");
+}
+
+TEST(ServeCacheLru, BoundSurvivesRestart) {
+  const std::string dir = fresh_dir("lru_restart");
+  {
+    DiskCache unbounded(dir);
+    unbounded.put("old1", "payload");
+    unbounded.put("old2", "payload");
+    unbounded.put("new1", "payload");
+  }
+  // Make the victims unambiguous even on coarse-mtime filesystems.
+  fs::last_write_time(dir + "/old1.dmc",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  fs::last_write_time(dir + "/old2.dmc",
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  // A bounded cache over the same directory rescans by mtime and evicts
+  // down to the limit immediately: restarts do not forget the bound.
+  DiskCache bounded(dir, DiskCache::kFormatVersion,
+                    DiskCache::Limits{.max_entries = 1});
+  EXPECT_FALSE(fs::exists(dir + "/old1.dmc"));
+  EXPECT_FALSE(fs::exists(dir + "/old2.dmc"));
+  EXPECT_TRUE(bounded.get("new1").has_value());
+  const DiskCache::Stats s = bounded.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ServeCacheLru, ZeroLimitsStayUnbounded) {
+  const std::string dir = fresh_dir("lru_unbounded");
+  DiskCache cache(dir);  // the historical unbounded behavior
+  for (int i = 0; i < 16; ++i)
+    cache.put("key" + std::to_string(i), "payload");
+  const DiskCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 16u);
+}
+
+TEST(ServeCacheLru, ServiceResponsesSurviveEviction) {
+  // A cache squeezed down to one entry keeps evicting mid-request; the
+  // responses must stay byte-identical to the one-shot oracle anyway.
+  const std::string dir = fresh_dir("lru_service");
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  ServeOptions sopts = cached_opts(dir);
+  sopts.cache_limits.max_entries = 1;
+  AnalysisService service(std::move(sopts));
+  RequestOptions req;
+  EXPECT_EQ(service.analyze_report("tworoots", kTwoRoots, req).body, expect);
+  EXPECT_EQ(service.analyze_report("tworoots", kTwoRoots, req).body, expect);
+  const DiskCache::Stats s = service.cache_stats();
+  EXPECT_LE(s.entries, 1u);
+  EXPECT_GT(s.evictions, 0u);
+  // The stats surface exposes the new counters.
+  const std::string json = service.stats_json();
+  for (const std::string key : {"\"evictions\"", "\"evicted_bytes\"",
+                                "\"entries\"", "\"bytes\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
 }
 
 TEST(ServeWire, CheckResultRoundTrip) {
