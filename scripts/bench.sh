@@ -20,6 +20,16 @@ for b in "${benches[@]}"; do targets+=("bench_${b}"); done
 cmake -B build -S .
 cmake --build build -j "$jobs" --target "${targets[@]}"
 
+# Result file for a bench. obs_overhead records into BENCH_obs.json — the
+# committed trajectory artifact for the <3% observability gate — so the
+# overhead numbers accrue history instead of vanishing with the build dir.
+json_file() {
+  case "$1" in
+    obs_overhead) echo "BENCH_obs.json" ;;
+    *) echo "BENCH_${1}.json" ;;
+  esac
+}
+
 # Validate one BENCH_<name>.json: parseable JSON when python3 is around,
 # else at least a non-empty object-shaped file.
 check_json() {
@@ -43,15 +53,16 @@ check_json() {
 
 status=0
 for b in "${benches[@]}"; do
+  out="$(json_file "$b")"
   echo "== bench_${b} =="
-  if ! "build/bench/bench_${b}" --json "BENCH_${b}.json"; then
+  if ! "build/bench/bench_${b}" --json "$out"; then
     echo "bench_${b}: FAILED" >&2
     status=1
   fi
-  if ! check_json "$b" "BENCH_${b}.json"; then
+  if ! check_json "$b" "$out"; then
     status=1
     continue
   fi
-  echo "wrote BENCH_${b}.json"
+  echo "wrote ${out}"
 done
 exit "$status"

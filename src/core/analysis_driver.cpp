@@ -17,6 +17,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "pmem/pool.h"
@@ -777,6 +778,7 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
   obs::Span unit_span("unit.analyze", "driver",
                       obs::span_arg("unit", unit.name));
   units_total().inc();
+  obs::flight().record("unit.start", obs::flight_kv("unit", unit.name));
 
   // One fault-plan snapshot per unit: countdowns are deterministic within
   // the unit no matter how units interleave across workers.
@@ -801,6 +803,11 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
   for (size_t r = 0; r < ladder.size(); ++r) {
     const LadderRung& rung = ladder[r];
     const bool last = r + 1 == ladder.size();
+    if (r > 0)
+      obs::flight().record(
+          "unit.rung", obs::flight_join({obs::flight_kv("unit", unit.name),
+                                         obs::flight_kv("rung", rung.name),
+                                         obs::flight_kv("why", trip_reason)}));
     // Fresh token per attempt: a retry must not inherit the previous
     // rung's cancellation, and the wall watchdog restarts with it.
     support::CancelToken cancel;
@@ -872,6 +879,13 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
   out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
+  obs::flight().record(
+      "unit.finish",
+      obs::flight_join(
+          {obs::flight_kv("unit", unit.name),
+           obs::flight_kv("status", unit_status_name(out.status)),
+           obs::flight_kv("reason", out.failed ? out.fail_reason
+                                               : out.degraded.reason)}));
   return out;
 }
 

@@ -12,6 +12,7 @@
 
 #include "crash/recovery_oracle.h"
 #include "load/shards.h"
+#include "obs/flight.h"
 #include "support/faultpoint.h"
 
 namespace deepmc::load {
@@ -58,9 +59,39 @@ void fold_checker(const rt::RuntimeChecker& rt, const std::string& prefix,
 struct WorkerOut {
   uint64_t gets = 0, puts = 0, dels = 0;
   uint64_t crashes = 0, recoveries_consistent = 0, verify_failures = 0;
+  /// Per-op-kind latency, accumulated locally (no atomics on the op
+  /// path); folded into EngineResult::latency after the join.
+  std::array<obs::HistogramValue, 3> lat;
   std::string fault_tripped;
   std::string error;
 };
+
+obs::HistogramValue fresh_hist() {
+  obs::HistogramValue h;
+  h.bounds = latency_buckets_ns();
+  h.counts.assign(h.bounds.size(), 0);
+  return h;
+}
+
+void observe_local(obs::HistogramValue& h, uint64_t ns) {
+  size_t i = 0;
+  while (i < h.bounds.size() && ns > h.bounds[i]) ++i;
+  if (i < h.bounds.size())
+    ++h.counts[i];
+  else
+    ++h.overflow;
+  h.sum += ns;
+  ++h.count;
+}
+
+void merge_hist(obs::HistogramValue& dst, const obs::HistogramValue& src) {
+  if (dst.bounds.empty()) dst = fresh_hist();
+  for (size_t i = 0; i < src.counts.size() && i < dst.counts.size(); ++i)
+    dst.counts[i] += src.counts[i];
+  dst.overflow += src.overflow;
+  dst.sum += src.sum;
+  dst.count += src.count;
+}
 
 struct Worker {
   const EngineConfig* cfg = nullptr;
@@ -118,6 +149,10 @@ void Worker::run() {
       crash_at = cfg->crash_at;
   }
 
+  const bool measure = cfg->measure_latency;
+  if (measure)
+    for (obs::HistogramValue& h : out.lat) h = fresh_hist();
+
   const uint64_t ops =
       spec.duration_s > 0 ? UINT64_MAX : spec.ops_per_thread;
   try {
@@ -130,6 +165,8 @@ void Worker::run() {
       DEEPMC_FAULTPOINT("load.op");
       bool committed = false;
       try {
+        const Clock::time_point op_t0 =
+            measure ? Clock::now() : Clock::time_point();
         {
           rt::StrandScope strand(rt);
           switch (op.kind) {
@@ -151,6 +188,13 @@ void Worker::run() {
               break;
           }
         }
+        if (measure)
+          observe_local(
+              out.lat[static_cast<size_t>(op.kind)],
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - op_t0)
+                      .count()));
         committed = true;
         shard->maybe_seed_bug(i);
       } catch (const pmem::PmFault&) {
@@ -209,6 +253,15 @@ void Worker::crash_recover(KvShard& shard, std::vector<uint64_t>& model,
   if (outcome == crash::RecoveryOutcome::kConsistent)
     ++out.recoveries_consistent;
   if (!state_ok) ++out.verify_failures;
+  obs::flight().record(
+      "crash.cycle",
+      obs::flight_join(
+          {obs::flight_kv("framework", cfg->framework),
+           obs::flight_kv("outcome",
+                          outcome == crash::RecoveryOutcome::kConsistent
+                              ? "consistent"
+                              : "inconsistent"),
+           obs::flight_kv("state", state_ok ? "verified" : "mismatch")}));
   if (!invariant_ran) shard.recover();  // classify failed earlier: re-bind
   // Adopt whatever the in-flight slot actually recovered to.
   model[slot] = shard.get(slot);
@@ -293,11 +346,16 @@ EngineResult run_load(const EngineConfig& cfg) {
   res.seconds = seconds;
   if (spec.duration_s <= 0) res.schedule_hash = schedule_hash(spec);
 
+  res.latency_measured = cfg.measure_latency;
+
   std::string first_error;
   for (const Worker& w : workers) {
     res.gets += w.out.gets;
     res.puts += w.out.puts;
     res.dels += w.out.dels;
+    if (cfg.measure_latency)
+      for (size_t k = 0; k < res.latency.size(); ++k)
+        merge_hist(res.latency[k], w.out.lat[k]);
     res.crashes += w.out.crashes;
     res.recoveries_consistent += w.out.recoveries_consistent;
     res.verify_failures += w.out.verify_failures;
@@ -329,10 +387,31 @@ EngineResult run_load(const EngineConfig& cfg) {
       std::unique(res.warning_keys.begin(), res.warning_keys.end()),
       res.warning_keys.end());
 
+  // Surface the folded latency through the obs registry too, so a
+  // metrics snapshot (or a scraping daemon) sees the same distributions
+  // --latency-json prints. Volatile: latency is wall-clock data.
+  if (cfg.measure_latency && obs::enabled()) {
+    static const std::array<const char*, 3> kNames = {
+        "load.latency.get", "load.latency.put", "load.latency.del"};
+    for (size_t k = 0; k < kNames.size(); ++k) {
+      obs::Histogram h = obs::registry().histogram(
+          kNames[k], obs::Volatility::kVolatile,
+          std::string("op latency ns (") + op_name(static_cast<OpKind>(k)) +
+              ")",
+          latency_buckets_ns());
+      h.add(res.latency[k]);
+    }
+  }
+
   res.ok = res.verify_failures == 0 &&
            res.recoveries_consistent == res.crashes &&
            res.fault_tripped.empty();
   return res;
+}
+
+std::vector<uint64_t> latency_buckets_ns() {
+  return {250,    500,    1000,   2000,   4000,    8000,
+          16000,  32000,  64000,  128000, 256000,  1000000};
 }
 
 }  // namespace deepmc::load

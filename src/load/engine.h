@@ -21,11 +21,13 @@
 // key-value pair survived (the in-flight op may land pre- or post-state).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "load/workload.h"
+#include "obs/metrics.h"
 #include "runtime/dynamic_checker.h"
 
 namespace deepmc::load {
@@ -43,7 +45,17 @@ struct EngineConfig {
   int64_t crash_at = -1;     ///< worker 0 crashes near this op index (-1: off)
   bool crash_random = false; ///< pick crash_at from the seed instead
   uint64_t pool_bytes = 8ull << 20;  ///< per-worker pool size
+  /// Time every op into per-worker put/get/del histograms (two clock
+  /// reads per op; off by default so baseline throughput is untouched).
+  /// Results land in EngineResult::latency and, when obs is enabled, the
+  /// volatile "load.latency.<op>" registry histograms.
+  bool measure_latency = false;
 };
+
+/// Fixed nanosecond buckets for the per-op latency histograms: 250ns ..
+/// 1ms in doubling steps (shard ops are in-memory; checker modes shift
+/// the distribution, not its scale).
+[[nodiscard]] std::vector<uint64_t> latency_buckets_ns();
 
 struct EngineResult {
   std::string framework;
@@ -61,6 +73,12 @@ struct EngineResult {
   /// across sample periods in kPerShard mode.
   std::vector<std::string> warning_keys;
   uint64_t strands = 0, fences = 0, tracked_words = 0;
+
+  // --- per-op-type latency (EngineConfig::measure_latency) ---------------
+  /// Indexed by OpKind (kGet/kPut/kDel); bounds = latency_buckets_ns().
+  /// Empty (count == 0, no bounds) when measurement was off.
+  std::array<obs::HistogramValue, 3> latency;
+  bool latency_measured = false;
 
   // --- crash-recovery cycles ---------------------------------------------
   uint64_t crashes = 0;

@@ -1,0 +1,101 @@
+// Flight recorder: a fixed-capacity, lock-sharded ring buffer of recent
+// structured events, kept cheap enough to leave armed in long-lived
+// daemons and dumped as JSONL when something goes wrong.
+//
+// Where metrics (metrics.h) aggregate and the tracer (tracer.h) records
+// every span, the flight recorder keeps only the *last N* coarse,
+// load-bearing events — unit start/finish, degradation rung changes,
+// fault-point trips, cache evictions, crash-cycle outcomes — so a
+// post-mortem of a degraded (exit 66) or failed (exit 65) run can see
+// what the process was doing right before the end without paying for a
+// full trace. Dump sites: the CLIs on exit 65/66, `--flight-out PATH`
+// on demand, and the `DMRQ flight` verb on a live `deepmc serve` daemon.
+//
+// Recording discipline mirrors the rest of src/obs/:
+//
+//  * disarmed (the default) every record() is one relaxed atomic load;
+//  * armed, record() takes one shard mutex (shard picked by thread id,
+//    so unrelated workers never contend) and overwrites the oldest slot;
+//  * a global atomic sequence number orders events across shards, so the
+//    merged dump is deterministic for a deterministic event sequence:
+//    recording k+m events into capacity k keeps exactly the last k, in
+//    order — eviction order is testable, not scheduling-dependent.
+//
+// Event timestamps are wall clock (ms since arm()) and therefore
+// volatile; flight dumps are never byte-compared, unlike reports and the
+// stable metrics section.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepmc::obs {
+
+struct FlightEvent {
+  uint64_t seq = 0;    ///< global record order (dense, starts at 0)
+  double ms = 0;       ///< wall clock, ms since arm()
+  uint32_t tid = 0;    ///< obs::thread_tid() of the recording thread
+  const char* kind = "";  ///< static event name ("unit.finish", ...)
+  std::string detail;  ///< pre-rendered inner JSON pairs, may be empty
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// Start (or restart) recording with room for `capacity` events total
+  /// across all shards. Restarting drops prior events and re-zeros the
+  /// sequence counter and clock.
+  void arm(size_t capacity = kDefaultCapacity);
+  /// Stop recording and drop everything recorded so far.
+  void disarm();
+  [[nodiscard]] bool armed() const;
+  [[nodiscard]] size_t capacity() const;
+
+  /// Append one event. `kind` must have static storage duration (string
+  /// literals); `detail` is either empty or inner JSON rendered with
+  /// flight_kv()/flight_kv_num(). No-op (one relaxed load) when disarmed.
+  void record(const char* kind, std::string detail = {});
+
+  /// Merged view of the most recent <= capacity() events, in seq order.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// One JSON object per line:
+  ///   {"seq": 7, "ms": 0.412, "tid": 2, "kind": "cache.evict", ...}
+  /// with a "detail" object when the event carries one.
+  void dump_jsonl(std::ostream& os) const;
+  /// dump_jsonl() to `path`; returns false on IO failure.
+  [[nodiscard]] bool dump_file(const std::string& path) const;
+
+  struct Impl;
+
+ private:
+  friend FlightRecorder& flight();
+  FlightRecorder();
+  Impl* impl_;
+};
+
+/// The process-wide recorder (leaked, like registry() and tracer()).
+FlightRecorder& flight();
+
+/// Render one inner-JSON pair for FlightRecorder::record() detail.
+/// Returns "" when the recorder is disarmed so call sites pay nothing
+/// beyond empty-string concatenation when off (same idiom as span_arg).
+std::string flight_kv(const char* key, std::string_view value);
+std::string flight_kv_num(const char* key, double value);
+/// Join rendered pairs with ", ", skipping empties (disarmed recorder).
+std::string flight_join(std::initializer_list<std::string> pairs);
+
+/// In-place variants for hot paths (one event per request/op): append a
+/// pair to a detail string under construction, inserting the ", "
+/// separator as needed, so the whole detail costs one allocation when
+/// the caller reserves up front. Call sites guard on flight().armed().
+void flight_append_kv(std::string& detail, const char* key,
+                      std::string_view value);
+void flight_append_kv_num(std::string& detail, const char* key, double value);
+
+}  // namespace deepmc::obs

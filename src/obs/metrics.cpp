@@ -2,6 +2,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -245,6 +246,26 @@ void Histogram::observe(uint64_t v) {
       v, std::memory_order_relaxed);
 }
 
+void Histogram::add(const HistogramValue& v) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  const auto& bounds = def_->bounds;
+  auto bucket_add = [&](uint64_t bound_value, uint64_t n) {
+    if (n == 0) return;
+    size_t i = 0;
+    while (i < bounds.size() && bound_value > bounds[i]) ++i;
+    s.cells[def_->cell + i].fetch_add(n, std::memory_order_relaxed);
+  };
+  for (size_t i = 0; i < v.bounds.size() && i < v.counts.size(); ++i)
+    bucket_add(v.bounds[i], v.counts[i]);
+  // Overflow stays overflow: re-bucket past the largest bound.
+  if (v.overflow > 0)
+    bucket_add(bounds.empty() ? 0 : bounds.back() + 1, v.overflow);
+  if (v.sum > 0)
+    s.cells[def_->cell + bounds.size() + 1].fetch_add(
+        v.sum, std::memory_order_relaxed);
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot out;
   std::lock_guard<std::mutex> lock(impl_->mu);
@@ -449,6 +470,22 @@ void Snapshot::print_stats(std::ostream& os, const std::string& header) const {
   char buf[64];
   std::snprintf(buf, sizeof buf, "wall clock: %.3f ms\n", wall_ms);
   os << buf;
+}
+
+uint64_t histogram_quantile(const HistogramValue& v, double q) {
+  if (v.count == 0 || v.bounds.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // rank is 1-based; q = 0 still needs the first observation.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(v.count)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < v.bounds.size(); ++i) {
+    cum += v.counts[i];
+    if (cum >= rank) return v.bounds[i];
+  }
+  return v.bounds.back();  // overflow: saturate at the largest bound
 }
 
 std::vector<uint64_t> time_buckets_us() {

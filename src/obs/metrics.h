@@ -82,12 +82,20 @@ class Gauge {
 };
 
 struct HistogramDef;
+struct HistogramValue;
 
 /// Fixed-bucket histogram; bucket i counts observations v <= bounds[i]
 /// (first matching bound), larger values land in the overflow bucket.
 class Histogram {
  public:
   void observe(uint64_t v);
+
+  /// Fold a pre-aggregated local histogram with the SAME bounds into this
+  /// one (bucketwise counts + overflow + exact sum). Lets hot loops
+  /// accumulate into a plain local HistogramValue and publish once,
+  /// instead of paying an atomic per observation. Mismatched bounds are
+  /// re-bucketed by upper bound (lossy only toward coarser buckets).
+  void add(const HistogramValue& v);
 
  private:
   friend class Registry;
@@ -170,6 +178,14 @@ class Registry {
 /// The process-wide registry (leaked on purpose so thread-local shard
 /// destructors can run at any point during shutdown).
 Registry& registry();
+
+/// Exact rank-based quantile over the fixed buckets: the smallest bucket
+/// upper bound whose cumulative count reaches ceil(q * count). Because
+/// buckets are fixed, this is deterministic (no interpolation) and tests
+/// can assert exact p50/p99 on synthetic data. Ranks landing in the
+/// overflow bucket saturate to the last bound; an empty histogram
+/// returns 0. `q` is clamped to [0, 1].
+uint64_t histogram_quantile(const HistogramValue& v, double q);
 
 /// Default exponential time buckets in microseconds:
 /// 50us .. 1s in 1-5-10 steps.

@@ -44,9 +44,11 @@ std::string esc(std::string_view s) {
 struct Tracer::Impl {
   struct Buf {
     std::vector<TraceEvent> events;
+    size_t next = 0;  ///< ring write position once `events` hits the cap
   };
 
   std::atomic<bool> active{false};
+  std::atomic<size_t> ring_cap{0};  ///< 0 = unbounded (one-shot runs)
   std::chrono::steady_clock::time_point t0;
   std::mutex mu;
   std::vector<Buf*> live;
@@ -105,7 +107,10 @@ void Tracer::stop() {
   impl_->active.store(false, std::memory_order_release);
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->retired.clear();
-  for (Impl::Buf* b : impl_->live) b->events.clear();
+  for (Impl::Buf* b : impl_->live) {
+    b->events.clear();
+    b->next = 0;
+  }
 }
 
 bool Tracer::active() const {
@@ -121,8 +126,25 @@ double Tracer::now_us() const {
 void Tracer::record(const char* name, const char* cat, double ts_us,
                     double dur_us, std::string args) {
   Impl::Buf& b = local_buf();
-  b.events.push_back(
-      TraceEvent{name, cat, thread_tid(), ts_us, dur_us, std::move(args)});
+  TraceEvent e{name, cat, thread_tid(), ts_us, dur_us, std::move(args)};
+  const size_t cap = impl_->ring_cap.load(std::memory_order_relaxed);
+  if (cap == 0 || b.events.size() < cap) {
+    b.events.push_back(std::move(e));
+    return;
+  }
+  // Ring mode: overwrite the oldest span. write() time-sorts, so the
+  // storage rotation never leaks into the exposition order.
+  if (b.next >= b.events.size()) b.next = 0;
+  b.events[b.next] = std::move(e);
+  b.next = (b.next + 1) % cap;
+}
+
+void Tracer::set_ring_capacity(size_t cap) {
+  impl_->ring_cap.store(cap, std::memory_order_relaxed);
+}
+
+size_t Tracer::ring_capacity() const {
+  return impl_->ring_cap.load(std::memory_order_relaxed);
 }
 
 void Tracer::write(std::ostream& os) {

@@ -32,6 +32,14 @@ class Tracer {
   void stop();
   [[nodiscard]] bool active() const;
 
+  /// Bound each thread's span buffer: once a thread has `cap` buffered
+  /// spans its oldest are overwritten ring-style, so a long-lived daemon
+  /// can stay traced forever and `DMRQ trace` returns the recent window.
+  /// 0 (the default) keeps the historical unbounded behavior for
+  /// one-shot runs. Applies to spans recorded after the call.
+  void set_ring_capacity(size_t cap);
+  [[nodiscard]] size_t ring_capacity() const;
+
   /// Microseconds since start().
   [[nodiscard]] double now_us() const;
 

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "support/str.h"
 
@@ -13,6 +14,17 @@ namespace {
 thread_local StrandId tl_strand = 0;
 thread_local uint64_t tl_addr_tag = 0;
 std::atomic<uint64_t> g_checker_ids{1};
+
+/// Every deduplicated runtime finding lands in the flight recorder: the
+/// post-mortem of a crashed/degraded load run shows which warnings the
+/// checker had already discovered, in discovery order.
+void flight_warn(const char* rule, uint64_t addr, const SourceLoc& loc) {
+  obs::flight().record(
+      "rt.warn",
+      obs::flight_join({obs::flight_kv("rule", rule),
+                        obs::flight_kv_num("addr", static_cast<double>(addr)),
+                        obs::flight_kv("loc", loc.str())}));
+}
 }  // namespace
 
 StrandId current_strand() { return tl_strand; }
@@ -150,6 +162,8 @@ void RuntimeChecker::record_race_scalable(RaceKind kind, uint64_t addr,
   r.second_strand = second;
   r.first_loc = first_loc;
   r.second_loc = second_loc;
+  flight_warn(kind == RaceKind::kWaw ? "waw-race" : "raw-race", addr,
+              second_loc);
   races_.push_back(std::move(r));
 }
 
@@ -226,6 +240,7 @@ void RuntimeChecker::scal_epoch_end() {
         r.object_base = base;
         r.first_loc = prev->second.first_loc;
         r.second_loc = rec.first_loc;
+        flight_warn("epoch-mismatch", base, rec.first_loc);
         epoch_mismatches_.push_back(std::move(r));
       }
     }
@@ -254,6 +269,7 @@ void RuntimeChecker::report_redundant_flush(SourceLoc loc, uint64_t addr) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const RuntimeFlushReport& r : redundant_flushes_)
     if (r.loc == loc) return;
+  flight_warn("redundant-flush", addr, loc);
   redundant_flushes_.push_back({std::move(loc), addr});
 }
 
@@ -261,6 +277,7 @@ void RuntimeChecker::report_unfenced_tx_begin(SourceLoc loc) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const RuntimeBarrierReport& r : barrier_violations_)
     if (r.loc == loc) return;
+  flight_warn("unfenced-tx-begin", 0, loc);
   barrier_violations_.push_back({std::move(loc)});
 }
 
@@ -356,6 +373,7 @@ void RuntimeChecker::epoch_end() {
         r.object_base = base;
         r.first_loc = prev->second.first_loc;
         r.second_loc = rec.first_loc;
+        flight_warn("epoch-mismatch", base, rec.first_loc);
         epoch_mismatches_.push_back(std::move(r));
       }
     }
@@ -380,6 +398,7 @@ void RuntimeChecker::record_race(RaceKind kind, uint64_t addr,
   r.second_strand = s;
   r.first_loc = prior.loc;
   r.second_loc = loc;
+  flight_warn(kind == RaceKind::kWaw ? "waw-race" : "raw-race", addr, loc);
   races_.push_back(std::move(r));
 }
 

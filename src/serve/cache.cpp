@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.h"
 #include "serve/hash.h"
 #include "support/faultpoint.h"
 
@@ -104,6 +105,11 @@ void DiskCache::evict_locked() {
     index_erase_locked(victim);
     ++stats_.evictions;
     stats_.evicted_bytes += bytes;
+    obs::flight().record(
+        "cache.evict",
+        obs::flight_join({obs::flight_kv("key", victim),
+                          obs::flight_kv_num("bytes",
+                                             static_cast<double>(bytes))}));
   }
 }
 

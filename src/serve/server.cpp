@@ -4,9 +4,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -17,6 +19,9 @@
 #include "core/report.h"
 #include "corpus/corpus.h"
 #include "ir/printer.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "support/faultpoint.h"
@@ -25,6 +30,10 @@ namespace deepmc::serve {
 
 namespace {
 
+/// Daemon-assigned request ids ("req-N") for headers without an "id"
+/// field. Process-wide so ids stay unique across connections.
+std::atomic<uint64_t> g_request_seq{0};
+
 ResponseFrame error_response(const std::string& message) {
   ResponseFrame resp;
   resp.status = 1;
@@ -32,9 +41,10 @@ ResponseFrame error_response(const std::string& message) {
   return resp;
 }
 
-std::string analyze_meta(const ServeResult& r) {
+std::string analyze_meta(const ServeResult& r, const std::string& rid) {
   std::ostringstream os;
-  os << "{\"exit\": " << r.exit_code
+  os << "{\"id\": " << core::json_quote(rid)
+     << ", \"exit\": " << r.exit_code
      << ", \"cache\": " << core::json_quote(r.cache)
      << ", \"failed\": " << (r.failed ? "true" : "false")
      << ", \"degraded\": " << (r.degraded ? "true" : "false")
@@ -42,11 +52,41 @@ std::string analyze_meta(const ServeResult& r) {
   return os.str();
 }
 
+/// The live-telemetry verbs (docs/SERVER.md "Live telemetry").
+///
+/// `metrics`: registry snapshot of the running daemon. Body is the
+/// deepmc-metrics-v1 JSON (header "format": "json", the default) or the
+/// Prometheus text exposition ("prom"). The stable section is a pure
+/// function of the requests analyzed so far — byte-identical across
+/// --jobs values — while wall_ms carries the daemon uptime; header
+/// "volatile": false strips the volatile section server-side.
+ResponseFrame handle_metrics(const AnalysisService& service,
+                             const RequestFrame& req) {
+  const std::string fmt =
+      json_string_field(req.header, "format").value_or("json");
+  obs::Snapshot snap = obs::registry().snapshot();
+  snap.wall_ms = service.uptime_ms();
+  ResponseFrame resp;
+  if (fmt == "prom" || fmt == "prometheus") {
+    std::ostringstream os;
+    snap.to_prometheus(os);
+    resp.body = os.str();
+  } else if (fmt == "json") {
+    resp.body = snap.to_json(
+        json_bool_field(req.header, "volatile").value_or(true));
+  } else {
+    return error_response("unknown metrics format '" + fmt + "'");
+  }
+  resp.meta = "{\"ok\": true}";
+  return resp;
+}
+
 /// One analyze request: resolve corpus/body input and per-request options
 /// from the header, run the service, frame the response.
-ResponseFrame handle_analyze(AnalysisService& service,
-                             const RequestFrame& req) {
+ResponseFrame handle_analyze(AnalysisService& service, const RequestFrame& req,
+                             const std::string& rid) {
   RequestOptions ropts;
+  ropts.request_id = rid;
   if (auto model = json_string_field(req.header, "model")) {
     auto parsed = core::parse_model_flag(*model);
     if (!parsed) return error_response("unknown model '" + *model + "'");
@@ -85,7 +125,7 @@ ResponseFrame handle_analyze(AnalysisService& service,
   }
   ResponseFrame resp;
   resp.status = 0;
-  resp.meta = analyze_meta(r);
+  resp.meta = analyze_meta(r, rid);
   resp.body = std::move(r.body);
   return resp;
 }
@@ -116,6 +156,24 @@ int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
     }
     const std::string op =
         json_string_field(req.header, "op").value_or("analyze");
+    // Request id: honor the client's "id" header, else assign "req-N".
+    // It tags the accept span here and every span/flight event the
+    // service emits below, and comes back in the analyze meta.
+    std::string rid;
+    if (auto id = json_string_field(req.header, "id")) {
+      rid = *id;
+    } else {
+      const uint64_t n =
+          g_request_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+      rid = "req-" + std::to_string(n);
+    }
+    std::string accept_args = obs::span_arg("op", op);
+    {
+      const std::string rid_arg = obs::span_arg("req", rid);
+      if (!accept_args.empty() && !rid_arg.empty()) accept_args += ", ";
+      accept_args += rid_arg;
+    }
+    obs::Span span("serve.accept", "serve", std::move(accept_args));
     ResponseFrame resp;
     bool shutdown = false;
     if (op == "ping") {
@@ -123,11 +181,28 @@ int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
     } else if (op == "stats") {
       resp.meta = "{\"ok\": true}";
       resp.body = service.stats_json();
+    } else if (op == "metrics") {
+      resp = handle_metrics(service, req);
+    } else if (op == "trace") {
+      // Recent span window (Chrome trace_event JSON). Collection stays
+      // active; with a ring capacity set the daemon keeps only the
+      // newest spans, so this is cheap to poll.
+      std::ostringstream os;
+      obs::tracer().write(os);
+      resp.meta = std::string("{\"active\": ") +
+                  (obs::tracer().active() ? "true" : "false") + "}";
+      resp.body = os.str();
+    } else if (op == "flight") {
+      std::ostringstream os;
+      obs::flight().dump_jsonl(os);
+      resp.meta = std::string("{\"armed\": ") +
+                  (obs::flight().armed() ? "true" : "false") + "}";
+      resp.body = os.str();
     } else if (op == "shutdown") {
       resp.meta = "{\"shutdown\": true}";
       shutdown = true;
     } else if (op == "analyze") {
-      resp = handle_analyze(service, req);
+      resp = handle_analyze(service, req, rid);
     } else {
       resp = error_response("unknown op '" + op + "'");
     }
@@ -196,6 +271,9 @@ int usage(FILE* out) {
       "  --jobs N             analysis threads (0 = hardware)\n"
       "  -strict|-epoch|-strand   default persistency model\n"
       "  --field-insensitive  disable DSA field sensitivity\n"
+      "  --no-telemetry       disable live metrics + flight recorder\n"
+      "  --trace-ring N       trace spans into an N-span ring (DMRQ trace)\n"
+      "  --flight-out FILE    dump the flight recorder (JSONL) on exit\n"
       "\n"
       "client options:\n"
       "  --connect PATH       connect to a serving daemon\n"
@@ -206,6 +284,10 @@ int usage(FILE* out) {
       "  -strict|-epoch|-strand   request model override\n"
       "  --ping               round-trip check\n"
       "  --cache-stats        print server cache statistics\n"
+      "  --metrics            print a live metrics snapshot (JSON)\n"
+      "  --prom               print a live metrics snapshot (Prometheus)\n"
+      "  --trace-dump         print the daemon's recent spans (JSON)\n"
+      "  --flight-dump        print the daemon's flight recorder (JSONL)\n"
       "  --shutdown           ask the daemon to exit (after other work)\n");
   return out == stderr ? 64 : 0;
 }
@@ -249,10 +331,22 @@ bool round_trip(int fd, const RequestFrame& req, ResponseFrame* resp) {
   return write_request(fd, req) && read_response(fd, resp) == 1;
 }
 
+/// Client-side telemetry verbs, gathered so client_main stays readable.
+struct TelemetryFetch {
+  bool metrics = false;     ///< DMRQ metrics, JSON body
+  bool prom = false;        ///< DMRQ metrics, Prometheus body
+  bool trace_dump = false;  ///< DMRQ trace
+  bool flight_dump = false; ///< DMRQ flight
+  [[nodiscard]] bool any() const {
+    return metrics || prom || trace_dump || flight_dump;
+  }
+};
+
 int client_main(const std::string& socket_path,
                 const std::vector<ClientJob>& jobs, const std::string& model,
                 const std::string& format, bool timing, bool ping,
-                bool cache_stats, bool shutdown) {
+                bool cache_stats, const TelemetryFetch& telemetry,
+                bool shutdown) {
   const int fd = connect_unix(socket_path);
   if (fd < 0) {
     std::fprintf(stderr, "deepmc serve: cannot connect to %s\n",
@@ -321,6 +415,23 @@ int client_main(const std::string& socket_path,
       transport_error = true;
     }
   }
+  // Telemetry verbs print the raw body: JSON snapshots stay parseable,
+  // Prometheus text stays scrapeable, flight JSONL stays line-oriented.
+  auto fetch_body = [&](const char* header) {
+    if (transport_error) return;
+    RequestFrame req;
+    req.header = header;
+    if (round_trip(fd, req, &resp) && resp.status == 0) {
+      std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
+      if (!resp.body.empty() && resp.body.back() != '\n') std::printf("\n");
+    } else {
+      transport_error = true;
+    }
+  };
+  if (telemetry.metrics) fetch_body("{\"op\": \"metrics\"}");
+  if (telemetry.prom) fetch_body("{\"op\": \"metrics\", \"format\": \"prom\"}");
+  if (telemetry.trace_dump) fetch_body("{\"op\": \"trace\"}");
+  if (telemetry.flight_dump) fetch_body("{\"op\": \"flight\"}");
   if (shutdown && !transport_error) {
     RequestFrame req;
     req.header = "{\"op\": \"shutdown\"}";
@@ -353,6 +464,10 @@ int serve_cli(int argc, char** argv) {
   bool ping = false;
   bool cache_stats = false;
   bool shutdown = false;
+  bool telemetry_on = true;
+  long trace_ring = 0;
+  std::string flight_out;
+  TelemetryFetch telemetry;
   std::vector<ClientJob> jobs;
 
   auto need_value = [&](int i) { return i + 1 < argc; };
@@ -399,6 +514,22 @@ int serve_cli(int argc, char** argv) {
       ping = true;
     } else if (arg == "--cache-stats") {
       cache_stats = true;
+    } else if (arg == "--metrics") {
+      telemetry.metrics = true;
+    } else if (arg == "--prom") {
+      telemetry.prom = true;
+    } else if (arg == "--trace-dump") {
+      telemetry.trace_dump = true;
+    } else if (arg == "--flight-dump") {
+      telemetry.flight_dump = true;
+    } else if (arg == "--no-telemetry") {
+      telemetry_on = false;
+    } else if (arg == "--trace-ring") {
+      if (!need_value(i)) return usage(stderr);
+      trace_ring = std::atol(argv[++i]);
+    } else if (arg == "--flight-out") {
+      if (!need_value(i)) return usage(stderr);
+      flight_out = argv[++i];
     } else if (arg == "--shutdown") {
       shutdown = true;
     } else if (auto model = core::parse_model_flag(arg)) {
@@ -414,13 +545,14 @@ int serve_cli(int argc, char** argv) {
 
   if (!connect_path.empty()) {
     if (!socket_path.empty() || use_stdin) return usage(stderr);
-    if (jobs.empty() && !ping && !cache_stats && !shutdown)
+    if (jobs.empty() && !ping && !cache_stats && !shutdown && !telemetry.any())
       return usage(stderr);
     return client_main(connect_path, jobs, client_model, format, timing, ping,
-                       cache_stats, shutdown);
+                       cache_stats, telemetry, shutdown);
   }
   if (socket_path.empty() == !use_stdin) return usage(stderr);  // exactly one
-  if (!jobs.empty() || ping || cache_stats || shutdown || timing)
+  if (!jobs.empty() || ping || cache_stats || shutdown || timing ||
+      telemetry.any())
     return usage(stderr);  // client-only flags without --connect
 
   std::string fault_error;
@@ -428,12 +560,33 @@ int serve_cli(int argc, char** argv) {
     std::fprintf(stderr, "deepmc serve: %s\n", fault_error.c_str());
     return 64;
   }
+  // Long-lived daemons run with live telemetry by default: metrics and
+  // the flight recorder are pure side channels (response bodies stay
+  // byte-identical with telemetry on or off), and the metrics/trace/
+  // flight verbs read them from a running daemon without a restart.
+  // Span tracing stays opt-in (--trace-ring) since every span allocates.
+  if (flight_out.empty()) {
+    if (const char* env = std::getenv("DEEPMC_FLIGHT_OUT")) flight_out = env;
+  }
+  if (telemetry_on) obs::set_enabled(true);
+  if (telemetry_on || !flight_out.empty()) obs::flight().arm();
+  if (trace_ring > 0) {
+    obs::tracer().set_ring_capacity(static_cast<size_t>(trace_ring));
+    obs::tracer().start();
+  }
   AnalysisService service(std::move(sopts));
+  int rc = 0;
   if (use_stdin) {
     serve_stream(service, STDIN_FILENO, STDOUT_FILENO);
-    return 0;
+  } else {
+    rc = serve_unix_socket(service, socket_path);
   }
-  return serve_unix_socket(service, socket_path);
+  if (!flight_out.empty() && obs::flight().armed() &&
+      !obs::flight().dump_file(flight_out)) {
+    std::fprintf(stderr, "deepmc serve: cannot write flight log %s\n",
+                 flight_out.c_str());
+  }
+  return rc;
 }
 
 }  // namespace deepmc::serve

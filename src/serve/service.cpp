@@ -1,9 +1,11 @@
 #include "serve/service.h"
 
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "ir/parser.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "serve/fingerprint.h"
@@ -52,6 +54,22 @@ obs::Histogram& dirty_cone_hist() {
       {0, 1, 2, 4, 8, 16, 32, 64});
   return h;
 }
+obs::Histogram& request_us_hist() {
+  static obs::Histogram h = obs::registry().histogram(
+      "serve.request_us", obs::Volatility::kVolatile,
+      "end-to-end analyze request latency", obs::time_buckets_us());
+  return h;
+}
+
+/// Join two rendered span-arg pairs, either of which may be "" (tracer
+/// inactive, or no request id on the wire).
+std::string join_args(std::string a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  a += ", ";
+  a += b;
+  return a;
+}
 
 /// Options the wire format cannot represent faithfully disable caching
 /// for the whole request (dynamic findings, crashsim blocks, dumps,
@@ -91,7 +109,33 @@ AnalysisService::AnalysisService(ServeOptions opts)
 ServeResult AnalysisService::analyze_report(const std::string& name,
                                             const std::string& text,
                                             const RequestOptions& req) {
-  obs::Span span("serve.request", "serve", obs::span_arg("unit", name));
+  // Every span and flight event of this request carries its id, so a
+  // trace dump or post-mortem can be filtered to one request's lifeline:
+  // request -> cache.lookup -> plan -> recompute -> reply.
+  const std::string rid_arg =
+      req.request_id.empty() ? std::string()
+                             : obs::span_arg("req", req.request_id);
+  obs::Span span("serve.request", "serve",
+                 join_args(obs::span_arg("unit", name), rid_arg));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto finish = [&](const ServeResult& r) {
+    request_us_hist().observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    if (obs::flight().armed()) {
+      // One allocation per event: this runs once per request, including
+      // the warm-hit fast path the obs-overhead bench gates.
+      std::string detail;
+      detail.reserve(48 + req.request_id.size() + name.size() +
+                     r.cache.size());
+      obs::flight_append_kv(detail, "id", req.request_id);
+      obs::flight_append_kv(detail, "unit", name);
+      obs::flight_append_kv(detail, "cache", r.cache);
+      obs::flight_append_kv_num(detail, "exit", r.exit_code);
+      obs::flight().record("serve.request", std::move(detail));
+    }
+  };
   requests_total().inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -110,7 +154,13 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
   // Level 1: whole-unit replay — identical text under identical options
   // skips parse, DSA, and checking entirely.
   if (eligible) {
-    if (auto payload = cache_.get(ukey)) {
+    std::optional<std::string> payload;
+    {
+      obs::Span s("serve.cache.lookup", "serve",
+                  join_args(obs::span_arg("level", "unit"), rid_arg));
+      payload = cache_.get(ukey);
+    }
+    if (payload) {
       core::UnitReport unit;
       if (decode_unit_report(*payload, &unit)) {
         unit_hits_total().inc();
@@ -127,6 +177,7 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
         res.degraded = false;
         res.warnings = report.total_warnings();
         res.cache = "unit-hit";
+        finish(res);
         return res;
       }
     }
@@ -142,6 +193,7 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
   ModulePlan plan;
   bool plan_ok = false;
   if (eligible) {
+    obs::Span s("serve.plan", "serve", rid_arg);
     try {
       const std::unique_ptr<ir::Module> module = ir::parse_module(text);
       plan = plan_module(*module, options_fp);
@@ -181,7 +233,13 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
   core::AnalysisDriver driver(dopts);
   std::vector<core::AnalysisUnit> units;
   units.push_back(core::make_source_unit(name, text, req.model));
-  core::Report report = driver.run(units, pool_);
+  core::Report report = [&] {
+    obs::Span s("serve.recompute", "serve",
+                join_args(obs::span_arg_num("dirty_roots",
+                                            static_cast<double>(dirty)),
+                          rid_arg));
+    return driver.run(units, pool_);
+  }();
 
   const core::UnitReport& u = report.units().front();
   if (plan_ok && !u.failed && u.status == core::UnitStatus::kOk) {
@@ -203,7 +261,14 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
   res.failed = report.any_failed();
   res.degraded = report.any_degraded();
   res.warnings = report.total_warnings();
+  finish(res);
   return res;
+}
+
+double AnalysisService::uptime_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
 }
 
 AnalysisService::Stats AnalysisService::stats() const {

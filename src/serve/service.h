@@ -15,6 +15,7 @@
 // Anything else runs fresh every time ("off" outcome).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -39,6 +40,10 @@ struct RequestOptions {
   std::optional<core::PersistencyModel> model;  ///< override driver model
   core::ReportFormat format = core::ReportFormat::kJson;
   bool include_timing = false;
+  /// Request id tagging every span and flight event this request emits
+  /// (the header "id" field; the server assigns "req-N" when absent).
+  /// Telemetry-only: the response body never depends on it.
+  std::string request_id;
 };
 
 struct ServeResult {
@@ -73,10 +78,16 @@ class AnalysisService {
 
   [[nodiscard]] const ServeOptions& options() const { return opts_; }
 
+  /// Milliseconds since construction — the wall_ms of a `metrics`
+  /// snapshot taken from a live daemon (volatile section only).
+  [[nodiscard]] double uptime_ms() const;
+
  private:
   ServeOptions opts_;
   support::ThreadPool pool_;
   DiskCache cache_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
   mutable std::mutex mu_;
   Stats stats_;
 };

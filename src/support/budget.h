@@ -22,6 +22,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight.h"
+
 namespace deepmc::support {
 
 /// Thrown by Budget::charge when a deterministic step budget runs out.
@@ -74,6 +76,10 @@ class CancelToken {
       // release/acquire pair on reason_set before touching the string.
       state_->reason = reason;
       state_->reason_set.store(true, std::memory_order_release);
+      // First-cancel-wins is exactly the moment a post-mortem wants
+      // pinned: the watchdog firing (or a fault's cancel) lands in the
+      // flight recorder once, with the winning reason.
+      obs::flight().record("cancel", obs::flight_kv("reason", reason));
     }
   }
 

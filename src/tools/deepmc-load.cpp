@@ -16,6 +16,8 @@
 
 #include "load/engine.h"
 #include "load/shards.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
 #include "support/faultpoint.h"
 
 using namespace deepmc;
@@ -34,10 +36,16 @@ void usage() {
       "                   [--checker off|shared|per-shard] [--sample N]\n"
       "                   [--rt-shards N] [--rt-buffer N] [--seed-bugs]\n"
       "                   [--crash-at N | --crash-random] [--pool-bytes N]\n"
-      "                   [--schedule-hash] [--json]\n"
+      "                   [--schedule-hash] [--json] [--latency-json]\n"
+      "                   [--flight-out FILE]\n"
       "                   [--inject-fault NAME:COUNT] [--list-fault-points]\n"
       "\n"
-      "frameworks: pmdk_mini mnemosyne_mini pmfs_mini nvmdirect_mini\n");
+      "frameworks: pmdk_mini mnemosyne_mini pmfs_mini nvmdirect_mini\n"
+      "\n"
+      "--latency-json times every op into per-op-type histograms (get/put/\n"
+      "del) and prints them with p50/p90/p99; --flight-out arms the flight\n"
+      "recorder and dumps recent events (JSONL) at exit (also via\n"
+      "DEEPMC_FLIGHT_OUT).\n");
 }
 
 bool num_flag(const std::string& flag, const std::string& arg, int argc,
@@ -92,6 +100,38 @@ bool str_flag(const std::string& flag, const std::string& arg, int argc,
   return false;
 }
 
+/// One op-type's latency summary as a flat JSON object. Quantiles are
+/// exact rank-based bucket upper bounds (obs::histogram_quantile), so
+/// the same histogram always prints the same summary.
+void print_latency_entry(const char* indent, const char* name,
+                         const obs::HistogramValue& h, bool last) {
+  std::printf("%s\"%s\": {\"count\": %llu, \"sum_ns\": %llu, "
+              "\"p50_ns\": %llu, \"p90_ns\": %llu, \"p99_ns\": %llu}%s\n",
+              indent, name, static_cast<unsigned long long>(h.count),
+              static_cast<unsigned long long>(h.sum),
+              static_cast<unsigned long long>(obs::histogram_quantile(h, 0.50)),
+              static_cast<unsigned long long>(obs::histogram_quantile(h, 0.90)),
+              static_cast<unsigned long long>(obs::histogram_quantile(h, 0.99)),
+              last ? "" : ",");
+}
+
+constexpr const char* kOpNames[3] = {"get", "put", "del"};  // OpKind order
+
+/// Standalone `--latency-json` block (no --json): one object per
+/// framework, latency histograms only.
+void print_latency_json(const std::vector<load::EngineResult>& results) {
+  std::printf("[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const load::EngineResult& r = results[i];
+    std::printf("  {\n    \"framework\": \"%s\",\n    \"latency_ns\": {\n",
+                r.framework.c_str());
+    for (size_t k = 0; k < 3; ++k)
+      print_latency_entry("      ", kOpNames[k], r.latency[k], k == 2);
+    std::printf("    }\n  }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
 void print_json(const std::vector<load::EngineResult>& results) {
   std::printf("[\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -127,6 +167,12 @@ void print_json(const std::vector<load::EngineResult>& results) {
                 static_cast<unsigned long long>(r.crashes),
                 static_cast<unsigned long long>(r.recoveries_consistent),
                 static_cast<unsigned long long>(r.verify_failures));
+    if (r.latency_measured) {
+      std::printf("    \"latency_ns\": {\n");
+      for (size_t k = 0; k < 3; ++k)
+        print_latency_entry("      ", kOpNames[k], r.latency[k], k == 2);
+      std::printf("    },\n");
+    }
     std::printf("    \"ok\": %s\n", r.ok ? "true" : "false");
     std::printf("  }%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -158,6 +204,20 @@ void print_text(const load::EngineResult& r, load::CheckerMode mode) {
                 static_cast<unsigned long long>(r.crashes),
                 static_cast<unsigned long long>(r.recoveries_consistent),
                 static_cast<unsigned long long>(r.verify_failures));
+  if (r.latency_measured) {
+    for (size_t k = 0; k < 3; ++k) {
+      const obs::HistogramValue& h = r.latency[k];
+      std::printf("  lat %-4s p50=%lluns p90=%lluns p99=%lluns (n=%llu)\n",
+                  kOpNames[k],
+                  static_cast<unsigned long long>(
+                      obs::histogram_quantile(h, 0.50)),
+                  static_cast<unsigned long long>(
+                      obs::histogram_quantile(h, 0.90)),
+                  static_cast<unsigned long long>(
+                      obs::histogram_quantile(h, 0.99)),
+                  static_cast<unsigned long long>(h.count));
+    }
+  }
 }
 
 }  // namespace
@@ -168,6 +228,8 @@ int main(int argc, char** argv) {
   std::string checker = "shared";
   std::string mix;
   bool json = false;
+  bool latency_json = false;
+  std::string flight_out;
   bool hash_only = false;
   uint64_t sample = 1, rt_shards = 64, rt_buffer = 128;
   uint64_t crash_at = 0;
@@ -179,7 +241,8 @@ int main(int argc, char** argv) {
     uint64_t threads = 0, ops = 0, keys = 0, seed = 0, pool_bytes = 0;
     if (str_flag("--framework", arg, argc, argv, i, &framework) ||
         str_flag("--checker", arg, argc, argv, i, &checker) ||
-        str_flag("--mix", arg, argc, argv, i, &mix)) {
+        str_flag("--mix", arg, argc, argv, i, &mix) ||
+        str_flag("--flight-out", arg, argc, argv, i, &flight_out)) {
       continue;
     } else if (num_flag("--threads", arg, argc, argv, i, &threads, &ok)) {
       if (ok) cfg.spec.threads = static_cast<uint32_t>(threads);
@@ -211,6 +274,10 @@ int main(int argc, char** argv) {
       ok = true;
     } else if (arg == "--json") {
       json = true;
+      ok = true;
+    } else if (arg == "--latency-json") {
+      latency_json = true;
+      cfg.measure_latency = true;
       ok = true;
     } else if (arg == "--schedule-hash") {
       hash_only = true;
@@ -257,6 +324,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "deepmc-load: %s\n", env_err.c_str());
     return kExitUsage;
   }
+  // Flight recorder: crash cycles, fault trips and checker warnings show
+  // up in the dump, so a failed load run leaves execution evidence.
+  if (flight_out.empty()) {
+    if (const char* env = std::getenv("DEEPMC_FLIGHT_OUT")) flight_out = env;
+  }
+  if (!flight_out.empty()) obs::flight().arm();
 
   if (!mix.empty()) {
     unsigned g = 0, p = 0, d = 0;
@@ -325,5 +398,9 @@ int main(int argc, char** argv) {
     }
   }
   if (json) print_json(results);
+  if (latency_json && !json) print_latency_json(results);
+  if (!flight_out.empty() && !obs::flight().dump_file(flight_out))
+    std::fprintf(stderr, "deepmc-load: cannot write flight log %s\n",
+                 flight_out.c_str());
   return exit_code;
 }

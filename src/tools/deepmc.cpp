@@ -45,6 +45,12 @@
 //   --metrics-out FILE           write metrics JSON (deepmc-metrics-v1)
 //   --prom-out FILE              write Prometheus text exposition
 //   --trace-out FILE             write a Chrome trace_event JSON span trace
+//   --flight-out FILE            arm the flight recorder and dump its recent
+//                                events (JSONL) at exit; also via
+//                                DEEPMC_FLIGHT_OUT. With any other obs sink
+//                                on, the recorder is armed too and dumps to
+//                                deepmc-flight.jsonl on exit 65/66, so
+//                                degraded/failed runs leave a post-mortem.
 //
 // Exit codes:
 //   0       clean (no warnings)
@@ -68,6 +74,7 @@
 #include "core/analysis_driver.h"
 #include "corpus/corpus.h"
 #include "serve/server.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "support/faultpoint.h"
@@ -92,7 +99,7 @@ void usage() {
                "              [--jobs N] [--format text|json]\n"
                "              [--stats] [--metrics-out FILE] "
                "[--prom-out FILE]\n"
-               "              [--trace-out FILE]\n"
+               "              [--trace-out FILE] [--flight-out FILE]\n"
                "              [--budget-trace-steps N] [--budget-dsa-steps N]\n"
                "              [--budget-enum-images N] "
                "[--budget-interp-steps N]\n"
@@ -168,7 +175,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<std::string> corpus_modules;
   bool stats = false;
-  std::string metrics_out, prom_out, trace_out;
+  std::string metrics_out, prom_out, trace_out, flight_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -229,6 +236,11 @@ int main(int argc, char** argv) {
       }
     } else if (file_flag("--trace-out", arg, argc, argv, i, &trace_out)) {
       if (trace_out.empty()) {
+        usage();
+        return kExitUsage;
+      }
+    } else if (file_flag("--flight-out", arg, argc, argv, i, &flight_out)) {
+      if (flight_out.empty()) {
         usage();
         return kExitUsage;
       }
@@ -324,10 +336,27 @@ int main(int argc, char** argv) {
 
   // Any observability sink turns recording on; the report is unaffected
   // either way (asserted by tests/obs_test.cpp and scripts/check.sh).
-  const bool obs_on =
-      stats || !metrics_out.empty() || !prom_out.empty() || !trace_out.empty();
+  if (flight_out.empty()) {
+    if (const char* env = std::getenv("DEEPMC_FLIGHT_OUT")) flight_out = env;
+  }
+  const bool obs_on = stats || !metrics_out.empty() || !prom_out.empty() ||
+                      !trace_out.empty() || !flight_out.empty();
   if (obs_on) obs::set_enabled(true);
   if (!trace_out.empty()) obs::tracer().start();
+  // Flight recorder: cheap enough to arm with any sink on. --flight-out
+  // dumps unconditionally; otherwise only a 65/66 exit leaves a
+  // post-mortem file (clean runs leave nothing behind).
+  if (obs_on) obs::flight().arm();
+  auto finish = [&flight_out](int code) {
+    if (obs::flight().armed()) {
+      std::string path = flight_out;
+      if (path.empty() && (code == kExitError || code == kExitDegraded))
+        path = "deepmc-flight.jsonl";
+      if (!path.empty() && !obs::flight().dump_file(path))
+        std::fprintf(stderr, "deepmc: cannot write %s\n", path.c_str());
+    }
+    return code;
+  };
   const size_t jobs = opts.jobs == 0
                           ? support::ThreadPool::default_concurrency()
                           : opts.jobs;
@@ -355,7 +384,7 @@ int main(int argc, char** argv) {
       f << snap.to_json();
       if (!f.flush()) {
         std::fprintf(stderr, "deepmc: cannot write %s\n", metrics_out.c_str());
-        return kExitError;
+        return finish(kExitError);
       }
     }
     if (!prom_out.empty()) {
@@ -363,12 +392,12 @@ int main(int argc, char** argv) {
       snap.to_prometheus(f);
       if (!f.flush()) {
         std::fprintf(stderr, "deepmc: cannot write %s\n", prom_out.c_str());
-        return kExitError;
+        return finish(kExitError);
       }
     }
     if (!trace_out.empty() && !obs::tracer().write_file(trace_out)) {
       std::fprintf(stderr, "deepmc: cannot write %s\n", trace_out.c_str());
-      return kExitError;
+      return finish(kExitError);
     }
     if (stats) {
       char header[128];
@@ -389,8 +418,8 @@ int main(int argc, char** argv) {
                    u.degraded.rung.c_str());
     }
   }
-  if (report.any_failed()) return kExitError;
-  if (report.any_degraded()) return kExitDegraded;
-  return static_cast<int>(
-      std::min<size_t>(report.total_warnings(), kMaxWarningExit));
+  if (report.any_failed()) return finish(kExitError);
+  if (report.any_degraded()) return finish(kExitDegraded);
+  return finish(static_cast<int>(
+      std::min<size_t>(report.total_warnings(), kMaxWarningExit)));
 }

@@ -387,5 +387,67 @@ TEST(LoadEngine, SharedModeCountsEveryOp) {
   EXPECT_STREQ(checker_mode_name(cfg.checker), "shared");
 }
 
+// --- per-op latency histograms (--latency-json) --------------------------
+
+TEST(LoadLatency, OffByDefaultAndEmpty) {
+  EngineConfig cfg = small_config("pmdk_mini");
+  const EngineResult r = run_load(cfg);
+  EXPECT_FALSE(r.latency_measured);
+  for (const auto& h : r.latency) {
+    EXPECT_EQ(h.count, 0u);
+    EXPECT_EQ(h.sum, 0u);
+  }
+}
+
+TEST(LoadLatency, CountsMatchOpTotalsExactly) {
+  // Every completed op is timed: the per-kind histogram counts equal the
+  // engine's own op counters, so quantiles are over the full population,
+  // not a sample.
+  EngineConfig cfg = small_config("pmdk_mini");
+  cfg.measure_latency = true;
+  const EngineResult r = run_load(cfg);
+  ASSERT_TRUE(r.latency_measured);
+  const std::vector<uint64_t> bounds = latency_buckets_ns();
+  EXPECT_EQ(r.latency[0].bounds, bounds);
+  EXPECT_EQ(r.latency[0].count, r.gets);
+  EXPECT_EQ(r.latency[1].count, r.puts);
+  EXPECT_EQ(r.latency[2].count, r.dels);
+  uint64_t total = 0;
+  for (const auto& h : r.latency) {
+    EXPECT_GT(h.sum, 0u);  // nothing finishes in zero nanoseconds
+    uint64_t bucketed = h.overflow;
+    for (uint64_t c : h.counts) bucketed += c;
+    EXPECT_EQ(bucketed, h.count);
+    total += h.count;
+  }
+  EXPECT_EQ(total, r.total_ops);
+}
+
+TEST(LoadLatency, CrashedOpIsNeitherCountedNorTimed) {
+  EngineConfig cfg = small_config("pmdk_mini");
+  cfg.measure_latency = true;
+  cfg.crash_at = 100;
+  const EngineResult r = run_load(cfg);
+  ASSERT_TRUE(r.latency_measured);
+  EXPECT_EQ(r.crashes, 1u);
+  // The interrupted op increments neither the op counter nor the
+  // histogram, so the exact-count invariant survives crash cycles.
+  EXPECT_EQ(r.latency[0].count, r.gets);
+  EXPECT_EQ(r.latency[1].count, r.puts);
+  EXPECT_EQ(r.latency[2].count, r.dels);
+}
+
+TEST(LoadLatency, TotalsDeterministicTimingsAreNot) {
+  // Op totals (and therefore histogram counts) reproduce across runs;
+  // bucket placement is wall-clock and must NOT be compared.
+  EngineConfig cfg = small_config("pmdk_mini");
+  cfg.measure_latency = true;
+  const EngineResult a = run_load(cfg);
+  const EngineResult b = run_load(cfg);
+  EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+  for (size_t k = 0; k < 3; ++k)
+    EXPECT_EQ(a.latency[k].count, b.latency[k].count) << k;
+}
+
 }  // namespace
 }  // namespace deepmc::load

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -94,6 +95,53 @@ TEST(ObsRegistry, HistogramBucketBoundariesAreStable) {
   EXPECT_EQ(v.sum, 10u + 11 + 40 + 41);
 }
 
+TEST(ObsRegistry, HistogramQuantilesAreExactOnSyntheticData) {
+  // 100 observations over bounds {10, 20, 30, 40}: 50 land in the first
+  // bucket, 30 in the second, 15 in the third, 4 in the fourth, 1
+  // overflows. Rank-based quantiles over fixed buckets are exact.
+  obs::HistogramValue v;
+  v.bounds = {10, 20, 30, 40};
+  v.counts = {50, 30, 15, 4};
+  v.overflow = 1;
+  v.count = 100;
+  EXPECT_EQ(obs::histogram_quantile(v, 0.50), 10u);  // rank 50 -> bucket 0
+  EXPECT_EQ(obs::histogram_quantile(v, 0.51), 20u);  // rank 51 -> bucket 1
+  EXPECT_EQ(obs::histogram_quantile(v, 0.80), 20u);  // rank 80 -> bucket 1
+  EXPECT_EQ(obs::histogram_quantile(v, 0.95), 30u);  // rank 95 -> bucket 2
+  EXPECT_EQ(obs::histogram_quantile(v, 0.99), 40u);  // rank 99 -> bucket 3
+  // Ranks landing in the overflow bucket saturate to the last bound.
+  EXPECT_EQ(obs::histogram_quantile(v, 1.0), 40u);
+  // q is clamped; degenerate inputs stay defined.
+  EXPECT_EQ(obs::histogram_quantile(v, -1.0), 10u);
+  EXPECT_EQ(obs::histogram_quantile(v, 2.0), 40u);
+  EXPECT_EQ(obs::histogram_quantile(obs::HistogramValue{}, 0.5), 0u);
+}
+
+TEST(ObsRegistry, HistogramAddFoldsLocalValues) {
+  ObsSession session;
+  obs::Histogram h = obs::registry().histogram(
+      "test.folded", obs::Volatility::kStable, "local fold", {100, 200});
+  // A hot loop accumulates locally (same bounds), then publishes once.
+  obs::HistogramValue local;
+  local.bounds = {100, 200};
+  local.counts = {3, 2};
+  local.overflow = 1;
+  local.sum = 3 * 50 + 2 * 150 + 999;
+  local.count = 6;
+  h.observe(100);  // pre-existing direct observation
+  h.add(local);
+
+  obs::HistogramValue v;
+  for (const auto& e : obs::registry().snapshot().histograms)
+    if (e.name == "test.folded") v = e.value;
+  ASSERT_EQ(v.counts.size(), 2u);
+  EXPECT_EQ(v.counts[0], 4u);
+  EXPECT_EQ(v.counts[1], 2u);
+  EXPECT_EQ(v.overflow, 1u);
+  EXPECT_EQ(v.count, 7u);
+  EXPECT_EQ(v.sum, 100u + local.sum);
+}
+
 TEST(ObsRegistry, SnapshotIsSortedAndRereadable) {
   ObsSession session;
   // Register out of order; snapshot must come back name-sorted.
@@ -156,6 +204,100 @@ TEST(ObsRegistry, PrometheusExposition) {
   EXPECT_NE(out.find("deepmc_test_prom_hist_sum 6"), std::string::npos);
 }
 
+TEST(ObsFlight, DisarmedRecordsNothing) {
+  obs::flight().disarm();
+  EXPECT_FALSE(obs::flight().armed());
+  EXPECT_EQ(obs::flight_kv("k", "v"), "");
+  EXPECT_EQ(obs::flight_kv_num("n", 3), "");
+  obs::flight().record("test.never", obs::flight_kv("k", "v"));
+  EXPECT_TRUE(obs::flight().events().empty());
+}
+
+TEST(ObsFlight, RingKeepsLastKInOrder) {
+  // The eviction-order contract: recording k+m events into capacity k
+  // keeps exactly the last k, in seq order — deterministic, not
+  // scheduling-dependent (single recording thread here).
+  obs::flight().arm(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i)
+    obs::flight().record("test.ring",
+                         obs::flight_kv_num("i", static_cast<double>(i)));
+  const std::vector<obs::FlightEvent> events = obs::flight().events();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);  // newest 8 of seq 0..19
+    EXPECT_EQ(events[i].detail,
+              "\"i\": " + std::to_string(12 + i));
+  }
+  obs::flight().disarm();
+  EXPECT_TRUE(obs::flight().events().empty());
+}
+
+TEST(ObsFlight, ConcurrentWraparoundKeepsNewestCapacity) {
+  // Many threads over-fill the ring; the merged view must hold exactly
+  // `capacity` events and they must be the globally newest seqs.
+  constexpr size_t kCap = 64;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  obs::flight().arm(kCap);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i)
+        obs::flight().record("test.mt");
+    });
+  for (auto& t : threads) t.join();
+
+  const std::vector<obs::FlightEvent> events = obs::flight().events();
+  ASSERT_EQ(events.size(), kCap);
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) EXPECT_LT(events[i - 1].seq, events[i].seq);
+    EXPECT_GE(events[i].seq, kTotal - kCap);
+    EXPECT_LT(events[i].seq, kTotal);
+  }
+  obs::flight().disarm();
+}
+
+TEST(ObsFlight, DumpJsonlIsOneObjectPerLine) {
+  obs::flight().arm(16);
+  obs::flight().record("test.plain");
+  obs::flight().record(
+      "test.detail",
+      obs::flight_join({obs::flight_kv("unit", "a\"b"),
+                        obs::flight_kv_num("bytes", 128)}));
+  std::ostringstream os;
+  obs::flight().dump_jsonl(os);
+  obs::flight().disarm();
+  const std::string out = os.str();
+  std::istringstream lines(out);
+  std::string line;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.compare(0, 8, "{\"seq\": "), 0) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(out.find("\"kind\": \"test.plain\""), std::string::npos);
+  // Detail pairs are escaped and joined; empty details omit the object.
+  EXPECT_NE(out.find("\"detail\": {\"unit\": \"a\\\"b\", \"bytes\": 128}"),
+            std::string::npos);
+  EXPECT_EQ(out.find("test.plain\", \"detail\""), std::string::npos);
+}
+
+TEST(ObsFlight, RearmResetsSequenceAndClock) {
+  obs::flight().arm(4);
+  obs::flight().record("test.first");
+  obs::flight().arm(4);  // restart drops prior events, re-zeros seq
+  obs::flight().record("test.second");
+  const std::vector<obs::FlightEvent> events = obs::flight().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_STREQ(events[0].kind, "test.second");
+  obs::flight().disarm();
+}
+
 TEST(ObsTracer, SpansAreFreeWhenInactive) {
   // No tracer started: spans must not record anything and args helpers
   // must short-circuit to "".
@@ -184,6 +326,33 @@ TEST(ObsTracer, RecordsAndDiscardsSpans) {
   std::ostringstream os2;
   obs::tracer().write(os2);
   EXPECT_EQ(os2.str().find("test.traced"), std::string::npos);
+}
+
+TEST(ObsTracer, RingCapacityKeepsRecentSpans) {
+  // A long-lived daemon bounds each thread's span buffer; only the
+  // newest spans survive, and time-sorting makes rotation invisible.
+  obs::set_enabled(true);
+  obs::tracer().set_ring_capacity(4);
+  obs::tracer().start();
+  // Span/event names require static storage duration (the tracer keeps
+  // the pointer, like the Span class does with its literal names).
+  static const char* kNames[10] = {
+      "test.ring0", "test.ring1", "test.ring2", "test.ring3", "test.ring4",
+      "test.ring5", "test.ring6", "test.ring7", "test.ring8", "test.ring9"};
+  for (int i = 0; i < 10; ++i)
+    obs::tracer().record(kNames[i], "test", obs::tracer().now_us(), 1.0, "");
+  std::ostringstream os;
+  obs::tracer().write(os);
+  obs::tracer().stop();
+  obs::tracer().set_ring_capacity(0);
+  obs::set_enabled(false);
+  const std::string out = os.str();
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(out.find("test.ring" + std::to_string(i)), std::string::npos)
+        << "evicted span survived: " << i;
+  for (int i = 6; i < 10; ++i)
+    EXPECT_NE(out.find("test.ring" + std::to_string(i)), std::string::npos)
+        << "recent span missing: " << i;
 }
 
 // ===========================================================================
@@ -229,12 +398,19 @@ bool update_golden() {
 }
 
 TEST(ObsCli, MetricsStableAcrossJobsAndMatchesGolden) {
+  // The flight recorder and span tracer ride along (--flight-out /
+  // --trace-out): both are volatile-only channels, so the stable metrics
+  // section — and its golden — must not move with them enabled.
   const std::string out = tmp_file("deepmc_metrics");
+  const std::string flight = tmp_file("deepmc_metrics_flight");
+  const std::string trace = tmp_file("deepmc_metrics_trace");
   std::vector<std::string> stable;
   for (const char* jobs : {"1", "4", "16"}) {
     const std::string cmd = std::string("\"") + DEEPMC_BIN +
                             "\" --crashsim --corpus pmdk/btree_map --jobs " +
-                            jobs + " --metrics-out \"" + out + "\"";
+                            jobs + " --metrics-out \"" + out +
+                            "\" --flight-out \"" + flight +
+                            "\" --trace-out \"" + trace + "\"";
     auto [report, exit_code] = run_command(cmd);
     ASSERT_GE(exit_code, 0) << cmd;
     ASSERT_LT(exit_code, 64) << cmd;
@@ -242,9 +418,14 @@ TEST(ObsCli, MetricsStableAcrossJobsAndMatchesGolden) {
     ASSERT_FALSE(json.empty()) << "no metrics written by: " << cmd;
     EXPECT_NE(json.find("\"schema\": \"deepmc-metrics-v1\""),
               std::string::npos);
+    // The ride-along flight dump exists and is line-oriented JSONL.
+    const std::string jsonl = read_file(flight);
+    ASSERT_FALSE(jsonl.empty()) << "no flight dump written by: " << cmd;
+    EXPECT_EQ(jsonl.compare(0, 8, "{\"seq\": "), 0);
+    EXPECT_NE(jsonl.find("\"kind\": \"unit.finish\""), std::string::npos);
     stable.push_back(strip_volatile(json));
   }
-  std::remove(out.c_str());
+  for (const std::string& f : {out, flight, trace}) std::remove(f.c_str());
   EXPECT_EQ(stable[0], stable[1]) << "stable metrics differ --jobs 1 vs 4";
   EXPECT_EQ(stable[0], stable[2]) << "stable metrics differ --jobs 1 vs 16";
 
@@ -296,12 +477,12 @@ TEST(ObsCli, ReportByteIdenticalWithObservabilityOn) {
     auto [with_obs, obs_exit] =
         run_command(base + " --stats --metrics-out \"" + mdir +
                     ".m\" --trace-out \"" + mdir + ".t\" --prom-out \"" +
-                    mdir + ".p\"");
+                    mdir + ".p\" --flight-out \"" + mdir + ".f\"");
     EXPECT_EQ(plain_exit, obs_exit) << "--jobs " << jobs;
     EXPECT_EQ(plain, with_obs)
         << "report changed with observability on at --jobs " << jobs;
   }
-  for (const char* ext : {".m", ".t", ".p"})
+  for (const char* ext : {".m", ".t", ".p", ".f"})
     std::remove((mdir + ext).c_str());
 }
 

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,9 @@
 #include "gen/generator.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "serve/cache.h"
 #include "serve/fingerprint.h"
 #include "serve/protocol.h"
@@ -705,6 +709,176 @@ TEST(ServeFaults, CacheWriteTripDropsEntryWithIdenticalBytes) {
     EXPECT_EQ(r.body, expect);
   }
   EXPECT_GT(service.cache_stats().write_faults, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry verbs: metrics / trace / flight, request ids, cache stats
+// ---------------------------------------------------------------------------
+
+/// Enables the metrics registry for one test and restores a clean,
+/// disabled registry afterwards (mirrors obs_test's ObsSession).
+struct ObsOn {
+  ObsOn() {
+    obs::registry().reset();
+    obs::set_enabled(true);
+  }
+  ~ObsOn() {
+    obs::set_enabled(false);
+    obs::registry().reset();
+  }
+};
+
+RequestFrame op_frame(const std::string& header) {
+  RequestFrame req;
+  req.header = header;
+  return req;
+}
+
+TEST(ServeTelemetry, MetricsStableSectionByteIdenticalAcrossJobs) {
+  // The acceptance bar for `DMRQ metrics`: the stable section is a pure
+  // function of the requests analyzed so far, so a daemon answering with
+  // "volatile": false returns the same bytes no matter how many worker
+  // threads it runs.
+  const RequestFrame metrics =
+      op_frame("{\"op\": \"metrics\", \"volatile\": false}");
+  std::vector<std::string> bodies;
+  for (size_t jobs : {size_t{1}, size_t{4}, size_t{16}}) {
+    ObsOn obs_on;
+    AnalysisService service(
+        cached_opts(fresh_dir("metrics_j" + std::to_string(jobs)), jobs));
+    const auto frame = analyze_frame("tworoots", kTwoRoots);
+    const auto resps = run_stream(service, {frame, frame, metrics},
+                                  "metrics_j" + std::to_string(jobs));
+    ASSERT_EQ(resps.size(), 3u);
+    EXPECT_EQ(resps[2].status, 0u);
+    bodies.push_back(resps[2].body);
+  }
+  EXPECT_NE(bodies[0].find("deepmc-metrics-v1"), std::string::npos);
+  EXPECT_NE(bodies[0].find("serve.requests_total"), std::string::npos);
+  EXPECT_EQ(bodies[0].find("\"volatile\""), std::string::npos)
+      << "\"volatile\": false must strip the volatile section server-side";
+  EXPECT_EQ(bodies[0], bodies[1]);
+  EXPECT_EQ(bodies[0], bodies[2]);
+}
+
+TEST(ServeTelemetry, MetricsFormatsAndUnknownFormat) {
+  ObsOn obs_on;
+  AnalysisService service(cached_opts(fresh_dir("metrics_fmt")));
+  const auto resps = run_stream(
+      service,
+      {analyze_frame("tworoots", kTwoRoots),
+       op_frame("{\"op\": \"metrics\"}"),
+       op_frame("{\"op\": \"metrics\", \"format\": \"prom\"}"),
+       op_frame("{\"op\": \"metrics\", \"format\": \"xml\"}")},
+      "metrics_fmt");
+  ASSERT_EQ(resps.size(), 4u);
+  // Default JSON keeps the volatile section (uptime and cache gauges).
+  EXPECT_EQ(resps[1].status, 0u);
+  EXPECT_NE(resps[1].body.find("\"volatile\""), std::string::npos);
+  EXPECT_NE(resps[1].body.find("wall_clock"), std::string::npos);
+  // Prometheus exposition: prefixed, dotted names flattened.
+  EXPECT_EQ(resps[2].status, 0u);
+  EXPECT_NE(resps[2].body.find("deepmc_serve_requests_total"),
+            std::string::npos);
+  EXPECT_NE(resps[2].body.find("# TYPE"), std::string::npos);
+  // Unknown format is a per-request error, not a dead stream.
+  EXPECT_EQ(resps[3].status, 1u);
+  EXPECT_NE(serve::json_string_field(resps[3].meta, "error")
+                .value_or("")
+                .find("metrics format"),
+            std::string::npos);
+}
+
+TEST(ServeTelemetry, TraceVerbReturnsSpansTaggedWithRequestId) {
+  ObsOn obs_on;
+  obs::tracer().set_ring_capacity(256);
+  obs::tracer().start();
+  AnalysisService service(cached_opts(fresh_dir("traceverb")));
+  auto frame = analyze_frame("tworoots", kTwoRoots);
+  frame.header = "{\"op\": \"analyze\", \"id\": \"my-req\", "
+                 "\"name\": \"tworoots\", \"format\": \"json\"}";
+  const auto resps = run_stream(
+      service, {frame, op_frame("{\"op\": \"trace\"}")}, "traceverb");
+  obs::tracer().stop();
+  obs::tracer().set_ring_capacity(0);
+  ASSERT_EQ(resps.size(), 2u);
+  EXPECT_EQ(resps[1].status, 0u);
+  EXPECT_TRUE(
+      serve::json_bool_field(resps[1].meta, "active").value_or(false));
+  // The window holds the request's spans, tagged with the client's id.
+  EXPECT_NE(resps[1].body.find("serve.request"), std::string::npos);
+  EXPECT_NE(resps[1].body.find("serve.accept"), std::string::npos);
+  EXPECT_NE(resps[1].body.find("my-req"), std::string::npos);
+}
+
+TEST(ServeTelemetry, FlightVerbReturnsRecentEvents) {
+  ObsOn obs_on;
+  obs::flight().arm(128);
+  AnalysisService service(cached_opts(fresh_dir("flightverb")));
+  auto frame = analyze_frame("tworoots", kTwoRoots);
+  frame.header = "{\"op\": \"analyze\", \"id\": \"fl-1\", "
+                 "\"name\": \"tworoots\", \"format\": \"json\"}";
+  const auto resps = run_stream(
+      service, {frame, op_frame("{\"op\": \"flight\"}")}, "flightverb");
+  obs::flight().disarm();
+  ASSERT_EQ(resps.size(), 2u);
+  EXPECT_EQ(resps[1].status, 0u);
+  EXPECT_TRUE(serve::json_bool_field(resps[1].meta, "armed").value_or(false));
+  EXPECT_NE(resps[1].body.find("\"kind\": \"serve.request\""),
+            std::string::npos);
+  EXPECT_NE(resps[1].body.find("\"id\": \"fl-1\""), std::string::npos);
+  // JSONL: every line is one object.
+  std::istringstream lines(resps[1].body);
+  std::string line;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("{\"seq\": ", 0), 0u) << line;
+    ++n;
+  }
+  EXPECT_GT(n, 0u);
+}
+
+TEST(ServeTelemetry, AnalyzeMetaCarriesRequestId) {
+  // Ids flow with telemetry off too — they are part of the protocol, and
+  // the response *body* must not depend on them (checked against the
+  // one-shot oracle).
+  AnalysisService service(cached_opts(fresh_dir("reqid")));
+  auto tagged = analyze_frame("tworoots", kTwoRoots);
+  tagged.header = "{\"op\": \"analyze\", \"id\": \"my-req\", "
+                  "\"name\": \"tworoots\", \"format\": \"json\"}";
+  const auto resps = run_stream(
+      service, {tagged, analyze_frame("tworoots", kTwoRoots)}, "reqid");
+  ASSERT_EQ(resps.size(), 2u);
+  EXPECT_EQ(serve::json_string_field(resps[0].meta, "id").value_or(""),
+            "my-req");
+  // Daemon-assigned ids are "req-N"; N is process-wide, so only the
+  // prefix is stable across test orderings.
+  const std::string assigned =
+      serve::json_string_field(resps[1].meta, "id").value_or("");
+  EXPECT_EQ(assigned.rfind("req-", 0), 0u) << assigned;
+  EXPECT_EQ(resps[0].body, resps[1].body);
+  EXPECT_EQ(resps[0].body, oneshot_json("tworoots", kTwoRoots));
+}
+
+TEST(ServeTelemetry, StatsBodyExposesEvictionCountersOverProtocol) {
+  // What `deepmc serve --cache-stats` prints is the stats op's body; the
+  // LRU eviction counters must survive the protocol round trip.
+  ServeOptions sopts = cached_opts(fresh_dir("stats_evict"));
+  sopts.cache_limits.max_entries = 1;
+  AnalysisService service(std::move(sopts));
+  const auto frame = analyze_frame("tworoots", kTwoRoots);
+  const auto resps = run_stream(
+      service, {frame, frame, op_frame("{\"op\": \"stats\"}")}, "stats_evict");
+  ASSERT_EQ(resps.size(), 3u);
+  EXPECT_EQ(resps[2].status, 0u);
+  const auto evictions = serve::json_num_field(resps[2].body, "evictions");
+  ASSERT_TRUE(evictions.has_value());
+  EXPECT_GT(*evictions, 0);
+  const auto evicted = serve::json_num_field(resps[2].body, "evicted_bytes");
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_GT(*evicted, 0);
+  EXPECT_NE(resps[2].body.find("\"entries\""), std::string::npos);
+  EXPECT_NE(resps[2].body.find("\"bytes\""), std::string::npos);
 }
 
 }  // namespace
