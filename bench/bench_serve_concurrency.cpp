@@ -1,0 +1,229 @@
+// Multi-client serve throughput: aggregate requests/sec through a real
+// ServeDaemon (Unix socket, session pool, admission control) at 1, 4,
+// and 16 concurrent clients (docs/SERVER.md "Operating under load").
+//
+// Every request is a *distinct* diamond-heavy module, so each one is a
+// cold analysis — the bench measures how well concurrent sessions scale
+// the daemon's useful work, not cache hits. Driver jobs stay at 1 so all
+// parallelism comes from the session pool.
+//
+// Pass criteria (scripts/bench.sh serve_concurrency gate):
+//   * 4-client aggregate throughput >= --min-speedup x the 1-client
+//     throughput. The default gate is 3.0, scaled down automatically on
+//     machines with fewer than 4 hardware threads (a 1-core box cannot
+//     parallelize; the gate there is only "concurrency must not tank
+//     throughput").
+//   * zero connections shed in any phase — every phase runs below the
+//     daemon's admission capacity, so load shedding must not trigger.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+using namespace deepmc;
+
+namespace {
+
+constexpr size_t kDiamonds = 7;         ///< 2^7 = 128 paths per root
+constexpr size_t kReqsPerClient = 10;   ///< requests each client issues
+
+/// A unique module per (phase, client, request): same shape, distinct
+/// constants and name, so every request is a cold analysis unit.
+std::string module_text(const std::string& phase, size_t client,
+                        size_t req) {
+  const size_t uniq = client * 1000 + req;
+  std::string out = strformat("module \"conc_%s_%zu_%zu\"\n", phase.c_str(),
+                              client, req);
+  out += "struct %rec { i64, i64 }\n\n";
+  out += strformat("define void @root%zu() {\n", uniq);
+  out += "entry:\n";
+  out += "  %r = pm.alloc %rec\n";
+  out += "  %f = gep %r, 0\n";
+  out += strformat("  store i64 %zu, %%f !loc(\"conc.c\", 1)\n", uniq + 1);
+  out += "  br label %d0\n";
+  for (size_t d = 0; d < kDiamonds; ++d) {
+    out += strformat("d%zu:\n", d);
+    out += strformat("  %%v%zu = load %%f\n", d);
+    out += strformat("  %%c%zu = lt %%v%zu, 5\n", d, d);
+    out += strformat("  br %%c%zu, label %%d%zua, label %%d%zub\n", d, d, d);
+    out += strformat("d%zua:\n", d);
+    for (size_t s = 0; s < 4; ++s) {
+      out += strformat("  store i64 %zu, %%f !loc(\"conc.c\", %zu)\n",
+                       d + s + 2, 1000 * uniq + 8 * d + s + 2);
+      out += "  pm.flush %f, 8\n";
+    }
+    out += strformat("  br label %%d%zue\n", d);
+    out += strformat("d%zub:\n", d);
+    for (size_t s = 0; s < 4; ++s) {
+      out += strformat("  store i64 %zu, %%f !loc(\"conc.c\", %zu)\n",
+                       d + s + 3, 1000 * uniq + 8 * d + s + 40);
+      out += "  pm.flush %f, 8\n";
+    }
+    out += strformat("  br label %%d%zue\n", d);
+    out += strformat("d%zue:\n", d);
+    out += d + 1 < kDiamonds ? strformat("  br label %%d%zu\n", d + 1)
+                             : std::string("  br label %done\n");
+  }
+  out += "done:\n  pm.flush %f, 8\n  pm.fence\n  ret\n}\n";
+  return out;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = "/tmp/deepmc_bench_conc_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+struct PhaseResult {
+  double seconds = 0;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  uint64_t shed = 0;
+  [[nodiscard]] double rps() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+PhaseResult run_phase(size_t nclients) {
+  const std::string tag = std::to_string(nclients) + "c";
+  serve::ServeOptions sopts;
+  sopts.driver.jobs = 1;  // all parallelism comes from the session pool
+  sopts.cache_dir = fresh_dir(tag);
+  serve::AnalysisService service(std::move(sopts));
+
+  serve::DaemonOptions dopts;
+  dopts.max_sessions = 16;
+  dopts.accept_queue = 64;  // below capacity: nothing may be shed
+  serve::ServeDaemon daemon(service, dopts);
+  const std::string sock = "/tmp/deepmc_bench_conc_" + tag + ".sock";
+  std::filesystem::remove(sock);
+  std::string err;
+  if (!daemon.listen_unix(sock, &err)) {
+    std::fprintf(stderr, "bench_serve_concurrency: %s\n", err.c_str());
+    std::exit(1);
+  }
+  std::thread runner([&] { daemon.run(); });
+
+  PhaseResult result;
+  std::vector<uint64_t> fails(nclients, 0);
+  Stopwatch sw;
+  std::vector<std::thread> clients;
+  clients.reserve(nclients);
+  for (size_t c = 0; c < nclients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ServeClient client(sock);
+      for (size_t i = 0; i < kReqsPerClient; ++i) {
+        serve::RequestFrame req;
+        req.header = strformat(
+            "{\"op\": \"analyze\", \"name\": \"conc_%s_%zu_%zu\", "
+            "\"format\": \"json\"}",
+            tag.c_str(), c, i);
+        req.body = module_text(tag, c, i);
+        serve::ResponseFrame resp;
+        std::string cerr_msg;
+        if (!client.call(req, &resp, &cerr_msg) ||
+            resp.status != serve::kStatusOk)
+          ++fails[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  result.seconds = sw.millis() / 1000.0;
+  result.requests = nclients * kReqsPerClient;
+  for (uint64_t f : fails) result.failures += f;
+
+  daemon.begin_drain("bench-done");
+  runner.join();
+  result.shed = daemon.stats().shed;
+  std::filesystem::remove(sock);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_out_path(argc, argv);
+  double min_speedup = 3.0;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--min-speedup")
+      min_speedup = std::atof(argv[i + 1]);
+  bench::print_system_config(
+      "bench_serve_concurrency: multi-client daemon throughput scaling");
+
+  // Scale the gate to the machine: 4 clients cannot go 3x faster than 1
+  // on fewer than 4 hardware threads. Below 4 threads the gate decays to
+  // "concurrency overhead must not halve throughput".
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const double required =
+      cores >= 4 ? min_speedup
+                 : std::min(min_speedup, std::max(0.6, 0.7 * cores));
+
+  const PhaseResult one = run_phase(1);
+  const PhaseResult four = run_phase(4);
+  const PhaseResult sixteen = run_phase(16);
+  const double speedup4 = one.rps() > 0 ? four.rps() / one.rps() : 0;
+
+  bench::Table table({"clients", "requests", "wall s", "req/s", "shed",
+                      "failures"});
+  for (const auto& [label, r] :
+       {std::pair<const char*, const PhaseResult&>{"1", one},
+        {"4", four},
+        {"16", sixteen}})
+    table.add_row({label, std::to_string(r.requests),
+                   strformat("%.3f", r.seconds),
+                   strformat("%.1f", r.rps()), std::to_string(r.shed),
+                   std::to_string(r.failures)});
+  table.print();
+  std::printf("4-client aggregate speedup: %.2fx (gate %.2fx on %u threads)\n",
+              speedup4, required, cores);
+
+  bench::JsonResult json("serve_concurrency");
+  json.add("clients_1_rps", one.rps());
+  json.add("clients_4_rps", four.rps());
+  json.add("clients_16_rps", sixteen.rps());
+  json.add("speedup_4_clients", speedup4);
+  json.add("required_speedup", required);
+  json.add("hardware_threads", static_cast<uint64_t>(cores));
+  json.add("shed_total",
+           one.shed + four.shed + sixteen.shed);
+  json.add("failures",
+           one.failures + four.failures + sixteen.failures);
+
+  bool ok = true;
+  if (one.failures + four.failures + sixteen.failures > 0) {
+    std::fprintf(stderr, "bench_serve_concurrency: requests failed\n");
+    ok = false;
+  }
+  if (one.shed + four.shed + sixteen.shed > 0) {
+    std::fprintf(stderr,
+                 "bench_serve_concurrency: connections shed below "
+                 "capacity\n");
+    ok = false;
+  }
+  if (speedup4 < required) {
+    std::fprintf(stderr,
+                 "bench_serve_concurrency: 4-client speedup %.2fx below "
+                 "gate %.2fx\n",
+                 speedup4, required);
+    ok = false;
+  }
+  json.add("passed", ok ? std::string("true") : std::string("false"));
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "bench_serve_concurrency: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

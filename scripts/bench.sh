@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 4)"
-benches=(crashsim table1_detection parallel_sweep obs_overhead resilience_overhead corpus serve load)
+benches=(crashsim table1_detection parallel_sweep obs_overhead resilience_overhead corpus serve serve_concurrency load)
 if [[ $# -gt 0 ]]; then benches=("$@"); fi
 
 targets=()

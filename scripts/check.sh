@@ -45,9 +45,9 @@ run_tsan() {
   # the golden/CLI tests drive.
   cmake --build build-tsan -j "$jobs" \
     --target thread_pool_test driver_test crash_test obs_test \
-             runtime_concurrency_test deepmc
+             serve_test serve_chaos_test runtime_concurrency_test deepmc
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Driver|Crashsim|ObsRegistry|RuntimeConcurrency'
+    -R 'ThreadPool|Driver|Crashsim|ObsRegistry|Serve|RuntimeConcurrency'
 }
 
 run_san() {

@@ -1,0 +1,265 @@
+#!/usr/bin/env bash
+# Chaos harness for the multi-client `deepmc serve` daemon (docs/SERVER.md
+# "Operating under load"). Where run_serve.sh proves the happy path,
+# this script attacks a real daemon process and asserts the two serve
+# invariants survive every scenario:
+#
+#   * the daemon never wedges — after slowloris drip-feeds, mid-request
+#     disconnects, storms beyond capacity, and injected fault storms,
+#     well-behaved clients still get answers and shutdown still drains
+#     cleanly;
+#   * byte-identity and cache durability — responses stay identical to
+#     one-shot `deepmc` runs, including warm responses served from a
+#     cache directory that a `kill -9` interrupted at an arbitrary
+#     point.
+#
+# Scenarios needing a raw socket (partial frames) use python3 and are
+# skipped, loudly, when it is absent.
+#
+# When DEEPMC_FLIGHT_OUT is set (the CI serve-chaos job does), each
+# daemon phase dumps its flight recorder to ${DEEPMC_FLIGHT_OUT}.<phase>
+# for artifact upload.
+#
+# Usage: scripts/run_chaos.sh [--skip-build]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_BUILD=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-build) SKIP_BUILD=1; shift ;;
+    *) echo "usage: scripts/run_chaos.sh [--skip-build]" >&2; exit 64 ;;
+  esac
+done
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc 2>/dev/null || echo 4)" \
+    --target deepmc deepmc-load deepmc-corpus >/dev/null
+fi
+
+DEEPMC="$PWD/build/src/tools/deepmc"
+LOAD="$PWD/build/src/tools/deepmc-load"
+CORPUS="$PWD/build/src/tools/deepmc-corpus"
+for bin in "$DEEPMC" "$LOAD" "$CORPUS"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "FATAL: $bin not found; build first (cmake --build build -j)" >&2
+    exit 1
+  fi
+done
+
+PYTHON="$(command -v python3 || true)"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill -9 "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+PASS=0
+FAIL=0
+log_pass() { echo "  [PASS] $1"; PASS=$((PASS+1)); }
+log_fail() { echo "  [FAIL] $1" >&2; FAIL=$((FAIL+1)); }
+log_skip() { echo "  [SKIP] $1"; }
+
+strip_timing() { sed -E 's/, "elapsed_ms": [0-9.eE+-]+//' "$1"; }
+
+# start_daemon <phase> [extra daemon flags...] — socket in $SOCK,
+# per-phase cache dir in $CACHE (stable across restarts of one phase).
+start_daemon() {
+  local phase="$1"; shift
+  SOCK="$TMP/chaos_$phase.sock"
+  CACHE="$TMP/cache_$phase"
+  rm -f "$SOCK"
+  local flight_env=(env)
+  if [[ -n "${DEEPMC_FLIGHT_OUT:-}" ]]; then
+    flight_env+=("DEEPMC_FLIGHT_OUT=${DEEPMC_FLIGHT_OUT}.$phase")
+  fi
+  "${flight_env[@]}" "$DEEPMC" serve --socket "$SOCK" --cache-dir "$CACHE" \
+    "$@" > "$TMP/daemon_$phase.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && grep -q "deepmc-serve: listening" \
+      "$TMP/daemon_$phase.log" && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.05
+  done
+  echo "FATAL: chaos daemon ($phase) did not come up" >&2
+  cat "$TMP/daemon_$phase.log" >&2
+  exit 1
+}
+
+stop_daemon() {  # $1 = label
+  "$DEEPMC" serve --connect "$SOCK" --shutdown >/dev/null 2>&1
+  local waited=0
+  while kill -0 "$DAEMON_PID" 2>/dev/null && [[ "$waited" -lt 200 ]]; do
+    sleep 0.05; waited=$((waited+1))
+  done
+  if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    log_fail "$1: daemon did not drain on --shutdown"
+    kill -9 "$DAEMON_PID" 2>/dev/null
+  else
+    log_pass "$1: daemon drained cleanly on --shutdown"
+  fi
+  DAEMON_PID=""
+}
+
+# One fixed probe input, with its one-shot oracle rendered once.
+"$CORPUS" gen --seed 3 > "$TMP/probe.mir" 2>/dev/null || {
+  echo "FATAL: deepmc-corpus gen failed" >&2; exit 1; }
+PROBE_RC=0
+"$DEEPMC" --format json "$TMP/probe.mir" > "$TMP/probe.want" 2>/dev/null \
+  || PROBE_RC=$?
+strip_timing "$TMP/probe.want" > "$TMP/probe.want.s"
+
+# probe_matches <label> — a client request for the probe must match the
+# one-shot oracle byte-for-byte (and agree on the exit code).
+probe_matches() {
+  local label="$1" rc=0
+  "$DEEPMC" serve --connect "$SOCK" --format json \
+    --max-retries 20 --retry-budget-ms 10000 "$TMP/probe.mir" \
+    > "$TMP/probe.got" 2>/dev/null || rc=$?
+  strip_timing "$TMP/probe.got" > "$TMP/probe.got.s"
+  if cmp -s "$TMP/probe.want.s" "$TMP/probe.got.s" \
+      && [[ "$rc" -eq "$PROBE_RC" ]]; then
+    log_pass "$label"
+    return 0
+  fi
+  log_fail "$label (exit $rc, one-shot $PROBE_RC)"
+  diff "$TMP/probe.want.s" "$TMP/probe.got.s" 2>/dev/null | head -5 >&2
+  return 1
+}
+
+# --- scenario 1: slowloris drip-feeds cannot starve real clients ----------
+echo "== chaos: slowloris =="
+start_daemon slowloris --max-sessions 2 --accept-queue 4 --io-timeout-ms 300
+if [[ -n "$PYTHON" ]]; then
+  # Four drip-feeders: partial magic, one byte per 100 ms, forever (they
+  # die when the daemon cuts them at the I/O bound or the script exits).
+  "$PYTHON" - "$SOCK" <<'EOF' &
+import socket, sys, time
+conns = []
+deadline = time.time() + 20
+while time.time() < deadline:
+    while len(conns) < 4:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            s.connect(sys.argv[1]); s.sendall(b"DM"); conns.append(s)
+        except OSError:
+            time.sleep(0.05); break
+    time.sleep(0.1)
+    live = []
+    for s in conns:
+        try:
+            s.sendall(b"R"); live.append(s)
+        except OSError:
+            s.close()
+    conns = live
+EOF
+  LORIS_PID=$!
+  for i in 1 2 3; do
+    probe_matches "slowloris: real client answered ($i/3)"
+  done
+  kill "$LORIS_PID" 2>/dev/null; wait "$LORIS_PID" 2>/dev/null
+else
+  log_skip "slowloris needs python3"
+fi
+stop_daemon "slowloris"
+
+# --- scenario 2: mid-request disconnects --------------------------------
+echo "== chaos: mid-request disconnects =="
+start_daemon disconnect --max-sessions 2 --io-timeout-ms 300
+if [[ -n "$PYTHON" ]]; then
+  "$PYTHON" - "$SOCK" <<'EOF'
+import socket, struct, sys
+header = b'{"op": "analyze", "name": "x", "format": "json"}'
+body = b"module \"x\"\n" * 200
+frame = b"DMRQ" + struct.pack("<III", 1, len(header), len(body)) + header + body
+# Die at every interesting offset: mid-magic, mid-length, mid-header,
+# mid-body, one byte short of complete.
+for cut in (2, 6, 14, len(frame) // 2, len(frame) - 1):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sys.argv[1])
+    s.sendall(frame[:cut])
+    s.close()
+EOF
+  probe_matches "disconnects: daemon healthy after 5 mid-frame drops"
+else
+  log_skip "mid-request disconnects need python3"
+fi
+stop_daemon "disconnect"
+
+# --- scenario 3: client storm beyond capacity ---------------------------
+echo "== chaos: client storm beyond capacity =="
+start_daemon storm --max-sessions 2 --accept-queue 2
+rc=0
+"$LOAD" --serve-connect "$SOCK" --threads 8 --ops 6 --serve-programs 5 \
+  --zipf 0.99 --max-retries 100 --retry-budget-ms 30000 --json \
+  > "$TMP/storm.json" 2>&1 || rc=$?
+if [[ "$rc" -eq 0 ]] && grep -q '"mismatches": 0' "$TMP/storm.json" \
+    && grep -q '"failures": 0' "$TMP/storm.json"; then
+  log_pass "storm: 48 requests, 0 failures, 0 identity mismatches"
+else
+  log_fail "storm: deepmc-load --serve-connect failed (exit $rc)"
+  cat "$TMP/storm.json" >&2
+fi
+# The storm ran 4x over session capacity; sheds are expected and must be
+# visible in the daemon's live metrics.
+if "$DEEPMC" serve --connect "$SOCK" --metrics 2>/dev/null \
+    | grep -q '"serve.shed_total"'; then
+  log_pass "storm: serve.shed_total exported in live metrics"
+else
+  log_fail "storm: serve.shed_total missing from live metrics"
+fi
+probe_matches "storm: byte-identity after the storm"
+stop_daemon "storm"
+
+# --- scenario 4: injected fault storms ----------------------------------
+echo "== chaos: serve.accept fault storm =="
+DEEPMC_FAULTS="serve.accept:2" start_daemon acceptfault --max-sessions 2
+for i in 1 2 3; do
+  probe_matches "accept faults: retrying client rode out trip ($i/3)"
+done
+stop_daemon "accept faults"
+
+echo "== chaos: cache fault storm =="
+DEEPMC_FAULTS="cache.read:1,cache.write:1" start_daemon cachefault
+probe_matches "cache faults: response identical with cache I/O tripping"
+probe_matches "cache faults: second request identical too"
+stop_daemon "cache faults"
+
+# --- scenario 5: kill -9 mid-storm, cache must revalidate ---------------
+echo "== chaos: kill -9 and cache survival =="
+for attempt in 1 2 3; do
+  start_daemon kill9 --max-sessions 2
+  # Background storm (small retry budget: it must fail fast, not hang,
+  # once the daemon dies).
+  "$LOAD" --serve-connect "$SOCK" --threads 4 --ops 50 --serve-programs 4 \
+    --max-retries 2 --retry-budget-ms 200 \
+    > /dev/null 2>&1 &
+  STORM_PID=$!
+  sleep "0.$attempt"              # a different kill point each attempt
+  kill -9 "$DAEMON_PID" 2>/dev/null
+  wait "$DAEMON_PID" 2>/dev/null
+  DAEMON_PID=""
+  wait "$STORM_PID" 2>/dev/null   # must terminate (bounded retries)
+  # Same cache dir, new daemon: entries written before the kill either
+  # validate or are discarded — either way the response is bit-exact.
+  rm -f "$SOCK"
+  "$DEEPMC" serve --socket "$SOCK" --cache-dir "$CACHE" \
+    > "$TMP/daemon_kill9_restart.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && grep -q "listening" "$TMP/daemon_kill9_restart.log" \
+      && break
+    sleep 0.05
+  done
+  probe_matches "kill -9 (attempt $attempt): warm cache survives restart"
+  stop_daemon "kill -9 (attempt $attempt)"
+done
+
+echo
+echo "run_chaos: $PASS passed, $FAIL failed"
+[[ "$FAIL" -gt 0 ]] && exit 1
+exit 0

@@ -809,9 +809,12 @@ UnitReport AnalysisDriver::analyze_unit(const AnalysisUnit& unit,
                                          obs::flight_kv("rung", rung.name),
                                          obs::flight_kv("why", trip_reason)}));
     // Fresh token per attempt: a retry must not inherit the previous
-    // rung's cancellation, and the wall watchdog restarts with it.
+    // rung's cancellation, and the wall watchdog restarts with it — except
+    // under an absolute request deadline, which every rung shares.
     support::CancelToken cancel;
-    if (opts_.budgets.wall_ms > 0)
+    if (opts_.deadline_at)
+      cancel.arm_deadline_at(*opts_.deadline_at);
+    else if (opts_.budgets.wall_ms > 0)
       cancel.arm_deadline(std::chrono::milliseconds(opts_.budgets.wall_ms));
     faults.set_cancel(cancel);
 

@@ -30,6 +30,7 @@
 // and what it interrupts depends on the machine.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -133,6 +134,12 @@ struct DriverOptions {
   /// Record every freshly computed per-root result in
   /// UnitReport::root_results so the caller can persist it.
   bool collect_root_results = false;
+  /// Absolute wall-clock deadline covering the unit's *whole* degradation
+  /// ladder (serve per-request deadlines). Unlike budgets.wall_ms — which
+  /// restarts per attempt — every rung's token is armed against this same
+  /// point, so a request finishes (ok, degraded, or failed with
+  /// "budget-exhausted:wall-clock") within one deadline, never three.
+  std::optional<std::chrono::steady_clock::time_point> deadline_at;
 };
 
 /// One rung of the degradation ladder: the bounds and stages a retry

@@ -137,6 +137,9 @@ void Worker::run() {
   // Acknowledged state: what a correct shard must serve after any crash.
   std::vector<uint64_t> model(shard->capacity(), 0);
   Rng rng = thread_rng(spec, index);
+  // Built once per worker (read-only afterwards); inactive when zipf is
+  // off, so the hot-set default pays nothing.
+  const ZipfDist zipf = ZipfDist::for_spec(spec);
   // Crash plan (worker 0 only): arm the pool's fault injection just before
   // the chosen op; the fault lands at a seed-chosen persistence event soon
   // after, possibly a few ops later if the op turns out to be read-only.
@@ -158,7 +161,7 @@ void Worker::run() {
   try {
     for (uint64_t i = 0; i < ops; ++i) {
       if (stop->load(std::memory_order_relaxed)) break;
-      const LoadOp op = next_op(rng, spec);
+      const LoadOp op = next_op(rng, spec, zipf);
       const uint64_t slot = shard->slot_of(op.key);
       if (crash_at >= 0 && i == static_cast<uint64_t>(crash_at))
         shard->pool().inject_fault_after(1 + crash_rng.below(6));

@@ -1,0 +1,170 @@
+#include "load/serve_driver.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace deepmc::load {
+
+namespace {
+
+/// Generate program `idx`: self-contained MIR with per-index store values
+/// so every program is a distinct analysis unit (distinct cache keys on
+/// the daemon). Three shapes cycle so responses exercise the clean path,
+/// a missing-flush warning, and a two-root module's merge order.
+std::string program_text(uint64_t idx) {
+  std::ostringstream os;
+  os << "module \"load" << idx << "\"\n"
+     << "struct %rec { i64, i64 }\n\n";
+  switch (idx % 3) {
+    case 0:  // clean: flushed and fenced before ret
+      os << "define void @clean" << idx << "() {\n"
+         << "entry:\n"
+         << "  %r = pm.alloc %rec\n"
+         << "  %f = gep %r, 0\n"
+         << "  store i64 " << (idx + 1) << ", %f !loc(\"load.c\", 5)\n"
+         << "  pm.flush %f, 8\n"
+         << "  pm.fence\n"
+         << "  ret\n"
+         << "}\n";
+      break;
+    case 1:  // missing flush: a durable-store warning every time
+      os << "define void @leaky" << idx << "() {\n"
+         << "entry:\n"
+         << "  %r = pm.alloc %rec\n"
+         << "  %f = gep %r, 1\n"
+         << "  store i64 " << (idx + 1) << ", %f !loc(\"load.c\", 9)\n"
+         << "  ret\n"
+         << "}\n";
+      break;
+    default:  // two roots: exercises per-root merge order under the cache
+      os << "define void @alpha" << idx << "() {\n"
+         << "entry:\n"
+         << "  %r = pm.alloc %rec\n"
+         << "  %f = gep %r, 0\n"
+         << "  store i64 " << (idx + 1) << ", %f !loc(\"load.c\", 5)\n"
+         << "  pm.flush %f, 8\n"
+         << "  pm.fence\n"
+         << "  ret\n"
+         << "}\n\n"
+         << "define void @beta" << idx << "() {\n"
+         << "entry:\n"
+         << "  %r = pm.alloc %rec\n"
+         << "  %f = gep %r, 1\n"
+         << "  store i64 " << (idx + 2) << ", %f !loc(\"load.c\", 11)\n"
+         << "  ret\n"
+         << "}\n";
+      break;
+  }
+  return os.str();
+}
+
+std::string analyze_header(uint64_t program, uint64_t deadline_ms) {
+  std::ostringstream os;
+  os << "{\"op\": \"analyze\", \"name\": \"load-prog-" << program
+     << "\", \"format\": \"json\"";
+  if (deadline_ms > 0) os << ", \"deadline_ms\": " << deadline_ms;
+  os << "}";
+  return os.str();
+}
+
+struct Shared {
+  std::mutex mu;
+  /// First response body seen per program — the identity baseline every
+  /// later response (from any worker) must match byte-for-byte.
+  std::map<uint64_t, std::string> baseline;
+  ServeLoadResult totals;
+};
+
+void worker(const ServeLoadConfig& cfg, uint32_t index,
+            const std::vector<std::string>& programs, Shared* shared) {
+  serve::ServeClient client(cfg.target, cfg.retry);
+  Rng rng = thread_rng(cfg.spec, index);
+  const ZipfDist zipf = ZipfDist::for_spec(cfg.spec);
+  ServeLoadResult local;
+  std::string first_error;
+  for (uint64_t i = 0; i < cfg.spec.ops_per_thread; ++i) {
+    const LoadOp op = next_op(rng, cfg.spec, zipf);
+    const uint64_t prog = op.key % programs.size();
+    serve::RequestFrame req;
+    req.header = analyze_header(prog, cfg.deadline_ms);
+    req.body = programs[prog];
+    serve::ResponseFrame resp;
+    std::string err;
+    ++local.requests;
+    if (!client.call(req, &resp, &err)) {
+      ++local.failures;
+      if (first_error.empty()) first_error = err;
+      continue;
+    }
+    if (resp.status != serve::kStatusOk) {
+      ++local.failures;
+      if (first_error.empty())
+        first_error = serve::json_string_field(resp.meta, "error")
+                          .value_or("server error");
+      continue;
+    }
+    ++local.ok;
+    if (serve::json_bool_field(resp.meta, "deadline_expired").value_or(false))
+      ++local.deadline_expired;
+    // A deadline-degraded body legitimately differs from a full run, so
+    // it is excluded from the identity check; everything else must match
+    // the first-seen body for its program exactly.
+    else {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      auto [it, inserted] = shared->baseline.emplace(prog, resp.body);
+      if (!inserted && it->second != resp.body) {
+        ++local.mismatches;
+        if (first_error.empty())
+          first_error = "byte-identity mismatch for program " +
+                        std::to_string(prog);
+      }
+    }
+  }
+  const serve::ServeClient::Stats cs = client.stats();
+  std::lock_guard<std::mutex> lock(shared->mu);
+  ServeLoadResult& t = shared->totals;
+  t.requests += local.requests;
+  t.ok += local.ok;
+  t.failures += local.failures;
+  t.mismatches += local.mismatches;
+  t.deadline_expired += local.deadline_expired;
+  t.attempts += cs.attempts;
+  t.retries += cs.retries;
+  t.overloaded += cs.overloaded;
+  t.reconnects += cs.reconnects;
+  if (t.error.empty() && !first_error.empty()) t.error = first_error;
+}
+
+}  // namespace
+
+ServeLoadResult run_serve_load(const ServeLoadConfig& cfg) {
+  const uint64_t nprogs = cfg.programs == 0 ? 1 : cfg.programs;
+  std::vector<std::string> programs;
+  programs.reserve(nprogs);
+  for (uint64_t i = 0; i < nprogs; ++i) programs.push_back(program_text(i));
+
+  Shared shared;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  const uint32_t nthreads = cfg.spec.threads == 0 ? 1 : cfg.spec.threads;
+  threads.reserve(nthreads);
+  for (uint32_t t = 0; t < nthreads; ++t)
+    threads.emplace_back(worker, std::cref(cfg), t, std::cref(programs),
+                         &shared);
+  for (std::thread& t : threads) t.join();
+  shared.totals.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (shared.totals.seconds > 0)
+    shared.totals.requests_per_sec =
+        static_cast<double>(shared.totals.requests) / shared.totals.seconds;
+  return shared.totals;
+}
+
+}  // namespace deepmc::load

@@ -1,0 +1,54 @@
+// `deepmc-load --serve-connect`: drive a running `deepmc serve` daemon
+// with a deterministic multi-client analyze storm, through the retrying
+// ServeClient (so sheds and transient faults are absorbed the way a real
+// fleet client would absorb them).
+//
+// Each worker thread owns one connection and walks the same deterministic
+// workload stream the in-process engine uses — op.key (hot-set or
+// Zipfian-skewed) picks which of `programs` generated MIR programs to
+// resubmit. Responses are checked for self-consistency: every response
+// for program i must be byte-identical to the first one seen for i, which
+// under the daemon's byte-identity contract means identical to a one-shot
+// run — at any --jobs, cold or warm, shed and retried or not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "load/workload.h"
+#include "serve/client.h"
+
+namespace deepmc::load {
+
+struct ServeLoadConfig {
+  std::string target;  ///< daemon socket path or host:port
+  /// threads/seed/keys/zipf_s of `spec` shape the request stream;
+  /// ops_per_thread is the request count per worker.
+  WorkloadSpec spec;
+  uint64_t programs = 8;    ///< distinct generated programs cycled by key
+  uint64_t deadline_ms = 0; ///< per-request deadline header (0 = none)
+  serve::RetryPolicy retry;
+};
+
+struct ServeLoadResult {
+  uint64_t requests = 0;    ///< logical requests issued
+  uint64_t ok = 0;          ///< status-0 responses
+  uint64_t failures = 0;    ///< retry budget exhausted or error status
+  uint64_t mismatches = 0;  ///< byte-identity violations across responses
+  uint64_t deadline_expired = 0;  ///< responses whose deadline fired
+  // Client-side resilience counters, summed over workers.
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t overloaded = 0;
+  uint64_t reconnects = 0;
+  double seconds = 0;
+  double requests_per_sec = 0;
+  std::string error;  ///< first failure detail, "" when none
+  [[nodiscard]] bool passed() const {
+    return failures == 0 && mismatches == 0;
+  }
+};
+
+ServeLoadResult run_serve_load(const ServeLoadConfig& cfg);
+
+}  // namespace deepmc::load

@@ -1,5 +1,8 @@
 #include "load/workload.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace deepmc::load {
 
 Rng thread_rng(const WorkloadSpec& spec, uint32_t thread) {
@@ -9,7 +12,33 @@ Rng thread_rng(const WorkloadSpec& spec, uint32_t thread) {
   return Rng(z);
 }
 
-LoadOp next_op(Rng& rng, const WorkloadSpec& spec) {
+ZipfDist ZipfDist::for_spec(const WorkloadSpec& spec) {
+  ZipfDist dist;
+  if (spec.zipf_s <= 0 || spec.keys < 2) return dist;
+  // Exact inverse-CDF table: p(k) ~ 1/(k+1)^s normalized by the
+  // generalized harmonic number. One pass, then every pick is a binary
+  // search — no per-op pow() and no rejection loop (a rejection sampler
+  // would consume a data-dependent number of draws and break the
+  // four-draws-per-op determinism contract).
+  dist.cdf_.resize(spec.keys);
+  double h = 0;
+  for (uint64_t k = 0; k < spec.keys; ++k) {
+    h += 1.0 / std::pow(static_cast<double>(k + 1), spec.zipf_s);
+    dist.cdf_[k] = h;
+  }
+  for (double& c : dist.cdf_) c /= h;
+  dist.cdf_.back() = 1.0;  // guard against accumulated rounding
+  return dist;
+}
+
+uint64_t ZipfDist::pick(double u) const {
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t idx = it == cdf_.end() ? cdf_.size() - 1
+                                      : static_cast<size_t>(it - cdf_.begin());
+  return static_cast<uint64_t>(idx);
+}
+
+LoadOp next_op(Rng& rng, const WorkloadSpec& spec, const ZipfDist& zipf) {
   LoadOp op;
   const uint64_t roll = rng.below(100);
   if (roll < spec.mix.get_pct) {
@@ -20,18 +49,32 @@ LoadOp next_op(Rng& rng, const WorkloadSpec& spec) {
     op.kind = OpKind::kDel;
   }
 
-  const uint64_t keys = spec.keys == 0 ? 1 : spec.keys;
-  uint64_t hot = static_cast<uint64_t>(static_cast<double>(keys) *
-                                       spec.hot_frac);
-  if (hot == 0) hot = 1;
-  if (hot > keys) hot = keys;
-  // Two draws, always: one for hot-vs-cold, one for the key, so every op
-  // consumes the same amount of randomness.
-  const bool in_hot = rng.uniform() < spec.hot_prob;
-  op.key = in_hot ? rng.below(hot) : rng.below(keys);
+  if (zipf.active()) {
+    // Same two draws as the hot-set path, in the same order: the uniform
+    // becomes the CDF probe, and the key draw is burned unused. Flipping
+    // zipf on therefore never shifts the value stream below.
+    const double u = rng.uniform();
+    (void)rng.next();
+    op.key = zipf.pick(u);
+  } else {
+    const uint64_t keys = spec.keys == 0 ? 1 : spec.keys;
+    uint64_t hot = static_cast<uint64_t>(static_cast<double>(keys) *
+                                         spec.hot_frac);
+    if (hot == 0) hot = 1;
+    if (hot > keys) hot = keys;
+    // Two draws, always: one for hot-vs-cold, one for the key, so every
+    // op consumes the same amount of randomness.
+    const bool in_hot = rng.uniform() < spec.hot_prob;
+    op.key = in_hot ? rng.below(hot) : rng.below(keys);
+  }
 
   op.value = rng.next() | 1;  // puts never store 0 (0 = "absent" sentinel)
   return op;
+}
+
+LoadOp next_op(Rng& rng, const WorkloadSpec& spec) {
+  static const ZipfDist inactive;
+  return next_op(rng, spec, inactive);
 }
 
 uint64_t schedule_hash(const WorkloadSpec& spec) {
@@ -42,11 +85,12 @@ uint64_t schedule_hash(const WorkloadSpec& spec) {
       h *= 0x100000001b3ull;
     }
   };
+  const ZipfDist zipf = ZipfDist::for_spec(spec);
   for (uint32_t t = 0; t < spec.threads; ++t) {
     Rng rng = thread_rng(spec, t);
     mix(t);
     for (uint64_t i = 0; i < spec.ops_per_thread; ++i) {
-      const LoadOp op = next_op(rng, spec);
+      const LoadOp op = next_op(rng, spec, zipf);
       mix(static_cast<uint64_t>(op.kind));
       mix(op.key);
       mix(op.value);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "support/rng.h"
 
@@ -45,6 +46,10 @@ struct WorkloadSpec {
   OpMix mix;
   double hot_frac = 0.2;     ///< fraction of keys forming the hot set
   double hot_prob = 0.8;     ///< probability an access hits the hot set
+  /// >0: replace the hot-set skew with a true bounded Zipfian over the
+  /// key space, p(k) ~ 1/(k+1)^s (s=0.99 is the YCSB default shape).
+  /// Key k IS popularity rank k, so rank-frequency monotonicity is exact.
+  double zipf_s = 0;
   uint64_t seed = 42;
   double duration_s = 0;     ///< >0: stop on wall clock instead of op count
                              ///< (schedule determinism holds in ops mode)
@@ -54,8 +59,32 @@ struct WorkloadSpec {
 /// t), so streams are independent and reproducible per thread.
 [[nodiscard]] Rng thread_rng(const WorkloadSpec& spec, uint32_t thread);
 
-/// The next op of a stream. Pure: consumes exactly three rng draws per op
-/// regardless of kind, so op index i of thread t is position-independent.
+/// Exact bounded Zipfian sampler by inverse-CDF table: O(keys) to build,
+/// O(log keys) per pick. Callers build one per (spec) — per worker thread
+/// is fine, the table is read-only after construction — and pass it to
+/// next_op so the per-op cost stays a binary search, not a harmonic sum.
+class ZipfDist {
+ public:
+  /// Inactive (never consulted) when spec.zipf_s <= 0 or keys < 2.
+  ZipfDist() = default;
+  [[nodiscard]] static ZipfDist for_spec(const WorkloadSpec& spec);
+
+  [[nodiscard]] bool active() const { return !cdf_.empty(); }
+  /// Key for a uniform u in [0,1). Key 0 is the most popular rank.
+  [[nodiscard]] uint64_t pick(double u) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(key <= k), last entry 1.0
+};
+
+/// The next op of a stream. Pure: consumes exactly four rng draws per op
+/// regardless of kind — op kind, key skew, key, value — so op index i of
+/// thread t is position-independent, and the zipf and hot-set paths stay
+/// draw-compatible (turning zipf on never shifts the value stream).
+[[nodiscard]] LoadOp next_op(Rng& rng, const WorkloadSpec& spec,
+                             const ZipfDist& zipf);
+/// Hot-set-only convenience overload: ignores spec.zipf_s. Zipf callers
+/// build a ZipfDist::for_spec once and use the three-argument form.
 [[nodiscard]] LoadOp next_op(Rng& rng, const WorkloadSpec& spec);
 
 /// FNV-1a fingerprint over every thread's full op stream, in thread order.

@@ -1,0 +1,175 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace deepmc::serve {
+
+namespace {
+
+/// "host:port" with an IPv4-literal host and a numeric port? Everything
+/// else is a Unix socket path (paths with colons stay paths unless they
+/// fully parse as an address, so /tmp/x:1.sock-style names still work).
+bool parse_tcp_target(const std::string& target, sockaddr_in* out) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string host = target.substr(0, colon);
+  const std::string port_str = target.substr(colon + 1);
+  if (host.empty()) host = "127.0.0.1";
+  if (port_str.empty()) return false;
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if ((end && *end != '\0') || port <= 0 || port > 65535) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+  *out = addr;
+  return true;
+}
+
+}  // namespace
+
+int connect_target(const std::string& target, std::string* err) {
+  sockaddr_in tcp{};
+  if (parse_tcp_target(target, &tcp)) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (err) *err = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&tcp), sizeof tcp) <
+        0) {
+      if (err) *err = "connect " + target + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_un addr{};
+  if (target.size() >= sizeof(addr.sun_path)) {
+    if (err) *err = "socket path too long: " + target;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, target.c_str(), target.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (err) *err = "connect " + target + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+ServeClient::ServeClient(std::string target, RetryPolicy policy)
+    : target_(std::move(target)),
+      policy_(policy),
+      rng_(std::random_device{}()) {}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServeClient::ensure_connected(std::string* err) {
+  if (fd_ >= 0) return true;
+  fd_ = connect_target(target_, err);
+  if (fd_ < 0) return false;
+  ++stats_.reconnects;
+  return true;
+}
+
+uint64_t ServeClient::next_delay_ms() {
+  // Decorrelated jitter: uniform over [base, prev*3], capped. Retrying
+  // clients in a storm spread out instead of thundering in lockstep.
+  const uint64_t lo = policy_.base_delay_ms == 0 ? 1 : policy_.base_delay_ms;
+  const uint64_t hi = prev_delay_ms_ < lo ? lo * 3 : prev_delay_ms_ * 3;
+  std::uniform_int_distribution<uint64_t> dist(lo, hi < lo ? lo : hi);
+  uint64_t d = dist(rng_);
+  if (policy_.max_delay_ms > 0 && d > policy_.max_delay_ms)
+    d = policy_.max_delay_ms;
+  prev_delay_ms_ = d;
+  return d;
+}
+
+bool ServeClient::call(const RequestFrame& req, ResponseFrame* resp,
+                       std::string* err) {
+  // Stable id across every attempt of this one call: a header without an
+  // "id" gets one injected so daemon-side spans/flight events can
+  // collapse retries of the same logical request.
+  RequestFrame framed = req;
+  if (!json_string_field(framed.header, "id")) {
+    const std::string field = "\"id\": \"c-" + std::to_string(::getpid()) +
+                              "-" + std::to_string(++id_seq_) + "\"";
+    std::string& h = framed.header;
+    if (h.empty()) {
+      h = "{" + field + "}";
+    } else if (h.front() == '{') {
+      size_t p = 1;
+      while (p < h.size() && (h[p] == ' ' || h[p] == '\t')) ++p;
+      const bool empty_obj = p < h.size() && h[p] == '}';
+      h.insert(1, empty_obj ? field : field + ", ");
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(policy_.retry_budget_ms);
+  prev_delay_ms_ = 0;
+  std::string last_err;
+  for (int attempt = 0;; ++attempt) {
+    ++stats_.attempts;
+    std::string connect_err;
+    if (!ensure_connected(&connect_err)) {
+      last_err = connect_err;  // daemon may be draining/restarting — retry
+    } else if (!write_request(fd_, framed) || read_response(fd_, resp) != 1) {
+      last_err = "connection to " + target_ + " dropped mid-request";
+    } else if (resp->status == kStatusOverloaded) {
+      ++stats_.overloaded;
+      last_err = json_string_field(resp->meta, "error").value_or("overloaded");
+    } else if (resp->status != kStatusOk &&
+               json_bool_field(resp->meta, "retryable").value_or(false)) {
+      last_err = json_string_field(resp->meta, "error")
+                     .value_or("retryable server error");
+    } else {
+      return true;
+    }
+    // Always reconnect on a retryable failure: a shed/dropped connection
+    // is dead, and a sticky per-session fault trip (serve.accept:N) must
+    // not consume the rest of the budget on one doomed session.
+    close();
+    if (attempt >= policy_.max_retries) {
+      if (err) *err = last_err + " (after " + std::to_string(attempt + 1) +
+                      " attempts)";
+      return false;
+    }
+    const uint64_t delay = next_delay_ms();
+    if (std::chrono::steady_clock::now() + std::chrono::milliseconds(delay) >=
+        deadline) {
+      if (err) *err = last_err + " (retry budget exhausted)";
+      return false;
+    }
+    ++stats_.retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+}  // namespace deepmc::serve

@@ -1,8 +1,10 @@
 #include "serve/protocol.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace deepmc::serve {
@@ -28,6 +30,48 @@ int read_payload(int fd, std::string* out, size_t n) {
   if (n == 0) return 1;
   const int rc = read_exact(fd, out->data(), n);
   return rc == 1 ? 1 : -1;  // EOF mid-frame is malformed, not clean
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// read_exact against an absolute deadline, using poll() so a stalled
+/// peer cannot pin the thread in a blocking read. Returns 1 / 0 / -1 like
+/// read_exact, plus -2 when the deadline passes first.
+int read_exact_deadline(int fd, void* buf, size_t n,
+                        SteadyClock::time_point deadline) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    const auto now = SteadyClock::now();
+    if (now >= deadline) return -2;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (pr == 0) return -2;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    const ssize_t rc = ::read(fd, p + got, n - got);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return got == 0 ? 0 : -1;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return -1;
+  }
+  return 1;
+}
+
+int read_payload_deadline(int fd, std::string* out, size_t n,
+                          SteadyClock::time_point deadline) {
+  out->resize(n);
+  if (n == 0) return 1;
+  const int rc = read_exact_deadline(fd, out->data(), n, deadline);
+  if (rc == -2) return -2;
+  return rc == 1 ? 1 : -1;
 }
 
 }  // namespace
@@ -74,6 +118,33 @@ int read_request(int fd, RequestFrame* out) {
   if (header_len > kMaxHeaderBytes || body_len > kMaxBodyBytes) return -1;
   if (read_payload(fd, &out->header, header_len) != 1) return -1;
   if (read_payload(fd, &out->body, body_len) != 1) return -1;
+  return 1;
+}
+
+int read_request_timed(int fd, RequestFrame* out, uint64_t timeout_ms) {
+  if (timeout_ms == 0) return read_request(fd, out);
+  const auto window = std::chrono::milliseconds(timeout_ms);
+  // Idle bound: the first byte of the next frame must arrive within one
+  // window. Once it does, the frame clock restarts — a legitimately idle
+  // keep-alive client is not penalized for the wait.
+  char head[16];
+  auto deadline = SteadyClock::now() + window;
+  int rc = read_exact_deadline(fd, head, 1, deadline);
+  if (rc != 1) return rc;
+  // Stall bound: the rest of the frame shares one fresh window.
+  deadline = SteadyClock::now() + window;
+  rc = read_exact_deadline(fd, head + 1, sizeof head - 1, deadline);
+  if (rc == -2) return -2;
+  if (rc != 1) return -1;  // EOF mid-header is truncation
+  if (std::memcmp(head, kRequestMagic, 4) != 0) return -1;
+  if (get_u32(head + 4) != kProtocolVersion) return -1;
+  const uint32_t header_len = get_u32(head + 8);
+  const uint32_t body_len = get_u32(head + 12);
+  if (header_len > kMaxHeaderBytes || body_len > kMaxBodyBytes) return -1;
+  rc = read_payload_deadline(fd, &out->header, header_len, deadline);
+  if (rc != 1) return rc;
+  rc = read_payload_deadline(fd, &out->body, body_len, deadline);
+  if (rc != 1) return rc;
   return 1;
 }
 

@@ -8,8 +8,10 @@
 //              u32 body_len         meta (flat JSON)  body (report)
 //
 // All integers little-endian. status 0 = ok, 1 = error (meta carries
-// "error"). Header/meta are single-level JSON objects of string, number,
-// and boolean fields — parsed here with a small scanner, no JSON library.
+// "error"), 2 = overloaded — a retryable admission-control rejection (the
+// daemon's accept queue was full; back off and resend the same request).
+// Header/meta are single-level JSON objects of string, number, and
+// boolean fields — parsed here with a small scanner, no JSON library.
 #pragma once
 
 #include <cstdint>
@@ -23,13 +25,20 @@ inline constexpr uint32_t kProtocolVersion = 1;
 inline constexpr size_t kMaxHeaderBytes = 1u << 20;   ///< 1 MiB
 inline constexpr size_t kMaxBodyBytes = 256u << 20;   ///< 256 MiB
 
+/// Response status codes. Overloaded responses carry meta
+/// {"error": ..., "retryable": true} and an empty body; a well-behaved
+/// client backs off (exponential + jitter) and resends the request.
+inline constexpr uint32_t kStatusOk = 0;
+inline constexpr uint32_t kStatusError = 1;
+inline constexpr uint32_t kStatusOverloaded = 2;
+
 struct RequestFrame {
   std::string header;  ///< flat JSON: op/name/model/format/timing/corpus
   std::string body;    ///< MIR text for op "analyze"
 };
 
 struct ResponseFrame {
-  uint32_t status = 0;  ///< 0 ok, 1 error
+  uint32_t status = 0;  ///< kStatusOk / kStatusError / kStatusOverloaded
   std::string meta;     ///< flat JSON: exit/cache/failed/degraded/warnings
   std::string body;     ///< rendered report
 };
@@ -43,6 +52,13 @@ bool write_exact(int fd, const void* buf, size_t n);
 /// Frame I/O. Readers return 1 ok / 0 clean EOF / -1 malformed or I/O
 /// error; writers return false on I/O error.
 int read_request(int fd, RequestFrame* out);
+/// Timed variant for socket sessions (`timeout_ms` 0 = read_request).
+/// Two bounds, both `timeout_ms`: an idle connection must deliver its
+/// first byte within it, and once a frame starts, the whole frame must
+/// arrive within it — a slowloris drip-feed cannot hold a session slot
+/// past one window per frame. Returns 1 / 0 / -1 as above, plus -2 when
+/// a bound expires (close the connection, no response owed).
+int read_request_timed(int fd, RequestFrame* out, uint64_t timeout_ms);
 bool write_request(int fd, const RequestFrame& frame);
 int read_response(int fd, ResponseFrame* out);
 bool write_response(int fd, const ResponseFrame& frame);

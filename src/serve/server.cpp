@@ -1,12 +1,11 @@
 #include "serve/server.h"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +21,8 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "support/faultpoint.h"
@@ -34,10 +35,22 @@ namespace {
 /// field. Process-wide so ids stay unique across connections.
 std::atomic<uint64_t> g_request_seq{0};
 
-ResponseFrame error_response(const std::string& message) {
+obs::Counter& io_timeouts_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.io_timeouts_total", obs::Volatility::kVolatile,
+      "sessions closed because a request frame stalled past the I/O bound");
+  return c;
+}
+
+/// Retryable errors (injected serve.accept faults, transient conditions)
+/// tell the client the *next* attempt may succeed — on a fresh
+/// connection, since fault trips are sticky per session.
+ResponseFrame error_response(const std::string& message,
+                             bool retryable = false) {
   ResponseFrame resp;
-  resp.status = 1;
-  resp.meta = "{\"error\": " + core::json_quote(message) + "}";
+  resp.status = kStatusError;
+  resp.meta = "{\"error\": " + core::json_quote(message) +
+              (retryable ? ", \"retryable\": true}" : "}");
   return resp;
 }
 
@@ -48,6 +61,7 @@ std::string analyze_meta(const ServeResult& r, const std::string& rid) {
      << ", \"cache\": " << core::json_quote(r.cache)
      << ", \"failed\": " << (r.failed ? "true" : "false")
      << ", \"degraded\": " << (r.degraded ? "true" : "false")
+     << ", \"deadline_expired\": " << (r.deadline_expired ? "true" : "false")
      << ", \"warnings\": " << r.warnings << "}";
   return os.str();
 }
@@ -84,9 +98,20 @@ ResponseFrame handle_metrics(const AnalysisService& service,
 /// One analyze request: resolve corpus/body input and per-request options
 /// from the header, run the service, frame the response.
 ResponseFrame handle_analyze(AnalysisService& service, const RequestFrame& req,
-                             const std::string& rid) {
+                             const std::string& rid,
+                             uint64_t default_deadline_ms) {
   RequestOptions ropts;
   ropts.request_id = rid;
+  // Effective deadline: the smaller of the daemon's --request-timeout-ms
+  // and the client's "deadline_ms" header (0 on either side = defer to
+  // the other). The client cannot opt out of the daemon's bound.
+  ropts.deadline_ms = default_deadline_ms;
+  if (auto d = json_num_field(req.header, "deadline_ms"); d && *d > 0) {
+    const auto client_ms = static_cast<uint64_t>(*d);
+    ropts.deadline_ms = ropts.deadline_ms == 0
+                            ? client_ms
+                            : std::min(ropts.deadline_ms, client_ms);
+  }
   if (auto model = json_string_field(req.header, "model")) {
     auto parsed = core::parse_model_flag(*model);
     if (!parsed) return error_response("unknown model '" + *model + "'");
@@ -132,16 +157,27 @@ ResponseFrame handle_analyze(AnalysisService& service, const RequestFrame& req,
 
 }  // namespace
 
-int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
+int serve_stream(AnalysisService& service, int in_fd, int out_fd,
+                 const SessionHooks* hooks) {
   // One fault scope for the whole session: "serve.accept:N" trips on the
   // N-th request of this stream and stays tripped (sticky), while
   // cache.read/cache.write trips are absorbed inside DiskCache.
   support::FaultScope faults;
   support::FaultActivation activation(&faults);
+  const uint64_t io_timeout_ms = hooks ? hooks->io_timeout_ms : 0;
+  const uint64_t default_deadline_ms = hooks ? hooks->default_deadline_ms : 0;
   while (true) {
     RequestFrame req;
-    const int rc = read_request(in_fd, &req);
+    const int rc = read_request_timed(in_fd, &req, io_timeout_ms);
     if (rc == 0) return 0;  // clean EOF
+    if (rc == -2) {
+      // Frame-read timeout: the peer went idle mid-frame (slowloris or a
+      // stalled client). No response is owed to a request that never
+      // finished arriving — count it and release the session slot.
+      io_timeouts_total().inc();
+      if (obs::flight().armed()) obs::flight().record("serve.io_timeout", "");
+      return 0;
+    }
     if (rc < 0) {
       // Malformed frame: the stream is unsynchronized, so answer once
       // (best effort) and drop the connection rather than guess.
@@ -151,7 +187,9 @@ int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
     try {
       DEEPMC_FAULTPOINT("serve.accept");
     } catch (const support::FaultInjected& e) {
-      if (!write_response(out_fd, error_response(e.what()))) return 0;
+      // Retryable: the trip is sticky for *this* session, so a client
+      // that reconnects gets a fresh fault scope and a fresh countdown.
+      if (!write_response(out_fd, error_response(e.what(), true))) return 0;
       continue;
     }
     const std::string op =
@@ -202,7 +240,7 @@ int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
       resp.meta = "{\"shutdown\": true}";
       shutdown = true;
     } else if (op == "analyze") {
-      resp = handle_analyze(service, req, rid);
+      resp = handle_analyze(service, req, rid, default_deadline_ms);
     } else {
       resp = error_response("unknown op '" + op + "'");
     }
@@ -212,45 +250,13 @@ int serve_stream(AnalysisService& service, int in_fd, int out_fd) {
 }
 
 int serve_unix_socket(AnalysisService& service, const std::string& path) {
-  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "deepmc serve: socket path too long: %s\n",
-                 path.c_str());
+  ServeDaemon daemon(service, DaemonOptions{});
+  std::string err;
+  if (!daemon.listen_unix(path, &err)) {
+    std::fprintf(stderr, "deepmc serve: %s\n", err.c_str());
     return 65;
   }
-  ::unlink(path.c_str());
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("deepmc serve: socket");
-    return 65;
-  }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 8) < 0) {
-    std::perror("deepmc serve: bind/listen");
-    ::close(fd);
-    return 65;
-  }
-  std::printf("deepmc-serve: listening on %s\n", path.c_str());
-  std::fflush(stdout);
-  int rc = 0;
-  while (true) {
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      std::perror("deepmc serve: accept");
-      rc = 65;
-      break;
-    }
-    const int stream_rc = serve_stream(service, conn, conn);
-    ::close(conn);
-    if (stream_rc == 1) break;  // clean shutdown request
-  }
-  ::close(fd);
-  ::unlink(path.c_str());
-  return rc;
+  return daemon.run();
 }
 
 namespace {
@@ -258,12 +264,22 @@ namespace {
 int usage(FILE* out) {
   std::fprintf(
       out,
-      "usage: deepmc serve --socket PATH | --stdin    (daemon)\n"
-      "       deepmc serve --connect PATH [...]       (client)\n"
+      "usage: deepmc serve --socket PATH | --listen HOST:PORT | --stdin\n"
+      "       deepmc serve --connect TARGET [...]     (client)\n"
       "\n"
       "daemon options:\n"
       "  --socket PATH        listen on a Unix-domain socket\n"
+      "  --listen HOST:PORT   also/instead listen on localhost TCP\n"
+      "                       (port 0 = ephemeral, printed on startup)\n"
       "  --stdin              serve one framed stream on stdin/stdout\n"
+      "  --max-sessions N     concurrent client sessions (default 4)\n"
+      "  --accept-queue N     accepted-but-unserved bound; beyond it new\n"
+      "                       connections are shed with a retryable\n"
+      "                       'overloaded' response (default 16)\n"
+      "  --request-timeout-ms N   default per-request deadline; expiry\n"
+      "                       degrades that request, not the daemon (0 = off)\n"
+      "  --io-timeout-ms N    per-frame read bound; a stalled frame closes\n"
+      "                       its session (default 30000, 0 = off)\n"
       "  --cache-dir DIR      persist per-function results under DIR\n"
       "  --cache-version N    override the cache entry format version\n"
       "  --cache-max-entries N  LRU bound on cached entries (0 = unbounded)\n"
@@ -276,11 +292,14 @@ int usage(FILE* out) {
       "  --flight-out FILE    dump the flight recorder (JSONL) on exit\n"
       "\n"
       "client options:\n"
-      "  --connect PATH       connect to a serving daemon\n"
+      "  --connect TARGET     socket path or HOST:PORT of a daemon\n"
       "  file.mir...          analyze files (framed as requests)\n"
       "  --corpus NAME        analyze a built-in corpus module\n"
       "  --format text|json   response rendering (default json)\n"
       "  --timing             include per-unit elapsed_ms\n"
+      "  --deadline-ms N      per-request deadline sent in the header\n"
+      "  --max-retries N      retries of retryable failures (default 4)\n"
+      "  --retry-budget-ms N  wall-clock cap across retries (default 2000)\n"
       "  -strict|-epoch|-strand   request model override\n"
       "  --ping               round-trip check\n"
       "  --cache-stats        print server cache statistics\n"
@@ -292,28 +311,14 @@ int usage(FILE* out) {
   return out == stderr ? 64 : 0;
 }
 
-int connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) return -1;
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-      0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
 struct ClientJob {
   bool corpus = false;
   std::string name;  ///< file path or corpus module name
 };
 
 std::string analyze_header(const ClientJob& job, const std::string& model,
-                           const std::string& format, bool timing) {
+                           const std::string& format, bool timing,
+                           uint64_t deadline_ms) {
   std::ostringstream os;
   os << "{\"op\": \"analyze\"";
   if (job.corpus)
@@ -321,14 +326,10 @@ std::string analyze_header(const ClientJob& job, const std::string& model,
   else
     os << ", \"name\": " << core::json_quote(job.name);
   if (!model.empty()) os << ", \"model\": " << core::json_quote(model);
+  if (deadline_ms > 0) os << ", \"deadline_ms\": " << deadline_ms;
   os << ", \"format\": " << core::json_quote(format)
      << ", \"timing\": " << (timing ? "true" : "false") << "}";
   return os.str();
-}
-
-/// One request/response round trip; returns false on a transport error.
-bool round_trip(int fd, const RequestFrame& req, ResponseFrame* resp) {
-  return write_request(fd, req) && read_response(fd, resp) == 1;
 }
 
 /// Client-side telemetry verbs, gathered so client_main stays readable.
@@ -342,29 +343,34 @@ struct TelemetryFetch {
   }
 };
 
-int client_main(const std::string& socket_path,
-                const std::vector<ClientJob>& jobs, const std::string& model,
-                const std::string& format, bool timing, bool ping,
-                bool cache_stats, const TelemetryFetch& telemetry,
+int client_main(const std::string& target, const std::vector<ClientJob>& jobs,
+                const std::string& model, const std::string& format,
+                bool timing, uint64_t deadline_ms, const RetryPolicy& policy,
+                bool ping, bool cache_stats, const TelemetryFetch& telemetry,
                 bool shutdown) {
-  const int fd = connect_unix(socket_path);
-  if (fd < 0) {
-    std::fprintf(stderr, "deepmc serve: cannot connect to %s\n",
-                 socket_path.c_str());
-    return 65;
-  }
+  // Every round trip goes through the retrying client: overloaded sheds,
+  // retryable fault errors, and dropped connections back off (with
+  // jitter) and resend on a fresh connection.
+  ServeClient client(target, policy);
   bool any_failed = false;
   bool any_degraded = false;
   bool transport_error = false;
   uint64_t warnings = 0;
   ResponseFrame resp;
+  std::string call_err;
+  auto call = [&](const RequestFrame& req) {
+    if (client.call(req, &resp, &call_err)) return true;
+    std::fprintf(stderr, "deepmc serve: %s\n", call_err.c_str());
+    transport_error = true;
+    return false;
+  };
   if (ping) {
     RequestFrame req;
     req.header = "{\"op\": \"ping\"}";
-    if (round_trip(fd, req, &resp) && resp.status == 0 &&
+    if (call(req) && resp.status == kStatusOk &&
         json_bool_field(resp.meta, "pong").value_or(false)) {
       std::printf("pong\n");
-    } else {
+    } else if (!transport_error) {
       std::fprintf(stderr, "deepmc serve: ping failed\n");
       transport_error = true;
     }
@@ -372,7 +378,7 @@ int client_main(const std::string& socket_path,
   for (const ClientJob& job : jobs) {
     if (transport_error) break;
     RequestFrame req;
-    req.header = analyze_header(job, model, format, timing);
+    req.header = analyze_header(job, model, format, timing, deadline_ms);
     if (!job.corpus) {
       std::ifstream in(job.name, std::ios::binary);
       if (!in) {
@@ -385,11 +391,8 @@ int client_main(const std::string& socket_path,
       body << in.rdbuf();
       req.body = body.str();
     }
-    if (!round_trip(fd, req, &resp)) {
-      transport_error = true;
-      break;
-    }
-    if (resp.status != 0) {
+    if (!call(req)) break;
+    if (resp.status != kStatusOk) {
       std::fprintf(stderr, "deepmc serve: %s: %s\n", job.name.c_str(),
                    json_string_field(resp.meta, "error")
                        .value_or("request failed")
@@ -408,7 +411,7 @@ int client_main(const std::string& socket_path,
   if (cache_stats && !transport_error) {
     RequestFrame req;
     req.header = "{\"op\": \"stats\"}";
-    if (round_trip(fd, req, &resp) && resp.status == 0) {
+    if (call(req) && resp.status == kStatusOk) {
       std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
       std::printf("\n");
     } else {
@@ -421,7 +424,7 @@ int client_main(const std::string& socket_path,
     if (transport_error) return;
     RequestFrame req;
     req.header = header;
-    if (round_trip(fd, req, &resp) && resp.status == 0) {
+    if (call(req) && resp.status == kStatusOk) {
       std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
       if (!resp.body.empty() && resp.body.back() != '\n') std::printf("\n");
     } else {
@@ -435,14 +438,12 @@ int client_main(const std::string& socket_path,
   if (shutdown && !transport_error) {
     RequestFrame req;
     req.header = "{\"op\": \"shutdown\"}";
-    if (!round_trip(fd, req, &resp) || resp.status != 0)
-      transport_error = true;
+    if (!call(req) || resp.status != kStatusOk) transport_error = true;
   }
   std::fflush(stdout);
-  ::close(fd);
   if (transport_error) {
     std::fprintf(stderr, "deepmc serve: connection to %s failed\n",
-                 socket_path.c_str());
+                 target.c_str());
     return 65;
   }
   // Same precedence as the one-shot CLI: failed > degraded > warning count.
@@ -455,12 +456,16 @@ int client_main(const std::string& socket_path,
 
 int serve_cli(int argc, char** argv) {
   std::string socket_path;
+  std::string listen_spec;
   std::string connect_path;
   bool use_stdin = false;
   ServeOptions sopts;
+  DaemonOptions daemon_opts;
   std::string client_model;
   std::string format = "json";
   bool timing = false;
+  uint64_t deadline_ms = 0;
+  RetryPolicy retry_policy;
   bool ping = false;
   bool cache_stats = false;
   bool shutdown = false;
@@ -477,11 +482,37 @@ int serve_cli(int argc, char** argv) {
     if (arg == "--socket") {
       if (!need_value(i)) return usage(stderr);
       socket_path = argv[++i];
+    } else if (arg == "--listen") {
+      if (!need_value(i)) return usage(stderr);
+      listen_spec = argv[++i];
     } else if (arg == "--stdin") {
       use_stdin = true;
     } else if (arg == "--connect") {
       if (!need_value(i)) return usage(stderr);
       connect_path = argv[++i];
+    } else if (arg == "--max-sessions") {
+      if (!need_value(i)) return usage(stderr);
+      daemon_opts.max_sessions = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--accept-queue") {
+      if (!need_value(i)) return usage(stderr);
+      daemon_opts.accept_queue = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--request-timeout-ms") {
+      if (!need_value(i)) return usage(stderr);
+      daemon_opts.request_timeout_ms =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--io-timeout-ms") {
+      if (!need_value(i)) return usage(stderr);
+      daemon_opts.io_timeout_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--deadline-ms") {
+      if (!need_value(i)) return usage(stderr);
+      deadline_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-retries") {
+      if (!need_value(i)) return usage(stderr);
+      retry_policy.max_retries = std::atoi(argv[++i]);
+    } else if (arg == "--retry-budget-ms") {
+      if (!need_value(i)) return usage(stderr);
+      retry_policy.retry_budget_ms =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--cache-dir") {
       if (!need_value(i)) return usage(stderr);
       sopts.cache_dir = argv[++i];
@@ -544,15 +575,19 @@ int serve_cli(int argc, char** argv) {
   }
 
   if (!connect_path.empty()) {
-    if (!socket_path.empty() || use_stdin) return usage(stderr);
+    if (!socket_path.empty() || !listen_spec.empty() || use_stdin)
+      return usage(stderr);
     if (jobs.empty() && !ping && !cache_stats && !shutdown && !telemetry.any())
       return usage(stderr);
-    return client_main(connect_path, jobs, client_model, format, timing, ping,
-                       cache_stats, telemetry, shutdown);
+    return client_main(connect_path, jobs, client_model, format, timing,
+                       deadline_ms, retry_policy, ping, cache_stats, telemetry,
+                       shutdown);
   }
-  if (socket_path.empty() == !use_stdin) return usage(stderr);  // exactly one
+  // Daemon mode: --stdin alone, or any combination of --socket/--listen.
+  const bool have_listener = !socket_path.empty() || !listen_spec.empty();
+  if (use_stdin == have_listener) return usage(stderr);  // exactly one mode
   if (!jobs.empty() || ping || cache_stats || shutdown || timing ||
-      telemetry.any())
+      deadline_ms > 0 || telemetry.any())
     return usage(stderr);  // client-only flags without --connect
 
   std::string fault_error;
@@ -579,7 +614,18 @@ int serve_cli(int argc, char** argv) {
   if (use_stdin) {
     serve_stream(service, STDIN_FILENO, STDOUT_FILENO);
   } else {
-    rc = serve_unix_socket(service, socket_path);
+    ServeDaemon daemon(service, daemon_opts);
+    std::string err;
+    if (!socket_path.empty() && !daemon.listen_unix(socket_path, &err)) {
+      std::fprintf(stderr, "deepmc serve: %s\n", err.c_str());
+      return 65;
+    }
+    if (!listen_spec.empty() && !daemon.listen_tcp(listen_spec, &err)) {
+      std::fprintf(stderr, "deepmc serve: %s\n", err.c_str());
+      return 65;
+    }
+    daemon.arm_signal_drain();
+    rc = daemon.run();
   }
   if (!flight_out.empty() && obs::flight().armed() &&
       !obs::flight().dump_file(flight_out)) {

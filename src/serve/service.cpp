@@ -60,6 +60,12 @@ obs::Histogram& request_us_hist() {
       "end-to-end analyze request latency", obs::time_buckets_us());
   return h;
 }
+obs::Counter& deadline_expired_total() {
+  static obs::Counter c = obs::registry().counter(
+      "serve.deadline_expired_total", obs::Volatility::kVolatile,
+      "requests whose wall-clock deadline watchdog fired");
+  return c;
+}
 
 /// Join two rendered span-arg pairs, either of which may be "" (tracer
 /// inactive, or no request id on the wire).
@@ -74,11 +80,16 @@ std::string join_args(std::string a, const std::string& b) {
 /// Options the wire format cannot represent faithfully disable caching
 /// for the whole request (dynamic findings, crashsim blocks, dumps,
 /// suggestion text, suppression accounting, and budget-degraded rungs all
-/// live outside the encoded payload).
+/// live outside the encoded payload). Wall-clock deadlines (budgets.wall_ms
+/// and the per-request deadline_at) stay cache-safe: the watchdog only
+/// cancels, so a unit that *finished* is byte-identical to an unbounded
+/// run, and cancelled units are never kOk so never stored —
+/// options_fingerprint likewise excludes them.
 bool cache_safe(const core::DriverOptions& o) {
   return !o.dynamic_run && !o.crashsim && !o.dump_ir && !o.dump_dsg &&
          !o.dump_traces && !o.suggest && o.suppressions.size() == 0 &&
-         !o.budgets.any();
+         !o.budgets.trace_steps && !o.budgets.dsa_steps &&
+         !o.budgets.enum_images && !o.budgets.interp_steps;
 }
 
 int exit_code_for(const core::Report& report) {
@@ -144,6 +155,9 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
 
   core::DriverOptions dopts = opts_.driver;
   if (req.model) dopts.model = *req.model;
+  if (req.deadline_ms > 0)
+    dopts.deadline_at = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(req.deadline_ms);
   const bool eligible = cache_.enabled() && cache_safe(dopts);
   const std::string options_fp = options_fingerprint(dopts);
   const std::string ukey = unit_key(options_fp, name, text);
@@ -261,6 +275,11 @@ ServeResult AnalysisService::analyze_report(const std::string& name,
   res.failed = report.any_failed();
   res.degraded = report.any_degraded();
   res.warnings = report.total_warnings();
+  for (const core::UnitReport& ur : report.units()) {
+    const std::string& reason = ur.failed ? ur.fail_reason : ur.degraded.reason;
+    if (reason == "budget-exhausted:wall-clock") res.deadline_expired = true;
+  }
+  if (res.deadline_expired) deadline_expired_total().inc();
   finish(res);
   return res;
 }

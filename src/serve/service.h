@@ -44,6 +44,11 @@ struct RequestOptions {
   /// (the header "id" field; the server assigns "req-N" when absent).
   /// Telemetry-only: the response body never depends on it.
   std::string request_id;
+  /// Wall-clock deadline for this one request (0 = none): armed as an
+  /// absolute DriverOptions::deadline_at so the whole degradation ladder
+  /// shares one bound. Expiry degrades/fails *this* request exactly like
+  /// a one-shot run under --budget-wall-ms; the daemon is untouched.
+  uint64_t deadline_ms = 0;
 };
 
 struct ServeResult {
@@ -53,6 +58,9 @@ struct ServeResult {
   bool degraded = false;
   uint64_t warnings = 0;
   std::string cache;     ///< "unit-hit" | "warm" | "cold" | "off"
+  /// The request's deadline watchdog fired (a unit degraded or failed
+  /// with reason "budget-exhausted:wall-clock").
+  bool deadline_expired = false;
 };
 
 class AnalysisService {

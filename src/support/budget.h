@@ -96,7 +96,14 @@ class CancelToken {
   /// Arm the wall-clock watchdog: check() calls at or past the deadline
   /// cancel the token with a "wall-clock budget exceeded" reason.
   void arm_deadline(std::chrono::milliseconds budget) const {
-    state_->deadline = std::chrono::steady_clock::now() + budget;
+    arm_deadline_at(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// Absolute-deadline variant: lets a caller holding one request-wide
+  /// deadline (serve per-request timeouts) arm successive tokens against
+  /// the same wall-clock point, so retries never extend the total bound.
+  void arm_deadline_at(std::chrono::steady_clock::time_point deadline) const {
+    state_->deadline = deadline;
     state_->deadline_armed.store(true, std::memory_order_release);
   }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "load/engine.h"
+#include "load/serve_driver.h"
 #include "load/shards.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
@@ -32,16 +33,26 @@ void usage() {
       stderr,
       "usage: deepmc-load [--framework F|all] [--threads N] [--ops N]\n"
       "                   [--keys N] [--duration SEC] [--mix GET:PUT:DEL]\n"
-      "                   [--hot-frac F] [--hot-prob P] [--seed N]\n"
+      "                   [--hot-frac F] [--hot-prob P] [--zipf S] [--seed N]\n"
       "                   [--checker off|shared|per-shard] [--sample N]\n"
       "                   [--rt-shards N] [--rt-buffer N] [--seed-bugs]\n"
       "                   [--crash-at N | --crash-random] [--pool-bytes N]\n"
       "                   [--schedule-hash] [--json] [--latency-json]\n"
       "                   [--flight-out FILE]\n"
       "                   [--inject-fault NAME:COUNT] [--list-fault-points]\n"
+      "       deepmc-load --serve-connect TARGET [--threads N] [--ops N]\n"
+      "                   [--serve-programs N] [--zipf S] [--seed N]\n"
+      "                   [--deadline-ms N] [--max-retries N]\n"
+      "                   [--retry-budget-ms N] [--json]\n"
       "\n"
       "frameworks: pmdk_mini mnemosyne_mini pmfs_mini nvmdirect_mini\n"
       "\n"
+      "--zipf S replaces the hot-set skew with a true bounded Zipfian\n"
+      "(p(k) ~ 1/(k+1)^s; 0.99 is the YCSB shape). --serve-connect drives a\n"
+      "running `deepmc serve` daemon (socket path or host:port) instead of\n"
+      "the in-process frameworks: each thread holds one retrying client and\n"
+      "resubmits generated programs, verifying responses stay\n"
+      "byte-identical per program.\n"
       "--latency-json times every op into per-op-type histograms (get/put/\n"
       "del) and prints them with p50/p90/p99; --flight-out arms the flight\n"
       "recorder and dumps recent events (JSONL) at exit (also via\n"
@@ -234,6 +245,9 @@ int main(int argc, char** argv) {
   uint64_t sample = 1, rt_shards = 64, rt_buffer = 128;
   uint64_t crash_at = 0;
   bool have_crash_at = false;
+  std::string serve_target;
+  uint64_t serve_programs = 8, deadline_ms = 0;
+  uint64_t max_retries = 4, retry_budget_ms = 2000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -242,8 +256,17 @@ int main(int argc, char** argv) {
     if (str_flag("--framework", arg, argc, argv, i, &framework) ||
         str_flag("--checker", arg, argc, argv, i, &checker) ||
         str_flag("--mix", arg, argc, argv, i, &mix) ||
+        str_flag("--serve-connect", arg, argc, argv, i, &serve_target) ||
         str_flag("--flight-out", arg, argc, argv, i, &flight_out)) {
       continue;
+    } else if (num_flag("--serve-programs", arg, argc, argv, i,
+                        &serve_programs, &ok)) {
+    } else if (num_flag("--deadline-ms", arg, argc, argv, i, &deadline_ms,
+                        &ok)) {
+    } else if (num_flag("--max-retries", arg, argc, argv, i, &max_retries,
+                        &ok)) {
+    } else if (num_flag("--retry-budget-ms", arg, argc, argv, i,
+                        &retry_budget_ms, &ok)) {
     } else if (num_flag("--threads", arg, argc, argv, i, &threads, &ok)) {
       if (ok) cfg.spec.threads = static_cast<uint32_t>(threads);
     } else if (num_flag("--ops", arg, argc, argv, i, &ops, &ok)) {
@@ -266,6 +289,12 @@ int main(int argc, char** argv) {
                         &ok) ||
                dbl_flag("--hot-prob", arg, argc, argv, i, &cfg.spec.hot_prob,
                         &ok)) {
+    } else if (dbl_flag("--zipf", arg, argc, argv, i, &cfg.spec.zipf_s,
+                        &ok)) {
+      if (ok && cfg.spec.zipf_s < 0) {
+        std::fprintf(stderr, "deepmc-load: --zipf must be >= 0\n");
+        return kExitUsage;
+      }
     } else if (arg == "--seed-bugs") {
       cfg.seed_bugs = true;
       ok = true;
@@ -361,6 +390,58 @@ int main(int argc, char** argv) {
   if (hash_only) {
     std::printf("%llx\n", static_cast<unsigned long long>(
                               load::schedule_hash(cfg.spec)));
+    return 0;
+  }
+
+  if (!serve_target.empty()) {
+    load::ServeLoadConfig scfg;
+    scfg.target = serve_target;
+    scfg.spec = cfg.spec;
+    scfg.programs = serve_programs;
+    scfg.deadline_ms = deadline_ms;
+    scfg.retry.max_retries = static_cast<int>(max_retries);
+    scfg.retry.retry_budget_ms = retry_budget_ms;
+    const load::ServeLoadResult r = load::run_serve_load(scfg);
+    if (json) {
+      std::printf(
+          "{\"target\": \"%s\", \"requests\": %llu, \"ok\": %llu, "
+          "\"failures\": %llu, \"mismatches\": %llu, "
+          "\"deadline_expired\": %llu, \"attempts\": %llu, "
+          "\"retries\": %llu, \"overloaded\": %llu, \"reconnects\": %llu, "
+          "\"seconds\": %.6f, \"requests_per_sec\": %.1f}\n",
+          serve_target.c_str(), static_cast<unsigned long long>(r.requests),
+          static_cast<unsigned long long>(r.ok),
+          static_cast<unsigned long long>(r.failures),
+          static_cast<unsigned long long>(r.mismatches),
+          static_cast<unsigned long long>(r.deadline_expired),
+          static_cast<unsigned long long>(r.attempts),
+          static_cast<unsigned long long>(r.retries),
+          static_cast<unsigned long long>(r.overloaded),
+          static_cast<unsigned long long>(r.reconnects), r.seconds,
+          r.requests_per_sec);
+    } else {
+      std::printf("serve %-24s %8llu req in %6.2fs  %10.0f req/s\n",
+                  serve_target.c_str(),
+                  static_cast<unsigned long long>(r.requests), r.seconds,
+                  r.requests_per_sec);
+      std::printf("  ok=%llu failures=%llu mismatches=%llu "
+                  "deadline_expired=%llu\n",
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.failures),
+                  static_cast<unsigned long long>(r.mismatches),
+                  static_cast<unsigned long long>(r.deadline_expired));
+      std::printf("  client: attempts=%llu retries=%llu overloaded=%llu "
+                  "reconnects=%llu\n",
+                  static_cast<unsigned long long>(r.attempts),
+                  static_cast<unsigned long long>(r.retries),
+                  static_cast<unsigned long long>(r.overloaded),
+                  static_cast<unsigned long long>(r.reconnects));
+    }
+    if (!r.passed()) {
+      std::fprintf(stderr, "deepmc-load: serve storm failed: %s\n",
+                   r.error.empty() ? "request failures" : r.error.c_str());
+      return kExitError;
+    }
     return 0;
   }
 

@@ -119,6 +119,95 @@ TEST(LoadWorkload, MixShapesTheStream) {
   EXPECT_STREQ(op_name(OpKind::kDel), "del");
 }
 
+// --- zipfian skew ---------------------------------------------------------
+
+WorkloadSpec zipf_spec(double s) {
+  WorkloadSpec spec;
+  spec.threads = 2;
+  spec.ops_per_thread = 512;
+  spec.keys = 128;
+  spec.seed = 7;
+  spec.zipf_s = s;
+  return spec;
+}
+
+TEST(LoadWorkload, ZipfStreamsAreDeterministicAndBounded) {
+  const WorkloadSpec spec = zipf_spec(0.99);
+  const ZipfDist zipf = ZipfDist::for_spec(spec);
+  ASSERT_TRUE(zipf.active());
+  Rng a = thread_rng(spec, 0);
+  Rng b = thread_rng(spec, 0);
+  for (int i = 0; i < 512; ++i) {
+    const LoadOp x = next_op(a, spec, zipf);
+    const LoadOp y = next_op(b, spec, zipf);
+    EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.value, y.value);
+    EXPECT_LT(x.key, spec.keys);
+  }
+  // The exponent is part of the schedule fingerprint.
+  EXPECT_EQ(schedule_hash(spec), schedule_hash(spec));
+  EXPECT_NE(schedule_hash(spec), schedule_hash(zipf_spec(1.2)));
+  EXPECT_NE(schedule_hash(spec), schedule_hash(zipf_spec(0)));
+}
+
+TEST(LoadWorkload, ZipfRankFrequencyIsMonotoneInTheAggregate) {
+  // Key k IS popularity rank k: key 0 must be the modal key, and the
+  // head of the key space must absorb far more accesses than the tail.
+  WorkloadSpec spec = zipf_spec(1.2);
+  spec.ops_per_thread = 20000;
+  const ZipfDist zipf = ZipfDist::for_spec(spec);
+  Rng rng = thread_rng(spec, 0);
+  std::vector<uint64_t> counts(spec.keys, 0);
+  for (uint64_t i = 0; i < spec.ops_per_thread; ++i)
+    ++counts[next_op(rng, spec, zipf).key];
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(),
+            0);
+  uint64_t head = 0, tail = 0;
+  for (size_t k = 0; k < 16; ++k) head += counts[k];
+  for (size_t k = spec.keys - 16; k < spec.keys; ++k) tail += counts[k];
+  EXPECT_GT(head, 4 * tail);
+  EXPECT_GT(counts[0], counts[spec.keys / 2]);
+  EXPECT_GT(counts[0], counts[spec.keys - 1]);
+}
+
+TEST(LoadWorkload, ZipfGoldenScheduleHashes) {
+  // Pinned fingerprints (deepmc-load --schedule-hash): the zipf-off
+  // stream must never move — it predates the sampler — and the zipf
+  // stream is frozen so a resampling change cannot slip in silently.
+  EXPECT_EQ(schedule_hash(zipf_spec(0)), 0xac3ef7fb31ba299bull);
+  EXPECT_EQ(schedule_hash(zipf_spec(0.99)), 0xa77e649f5251dbddull);
+}
+
+TEST(LoadWorkload, ZipfConsumesSameDrawsAsHotSetMode) {
+  // Draw-count parity: turning the skew on changes *which key* an op
+  // touches and nothing else. Op kinds and values stay bit-identical
+  // per position, so seeded-bug schedules are comparable across modes.
+  const WorkloadSpec hot = zipf_spec(0);
+  const WorkloadSpec skew = zipf_spec(0.99);
+  const ZipfDist zipf = ZipfDist::for_spec(skew);
+  ASSERT_TRUE(zipf.active());
+  Rng a = thread_rng(hot, 1);
+  Rng b = thread_rng(skew, 1);
+  bool keys_differ = false;
+  for (int i = 0; i < 512; ++i) {
+    const LoadOp x = next_op(a, hot);
+    const LoadOp y = next_op(b, skew, zipf);
+    EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    EXPECT_EQ(x.value, y.value);
+    if (x.key != y.key) keys_differ = true;
+  }
+  EXPECT_TRUE(keys_differ);
+}
+
+TEST(LoadWorkload, ZipfInactiveBelowTwoKeys) {
+  WorkloadSpec spec = zipf_spec(0.99);
+  spec.keys = 1;
+  EXPECT_FALSE(ZipfDist::for_spec(spec).active());
+  Rng rng = thread_rng(spec, 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(next_op(rng, spec).key, 0u);
+}
+
 // --- adapters ------------------------------------------------------------
 
 TEST(LoadShards, AdapterRoundTripEveryFramework) {

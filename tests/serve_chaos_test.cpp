@@ -1,0 +1,370 @@
+// Chaos harness for the multi-client `deepmc serve` daemon
+// (docs/SERVER.md "Operating under load"). Every scenario here is an
+// adversarial client population — slowloris drip-feeds, mid-request
+// disconnects, storms beyond capacity, injected accept/cache fault
+// storms — and every assertion is the same two invariants:
+//
+//   1. the daemon never wedges: well-behaved clients keep getting
+//      responses within a bounded number of I/O windows, and a drain
+//      still completes with rc 0;
+//   2. byte-identity survives: whatever the abuse, a successful analyze
+//      response is exactly what a fresh one-shot driver run prints.
+//
+// The process-external half of the harness (kill -9 at arbitrary
+// points, cache-dir revalidation across restarts) lives in
+// scripts/run_chaos.sh; these tests cover everything observable
+// in-process, so they also run under TSan (Serve* filter).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analysis_driver.h"
+#include "core/report.h"
+#include "load/serve_driver.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "support/faultpoint.h"
+
+namespace deepmc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::AnalysisService;
+using serve::RequestFrame;
+using serve::ResponseFrame;
+using serve::ServeOptions;
+
+class FaultGuard {
+ public:
+  FaultGuard() { support::clear_faults(); }
+  ~FaultGuard() { support::clear_faults(); }
+};
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "deepmc_chaos_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+ServeOptions cached_opts(const std::string& dir) {
+  ServeOptions opts;
+  opts.driver.jobs = 1;
+  opts.cache_dir = dir;
+  return opts;
+}
+
+std::string oneshot_json(const std::string& name, const std::string& text) {
+  core::DriverOptions opts;
+  opts.jobs = 1;
+  core::AnalysisDriver driver(opts);
+  return driver.run({core::make_source_unit(name, text, {})}).json(false);
+}
+
+/// Distinct self-contained modules: even indices clean, odd ones with a
+/// missing-flush warning — both shapes must round-trip bit-exact.
+std::string chaos_program(size_t idx) {
+  std::ostringstream os;
+  os << "module \"chaos" << idx << "\"\nstruct %rec { i64, i64 }\n\n"
+     << "define void @root" << idx << "() {\nentry:\n"
+     << "  %r = pm.alloc %rec\n"
+     << "  %f = gep %r, " << (idx % 2) << "\n"
+     << "  store i64 " << (idx + 1) << ", %f !loc(\"chaos.c\", 5)\n";
+  if (idx % 2 == 0) os << "  pm.flush %f, 8\n  pm.fence\n";
+  os << "  ret\n}\n";
+  return os.str();
+}
+
+RequestFrame analyze_frame(size_t idx) {
+  RequestFrame req;
+  req.header = "{\"op\": \"analyze\", \"name\": \"chaos" +
+               std::to_string(idx) + "\", \"format\": \"json\"}";
+  req.body = chaos_program(idx);
+  return req;
+}
+
+/// In-process daemon on a fresh Unix socket, run() on a background
+/// thread, drained on destruction.
+class ChaosDaemon {
+ public:
+  ChaosDaemon(AnalysisService& service, serve::DaemonOptions dopts,
+              const std::string& tag)
+      : daemon_(service, dopts),
+        socket_path_(::testing::TempDir() + "dmcx_" + tag + ".sock") {
+    fs::remove(socket_path_);
+    std::string err;
+    EXPECT_TRUE(daemon_.listen_unix(socket_path_, &err)) << err;
+    runner_ = std::thread([this] { rc_ = daemon_.run(); });
+  }
+  ~ChaosDaemon() {
+    stop();
+    fs::remove(socket_path_);
+  }
+  void stop() {
+    daemon_.begin_drain("chaos-teardown");
+    if (runner_.joinable()) runner_.join();
+  }
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+  serve::ServeDaemon& daemon() { return daemon_; }
+  [[nodiscard]] int run_rc() const { return rc_; }
+
+ private:
+  serve::ServeDaemon daemon_;
+  std::string socket_path_;
+  std::thread runner_;
+  int rc_ = -1;
+};
+
+/// A retry policy generous enough to ride out every storm below.
+serve::RetryPolicy patient_policy() {
+  serve::RetryPolicy rp;
+  rp.max_retries = 200;
+  rp.retry_budget_ms = 60000;
+  rp.base_delay_ms = 10;
+  rp.max_delay_ms = 100;
+  return rp;
+}
+
+TEST(ServeChaos, SlowlorisStormDoesNotStarveRealClients) {
+  // Half the session slots are pinned by drip-feed connections that
+  // never finish a frame; real clients must still be served, because
+  // the I/O bound reclaims each pinned slot after one window.
+  AnalysisService service(cached_opts(fresh_dir("slowloris")));
+  serve::DaemonOptions dopts;
+  dopts.max_sessions = 2;
+  dopts.accept_queue = 2;
+  dopts.io_timeout_ms = 150;
+  ChaosDaemon chaos(service, dopts, "slowloris");
+
+  std::atomic<bool> stop{false};
+  std::thread attacker([&] {
+    // A rolling population of slowloris connections: partial magic,
+    // stall, get cut by the I/O bound, reconnect.
+    while (!stop.load()) {
+      std::string err;
+      const int fd = serve::connect_target(chaos.socket_path(), &err);
+      if (fd >= 0) {
+        serve::write_exact(fd, "DMR", 3);
+        char byte = 0;
+        serve::read_exact(fd, &byte, 1);  // blocks until the daemon cuts us
+        ::close(fd);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  });
+
+  std::vector<std::string> expect;
+  for (size_t p = 0; p < 4; ++p)
+    expect.push_back(oneshot_json("chaos" + std::to_string(p),
+                                  chaos_program(p)));
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ServeClient client(chaos.socket_path(), patient_policy());
+      for (size_t i = 0; i < 4; ++i) {
+        const size_t p = (c + i) % expect.size();
+        ResponseFrame resp;
+        std::string err;
+        if (!client.call(analyze_frame(p), &resp, &err) ||
+            resp.status != serve::kStatusOk || resp.body != expect[p])
+          ++bad;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  chaos.stop();  // also unblocks the attacker's pending read
+  attacker.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(chaos.run_rc(), 0);
+}
+
+TEST(ServeChaos, MidRequestDisconnectsLeaveDaemonHealthy) {
+  // Clients that die mid-frame — after the magic, after the full
+  // header, halfway through the body — cost the daemon nothing but the
+  // dead session; the next well-behaved request is served bit-exact.
+  AnalysisService service(cached_opts(fresh_dir("disconnect")));
+  serve::DaemonOptions dopts;
+  dopts.max_sessions = 2;
+  dopts.io_timeout_ms = 200;
+  ChaosDaemon chaos(service, dopts, "disconnect");
+
+  const RequestFrame full = analyze_frame(0);
+  // A full encoded frame, built by writing into a pipe-free scratch fd.
+  const std::string scratch =
+      ::testing::TempDir() + "dmcx_disconnect_frame.bin";
+  {
+    FILE* f = fopen(scratch.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_TRUE(serve::write_request(fileno(f), full));
+    fclose(f);
+  }
+  std::string encoded;
+  {
+    FILE* f = fopen(scratch.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = 0;
+    while ((n = fread(buf, 1, sizeof buf, f)) > 0) encoded.append(buf, n);
+    fclose(f);
+  }
+  fs::remove(scratch);
+  ASSERT_GT(encoded.size(), 16u);
+
+  for (const size_t cut :
+       {size_t{4}, size_t{16}, encoded.size() / 2, encoded.size() - 1}) {
+    SCOPED_TRACE(cut);
+    std::string err;
+    const int fd = serve::connect_target(chaos.socket_path(), &err);
+    ASSERT_GE(fd, 0) << err;
+    ASSERT_TRUE(serve::write_exact(fd, encoded.data(), cut));
+    ::close(fd);  // abrupt: RST or EOF mid-frame, daemon's choice of errno
+  }
+
+  serve::ServeClient client(chaos.socket_path(), patient_policy());
+  ResponseFrame resp;
+  std::string err;
+  ASSERT_TRUE(client.call(analyze_frame(0), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
+  EXPECT_EQ(resp.body, oneshot_json("chaos0", chaos_program(0)));
+  chaos.stop();
+  EXPECT_EQ(chaos.run_rc(), 0);
+}
+
+TEST(ServeChaos, ClientStormByteIdentityViaLoadDriver) {
+  // The deepmc-load --serve-connect storm, in process: 8 workers, a
+  // Zipf-skewed program mix, more workers than session slots — so sheds
+  // and retries are part of the run — and zero tolerated mismatches.
+  AnalysisService service(cached_opts(fresh_dir("storm")));
+  serve::DaemonOptions dopts;
+  dopts.max_sessions = 4;
+  dopts.accept_queue = 2;
+  ChaosDaemon chaos(service, dopts, "storm");
+
+  load::ServeLoadConfig cfg;
+  cfg.target = chaos.socket_path();
+  cfg.spec.threads = 8;
+  cfg.spec.ops_per_thread = 8;
+  cfg.spec.keys = 64;
+  cfg.spec.zipf_s = 0.99;
+  cfg.programs = 6;
+  cfg.retry = patient_policy();
+  const load::ServeLoadResult r = load::run_serve_load(cfg);
+  EXPECT_TRUE(r.passed()) << r.error;
+  EXPECT_EQ(r.requests, 64u);
+  EXPECT_EQ(r.ok, 64u);
+  EXPECT_EQ(r.mismatches, 0u);
+  chaos.stop();
+  EXPECT_EQ(chaos.run_rc(), 0);
+}
+
+TEST(ServeChaos, AcceptFaultStormAbsorbedByRetries) {
+  // serve.accept:2 trips the second request of *every* session, forever
+  // — a permanent fault storm. The retrying client absorbs it because
+  // every retry reconnects, and request 1 of a fresh session is clean.
+  FaultGuard guard;
+  support::arm_fault("serve.accept:2");
+  AnalysisService service(cached_opts(fresh_dir("acceptfault")));
+  ChaosDaemon chaos(service, {}, "acceptfault");
+
+  serve::ServeClient client(chaos.socket_path(), patient_policy());
+  for (size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE(i);
+    ResponseFrame resp;
+    std::string err;
+    const size_t p = i % 3;
+    ASSERT_TRUE(client.call(analyze_frame(p), &resp, &err)) << err;
+    EXPECT_EQ(resp.status, serve::kStatusOk);
+    EXPECT_EQ(resp.body,
+              oneshot_json("chaos" + std::to_string(p), chaos_program(p)));
+  }
+  // Every call after the first burned at least one tripped session.
+  EXPECT_GE(client.stats().retries, 5u);
+  EXPECT_GE(client.stats().reconnects, 6u);
+}
+
+TEST(ServeChaos, CacheFaultStormPreservesByteIdentity) {
+  // cache.read:1 + cache.write:1 trip once per session scope; DiskCache
+  // absorbs both (a failed read is a miss, a failed write is an
+  // unsaved entry), so responses never change — only cache telemetry.
+  FaultGuard guard;
+  support::arm_fault("cache.read:1");
+  support::arm_fault("cache.write:1");
+  AnalysisService service(cached_opts(fresh_dir("cachefault")));
+  ChaosDaemon chaos(service, {}, "cachefault");
+
+  serve::ServeClient client(chaos.socket_path(), patient_policy());
+  const std::string expect = oneshot_json("chaos0", chaos_program(0));
+  for (size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(i);
+    ResponseFrame resp;
+    std::string err;
+    ASSERT_TRUE(client.call(analyze_frame(0), &resp, &err)) << err;
+    EXPECT_EQ(resp.status, serve::kStatusOk);
+    EXPECT_EQ(resp.body, expect);
+  }
+}
+
+TEST(ServeChaos, DrainUnderLoadCompletesAndCacheSurvives) {
+  // begin_drain() in the middle of a client storm: the drain finishes
+  // promptly (in-flight requests answered or cut, nothing leaks), and a
+  // new daemon over the same cache directory serves warm hits that are
+  // still bit-exact.
+  const std::string dir = fresh_dir("drain");
+  const std::string expect = oneshot_json("chaos0", chaos_program(0));
+  {
+    AnalysisService service(cached_opts(dir));
+    serve::DaemonOptions dopts;
+    dopts.max_sessions = 2;
+    ChaosDaemon chaos(service, dopts, "drain");
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&] {
+        // Storm until the daemon goes away; failures are expected once
+        // the drain starts — what matters is that nothing hangs.
+        serve::RetryPolicy rp;
+        rp.max_retries = 2;
+        rp.retry_budget_ms = 200;
+        serve::ServeClient client(chaos.socket_path(), rp);
+        while (!stop.load()) {
+          ResponseFrame resp;
+          std::string err;
+          (void)client.call(analyze_frame(0), &resp, &err);
+        }
+      });
+    }
+    // Let the storm land some requests, then drain out from under it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    chaos.stop();
+    EXPECT_EQ(chaos.run_rc(), 0);
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+  }
+  // Second life: the same cache directory, a fresh daemon, a warm hit.
+  AnalysisService service(cached_opts(dir));
+  ChaosDaemon chaos(service, {}, "drain2");
+  serve::ServeClient client(chaos.socket_path(), patient_policy());
+  ResponseFrame resp;
+  std::string err;
+  ASSERT_TRUE(client.call(analyze_frame(0), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
+  EXPECT_EQ(resp.body, expect);
+}
+
+}  // namespace
+}  // namespace deepmc

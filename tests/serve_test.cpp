@@ -10,12 +10,14 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analysis_driver.h"
@@ -28,6 +30,8 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 #include "serve/fingerprint.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -879,6 +883,311 @@ TEST(ServeTelemetry, StatsBodyExposesEvictionCountersOverProtocol) {
   EXPECT_GT(*evicted, 0);
   EXPECT_NE(resps[2].body.find("\"entries\""), std::string::npos);
   EXPECT_NE(resps[2].body.find("\"bytes\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client fleet: ServeDaemon + ServeClient end to end
+// ---------------------------------------------------------------------------
+
+/// In-process daemon bound to a fresh Unix socket (and optionally a TCP
+/// ephemeral port), with run() on a background thread. Drained on
+/// destruction; listeners are live as soon as the constructor returns.
+class FleetDaemon {
+ public:
+  FleetDaemon(AnalysisService& service, serve::DaemonOptions dopts,
+              const std::string& tag, bool tcp = false)
+      : daemon_(service, dopts),
+        socket_path_(::testing::TempDir() + "dmc_" + tag + ".sock") {
+    fs::remove(socket_path_);
+    std::string err;
+    EXPECT_TRUE(daemon_.listen_unix(socket_path_, &err)) << err;
+    if (tcp) {
+      EXPECT_TRUE(daemon_.listen_tcp("127.0.0.1:0", &err)) << err;
+    }
+    runner_ = std::thread([this] { rc_ = daemon_.run(); });
+  }
+  ~FleetDaemon() {
+    stop();
+    fs::remove(socket_path_);
+  }
+  void stop() {
+    daemon_.begin_drain("test-teardown");
+    if (runner_.joinable()) runner_.join();
+  }
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+  [[nodiscard]] std::string tcp_target() const {
+    return "127.0.0.1:" + std::to_string(daemon_.tcp_port());
+  }
+  serve::ServeDaemon& daemon() { return daemon_; }
+  /// Valid after stop().
+  [[nodiscard]] int run_rc() const { return rc_; }
+
+ private:
+  serve::ServeDaemon daemon_;
+  std::string socket_path_;
+  std::thread runner_;
+  int rc_ = -1;
+};
+
+/// Distinct self-contained modules (distinct cache keys): even indices
+/// are clean, odd ones carry a missing-flush warning.
+std::string fleet_program(size_t idx) {
+  std::ostringstream os;
+  os << "module \"fleet" << idx << "\"\nstruct %rec { i64, i64 }\n\n"
+     << "define void @root" << idx << "() {\nentry:\n"
+     << "  %r = pm.alloc %rec\n"
+     << "  %f = gep %r, " << (idx % 2) << "\n"
+     << "  store i64 " << (idx + 1) << ", %f !loc(\"fleet.c\", 5)\n";
+  if (idx % 2 == 0) os << "  pm.flush %f, 8\n  pm.fence\n";
+  os << "  ret\n}\n";
+  return os.str();
+}
+
+/// Diamond-heavy module (4 roots x 2^10 paths): expensive enough that a
+/// 1 ms deadline always fires mid-analysis, on any machine.
+std::string slow_module_text() {
+  std::ostringstream os;
+  os << "module \"slowmod\"\nstruct %rec { i64, i64 }\n\n";
+  for (size_t n = 0; n < 4; ++n) {
+    os << "define void @root" << n << "() {\nentry:\n"
+       << "  %r = pm.alloc %rec\n  %f = gep %r, 0\n"
+       << "  store i64 " << (n + 1) << ", %f !loc(\"slow.c\", 1)\n"
+       << "  br label %d0\n";
+    for (size_t d = 0; d < 10; ++d) {
+      os << "d" << d << ":\n"
+         << "  %v" << d << " = load %f\n"
+         << "  %c" << d << " = lt %v" << d << ", 5\n"
+         << "  br %c" << d << ", label %d" << d << "a, label %d" << d << "b\n"
+         << "d" << d << "a:\n"
+         << "  store i64 " << (d + 2) << ", %f !loc(\"slow.c\", "
+         << (100 * n + 2 * d + 2) << ")\n"
+         << "  pm.flush %f, 8\n  br label %d" << d << "e\n"
+         << "d" << d << "b:\n"
+         << "  store i64 " << (d + 3) << ", %f !loc(\"slow.c\", "
+         << (100 * n + 2 * d + 3) << ")\n"
+         << "  pm.flush %f, 8\n  br label %d" << d << "e\n"
+         << "d" << d << "e:\n";
+      os << (d + 1 < 10 ? "  br label %d" + std::to_string(d + 1) + "\n"
+                        : std::string("  br label %done\n"));
+    }
+    os << "done:\n  pm.flush %f, 8\n  pm.fence\n  ret\n}\n\n";
+  }
+  return os.str();
+}
+
+TEST(ServeFleet, ConcurrentClientsByteIdentityAcrossJobs) {
+  // Four clients hammering four distinct programs through a shared
+  // daemon must each get the one-shot driver's exact bytes — at any
+  // --jobs, whatever mix of cold runs and cache hits the interleaving
+  // produces.
+  std::vector<std::string> programs, expect;
+  for (size_t p = 0; p < 4; ++p) {
+    programs.push_back(fleet_program(p));
+    expect.push_back(
+        oneshot_json("fleet" + std::to_string(p), programs.back()));
+  }
+  for (size_t jobs : {1u, 4u, 16u}) {
+    SCOPED_TRACE(jobs);
+    const std::string tag = "fleet_j" + std::to_string(jobs);
+    AnalysisService service(cached_opts(fresh_dir(tag), jobs));
+    serve::DaemonOptions dopts;
+    dopts.max_sessions = 4;
+    FleetDaemon fleet(service, dopts, tag);
+
+    std::atomic<uint64_t> mismatches{0}, failures{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        serve::ServeClient client(fleet.socket_path());
+        for (size_t i = 0; i < 6; ++i) {
+          const size_t p = (c + i) % programs.size();
+          ResponseFrame resp;
+          std::string err;
+          if (!client.call(
+                  analyze_frame("fleet" + std::to_string(p), programs[p]),
+                  &resp, &err) ||
+              resp.status != serve::kStatusOk) {
+            ++failures;
+            continue;
+          }
+          if (resp.body != expect[p]) ++mismatches;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    fleet.stop();
+    EXPECT_EQ(fleet.run_rc(), 0);
+    EXPECT_GE(fleet.daemon().stats().sessions, 4u);
+  }
+}
+
+TEST(ServeFleet, TcpTransportMatchesUnixAndOneShot) {
+  // Same daemon, both transports: the TCP ephemeral-port listener must
+  // serve byte-identical responses to the Unix socket and the oracle.
+  AnalysisService service(cached_opts(fresh_dir("fleet_tcp")));
+  FleetDaemon fleet(service, {}, "fleet_tcp", /*tcp=*/true);
+  ASSERT_NE(fleet.daemon().tcp_port(), 0);
+  const std::string expect = oneshot_json("tworoots", kTwoRoots);
+  for (const std::string& target :
+       std::vector<std::string>{fleet.socket_path(), fleet.tcp_target()}) {
+    SCOPED_TRACE(target);
+    serve::ServeClient client(target);
+    RequestFrame ping;
+    ping.header = "{\"op\": \"ping\"}";
+    ResponseFrame resp;
+    std::string err;
+    ASSERT_TRUE(client.call(ping, &resp, &err)) << err;
+    EXPECT_EQ(resp.status, serve::kStatusOk);
+    ASSERT_TRUE(
+        client.call(analyze_frame("tworoots", kTwoRoots), &resp, &err))
+        << err;
+    EXPECT_EQ(resp.status, serve::kStatusOk);
+    EXPECT_EQ(resp.body, expect);
+  }
+}
+
+TEST(ServeFleet, DeadlineExpiryDegradesRequestNotDaemon) {
+  // A 1 ms client deadline on a diamond-heavy module fires mid-analysis:
+  // the response arrives promptly, flagged deadline_expired, degraded or
+  // failed — and the daemon then serves a normal request bit-exact.
+  AnalysisService service(cached_opts(fresh_dir("fleet_deadline")));
+  FleetDaemon fleet(service, {}, "fleet_deadline");
+  serve::ServeClient client(fleet.socket_path());
+
+  RequestFrame slow;
+  slow.header =
+      "{\"op\": \"analyze\", \"name\": \"slowmod\", \"format\": \"json\", "
+      "\"deadline_ms\": 1}";
+  slow.body = slow_module_text();
+  ResponseFrame resp;
+  std::string err;
+  ASSERT_TRUE(client.call(slow, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
+  EXPECT_TRUE(
+      serve::json_bool_field(resp.meta, "deadline_expired").value_or(false))
+      << resp.meta;
+  const bool failed =
+      serve::json_bool_field(resp.meta, "failed").value_or(false);
+  const bool degraded =
+      serve::json_bool_field(resp.meta, "degraded").value_or(false);
+  EXPECT_TRUE(failed || degraded) << resp.meta;
+  EXPECT_NE(resp.body.find("wall-clock"), std::string::npos);
+
+  // The request degraded; the daemon did not.
+  ASSERT_TRUE(client.call(analyze_frame("tworoots", kTwoRoots), &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
+  EXPECT_FALSE(
+      serve::json_bool_field(resp.meta, "deadline_expired").value_or(true));
+  EXPECT_EQ(resp.body, oneshot_json("tworoots", kTwoRoots));
+}
+
+TEST(ServeFleet, DaemonRequestTimeoutBoundsClientsWithNoDeadline) {
+  // --request-timeout-ms applies even when the client sends no deadline
+  // header: the daemon never waits longer than its own bound.
+  AnalysisService service(cached_opts(fresh_dir("fleet_dto")));
+  serve::DaemonOptions dopts;
+  dopts.request_timeout_ms = 1;
+  FleetDaemon fleet(service, dopts, "fleet_dto");
+  serve::ServeClient client(fleet.socket_path());
+  ResponseFrame resp;
+  std::string err;
+  ASSERT_TRUE(
+      client.call(analyze_frame("slowmod", slow_module_text()), &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
+  EXPECT_TRUE(
+      serve::json_bool_field(resp.meta, "deadline_expired").value_or(false))
+      << resp.meta;
+}
+
+TEST(ServeFleet, ShedIsDeterministicAndClientRetriesToSuccess) {
+  // One session slot, one queue slot. A holds the slot with a partial
+  // frame (released only by the I/O bound), B parks in the queue, so the
+  // next connection is deterministically shed with a retryable status-2
+  // — and a retrying client eventually lands once the stalled pair ages
+  // out.
+  AnalysisService service(cached_opts(fresh_dir("fleet_shed")));
+  serve::DaemonOptions dopts;
+  dopts.max_sessions = 1;
+  dopts.accept_queue = 1;
+  dopts.io_timeout_ms = 500;
+  FleetDaemon fleet(service, dopts, "fleet_shed");
+
+  std::string err;
+  const int a = serve::connect_target(fleet.socket_path(), &err);
+  ASSERT_GE(a, 0) << err;
+  ASSERT_TRUE(serve::write_exact(a, "DM", 2));  // partial magic, then stall
+  // Wait until A occupies the session slot — otherwise B races the
+  // worker's queue pop and gets shed instead of parked.
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fleet.daemon().stats().sessions < 1 &&
+         std::chrono::steady_clock::now() < wait_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(fleet.daemon().stats().sessions, 1u);
+  const int b = serve::connect_target(fleet.socket_path(), &err);
+  ASSERT_GE(b, 0) << err;
+
+  // Raw probe: queue full -> unsolicited overloaded response, closed.
+  const int d = serve::connect_target(fleet.socket_path(), &err);
+  ASSERT_GE(d, 0) << err;
+  ResponseFrame shed;
+  ASSERT_EQ(serve::read_response(d, &shed), 1);
+  EXPECT_EQ(shed.status, serve::kStatusOverloaded);
+  EXPECT_TRUE(serve::json_bool_field(shed.meta, "retryable").value_or(false));
+  ::close(d);
+
+  // Retrying client: absorbs the shed storm, succeeds after the bound.
+  serve::RetryPolicy rp;
+  rp.max_retries = 100;
+  rp.retry_budget_ms = 20000;
+  rp.base_delay_ms = 20;
+  rp.max_delay_ms = 100;
+  serve::ServeClient client(fleet.socket_path(), rp);
+  RequestFrame ping;
+  ping.header = "{\"op\": \"ping\"}";
+  ResponseFrame resp;
+  ASSERT_TRUE(client.call(ping, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
+  EXPECT_GE(client.stats().overloaded, 1u);
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_GE(client.stats().reconnects, 2u);
+
+  ::close(a);
+  ::close(b);
+  fleet.stop();
+  const serve::ServeDaemon::Stats stats = fleet.daemon().stats();
+  EXPECT_GE(stats.shed, 2u);
+  EXPECT_GE(stats.accepted, 4u);
+}
+
+TEST(ServeFleet, IoTimeoutClosesStalledSessionAndFreesSlot) {
+  // A slowloris connection is cut at the I/O bound (clean EOF on its
+  // side, no response owed) and its session slot is immediately
+  // reusable.
+  AnalysisService service(cached_opts(fresh_dir("fleet_iotmo")));
+  serve::DaemonOptions dopts;
+  dopts.max_sessions = 1;
+  dopts.io_timeout_ms = 100;
+  FleetDaemon fleet(service, dopts, "fleet_iotmo");
+
+  std::string err;
+  const int s = serve::connect_target(fleet.socket_path(), &err);
+  ASSERT_GE(s, 0) << err;
+  ASSERT_TRUE(serve::write_exact(s, "DMRQ", 4));
+  char byte = 0;
+  EXPECT_EQ(serve::read_exact(s, &byte, 1), 0);  // daemon closed: clean EOF
+  ::close(s);
+
+  serve::ServeClient client(fleet.socket_path());
+  RequestFrame ping;
+  ping.header = "{\"op\": \"ping\"}";
+  ResponseFrame resp;
+  ASSERT_TRUE(client.call(ping, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, serve::kStatusOk);
 }
 
 }  // namespace
